@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation: LIWC design-choice sweeps the paper discusses in
+ * Section 7 ("Design Choice of LIWC") but does not plot —
+ *   (a) the reward parameter alpha of the table-update rule,
+ *   (b) the SRAM table depth (quantisation of the motion space),
+ *   (c) the delta-tag range.
+ * Reported per setting: convergence time (frames until the latency
+ * ratio first enters a balanced band), steady-state MTP, and FPS.
+ */
+
+#include "bench_util.hpp"
+
+#include "core/pipeline_foveated.hpp"
+
+namespace
+{
+
+using namespace qvr;
+using namespace qvr::bench;
+
+std::size_t
+convergenceFrame(const core::PipelineResult &r)
+{
+    for (std::size_t i = 0; i < r.frames.size(); i++) {
+        const auto &f = r.frames[i];
+        if (f.tLocalRender <= 0.0)
+            continue;
+        const double ratio = f.tRemoteBranch / f.tLocalRender;
+        if (ratio > 0.5 && ratio < 2.0)
+            return i;
+    }
+    return r.frames.size();
+}
+
+core::PipelineResult
+runWith(const std::string &bench, core::LiwcConfig liwc_cfg)
+{
+    core::ExperimentSpec spec;
+    spec.benchmark = bench;
+    spec.numFrames = kFrames;
+    auto cfg = spec.toConfig();
+    cfg.liwcConfig = liwc_cfg;
+    core::FoveatedPipeline p(cfg, core::FoveatedPolicy::qvr());
+    return p.run(core::generateExperimentWorkload(spec));
+}
+
+}  // namespace
+
+int
+main()
+{
+    printHeader("Ablation — LIWC reward rate, table depth, tag range");
+
+    const char *bench = "HL2-H";
+
+    TextTable alpha_table("(a) reward parameter alpha (HL2-H)");
+    alpha_table.setHeader({"alpha", "converge (frames)",
+                           "steady MTP (ms)", "FPS"});
+    for (double alpha : {0.05, 0.15, 0.30, 0.50, 0.80}) {
+        core::LiwcConfig cfg;
+        cfg.alpha = alpha;
+        const auto r = runWith(bench, cfg);
+        alpha_table.addRow(
+            {TextTable::num(alpha, 2),
+             std::to_string(convergenceFrame(r)),
+             TextTable::num(toMs(r.meanMtp()), 1),
+             TextTable::num(r.meanFps(), 1)});
+    }
+    alpha_table.print(std::cout);
+
+    TextTable depth_table(
+        "(b) SRAM table depth (paper default 2^15 = 64 KB)");
+    depth_table.setHeader({"depth", "size", "steady MTP (ms)",
+                           "FPS"});
+    for (std::uint32_t log2 : {15u, 16u, 17u}) {
+        core::LiwcConfig cfg;
+        cfg.tableDepthLog2 = log2;
+        const auto r = runWith(bench, cfg);
+        depth_table.addRow(
+            {"2^" + std::to_string(log2),
+             std::to_string((1u << log2) * 2 / 1024) + " KB",
+             TextTable::num(toMs(r.meanMtp()), 1),
+             TextTable::num(r.meanFps(), 1)});
+    }
+    depth_table.print(std::cout);
+
+    TextTable range_table("(c) delta-tag range (paper: -5..+5 deg)");
+    range_table.setHeader({"range", "converge (frames)",
+                           "steady MTP (ms)", "FPS"});
+    for (int range : {2, 5, 10}) {
+        core::LiwcConfig cfg;
+        cfg.deltaRange = range;
+        const auto r = runWith(bench, cfg);
+        range_table.addRow(
+            {"+-" + std::to_string(range),
+             std::to_string(convergenceFrame(r)),
+             TextTable::num(toMs(r.meanMtp()), 1),
+             TextTable::num(r.meanFps(), 1)});
+    }
+    range_table.print(std::cout);
+
+    std::cout << "\nReading: small alpha slows adaptation, large"
+                 " alpha chases noise; a deeper table buys nothing"
+                 " once the motion codec's 10-bit space is covered;"
+                 " a small tag range slows convergence from the"
+                 " 5-degree start.\n";
+    return 0;
+}

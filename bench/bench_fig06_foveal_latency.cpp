@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 6 reproduction: average foveal-layer rendering latency as a
+ * function of eccentricity, for three scene-complexity classes.
+ * Shape to reproduce: latency grows superlinearly with eccentricity,
+ * and for e1 <= 15 degrees every complexity class fits inside the
+ * 11 ms / 90 Hz budget on the mobile SoC.
+ */
+
+#include "bench_util.hpp"
+
+#include "foveation/layers.hpp"
+#include "gpu/timing.hpp"
+
+int
+main()
+{
+    using namespace qvr;
+    using namespace qvr::bench;
+
+    printHeader("Figure 6 — foveal render latency vs eccentricity");
+
+    // Three complexity classes, as in the Foveated3D chessboard
+    // snapshots: simple / medium / complex views.
+    struct Class
+    {
+        const char *name;
+        double triangles;
+        double shading;
+    };
+    const Class classes[] = {
+        {"simple", 0.8e6, 1.6},
+        {"medium", 1.6e6, 2.4},
+        {"complex", 2.6e6, 3.2},
+    };
+
+    const foveation::DisplayConfig display;
+    const foveation::MarModel mar;
+    const foveation::LayerGeometry geometry(display, mar);
+    const gpu::MobileGpuModel gpu;
+
+    TextTable table("Fovea render latency (ms), stereo, 500 MHz");
+    table.setHeader({"e1 (deg)", "simple", "medium", "complex",
+                     "all <= 11ms?"});
+
+    for (double e1 = 5.0; e1 <= 40.0 + 1e-9; e1 += 5.0) {
+        std::vector<std::string> row{TextTable::num(e1, 0)};
+        bool all_ok = true;
+        for (const Class &c : classes) {
+            const double area =
+                geometry.foveaAreaFraction(e1, Vec2{});
+            const double work = std::pow(area, 1.0 / 1.25);
+            gpu::RenderJob job;
+            job.triangles = static_cast<std::uint64_t>(
+                c.triangles * 2.0 * work);
+            job.shadedPixels =
+                area * static_cast<double>(display.pixelCount()) *
+                2.0;
+            job.batches = std::max(
+                2u,
+                static_cast<std::uint32_t>(240.0 * work * 2.0));
+            job.shadingCost = c.shading;
+            const Seconds t = gpu.renderSeconds(job);
+            all_ok = all_ok && t <= vr_requirements::kFrameBudget;
+            row.push_back(TextTable::num(toMs(t)));
+        }
+        row.push_back(all_ok ? "yes" : "no");
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper reference: every complexity class meets the"
+                 " 11 ms budget for eccentricity <= 15 degrees.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 12 reproduction: normalised end-to-end speedup of Static,
+ * FFR, DFR and Q-VR over the local-rendering Baseline on the seven
+ * Table-3 benchmarks, plus the FPS lines comparing the pure-software
+ * implementation (SW-FPS) against the co-designed Q-VR (Q-VR-FPS).
+ *
+ * Shapes to reproduce: FFR ~1.75x mean over Baseline; DFR ~1.1x over
+ * FFR; Q-VR ~3.4x mean (max >5x) over Baseline and ~4.1x FPS over
+ * Static / ~2.8x over SW-QVR.
+ */
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace qvr;
+    using namespace qvr::bench;
+
+    printHeader("Figure 12 — end-to-end speedup and FPS");
+
+    const auto base = runTable3(core::DesignPoint::Local);
+    const auto stat = runTable3(core::DesignPoint::Static);
+    const auto ffr = runTable3(core::DesignPoint::Ffr);
+    const auto dfr = runTable3(core::DesignPoint::Dfr);
+    const auto sw = runTable3(core::DesignPoint::SwQvr);
+    const auto qvr = runTable3(core::DesignPoint::Qvr);
+
+    TextTable table("Normalised E2E speedup over Baseline");
+    table.setHeader({"Benchmark", "Static", "FFR", "DFR", "Q-VR",
+                     "SW-FPS", "Q-VR-FPS"});
+
+    std::vector<double> sp_static, sp_ffr, sp_dfr, sp_qvr;
+    std::vector<double> fps_ratio_static, fps_ratio_sw;
+    for (std::size_t i = 0; i < base.size(); i++) {
+        const double b = base[i].meanMtp();
+        sp_static.push_back(b / stat[i].meanMtp());
+        sp_ffr.push_back(b / ffr[i].meanMtp());
+        sp_dfr.push_back(b / dfr[i].meanMtp());
+        sp_qvr.push_back(b / qvr[i].meanMtp());
+        fps_ratio_static.push_back(qvr[i].meanFps() /
+                                   stat[i].meanFps());
+        fps_ratio_sw.push_back(qvr[i].meanFps() / sw[i].meanFps());
+        table.addRow({base[i].benchmark,
+                      TextTable::speedup(sp_static.back()),
+                      TextTable::speedup(sp_ffr.back()),
+                      TextTable::speedup(sp_dfr.back()),
+                      TextTable::speedup(sp_qvr.back()),
+                      TextTable::num(sw[i].meanFps(), 1),
+                      TextTable::num(qvr[i].meanFps(), 1)});
+    }
+    table.addRow({"MEAN", TextTable::speedup(mean(sp_static)),
+                  TextTable::speedup(mean(sp_ffr)),
+                  TextTable::speedup(mean(sp_dfr)),
+                  TextTable::speedup(mean(sp_qvr)), "", ""});
+    table.print(std::cout);
+
+    double best = 0.0;
+    for (double s : sp_qvr)
+        best = std::max(best, s);
+    std::cout << "\nQ-VR vs Baseline: mean "
+              << TextTable::speedup(mean(sp_qvr)) << ", max "
+              << TextTable::speedup(best)
+              << "   (paper: 3.4x mean, 6.7x max)\n";
+    std::cout << "Q-VR FPS vs Static: "
+              << TextTable::speedup(mean(fps_ratio_static))
+              << "   (paper: 4.1x)\n";
+    std::cout << "Q-VR FPS vs SW-QVR: "
+              << TextTable::speedup(mean(fps_ratio_sw))
+              << "   (paper: 2.8x)\n";
+    std::cout << "FFR vs Baseline: "
+              << TextTable::speedup(mean(sp_ffr))
+              << "   (paper: ~1.75x); DFR vs FFR: "
+              << TextTable::speedup(mean(sp_dfr) / mean(sp_ffr))
+              << "   (paper: ~1.1x)\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 15 reproduction: Q-VR's GPU-system energy per frame,
+ * normalised to traditional local rendering, across hardware and
+ * network conditions.
+ *
+ * Shapes to reproduce: ~73% mean energy reduction vs local-only;
+ * faster networks improve energy efficiency (less radio-on time and
+ * better balance); reducing GPU frequency does not always help (the
+ * frame stretches, so static energy and radio tails accumulate).
+ */
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace qvr;
+    using namespace qvr::bench;
+
+    printHeader("Figure 15 — normalised energy efficiency");
+
+    struct Net
+    {
+        const char *label;
+        net::ChannelConfig cfg;
+    };
+    const Net nets[] = {
+        {"Wi-Fi", net::ChannelConfig::wifi()},
+        {"4G LTE", net::ChannelConfig::lte4g()},
+        {"Early 5G", net::ChannelConfig::early5g()},
+    };
+    const double freqs[] = {1.0, 0.8, 0.6};
+    const char *freq_labels[] = {"500 MHz", "400 MHz", "300 MHz"};
+
+    TextTable table(
+        "Q-VR energy / local-only energy (same environment)");
+    std::vector<std::string> header{"Freq", "Net"};
+    for (const auto &b : scene::table3Benchmarks())
+        header.push_back(b.name);
+    header.push_back("MEAN");
+    table.setHeader(header);
+
+    double default_cell_reduction = 0.0;
+    for (int fi = 0; fi < 3; fi++) {
+        for (const auto &n : nets) {
+            std::vector<std::string> row{freq_labels[fi], n.label};
+            std::vector<double> ratios;
+            for (const auto &b : scene::table3Benchmarks()) {
+                const auto local =
+                    runCell(core::DesignPoint::Local, b.name, n.cfg,
+                            freqs[fi], 200);
+                const auto qvr =
+                    runCell(core::DesignPoint::Qvr, b.name, n.cfg,
+                            freqs[fi], 200);
+                const double ratio =
+                    qvr.meanEnergy() / local.meanEnergy();
+                ratios.push_back(ratio);
+                row.push_back(TextTable::num(ratio, 2));
+            }
+            row.push_back(TextTable::num(mean(ratios), 2));
+            table.addRow(row);
+            if (fi == 0 && std::string(n.label) == "Wi-Fi")
+                default_cell_reduction = 1.0 - mean(ratios);
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nDefault environment (500 MHz, Wi-Fi): "
+              << TextTable::percent(default_cell_reduction)
+              << " mean energy reduction vs local-only"
+                 "   (paper: ~73%).\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Section 3.1 reproduction (quantitative stand-in for the 50-person
+ * image-quality survey): render a real scene through the full
+ * functional foveated path — native fovea + MAR-subsampled periphery
+ * layers fused by the UCA trilinear pass — and measure PSNR against
+ * the native render, per eccentricity.
+ *
+ * Shapes to reproduce: fovea fidelity is independent of e1 (it is
+ * always the full-resolution layer); overall quality rises with e1;
+ * the periphery degradation stays bounded and, per the MAR audit,
+ * below the acuity threshold at its eccentricity — the reason the
+ * paper's participants "observe no visible image quality
+ * difference".
+ */
+
+#include "bench_util.hpp"
+
+#include "core/foveated_render.hpp"
+#include "foveation/quality.hpp"
+
+int
+main()
+{
+    using namespace qvr;
+    using namespace qvr::bench;
+
+    printHeader(
+        "Section 3.1 — functional image quality vs eccentricity");
+
+    // Render at a reduced canvas with the same angular geometry as
+    // the real display (110-degree lens) so the MAR factors match.
+    constexpr std::int32_t kSize = 512;
+    foveation::DisplayConfig display;
+    display.width = kSize;
+    display.height = kSize;
+    const foveation::MarModel mar;
+    const foveation::LayerGeometry geometry(display, mar);
+    const double ppd = display.pixelsPerDegree();
+
+    const auto scene =
+        core::testscene::chessHall(kSize, kSize, 24, 12.0);
+
+    TextTable table("PSNR (dB) of the foveated composite vs native");
+    table.setHeader({"e1 (deg)", "e2* (deg)", "s_mid", "s_out",
+                     "fovea", "periphery", "overall", "MAR audit"});
+
+    for (double e1 : {5.0, 10.0, 15.0, 25.0, 40.0}) {
+        const double e2 = geometry.selectOptimalE2(e1, Vec2{});
+        const foveation::LayerPartition lp{e1, e2, Vec2{}};
+        const auto px = geometry.pixelCounts(lp);
+        const auto audit = foveation::auditPartition(geometry, lp);
+
+        core::PixelPartition pp;
+        pp.centerX = kSize / 2.0;
+        pp.centerY = kSize / 2.0;
+        pp.foveaRadius = e1 * ppd;
+        pp.middleRadius = e2 * ppd;
+        pp.blendBand = 10.0;
+
+        const core::FoveatedRenderResult r = core::renderFoveated(
+            scene, kSize, kSize, pp, px.middleFactor,
+            px.outerFactor, Vec2{1.2, -0.8});
+
+        auto db = [](double v) {
+            return std::isinf(v) ? std::string("inf")
+                                 : TextTable::num(v, 1);
+        };
+        table.addRow({TextTable::num(e1, 0), TextTable::num(e2, 1),
+                      TextTable::num(px.middleFactor, 2),
+                      TextTable::num(px.outerFactor, 2),
+                      db(r.psnrFovea), db(r.psnrPeriphery),
+                      db(r.psnrOverall),
+                      audit.perceptuallyLossless ? "lossless"
+                                                 : "VIOLATED"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: the fovea stays pixel-faithful at every"
+                 " e1; the periphery blur the PSNR measures sits"
+                 " below the MAR acuity budget at its eccentricity"
+                 " (audit column), which is why the paper's survey"
+                 " participants saw no difference.\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Extension experiment: multi-user scalability on one edge server.
+ *
+ * The paper positions Q-VR for future *collaborative* VR and cites
+ * Firefly/Coterie (multi-user VR on commodity devices) as the state
+ * of the art to displace.  This bench answers the deployment
+ * question those systems pose: with one shared chiplet pool and one
+ * shared egress pipe, how do per-user FPS, fairness and shared-
+ * resource utilisation degrade with user count — under static
+ * collaborative rendering vs Q-VR — and how many users can the
+ * server hold at 60 / 90 FPS?
+ */
+
+#include "bench_util.hpp"
+
+#include "collab/session.hpp"
+
+int
+main()
+{
+    using namespace qvr;
+    using namespace qvr::bench;
+
+    printHeader("Extension — multi-user scaling on one edge server");
+
+    TextTable table("Per-user performance vs session size (HL2-H, "
+                    "Wi-Fi last mile, 1 Gbps egress, 16 chiplets)");
+    table.setHeader({"Users", "Design", "mean FPS", "worst FPS",
+                     "mean MTP (ms)", "egress util", "chiplet util",
+                     "agg KB/frame"});
+
+    for (std::size_t users : {1u, 2u, 4u, 8u, 12u, 16u}) {
+        for (auto design : {collab::SessionDesign::Static,
+                            collab::SessionDesign::Qvr}) {
+            collab::SessionConfig cfg;
+            cfg.users = users;
+            cfg.design = design;
+            cfg.benchmark = "HL2-H";
+            cfg.numFrames = 150;
+            const collab::SessionResult r = collab::runSession(cfg);
+            table.addRow(
+                {std::to_string(users),
+                 design == collab::SessionDesign::Qvr ? "Q-VR"
+                                                      : "Static",
+                 TextTable::num(r.meanFps(), 1),
+                 TextTable::num(r.worstUserFps(), 1),
+                 TextTable::num(toMs(r.meanMtp()), 1),
+                 TextTable::percent(r.egressUtilisation),
+                 TextTable::percent(r.serverUtilisation),
+                 TextTable::num(r.aggregateBytesPerFrame() / 1024.0,
+                                0)});
+        }
+    }
+    table.print(std::cout);
+
+    collab::SessionConfig cap_cfg;
+    cap_cfg.benchmark = "HL2-H";
+    cap_cfg.numFrames = 120;
+    cap_cfg.design = collab::SessionDesign::Qvr;
+    const std::size_t qvr90 =
+        collab::findUserCapacity(cap_cfg, 90.0, 24);
+    const std::size_t qvr60 =
+        collab::findUserCapacity(cap_cfg, 60.0, 24);
+    cap_cfg.design = collab::SessionDesign::Static;
+    const std::size_t st90 =
+        collab::findUserCapacity(cap_cfg, 90.0, 24);
+    const std::size_t st60 =
+        collab::findUserCapacity(cap_cfg, 60.0, 24);
+
+    std::cout << "\nUser capacity of one edge server (worst user"
+                 " >= target FPS):\n";
+    std::cout << "  Q-VR  : " << qvr90 << " users @ 90 FPS, " << qvr60
+              << " users @ 60 FPS\n";
+    std::cout << "  Static: " << st90 << " users @ 90 FPS, " << st60
+              << " users @ 60 FPS\n";
+    std::cout << "\nReading: static is last-mile-bound (each user's"
+                 " own downlink caps it even alone); Q-VR's ~6x"
+                 " smaller per-user payload keeps both the last mile"
+                 " and the shared pipe comfortable until the chiplet"
+                 " pool runs out.\n";
+    return 0;
+}

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Section 4.3 reproduction — design-overhead analysis — plus
+ * google-benchmark microbenchmarks of the hot simulator kernels.
+ *
+ * Printed table pins the paper's McPAT-derived accounting: LIWC's
+ * 2^15-entry fp16 SRAM (~64 KB, 0.66 mm^2, <=25 mW), UCA at 1.6 mm^2
+ * and 94 mW per instance with 532 cycles per 32x32 border tile, and
+ * nanosecond-class eccentricity selection that hides behind the
+ * pipeline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "common/fp16.hpp"
+#include "core/liwc.hpp"
+#include "core/uca.hpp"
+#include "net/channel.hpp"
+
+namespace
+{
+
+using namespace qvr;
+
+foveation::LayerGeometry &
+geometry()
+{
+    static foveation::LayerGeometry g{foveation::DisplayConfig{},
+                                      foveation::MarModel{}};
+    return g;
+}
+
+core::Liwc
+makeLiwc()
+{
+    return core::Liwc(core::LiwcConfig{}, geometry(), 50e6, 134e6,
+                      0.55);
+}
+
+void
+printOverheadTable()
+{
+    using namespace qvr::bench;
+    printHeader("Section 4.3 — design overhead analysis");
+
+    core::Liwc liwc = makeLiwc();
+    core::UcaConfig uca;
+
+    TextTable table("Hardware overhead accounting (model | paper)");
+    table.setHeader({"Component", "Quantity", "Model", "Paper"});
+    table.addRow({"LIWC", "SRAM table",
+                  std::to_string(liwc.tableBytes() / 1024) + " KB",
+                  "~64 KB (2^15 x fp16)"});
+    table.addRow({"LIWC", "area",
+                  TextTable::num(liwc.areaMm2(), 2) + " mm^2",
+                  "0.66 mm^2"});
+    table.addRow({"LIWC", "power",
+                  TextTable::num(liwc.maxPowerW() * 1000, 0) + " mW",
+                  "<= 25 mW"});
+    table.addRow({"LIWC", "selection latency",
+                  TextTable::num(liwc.selectionLatency() * 1e9, 0) +
+                      " ns",
+                  "nanoseconds (hidden)"});
+    table.addRow({"UCA", "border tile",
+                  std::to_string(uca.borderTileCycles) + " cycles",
+                  "532 cycles / 32x32 block"});
+    table.addRow({"UCA", "instances",
+                  std::to_string(uca.units) + " @ 500 MHz",
+                  "2 @ 500 MHz"});
+    table.addRow({"UCA", "area",
+                  TextTable::num(uca.areaMm2, 1) + " mm^2",
+                  "1.6 mm^2"});
+    table.addRow({"UCA", "power",
+                  TextTable::num(uca.powerW * 1000, 0) + " mW",
+                  "94 mW"});
+    table.print(std::cout);
+
+    // Full-frame UCA latency at the default partition.
+    core::UcaTimingModel model(uca);
+    core::PixelPartition pp;
+    pp.centerX = 960.0;
+    pp.centerY = 1080.0;
+    pp.foveaRadius = 15.0 * (1920.0 / 110.0);
+    pp.middleRadius = 35.0 * (1920.0 / 110.0);
+    const core::UcaTimingResult r =
+        model.processFrame(1920, 2160, pp, 0.0, 0.0);
+    std::cout << "\nUCA full-eye pass: " << r.borderTiles
+              << " border + " << r.interiorTiles
+              << " interior tiles in "
+              << TextTable::num(toMs(r.done), 2)
+              << " ms (budget 11.1 ms)\n\n";
+}
+
+void
+BM_LiwcSelection(benchmark::State &state)
+{
+    core::Liwc liwc = makeLiwc();
+    motion::MotionDelta delta;
+    delta.dOrientation.x = 0.3;
+    delta.dGaze = Vec2{0.5, -0.2};
+    for (auto _ : state) {
+        auto d = liwc.selectEccentricity(delta, 2'000'000, Vec2{});
+        benchmark::DoNotOptimize(d);
+        core::LiwcFeedback fb;
+        fb.measuredLocal = 5e-3;
+        fb.measuredRemote = 6e-3;
+        fb.renderedTriangles = 300'000;
+        fb.peripheryPixels = 1e6;
+        fb.peripheryBytes = 60'000;
+        fb.ackThroughput = 134e6;
+        liwc.update(d, fb);
+    }
+}
+BENCHMARK(BM_LiwcSelection);
+
+void
+BM_UcaUnifiedFilterTile(benchmark::State &state)
+{
+    // Functional trilinear filtering cost of one 32x32 tile region.
+    core::Image fovea(64, 64, core::Rgb{0.5f, 0.5f, 0.5f});
+    core::Image middle(32, 32, core::Rgb{0.25f, 0.5f, 0.75f});
+    core::Image outer(16, 16, core::Rgb{0.75f, 0.5f, 0.25f});
+    core::UcaFrameInputs in;
+    in.fovea = &fovea;
+    in.middle = &middle;
+    in.outer = &outer;
+    in.sMiddle = 2.0;
+    in.sOuter = 4.0;
+    in.partition.centerX = 32.0;
+    in.partition.centerY = 32.0;
+    in.partition.foveaRadius = 16.0;
+    in.partition.middleRadius = 28.0;
+    in.atwShift = Vec2{1.0, -1.0};
+    for (auto _ : state) {
+        core::Image out = core::ucaUnified(in);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_UcaUnifiedFilterTile);
+
+void
+BM_UcaTimingFullFrame(benchmark::State &state)
+{
+    core::PixelPartition pp;
+    pp.centerX = 960.0;
+    pp.centerY = 1080.0;
+    pp.foveaRadius = 260.0;
+    pp.middleRadius = 600.0;
+    for (auto _ : state) {
+        core::UcaTimingModel model;
+        auto r = model.processFrame(1920, 2160, pp, 0.0, 0.0);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_UcaTimingFullFrame);
+
+void
+BM_ChannelTransfer(benchmark::State &state)
+{
+    net::Channel ch(net::ChannelConfig::wifi(), Rng(1));
+    for (auto _ : state) {
+        auto r = ch.transfer(fromKiB(100));
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_ChannelTransfer);
+
+void
+BM_Fp16RoundTrip(benchmark::State &state)
+{
+    float x = 1.2345f;
+    for (auto _ : state) {
+        const std::uint16_t bits = floatToHalfBits(x);
+        x = halfBitsToFloat(bits) + 1e-4f;
+        if (x > 100.0f)
+            x = 1.0f;
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_Fp16RoundTrip);
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    printOverheadTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

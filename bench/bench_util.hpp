@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: every
+ * bench runs design points through the common experiment harness and
+ * prints a TextTable mirroring one table/figure of the paper.
+ */
+
+#ifndef QVR_BENCH_BENCH_UTIL_HPP
+#define QVR_BENCH_BENCH_UTIL_HPP
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/qvr_system.hpp"
+
+namespace qvr::bench
+{
+
+/** Default frame count per experiment cell. */
+constexpr std::size_t kFrames = 300;
+
+/** Run one design on one benchmark under an environment. */
+inline core::PipelineResult
+runCell(core::DesignPoint design, const std::string &benchmark,
+        const net::ChannelConfig &channel = net::ChannelConfig::wifi(),
+        double freq_scale = 1.0, std::size_t frames = kFrames,
+        std::uint64_t seed = 1)
+{
+    core::ExperimentSpec spec;
+    spec.benchmark = benchmark;
+    spec.channel = channel;
+    spec.gpuFrequencyScale = freq_scale;
+    spec.numFrames = frames;
+    spec.seed = seed;
+    return core::runExperiment(design, spec);
+}
+
+/** Run a design on all Table-3 benchmarks. */
+inline std::vector<core::PipelineResult>
+runTable3(core::DesignPoint design,
+          const net::ChannelConfig &channel = net::ChannelConfig::wifi(),
+          double freq_scale = 1.0, std::size_t frames = kFrames)
+{
+    std::vector<core::PipelineResult> out;
+    for (const auto &b : scene::table3Benchmarks())
+        out.push_back(runCell(design, b.name, channel, freq_scale,
+                              frames));
+    return out;
+}
+
+/** Geometric-mean helper for "average speedup" style rows. */
+inline double
+mean(const std::vector<double> &xs)
+{
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+inline void
+printHeader(const std::string &what)
+{
+    std::cout << "\n### Q-VR reproduction: " << what << " ###\n\n";
+}
+
+}  // namespace qvr::bench
+
+#endif  // QVR_BENCH_BENCH_UTIL_HPP

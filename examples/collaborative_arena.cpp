@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Scenario: a shared VR arena on one edge server.
+ *
+ * Six players join the same HL2-H session through one edge server
+ * (16 chiplets, 1 Gbps egress), but with heterogeneous last-mile
+ * links: four on good Wi-Fi, one on early 5G, one stuck on 4G LTE.
+ * Q-VR runs per user — each LIWC independently finds the partition
+ * its own link and SoC can sustain — and the session report shows
+ * how the system absorbs the heterogeneity instead of dragging every
+ * player down to the worst link.
+ */
+
+#include <cstdio>
+
+#include "collab/session.hpp"
+
+int
+main()
+{
+    using namespace qvr;
+
+    std::printf("Six-player arena, homogeneous Wi-Fi baseline:\n\n");
+
+    collab::SessionConfig cfg;
+    cfg.users = 6;
+    cfg.benchmark = "HL2-H";
+    cfg.design = collab::SessionDesign::Qvr;
+    cfg.numFrames = 200;
+
+    const collab::SessionResult wifi = collab::runSession(cfg);
+    std::printf("  user   mean FPS   mean MTP(ms)   mean e1(deg)\n");
+    for (std::size_t i = 0; i < wifi.perUser.size(); i++) {
+        const auto &u = wifi.perUser[i];
+        std::printf("  %4zu   %8.1f   %12.2f   %12.1f\n", i,
+                    u.meanFps(), toMs(u.meanMtp()), u.meanE1());
+    }
+    std::printf("  egress %.0f%%, chiplet pool %.0f%% utilised\n\n",
+                wifi.egressUtilisation * 100.0,
+                wifi.serverUtilisation * 100.0);
+
+    // Heterogeneous links: run per-link-class sessions and compare
+    // the per-user outcome each class would see at the same load.
+    std::printf("Per-link-class outcome at the same server load:\n\n");
+    std::printf("  link       mean FPS   mean MTP(ms)   mean e1"
+                "(deg)\n");
+    struct Link
+    {
+        const char *name;
+        net::ChannelConfig cfg;
+    };
+    const Link links[] = {
+        {"Wi-Fi", net::ChannelConfig::wifi()},
+        {"5G", net::ChannelConfig::early5g()},
+        {"4G LTE", net::ChannelConfig::lte4g()},
+    };
+    for (const Link &link : links) {
+        collab::SessionConfig c = cfg;
+        c.lastMile = link.cfg;
+        const collab::SessionResult r = collab::runSession(c);
+        std::printf("  %-8s   %8.1f   %12.2f   %12.1f\n", link.name,
+                    r.meanFps(), toMs(r.meanMtp()),
+                    r.perUser.front().meanE1());
+    }
+
+    std::printf("\nReading: the LTE player's controller pushes far"
+                " more work onto their own\nSoC (bigger e1) to ride"
+                " out the slow link; Wi-Fi and 5G players keep"
+                " small\nfoveas and lean on the server. Nobody"
+                " reconfigures anything.\n");
+    return 0;
+}

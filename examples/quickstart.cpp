@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: the five-minute tour of the Q-VR library.
+ *
+ * 1. Pick an application from the benchmark catalog.
+ * 2. Generate a motion trace and its per-frame rendering workload.
+ * 3. Run the full Q-VR system (LIWC + UCA) over it.
+ * 4. Read back the per-frame partition decisions and the latency /
+ *    bandwidth / energy accounting.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/qvr_system.hpp"
+
+int
+main()
+{
+    using namespace qvr;
+
+    // --- 1. Configure: GRID on the default SoC over Wi-Fi. --------
+    core::ExperimentSpec spec;
+    spec.benchmark = "GRID";
+    spec.channel = net::ChannelConfig::wifi();
+    spec.numFrames = 240;
+
+    // --- 2. Workload: seeded head/gaze trace -> per-frame batches. -
+    const auto workload = core::generateExperimentWorkload(spec);
+
+    // --- 3. The system under test. ---------------------------------
+    core::QvrSystem system(spec.toConfig());
+
+    // --- 4. Stream frames through it. -------------------------------
+    std::printf("frame   e1(deg)  e2(deg)  MTP(ms)  local(ms)  "
+                "remote(ms)  sent(KB)\n");
+    double mtp_sum = 0.0;
+    double bytes_sum = 0.0;
+    for (const auto &frame : workload) {
+        const core::QvrFrameOutput out = system.renderFrame(frame);
+        mtp_sum += out.stats.mtpLatency;
+        bytes_sum += static_cast<double>(out.stats.transmittedBytes);
+        if (frame.index % 30 == 0) {
+            std::printf("%5llu   %6.1f   %6.1f   %6.2f   %8.2f   "
+                        "%9.2f   %7.1f\n",
+                        static_cast<unsigned long long>(frame.index),
+                        out.e1, out.e2, toMs(out.stats.mtpLatency),
+                        toMs(out.stats.tLocalRender),
+                        toMs(out.stats.tRemoteBranch),
+                        toKiB(out.stats.transmittedBytes));
+        }
+    }
+
+    const double n = static_cast<double>(workload.size());
+    std::printf("\nsummary: mean MTP %.2f ms (budget 25 ms), "
+                "mean downlink %.0f KB/frame\n",
+                toMs(mtp_sum / n), bytes_sum / n / 1024.0);
+    std::printf("The controller starts at the classic 5-degree fovea"
+                " and widens it\nuntil local rendering and the remote"
+                " fetch balance.\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Scenario: record once, replay everywhere.
+ *
+ * Performance work needs reproducible inputs: record a session's
+ * workload trace (motion + per-frame draw batches) to a file, then
+ * replay the identical trace against two design points and — because
+ * the trace pins every input — attribute the entire difference to
+ * the designs themselves.  Also demonstrates LIWC warm-starting: the
+ * controller's learned table is saved after the first run and
+ * restored before the second, skipping the cold-start imbalance.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/pipeline_foveated.hpp"
+#include "core/qvr_system.hpp"
+#include "scene/trace_io.hpp"
+
+int
+main()
+{
+    using namespace qvr;
+
+    const char *trace_path = "/tmp/qvr_session.trace";
+    const char *table_path = "/tmp/qvr_liwc.table";
+
+    // --- Record ----------------------------------------------------
+    core::ExperimentSpec spec;
+    spec.benchmark = "UT3";
+    spec.numFrames = 240;
+    const auto workload = core::generateExperimentWorkload(spec);
+    scene::saveTrace(trace_path, workload);
+    std::printf("recorded %zu frames (%zu draw batches/frame) to %s\n",
+                workload.size(), workload.front().batches.size(),
+                trace_path);
+
+    // --- Replay against two designs --------------------------------
+    const auto replayed = scene::loadTrace(trace_path);
+
+    auto dfr = core::makePipeline(core::DesignPoint::Dfr,
+                                  spec.toConfig());
+    const auto dfr_result = dfr->run(replayed);
+
+    core::FoveatedPipeline qvr(spec.toConfig(),
+                               core::FoveatedPolicy::qvr());
+    const auto qvr_result = qvr.run(replayed);
+
+    std::printf("\nidentical inputs, two designs:\n");
+    std::printf("  %-6s  MTP %6.2f ms   FPS %6.1f\n", "DFR",
+                toMs(dfr_result.meanMtp()), dfr_result.meanFps());
+    std::printf("  %-6s  MTP %6.2f ms   FPS %6.1f\n", "Q-VR",
+                toMs(qvr_result.meanMtp()), qvr_result.meanFps());
+
+    // --- Warm start ------------------------------------------------
+    {
+        std::ofstream os(table_path, std::ios::binary);
+        qvr.liwc()->saveTable(os);
+    }
+
+    core::FoveatedPipeline cold(spec.toConfig(),
+                                core::FoveatedPolicy::qvr());
+    core::FoveatedPipeline warm(spec.toConfig(),
+                                core::FoveatedPolicy::qvr());
+    {
+        std::ifstream is(table_path, std::ios::binary);
+        warm.liwc()->loadTable(is);
+    }
+
+    auto early_mtp = [&](core::FoveatedPipeline &p) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < 20; i++)
+            sum += p.step(replayed[i]).mtpLatency;
+        return toMs(sum / 20.0);
+    };
+    std::printf("\nfirst-20-frame MTP, cold vs warm-started LIWC "
+                "table:\n");
+    std::printf("  cold: %.2f ms    warm: %.2f ms\n",
+                early_mtp(cold), early_mtp(warm));
+    std::printf("\n(Near-identical numbers are themselves a finding,"
+                " matching the LIWC\nablation: the Eq.-2 hardware"
+                " predictor carries most of the signal and the\n"
+                "table's learned residuals only matter under motion"
+                " patterns the prior\nmisses. The persistence API"
+                " exists for exactly that long-tail case.)\n");
+    std::printf("\nThe trace file is plain text — inspect %s.\n",
+                trace_path);
+    return 0;
+}

@@ -1,0 +1,440 @@
+#include "collab/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.hpp"
+
+namespace qvr::collab
+{
+
+namespace
+{
+
+using core::FrameStats;
+using core::PipelineResult;
+
+/** Everything one user owns privately. */
+struct UserState
+{
+    std::vector<scene::FrameWorkload> workload;
+    std::unique_ptr<core::Liwc> liwc;       // Qvr design only
+    sim::BusyResource cpu;
+    sim::BusyResource gpu;
+    sim::BusyResource lastMile;
+    sim::MultiServerResource decoders{2};
+    std::unique_ptr<net::Channel> channel;
+    core::UcaTimingModel uca;
+    Seconds issue = 0.0;
+    Seconds lastDisplay = 0.0;
+    bool hasLastDisplay = false;
+    std::size_t nextFrame = 0;
+    /** Static design: completion times of in-flight prefetches. */
+    std::vector<Seconds> prefetchReady;
+    PipelineResult result;
+};
+
+/** Shared infrastructure + immutable models. */
+struct Shared
+{
+    const SessionConfig *cfg;
+    foveation::LayerGeometry geometry;
+    foveation::PartitionOracle oracle;
+    gpu::MobileGpuModel gpuModel;
+    remote::RemoteServer requestServer;  // one request's chiplet share
+    net::VideoCodec codec;
+    gpu::postprocess::PostprocessCosts postCosts;
+    sim::MultiServerResource serverPool;
+    sim::BusyResource egress;
+
+    Shared(const SessionConfig &c, const core::PipelineConfig &pc,
+           const remote::ServerConfig &request_cfg)
+        : cfg(&c), geometry(pc.display(), pc.mar), oracle(geometry),
+          gpuModel(pc.gpuConfig, pc.gpuCost),
+          requestServer(request_cfg), codec(pc.codecConfig),
+          postCosts(pc.postCosts),
+          serverPool(std::max<std::uint32_t>(
+              1, c.totalChiplets / c.chipletsPerRequest)),
+          egress()
+    {
+    }
+};
+
+constexpr Seconds kControlLogic = 0.8e-3;
+constexpr Seconds kUplink = 1.0e-3;
+constexpr Seconds kSensor = 2e-3;
+constexpr Seconds kDisplay = 5e-3;
+
+/** Ship one payload: shared egress, then the user's last mile. */
+Seconds
+shipAndDecode(Shared &sh, UserState &u, Seconds ready, Bytes bytes,
+              double pixels)
+{
+    const double egress_serialise =
+        static_cast<double>(bytes) * 8.0 / sh.cfg->serverEgress;
+    const Seconds left_edge = sh.egress.serve(ready, egress_serialise);
+
+    const net::TransferResult xfer = u.channel->transfer(bytes);
+    const Seconds serialise =
+        xfer.duration - u.channel->config().baseLatency;
+    const Seconds sent = u.lastMile.serve(left_edge, serialise);
+    const Seconds arrived =
+        sent + u.channel->config().baseLatency;
+    return u.decoders.serve(arrived, sh.codec.decodeTime(pixels));
+}
+
+FrameStats
+simulateQvrFrame(Shared &sh, UserState &u,
+                 const scene::FrameWorkload &frame)
+{
+    const auto &bench =
+        scene::findBenchmark(sh.cfg->benchmark);
+    FrameStats s;
+    s.index = frame.index;
+    const Seconds cpu_done = u.cpu.serve(u.issue, kControlLogic);
+
+    const Vec2 gaze{frame.motionSeen.gaze.x, frame.motionSeen.gaze.y};
+    const core::LiwcDecision decision = u.liwc->selectEccentricity(
+        frame.motionDelta, frame.totalTriangles() * 2, gaze);
+    const auto &resolved = sh.oracle.resolve(decision.e1, gaze);
+    s.e1 = resolved.partition.e1;
+    s.e2 = resolved.partition.e2;
+
+    const double area =
+        sh.geometry.foveaAreaFraction(resolved.partition.e1, gaze);
+    const double work =
+        std::pow(std::max(1e-9, area),
+                 1.0 / bench.centerConcentration);
+
+    gpu::RenderJob local;
+    local.triangles = static_cast<std::uint64_t>(
+        static_cast<double>(frame.totalTriangles()) * 2.0 * work);
+    local.shadedPixels = resolved.pixels.foveaPixels * 2.0;
+    local.batches = std::max<std::uint32_t>(
+        1,
+        static_cast<std::uint32_t>(bench.numBatches * work * 2.0));
+    local.shadingCost = bench.shadingCost;
+    s.tLocalRender = sh.gpuModel.renderSeconds(local);
+    s.localTriangles = local.triangles;
+    const Seconds local_done = u.gpu.serve(cpu_done, s.tLocalRender);
+
+    // Server render on the shared chiplet pool.
+    gpu::RenderJob remote_job;
+    remote_job.triangles = static_cast<std::uint64_t>(
+        static_cast<double>(frame.totalTriangles()) * 2.0 *
+        (1.0 - work));
+    remote_job.shadedPixels = resolved.pixels.peripheryPixels() * 2.0;
+    remote_job.batches = bench.numBatches * 2;
+    remote_job.shadingCost = bench.shadingCost;
+    s.tRemoteRender = sh.requestServer.renderSeconds(remote_job);
+    const Seconds render_done = sh.serverPool.serve(
+        cpu_done + kUplink, s.tRemoteRender);
+    const Seconds stream_start = render_done - 0.7 * s.tRemoteRender;
+
+    Seconds all_decoded = 0.0;
+    double periphery_pixels = 0.0;
+    for (int eye = 0; eye < 2; eye++) {
+        for (int layer = 0; layer < 2; layer++) {
+            const double pixels =
+                layer == 0 ? resolved.pixels.middlePixels
+                           : resolved.pixels.outerPixels;
+            const double factor =
+                layer == 0 ? resolved.pixels.middleFactor
+                           : resolved.pixels.outerFactor;
+            const Bytes bytes =
+                sh.codec.compressedSize(pixels, 1.0, factor);
+            const Seconds ready =
+                stream_start + 0.3 * sh.codec.encodeTime(pixels);
+            const Seconds decoded =
+                shipAndDecode(sh, u, ready, bytes, pixels);
+            all_decoded = std::max(all_decoded, decoded);
+            s.transmittedBytes += bytes;
+            s.tNetwork +=
+                static_cast<double>(bytes) * 8.0 /
+                u.channel->ackThroughput();
+            periphery_pixels += pixels;
+        }
+    }
+    s.tRemoteBranch = std::max(0.0, all_decoded - cpu_done);
+
+    const auto &display = sh.geometry.display();
+    core::PixelPartition pp;
+    const double ppd = display.pixelsPerDegree();
+    pp.centerX = display.width / 2.0 + gaze.x * ppd;
+    pp.centerY = display.height / 2.0 + gaze.y * ppd;
+    pp.foveaRadius = resolved.partition.e1 * ppd;
+    pp.middleRadius = resolved.partition.e2 * ppd;
+    const core::UcaTimingResult eye0 = u.uca.processFrame(
+        display.width, display.height, pp, local_done, all_decoded);
+    const core::UcaTimingResult eye1 = u.uca.processFrame(
+        display.width, display.height, pp, local_done, all_decoded);
+    const Seconds done = std::max(eye0.done, eye1.done);
+    s.tComposition = (eye0.busy + eye1.busy) / 2.0;
+
+    s.displayTime = done + kDisplay;
+    s.mtpLatency = kSensor + (s.displayTime - u.issue);
+    s.gpuBusy = s.tLocalRender;
+    s.renderedResolutionFraction =
+        sh.geometry.linearResolutionFraction(resolved.partition);
+
+    core::LiwcFeedback fb;
+    fb.measuredLocal = s.tLocalRender;
+    fb.measuredRemote = s.tRemoteBranch;
+    fb.renderedTriangles = local.triangles;
+    fb.peripheryPixels = periphery_pixels;
+    fb.peripheryBytes = s.transmittedBytes;
+    fb.ackThroughput = u.channel->ackThroughput();
+    u.liwc->update(decision, fb);
+    return s;
+}
+
+FrameStats
+simulateStaticFrame(Shared &sh, UserState &u,
+                    const scene::FrameWorkload &frame)
+{
+    const auto &bench = scene::findBenchmark(sh.cfg->benchmark);
+    FrameStats s;
+    s.index = frame.index;
+    const Seconds cpu_done = u.cpu.serve(u.issue, kControlLogic);
+
+    // Local: the interactive objects.
+    gpu::RenderJob local;
+    local.triangles = frame.interactiveTriangles() * 2;
+    double coverage = 0.0;
+    for (const auto &b : frame.batches) {
+        if (b.interactive)
+            coverage += b.screenCoverage;
+    }
+    coverage = clamp(coverage, 0.01, 0.6);
+    local.shadedPixels =
+        static_cast<double>(bench.pixelsPerEye()) * 2.0 * coverage;
+    local.batches = 8;
+    local.shadingCost = bench.shadingCost;
+    s.tLocalRender =
+        sh.gpuModel.renderSeconds(local) *
+        (1.0 + sh.postCosts.contentionInflation);
+    const Seconds local_done = u.gpu.serve(cpu_done, s.tLocalRender);
+
+    // Remote: full background + depth, prefetched one frame ahead.
+    const double bg_pixels =
+        static_cast<double>(bench.pixelsPerEye()) * 2.0;
+    gpu::RenderJob bg;
+    bg.triangles =
+        (frame.totalTriangles() - frame.interactiveTriangles()) * 2;
+    bg.shadedPixels = bg_pixels;
+    bg.batches = bench.numBatches * 2;
+    bg.shadingCost = bench.shadingCost;
+    s.tRemoteRender = sh.requestServer.renderSeconds(bg);
+    const Seconds render_done = sh.serverPool.serve(
+        cpu_done + kUplink, s.tRemoteRender);
+
+    const Bytes bytes = sh.codec.compressedSize(bg_pixels, 1.0, 1.0,
+                                                /*with_depth=*/true);
+    const Seconds decoded = shipAndDecode(
+        sh, u, render_done + 0.3 * sh.codec.encodeTime(bg_pixels),
+        bytes, bg_pixels);
+    s.transmittedBytes = bytes;
+    s.tNetwork = static_cast<double>(bytes) * 8.0 /
+                 u.channel->ackThroughput();
+
+    // Prefetch pipelining: this fetch serves the NEXT frame; the
+    // current frame composites the previous fetch.
+    Seconds bg_ready = cpu_done;
+    u.prefetchReady.push_back(decoded);
+    if (u.prefetchReady.size() > 1) {
+        bg_ready = u.prefetchReady.front();
+        u.prefetchReady.erase(u.prefetchReady.begin());
+    } else {
+        bg_ready = decoded;  // cold start: wait for the first fetch
+    }
+    s.tRemoteBranch = std::max(0.0, bg_ready - cpu_done);
+
+    s.tComposition = gpu::postprocess::depthCompositionTime(
+        sh.gpuModel, bg_pixels, sh.postCosts);
+    s.tAtw = gpu::postprocess::atwTime(sh.gpuModel, bg_pixels,
+                                       sh.postCosts);
+    const Seconds comp_start = std::max(local_done, bg_ready) +
+                               0.6 * (s.tComposition + s.tAtw);
+    const Seconds done =
+        u.gpu.serve(comp_start, s.tComposition + s.tAtw);
+
+    s.displayTime = done + kDisplay;
+    s.mtpLatency = kSensor + (s.displayTime - u.issue);
+    s.gpuBusy = s.tLocalRender + s.tComposition + s.tAtw;
+    s.renderedResolutionFraction = 1.0;
+    return s;
+}
+
+}  // namespace
+
+double
+SessionResult::meanFps() const
+{
+    double sum = 0.0;
+    for (const auto &u : perUser)
+        sum += u.meanFps();
+    return perUser.empty() ? 0.0
+                           : sum / static_cast<double>(perUser.size());
+}
+
+double
+SessionResult::worstUserFps() const
+{
+    double worst = std::numeric_limits<double>::infinity();
+    for (const auto &u : perUser)
+        worst = std::min(worst, u.meanFps());
+    return perUser.empty() ? 0.0 : worst;
+}
+
+double
+SessionResult::meanMtp() const
+{
+    double sum = 0.0;
+    for (const auto &u : perUser)
+        sum += u.meanMtp();
+    return perUser.empty() ? 0.0
+                           : sum / static_cast<double>(perUser.size());
+}
+
+double
+SessionResult::fpsCompliance() const
+{
+    double sum = 0.0;
+    for (const auto &u : perUser)
+        sum += u.fpsCompliance();
+    return perUser.empty() ? 0.0
+                           : sum / static_cast<double>(perUser.size());
+}
+
+double
+SessionResult::aggregateBytesPerFrame() const
+{
+    double sum = 0.0;
+    for (const auto &u : perUser)
+        sum += u.meanTransmittedBytes();
+    return sum;
+}
+
+SessionResult
+runSession(const SessionConfig &cfg)
+{
+    QVR_REQUIRE(cfg.users >= 1, "session needs at least one user");
+    QVR_REQUIRE(cfg.design == SessionDesign::Qvr ||
+                    cfg.design == SessionDesign::Static,
+                "unsupported session design");
+
+    core::ExperimentSpec spec;
+    spec.benchmark = cfg.benchmark;
+    spec.channel = cfg.lastMile;
+    spec.numFrames = cfg.numFrames;
+    const core::PipelineConfig pc = spec.toConfig();
+
+    remote::ServerConfig request_cfg = remote::ServerConfig{};
+    request_cfg.chiplets = cfg.chipletsPerRequest;
+
+    Shared shared(cfg, pc, request_cfg);
+    const auto &bench = scene::findBenchmark(cfg.benchmark);
+
+    std::vector<UserState> users(cfg.users);
+    for (std::size_t i = 0; i < cfg.users; i++) {
+        core::ExperimentSpec user_spec = spec;
+        user_spec.seed = cfg.seed + i * 101;
+        users[i].workload =
+            core::generateExperimentWorkload(user_spec);
+        users[i].channel = std::make_unique<net::Channel>(
+            cfg.lastMile, Rng(cfg.seed + i, 0xbeef + i));
+        if (cfg.design == SessionDesign::Qvr) {
+            const double pixels_per_tri =
+                static_cast<double>(bench.pixelsPerEye()) /
+                static_cast<double>(bench.meanTriangles);
+            users[i].liwc = std::make_unique<core::Liwc>(
+                pc.liwcConfig, shared.geometry,
+                shared.gpuModel.triangleThroughput(
+                    bench.shadingCost, pixels_per_tri),
+                cfg.lastMile.nominalDownlink *
+                    cfg.lastMile.protocolEfficiency,
+                pc.codecConfig.baseBitsPerPixel, 5.0,
+                bench.centerConcentration);
+        }
+        users[i].result.design = cfg.design == SessionDesign::Qvr
+                                     ? "Q-VR"
+                                     : "Static";
+        users[i].result.benchmark = cfg.benchmark;
+    }
+
+    // Round-based simulation: each round serves every user's next
+    // frame in issue-clock order, keeping the shared timelines
+    // time-consistent.  (A deliberate non-feature: priority
+    // scheduling at frame granularity was prototyped and REMOVED —
+    // in a call-order-FIFO resource model, reordering whole frames
+    // distorts causality and punishes everyone; genuine priority
+    // needs preemption inside the shared resources.)
+    for (std::size_t round = 0; round < cfg.numFrames; round++) {
+        std::vector<std::size_t> order(cfg.users);
+        std::iota(order.begin(), order.end(), 0u);
+        std::sort(order.begin(), order.end(),
+                  [&users](std::size_t a, std::size_t b) {
+                      return users[a].issue < users[b].issue;
+                  });
+        for (std::size_t ui : order) {
+            UserState &u = users[ui];
+            const auto &frame = u.workload[u.nextFrame++];
+            FrameStats s =
+                cfg.design == SessionDesign::Qvr
+                    ? simulateQvrFrame(shared, u, frame)
+                    : simulateStaticFrame(shared, u, frame);
+
+            s.frameInterval = u.hasLastDisplay
+                                  ? s.displayTime - u.lastDisplay
+                                  : s.displayTime;
+            u.lastDisplay = s.displayTime;
+            u.hasLastDisplay = true;
+            s.meetsFrameRate =
+                s.frameInterval <=
+                vr_requirements::kFrameBudget + 1e-9;
+            s.meetsMtp = s.mtpLatency <=
+                         vr_requirements::kMaxMotionToPhoton + 1e-9;
+            u.result.frames.push_back(s);
+
+            u.issue = std::max(
+                {u.issue + 0.2e-3, u.gpu.nextFree(),
+                 u.lastMile.nextFree(), shared.egress.nextFree()});
+        }
+    }
+
+    SessionResult result;
+    result.config = cfg;
+    Seconds horizon = 0.0;
+    for (auto &u : users) {
+        horizon = std::max(horizon, u.lastDisplay);
+        result.perUser.push_back(std::move(u.result));
+    }
+    if (horizon > 0.0) {
+        result.egressUtilisation =
+            shared.egress.busyTime() / horizon;
+        result.serverUtilisation =
+            shared.serverPool.busyTime() /
+            (horizon *
+             static_cast<double>(shared.serverPool.servers()));
+    }
+    return result;
+}
+
+std::size_t
+findUserCapacity(SessionConfig cfg, double min_fps, std::size_t limit)
+{
+    std::size_t best = 0;
+    for (std::size_t n = 1; n <= limit; n = (n < 4 ? n + 1 : n + 2)) {
+        cfg.users = n;
+        const SessionResult r = runSession(cfg);
+        if (r.worstUserFps() >= min_fps) {
+            best = n;
+        } else {
+            break;
+        }
+    }
+    return best;
+}
+
+}  // namespace qvr::collab

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Multi-user collaborative VR sessions.
+ *
+ * The paper frames Q-VR as the building block for planet-scale
+ * *collaborative* VR: many headsets sharing one edge server.  This
+ * module models that deployment — N users, each with their own
+ * mobile SoC, LIWC instance and last-mile link, all contending for a
+ * shared chiplet pool on the render server and a shared egress pipe.
+ *
+ * The experiment it enables (bench_multiuser_scaling) is the
+ * Firefly/Coterie-style question the paper cites as related work:
+ * how many users can one edge server sustain at 90 Hz?  Q-VR's
+ * per-user transmitted-data reduction translates directly into user
+ * capacity; the static design saturates the egress pipe almost
+ * immediately.
+ */
+
+#ifndef QVR_COLLAB_SESSION_HPP
+#define QVR_COLLAB_SESSION_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/qvr_system.hpp"
+
+namespace qvr::collab
+{
+
+/** How each user's frames are partitioned. */
+enum class SessionDesign
+{
+    Static,  ///< interactive-local / background-remote, prefetched
+    Qvr,     ///< collaborative foveated with LIWC + UCA
+};
+
+
+/** Shared-infrastructure session description. */
+struct SessionConfig
+{
+    std::size_t users = 4;
+    std::string benchmark = "HL2-H";
+    SessionDesign design = SessionDesign::Qvr;
+
+    /** Per-user last-mile link (each user gets an independent
+     *  instance with its own noise stream). */
+    net::ChannelConfig lastMile = net::ChannelConfig::wifi();
+
+    /** Shared edge-server egress capacity. */
+    BitsPerSecond serverEgress = fromMbps(1000.0);
+
+    /** Shared chiplet pool: total chiplets and how many one render
+     *  request occupies (pool/chipletsPerRequest concurrent jobs). */
+    std::uint32_t totalChiplets = 16;
+    std::uint32_t chipletsPerRequest = 2;
+
+    std::size_t numFrames = 300;
+    std::uint64_t seed = 1;
+};
+
+/** Aggregate outcome of a session. */
+struct SessionResult
+{
+    SessionConfig config;
+    std::vector<core::PipelineResult> perUser;
+
+    /** Across-user mean of per-user mean FPS. */
+    double meanFps() const;
+    /** Slowest user's mean FPS (the fairness-critical number). */
+    double worstUserFps() const;
+    /** Across-user mean MTP (seconds). */
+    double meanMtp() const;
+    /** Fraction of (user, frame) pairs meeting 90 Hz. */
+    double fpsCompliance() const;
+    /** Total downlink bytes per frame across users. */
+    double aggregateBytesPerFrame() const;
+    /** Shared-egress utilisation over the run. */
+    double egressUtilisation = 0.0;
+    /** Shared chiplet-pool utilisation over the run. */
+    double serverUtilisation = 0.0;
+};
+
+/** Run a session end to end (deterministic in config.seed). */
+SessionResult runSession(const SessionConfig &cfg);
+
+/**
+ * Capacity search: largest user count in [1, limit] for which the
+ * slowest user still averages at least @p min_fps.
+ */
+std::size_t findUserCapacity(SessionConfig cfg, double min_fps,
+                             std::size_t limit = 32);
+
+}  // namespace qvr::collab
+
+#endif  // QVR_COLLAB_SESSION_HPP

@@ -1,0 +1,108 @@
+#include "common/fp16.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace qvr
+{
+
+namespace
+{
+
+std::uint32_t
+floatBits(float f)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+float
+bitsToFloat(std::uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+}  // namespace
+
+std::uint16_t
+floatToHalfBits(float value)
+{
+    const std::uint32_t f = floatBits(value);
+    const std::uint32_t sign = (f >> 16) & 0x8000u;
+    std::int32_t exp = static_cast<std::int32_t>((f >> 23) & 0xffu) - 127;
+    std::uint32_t mant = f & 0x007fffffu;
+
+    if (exp == 128) {
+        // Inf / NaN: keep NaN payload non-zero.
+        const std::uint16_t payload = mant ? 0x0200u : 0u;
+        return static_cast<std::uint16_t>(sign | 0x7c00u | payload);
+    }
+    if (exp > 15) {
+        // Overflow to infinity.
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+    if (exp >= -14) {
+        // Normal half. Round mantissa 23 -> 10 bits, nearest-even.
+        std::uint32_t half_exp = static_cast<std::uint32_t>(exp + 15) << 10;
+        std::uint32_t half_mant = mant >> 13;
+        const std::uint32_t rem = mant & 0x1fffu;
+        if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) {
+            half_mant++;
+            if (half_mant == 0x400u) {  // mantissa carry into exponent
+                half_mant = 0;
+                half_exp += 1u << 10;
+                if (half_exp >= (31u << 10))
+                    return static_cast<std::uint16_t>(sign | 0x7c00u);
+            }
+        }
+        return static_cast<std::uint16_t>(sign | half_exp | half_mant);
+    }
+    if (exp >= -25) {
+        // Subnormal half: shift in the implicit leading 1 and round.
+        mant |= 0x00800000u;
+        const int shift = -exp - 14 + 13;  // 14..24
+        std::uint32_t half_mant = mant >> shift;
+        const std::uint32_t rem_mask = (1u << shift) - 1;
+        const std::uint32_t rem = mant & rem_mask;
+        const std::uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half_mant & 1u)))
+            half_mant++;
+        return static_cast<std::uint16_t>(sign | half_mant);
+    }
+    // Underflow to signed zero.
+    return static_cast<std::uint16_t>(sign);
+}
+
+float
+halfBitsToFloat(std::uint16_t bits)
+{
+    const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u)
+        << 16;
+    const std::uint32_t exp = (bits >> 10) & 0x1fu;
+    std::uint32_t mant = bits & 0x3ffu;
+
+    if (exp == 31) {  // Inf / NaN
+        return bitsToFloat(sign | 0x7f800000u | (mant << 13));
+    }
+    if (exp == 0) {
+        if (mant == 0)
+            return bitsToFloat(sign);  // +-0
+        // Subnormal: normalise.
+        int e = -1;
+        do {
+            mant <<= 1;
+            e++;
+        } while (!(mant & 0x400u));
+        mant &= 0x3ffu;
+        const std::uint32_t fexp =
+            static_cast<std::uint32_t>(127 - 15 - e) << 23;
+        return bitsToFloat(sign | fexp | (mant << 13));
+    }
+    const std::uint32_t fexp = (exp + 127 - 15) << 23;
+    return bitsToFloat(sign | fexp | (mant << 13));
+}
+
+}  // namespace qvr

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * IEEE-754 binary16 storage type.
+ *
+ * LIWC's motion-to-eccentricity SRAM stores latency-gradient offsets
+ * as 16-bit half-precision values (Section 4.3: 2^15 entries x 16 bit
+ * ~= 64 KB).  We model that storage faithfully so the table suffers
+ * the same quantisation the hardware would.
+ */
+
+#ifndef QVR_COMMON_FP16_HPP
+#define QVR_COMMON_FP16_HPP
+
+#include <cstdint>
+
+namespace qvr
+{
+
+/** Convert a float to its nearest binary16 bit pattern
+ *  (round-to-nearest-even, with overflow to infinity). */
+std::uint16_t floatToHalfBits(float value);
+
+/** Convert a binary16 bit pattern back to float (exact). */
+float halfBitsToFloat(std::uint16_t bits);
+
+/**
+ * Value type wrapping a binary16 pattern.  Arithmetic happens in
+ * float; every store re-quantises, as a 16-bit SRAM word would.
+ */
+class Half
+{
+  public:
+    constexpr Half() = default;
+
+    /** Quantising constructor. */
+    Half(float value) : bits_(floatToHalfBits(value)) {}
+
+    /** Widening accessor. */
+    operator float() const { return halfBitsToFloat(bits_); }
+
+    /** Raw storage pattern (for table size accounting / debugging). */
+    std::uint16_t bits() const { return bits_; }
+
+    /** Rebuild from a raw bit pattern. */
+    static Half
+    fromBits(std::uint16_t bits)
+    {
+        Half h;
+        h.bits_ = bits;
+        return h;
+    }
+
+  private:
+    std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(Half) == 2, "Half must model a 16-bit SRAM word");
+
+}  // namespace qvr
+
+#endif  // QVR_COMMON_FP16_HPP

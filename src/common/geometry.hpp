@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Small geometric helpers: 2/3-component vectors, integer rectangles,
+ * and degree/radian conversion.  Used by the foveation layer geometry,
+ * motion model (6-DoF poses) and the UCA tile classifier.
+ */
+
+#ifndef QVR_COMMON_GEOMETRY_HPP
+#define QVR_COMMON_GEOMETRY_HPP
+
+#include <cmath>
+#include <cstdint>
+
+namespace qvr
+{
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Degrees to radians. */
+constexpr double
+degToRad(double deg)
+{
+    return deg * kPi / 180.0;
+}
+
+/** Radians to degrees. */
+constexpr double
+radToDeg(double rad)
+{
+    return rad * 180.0 / kPi;
+}
+
+/** 2-component double vector (screen/angular coordinates). */
+struct Vec2
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    Vec2 operator*(double s) const { return {x * s, y * s}; }
+    Vec2 &operator+=(const Vec2 &o) { x += o.x; y += o.y; return *this; }
+
+    double norm() const { return std::sqrt(x * x + y * y); }
+
+    bool
+    operator==(const Vec2 &o) const
+    {
+        return x == o.x && y == o.y;
+    }
+};
+
+/** 3-component double vector (positions, Euler angle triples). */
+struct Vec3
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    Vec3 &operator+=(const Vec3 &o)
+    {
+        x += o.x; y += o.y; z += o.z;
+        return *this;
+    }
+
+    double norm() const { return std::sqrt(x * x + y * y + z * z); }
+
+    bool
+    operator==(const Vec3 &o) const
+    {
+        return x == o.x && y == o.y && z == o.z;
+    }
+};
+
+/** Axis-aligned integer rectangle, half-open [x0,x1) x [y0,y1). */
+struct RectI
+{
+    std::int32_t x0 = 0;
+    std::int32_t y0 = 0;
+    std::int32_t x1 = 0;
+    std::int32_t y1 = 0;
+
+    std::int32_t width() const { return x1 - x0; }
+    std::int32_t height() const { return y1 - y0; }
+    std::int64_t
+    area() const
+    {
+        return static_cast<std::int64_t>(width()) * height();
+    }
+    bool empty() const { return x1 <= x0 || y1 <= y0; }
+
+    bool
+    contains(std::int32_t px, std::int32_t py) const
+    {
+        return px >= x0 && px < x1 && py >= y0 && py < y1;
+    }
+
+    bool
+    intersects(const RectI &o) const
+    {
+        return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+    }
+
+    RectI
+    intersect(const RectI &o) const
+    {
+        RectI r{std::max(x0, o.x0), std::max(y0, o.y0),
+                std::min(x1, o.x1), std::min(y1, o.y1)};
+        if (r.empty())
+            return RectI{};
+        return r;
+    }
+
+    bool
+    operator==(const RectI &o) const
+    {
+        return x0 == o.x0 && y0 == o.y0 && x1 == o.x1 && y1 == o.y1;
+    }
+};
+
+/** Clamp helper kept here to avoid dragging <algorithm> everywhere. */
+template <typename T>
+constexpr T
+clamp(T v, T lo, T hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace qvr
+
+#endif  // QVR_COMMON_GEOMETRY_HPP

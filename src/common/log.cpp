@@ -1,0 +1,70 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qvr
+{
+
+namespace
+{
+
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+namespace log_detail
+{
+
+void
+emit(LogLevel level, const std::string &msg, const char *file, int line)
+{
+    if (level < logLevel())
+        return;
+    std::FILE *sink = (level >= LogLevel::Warn) ? stderr : stdout;
+    std::fprintf(sink, "[%s] %s (%s:%d)\n",
+                 levelName(level), msg.c_str(), file, line);
+}
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "[panic] %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "[fatal] %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+}  // namespace log_detail
+
+}  // namespace qvr

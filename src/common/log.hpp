@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal logging / error-reporting facility in the gem5 spirit:
+ * fatal() for user error (bad configuration), panic() for internal
+ * invariant violations, warn()/inform() for status.
+ */
+
+#ifndef QVR_COMMON_LOG_HPP
+#define QVR_COMMON_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace qvr
+{
+
+/** Severity of a log record. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+namespace log_detail
+{
+
+/** Emit one formatted record to stderr (Warn/Error) or stdout. */
+void emit(LogLevel level, const std::string &msg,
+          const char *file, int line);
+
+/** Abort after reporting an internal invariant violation. */
+[[noreturn]] void panicImpl(const std::string &msg,
+                            const char *file, int line);
+
+/** Exit(1) after reporting an unrecoverable user/configuration error. */
+[[noreturn]] void fatalImpl(const std::string &msg,
+                            const char *file, int line);
+
+/** Fold a variadic pack into one string via operator<<. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+}  // namespace log_detail
+
+/** Global verbosity floor; records below it are dropped. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+}  // namespace qvr
+
+/** Report a condition that indicates a bug in the simulator itself. */
+#define QVR_PANIC(...)                                                      \
+    ::qvr::log_detail::panicImpl(                                           \
+        ::qvr::log_detail::format(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Report an unrecoverable error caused by the user's configuration. */
+#define QVR_FATAL(...)                                                      \
+    ::qvr::log_detail::fatalImpl(                                           \
+        ::qvr::log_detail::format(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Warn about suspicious but survivable conditions. */
+#define QVR_WARN(...)                                                       \
+    ::qvr::log_detail::emit(::qvr::LogLevel::Warn,                          \
+        ::qvr::log_detail::format(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Status messages with no negative connotation. */
+#define QVR_INFORM(...)                                                     \
+    ::qvr::log_detail::emit(::qvr::LogLevel::Info,                          \
+        ::qvr::log_detail::format(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Panic unless @p cond holds; always evaluated (not assert). */
+#define QVR_REQUIRE(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            QVR_PANIC("requirement failed: " #cond " ", __VA_ARGS__);       \
+        }                                                                   \
+    } while (false)
+
+#endif  // QVR_COMMON_LOG_HPP

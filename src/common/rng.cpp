@@ -1,0 +1,122 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace qvr
+{
+
+namespace
+{
+constexpr std::uint64_t kPcgMult = 6364136223846793005ULL;
+}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u)
+{
+    // Standard PCG32 seeding dance: advance once with the increment,
+    // add the seed, advance again.
+    next32();
+    state_ += seed;
+    next32();
+}
+
+std::uint32_t
+Rng::next32()
+{
+    const std::uint64_t old = state_;
+    state_ = old * kPcgMult + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint64_t
+Rng::next64()
+{
+    return (static_cast<std::uint64_t>(next32()) << 32) | next32();
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform in [0,1).
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    QVR_REQUIRE(lo <= hi, "bad range [", lo, ", ", hi, "]");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0)  // full 64-bit range
+        return static_cast<std::int64_t>(next64());
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    std::uint64_t draw;
+    do {
+        draw = next64();
+    } while (draw >= limit);
+    return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    // Box-Muller; u1 is kept away from 0 so log() is finite.
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cachedNormal_ = radius * std::sin(angle);
+    hasCachedNormal_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::exponential(double rate)
+{
+    QVR_REQUIRE(rate > 0.0, "exponential rate must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 1e-300);
+    return -std::log(u) / rate;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::split(std::uint64_t salt)
+{
+    const std::uint64_t child_seed = next64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+    const std::uint64_t child_stream = next64() + salt;
+    return Rng(child_seed, child_stream);
+}
+
+}  // namespace qvr

@@ -1,0 +1,172 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace qvr
+{
+
+void
+RunningStat::add(double x)
+{
+    count_++;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat{};
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto na = static_cast<double>(count_);
+    const auto nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha)
+{
+    QVR_REQUIRE(alpha > 0.0 && alpha <= 1.0, "EWMA alpha out of (0,1]");
+}
+
+void
+Ewma::add(double x)
+{
+    if (!primed_) {
+        value_ = x;
+        primed_ = true;
+    } else {
+        value_ = (1.0 - alpha_) * value_ + alpha_ * x;
+    }
+}
+
+void
+Ewma::reset()
+{
+    value_ = 0.0;
+    primed_ = false;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    QVR_REQUIRE(hi > lo && bins > 0, "bad histogram shape");
+}
+
+void
+Histogram::add(double x)
+{
+    total_++;
+    if (x < lo_) {
+        underflow_++;
+    } else if (x >= hi_) {
+        overflow_++;
+    } else {
+        auto bin = static_cast<std::size_t>((x - lo_) / width_);
+        if (bin >= counts_.size())  // guard FP edge at hi_
+            bin = counts_.size() - 1;
+        counts_[bin]++;
+    }
+}
+
+std::uint64_t
+Histogram::binCount(std::size_t bin) const
+{
+    QVR_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+    return counts_[bin];
+}
+
+double
+Histogram::binLow(std::size_t bin) const
+{
+    return lo_ + width_ * static_cast<double>(bin);
+}
+
+double
+SampleSeries::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : samples_)
+        s += x;
+    return s / static_cast<double>(samples_.size());
+}
+
+double
+SampleSeries::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleSeries::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleSeries::percentile(double p) const
+{
+    QVR_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    const auto n = sorted.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    if (rank > 0)
+        rank--;
+    if (rank >= n)
+        rank = n - 1;
+    return sorted[rank];
+}
+
+}  // namespace qvr

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Statistics accumulators used by every timing model and by the bench
+ * harness: running mean/stddev (Welford), min/max, EWMA, fixed-bin
+ * histograms and percentile estimation over retained samples.
+ */
+
+#ifndef QVR_COMMON_STATS_HPP
+#define QVR_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qvr
+{
+
+/** Running scalar summary: count, mean, variance (Welford), min, max. */
+class RunningStat
+{
+  public:
+    void add(double x);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Exponentially weighted moving average, alpha in (0, 1]. */
+class Ewma
+{
+  public:
+    explicit Ewma(double alpha);
+
+    /** Fold in a sample; the first sample initialises the average. */
+    void add(double x);
+    double value() const { return value_; }
+    bool primed() const { return primed_; }
+    void reset();
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool primed_ = false;
+};
+
+/** Fixed-width-bin histogram over [lo, hi) with under/overflow bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    std::uint64_t binCount(std::size_t bin) const;
+    std::size_t numBins() const { return counts_.size(); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Lower edge of bin @p bin. */
+    double binLow(std::size_t bin) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/** Retains samples; supports exact percentiles. Use for per-frame
+ *  latency series where N is at most a few hundred thousand. */
+class SampleSeries
+{
+  public:
+    void add(double x) { samples_.push_back(x); }
+    std::size_t size() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    const std::vector<double> &samples() const { return samples_; }
+
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /** Exact percentile by nearest-rank, p in [0, 100]. */
+    double percentile(double p) const;
+
+  private:
+    std::vector<double> samples_;
+};
+
+}  // namespace qvr
+
+#endif  // QVR_COMMON_STATS_HPP

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII table formatter for the benchmark harness: every bench binary
+ * reproduces a paper table/figure by printing rows through this class,
+ * so output stays aligned and can also be dumped as CSV.
+ */
+
+#ifndef QVR_COMMON_TABLE_HPP
+#define QVR_COMMON_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qvr
+{
+
+/** Column-aligned text table with an optional title and CSV export. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row; resets nothing else. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; it may be shorter than the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string num(double value, int precision = 2);
+
+    /** Convenience: format as a multiplier, e.g. "3.40x". */
+    static std::string speedup(double value, int precision = 2);
+
+    /** Convenience: format as a percentage, e.g. "85.0%". */
+    static std::string percent(double fraction, int precision = 1);
+
+    /** Render aligned with box-drawing separators. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180-ish quoting for commas/quotes). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qvr
+
+#endif  // QVR_COMMON_TABLE_HPP

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fundamental unit types shared by every Q-VR subsystem.
+ *
+ * The simulator mixes three time domains: wall-clock seconds (latency
+ * budgets such as the 25 ms motion-to-photon bound), hardware cycles
+ * (GPU and UCA timing models) and frame indices.  Keeping them in
+ * distinct strong-ish types avoids the classic ms-vs-cycles bug class.
+ */
+
+#ifndef QVR_COMMON_TYPES_HPP
+#define QVR_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace qvr
+{
+
+/** Hardware clock cycles (GPU, UCA, LIWC domains). */
+using Cycles = std::uint64_t;
+
+/** Wall-clock time in seconds, the canonical analog time unit. */
+using Seconds = double;
+
+/** Frequency in Hertz. */
+using Hertz = double;
+
+/** Payload sizes in bytes. */
+using Bytes = std::uint64_t;
+
+/** Bits per second, for network throughput. */
+using BitsPerSecond = double;
+
+/** Monotone frame index within a trace. */
+using FrameIndex = std::uint64_t;
+
+/** Convert milliseconds to seconds. */
+constexpr Seconds
+fromMs(double ms)
+{
+    return ms * 1e-3;
+}
+
+/** Convert seconds to milliseconds (reporting convenience). */
+constexpr double
+toMs(Seconds s)
+{
+    return s * 1e3;
+}
+
+/** Convert microseconds to seconds. */
+constexpr Seconds
+fromUs(double us)
+{
+    return us * 1e-6;
+}
+
+/** Convert megabits per second to bits per second. */
+constexpr BitsPerSecond
+fromMbps(double mbps)
+{
+    return mbps * 1e6;
+}
+
+/** Convert bits per second to megabits per second. */
+constexpr double
+toMbps(BitsPerSecond bps)
+{
+    return bps * 1e-6;
+}
+
+/** Convert a kibibyte count to bytes. */
+constexpr Bytes
+fromKiB(double kib)
+{
+    return static_cast<Bytes>(kib * 1024.0);
+}
+
+/** Convert bytes to kibibytes (reporting convenience). */
+constexpr double
+toKiB(Bytes b)
+{
+    return static_cast<double>(b) / 1024.0;
+}
+
+/** Convert megahertz to hertz. */
+constexpr Hertz
+fromMHz(double mhz)
+{
+    return mhz * 1e6;
+}
+
+/** Seconds taken by @p cycles at clock frequency @p freq. */
+constexpr Seconds
+cyclesToSeconds(Cycles cycles, Hertz freq)
+{
+    return static_cast<double>(cycles) / freq;
+}
+
+/** Cycles elapsed during @p s seconds at clock frequency @p freq
+ *  (rounded up: a partially used cycle is a used cycle). */
+constexpr Cycles
+secondsToCycles(Seconds s, Hertz freq)
+{
+    const double raw = s * freq;
+    const auto whole = static_cast<Cycles>(raw);
+    return (static_cast<double>(whole) < raw) ? whole + 1 : whole;
+}
+
+/** Sentinel for "no latency bound". */
+constexpr Seconds kNoDeadline = std::numeric_limits<Seconds>::infinity();
+
+/**
+ * Commercial mobile-VR realtime requirements quoted throughout the
+ * paper (Section 2.1): motion-to-photon < 25 ms, frame rate > 90 Hz.
+ */
+namespace vr_requirements
+{
+constexpr Seconds kMaxMotionToPhoton = 25e-3;
+constexpr double kMinFrameRate = 90.0;
+constexpr Seconds kFrameBudget = 1.0 / kMinFrameRate;  // ~11.1 ms
+}  // namespace vr_requirements
+
+}  // namespace qvr
+
+#endif  // QVR_COMMON_TYPES_HPP

@@ -1,0 +1,126 @@
+#include "core/foveated_render.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace qvr::core
+{
+
+namespace
+{
+
+/** Rasterise @p scene into a (width/s, height/s) buffer by scaling
+ *  screen coordinates — how a reduced-resolution layer renders. */
+Image
+renderScaled(const std::vector<RasterTriangle> &scene,
+             std::int32_t width, std::int32_t height, double s)
+{
+    const auto w = std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(std::lround(width / s)));
+    const auto h = std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(std::lround(height / s)));
+    const double sx = static_cast<double>(w) / width;
+    const double sy = static_cast<double>(h) / height;
+
+    TileRasterizer raster(w, h);
+    raster.clear();
+    for (RasterTriangle t : scene) {
+        t.v0.x *= sx;
+        t.v0.y *= sy;
+        t.v1.x *= sx;
+        t.v1.y *= sy;
+        t.v2.x *= sx;
+        t.v2.y *= sy;
+        raster.draw(t);
+    }
+    return raster.color();
+}
+
+}  // namespace
+
+double
+psnrInDisc(const Image &a, const Image &b, double cx, double cy,
+           double radius, bool inside)
+{
+    QVR_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+                "psnrInDisc requires equal-size images");
+    double mse = 0.0;
+    std::uint64_t n = 0;
+    const double r2 = radius * radius;
+    for (std::int32_t y = 0; y < a.height(); y++) {
+        for (std::int32_t x = 0; x < a.width(); x++) {
+            const double dx = x + 0.5 - cx;
+            const double dy = y + 0.5 - cy;
+            const bool in = dx * dx + dy * dy <= r2;
+            if (in != inside)
+                continue;
+            const Rgb d = a.at(x, y) - b.at(x, y);
+            mse += static_cast<double>(d.r) * d.r +
+                   static_cast<double>(d.g) * d.g +
+                   static_cast<double>(d.b) * d.b;
+            n++;
+        }
+    }
+    if (n == 0)
+        return std::numeric_limits<double>::infinity();
+    mse /= static_cast<double>(n) * 3.0;
+    if (mse <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(1.0 / mse);
+}
+
+FoveatedRenderResult
+renderFoveated(const std::vector<RasterTriangle> &scene,
+               std::int32_t width, std::int32_t height,
+               const PixelPartition &partition, double s_middle,
+               double s_outer, Vec2 atw_shift)
+{
+    QVR_REQUIRE(s_middle >= 1.0 && s_outer >= 1.0,
+                "subsample factors must be >= 1");
+
+    FoveatedRenderResult out;
+
+    // Native reference (fovea layer uses the same buffer: Q-VR
+    // renders the fovea at full resolution with no approximation).
+    const Image native = renderScaled(scene, width, height, 1.0);
+    const Image middle = renderScaled(scene, width, height, s_middle);
+    const Image outer = renderScaled(scene, width, height, s_outer);
+
+    UcaFrameInputs in;
+    in.fovea = &native;
+    in.middle = &middle;
+    in.outer = &outer;
+    in.sMiddle = s_middle;
+    in.sOuter = s_outer;
+    in.partition = partition;
+    in.atwShift = atw_shift;
+    out.composite = ucaUnified(in);
+
+    // Reference with the same reprojection applied, so the PSNR
+    // isolates foveation error rather than the warp itself.
+    Image reference(width, height);
+    for (std::int32_t y = 0; y < height; y++) {
+        for (std::int32_t x = 0; x < width; x++) {
+            reference.at(x, y) = native.sampleBilinear(
+                x + 0.5 - atw_shift.x, y + 0.5 - atw_shift.y);
+        }
+    }
+
+    out.psnrOverall = psnr(out.composite, reference);
+    out.psnrFovea =
+        psnrInDisc(out.composite, reference, partition.centerX,
+                   partition.centerY,
+                   partition.foveaRadius - partition.blendBand,
+                   /*inside=*/true);
+    out.psnrPeriphery =
+        psnrInDisc(out.composite, reference, partition.centerX,
+                   partition.centerY,
+                   partition.foveaRadius + partition.blendBand,
+                   /*inside=*/false);
+    out.native = std::move(reference);
+    return out;
+}
+
+}  // namespace qvr::core

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * End-to-end functional foveated rendering: rasterise a scene's
+ * triangle list at native resolution AND as Q-VR's three layers
+ * (full-res fovea, subsampled middle and outer), then fuse the
+ * layers through the UCA unified pass.  This is the pixel-true
+ * version of what the timing pipelines model — it lets experiments
+ * measure actual image quality (PSNR overall and inside the fovea)
+ * as a function of the partition, reproducing the intent of the
+ * paper's Section 3.1 image-quality survey without human subjects.
+ */
+
+#ifndef QVR_CORE_FOVEATED_RENDER_HPP
+#define QVR_CORE_FOVEATED_RENDER_HPP
+
+#include <vector>
+
+#include "core/raster.hpp"
+#include "core/uca.hpp"
+
+namespace qvr::core
+{
+
+/** Outcome of one functional foveated render. */
+struct FoveatedRenderResult
+{
+    Image native;      ///< full-resolution reference render
+    Image composite;   ///< foveated layers fused by the UCA pass
+    double psnrOverall = 0.0;   ///< composite vs native, whole frame
+    double psnrFovea = 0.0;     ///< restricted to the fovea disc
+    double psnrPeriphery = 0.0; ///< restricted to outside the disc
+};
+
+/** PSNR restricted to pixels inside/outside a disc. */
+double psnrInDisc(const Image &a, const Image &b, double cx,
+                  double cy, double radius, bool inside);
+
+/**
+ * Render @p scene both ways and fuse.
+ *
+ * @param width/height  native framebuffer size
+ * @param partition     fovea/middle geometry in pixels
+ * @param s_middle/s_outer  per-dimension subsample factors
+ * @param atw_shift     reprojection applied in the unified pass
+ *                      (also applied to the native reference so the
+ *                      comparison isolates foveation error)
+ */
+FoveatedRenderResult
+renderFoveated(const std::vector<RasterTriangle> &scene,
+               std::int32_t width, std::int32_t height,
+               const PixelPartition &partition, double s_middle,
+               double s_outer, Vec2 atw_shift = Vec2{});
+
+}  // namespace qvr::core
+
+#endif  // QVR_CORE_FOVEATED_RENDER_HPP

@@ -1,0 +1,115 @@
+#include "core/framebuffer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/log.hpp"
+
+namespace qvr::core
+{
+
+Image::Image(std::int32_t width, std::int32_t height, Rgb fill)
+    : width_(width), height_(height),
+      pixels_(static_cast<std::size_t>(width) * height, fill)
+{
+    QVR_REQUIRE(width > 0 && height > 0, "image must be non-empty");
+}
+
+const Rgb &
+Image::at(std::int32_t x, std::int32_t y) const
+{
+    QVR_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_,
+                "pixel (", x, ",", y, ") out of ", width_, "x", height_);
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+Rgb &
+Image::at(std::int32_t x, std::int32_t y)
+{
+    QVR_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_,
+                "pixel (", x, ",", y, ") out of ", width_, "x", height_);
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+const Rgb &
+Image::texel(std::int32_t x, std::int32_t y) const
+{
+    const std::int32_t cx = clamp(x, 0, width_ - 1);
+    const std::int32_t cy = clamp(y, 0, height_ - 1);
+    return pixels_[static_cast<std::size_t>(cy) * width_ + cx];
+}
+
+Rgb
+Image::sampleBilinear(double x, double y) const
+{
+    // Pixel centres at integer + 0.5.
+    const double fx = x - 0.5;
+    const double fy = y - 0.5;
+    const auto x0 = static_cast<std::int32_t>(std::floor(fx));
+    const auto y0 = static_cast<std::int32_t>(std::floor(fy));
+    const float wx = static_cast<float>(fx - x0);
+    const float wy = static_cast<float>(fy - y0);
+
+    const Rgb &c00 = texel(x0, y0);
+    const Rgb &c10 = texel(x0 + 1, y0);
+    const Rgb &c01 = texel(x0, y0 + 1);
+    const Rgb &c11 = texel(x0 + 1, y0 + 1);
+
+    const Rgb top = c00 * (1.0f - wx) + c10 * wx;
+    const Rgb bot = c01 * (1.0f - wx) + c11 * wx;
+    return top * (1.0f - wy) + bot * wy;
+}
+
+void
+Image::writePpm(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        QVR_FATAL("cannot open '", path, "' for writing");
+    os << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+    auto quantise = [](float v) {
+        const float c = clamp(v, 0.0f, 1.0f);
+        return static_cast<unsigned char>(std::lround(c * 255.0f));
+    };
+    for (const Rgb &p : pixels_) {
+        const unsigned char rgb[3] = {quantise(p.r), quantise(p.g),
+                                      quantise(p.b)};
+        os.write(reinterpret_cast<const char *>(rgb), 3);
+    }
+    if (!os)
+        QVR_FATAL("write failed for '", path, "'");
+}
+
+double
+Image::meanAbsDiff(const Image &other) const
+{
+    QVR_REQUIRE(width_ == other.width_ && height_ == other.height_,
+                "image size mismatch");
+    if (pixels_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < pixels_.size(); i++) {
+        sum += std::abs(pixels_[i].r - other.pixels_[i].r) +
+               std::abs(pixels_[i].g - other.pixels_[i].g) +
+               std::abs(pixels_[i].b - other.pixels_[i].b);
+    }
+    return sum / (3.0 * static_cast<double>(pixels_.size()));
+}
+
+double
+Image::maxAbsDiff(const Image &other) const
+{
+    QVR_REQUIRE(width_ == other.width_ && height_ == other.height_,
+                "image size mismatch");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < pixels_.size(); i++) {
+        worst = std::max({worst,
+            std::abs(static_cast<double>(pixels_[i].r - other.pixels_[i].r)),
+            std::abs(static_cast<double>(pixels_[i].g - other.pixels_[i].g)),
+            std::abs(static_cast<double>(pixels_[i].b - other.pixels_[i].b))});
+    }
+    return worst;
+}
+
+}  // namespace qvr::core

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal float-RGB image and framebuffer with bilinear sampling.
+ *
+ * The UCA model is both a timing model and a *functional* one: the
+ * unified trilinear filter (Eq. 4) is executed on real pixels so its
+ * equivalence with the sequential composition-then-ATW path (Eq. 3)
+ * can be verified numerically rather than asserted.
+ */
+
+#ifndef QVR_CORE_FRAMEBUFFER_HPP
+#define QVR_CORE_FRAMEBUFFER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace qvr::core
+{
+
+/** Linear-light RGB pixel. */
+struct Rgb
+{
+    float r = 0.0f;
+    float g = 0.0f;
+    float b = 0.0f;
+
+    Rgb operator+(const Rgb &o) const
+    {
+        return {r + o.r, g + o.g, b + o.b};
+    }
+    Rgb operator-(const Rgb &o) const
+    {
+        return {r - o.r, g - o.g, b - o.b};
+    }
+    Rgb operator*(float s) const { return {r * s, g * s, b * s}; }
+};
+
+/** Row-major float-RGB image. */
+class Image
+{
+  public:
+    Image() = default;
+    Image(std::int32_t width, std::int32_t height,
+          Rgb fill = Rgb{});
+
+    std::int32_t width() const { return width_; }
+    std::int32_t height() const { return height_; }
+    bool empty() const { return pixels_.empty(); }
+
+    const Rgb &at(std::int32_t x, std::int32_t y) const;
+    Rgb &at(std::int32_t x, std::int32_t y);
+
+    /** Clamp-to-edge texel fetch. */
+    const Rgb &texel(std::int32_t x, std::int32_t y) const;
+
+    /** Bilinear sample at continuous coordinates (pixel centres at
+     *  integer + 0.5), clamp-to-edge. */
+    Rgb sampleBilinear(double x, double y) const;
+
+    /** Mean absolute per-channel difference against @p other
+     *  (images must match in size). */
+    double meanAbsDiff(const Image &other) const;
+
+    /** Largest absolute per-channel difference against @p other. */
+    double maxAbsDiff(const Image &other) const;
+
+    /** Write as binary PPM (P6), clamping to [0,1] and quantising to
+     *  8 bits — lets users look at what the pipeline produced. */
+    void writePpm(const std::string &path) const;
+
+  private:
+    std::int32_t width_ = 0;
+    std::int32_t height_ = 0;
+    std::vector<Rgb> pixels_;
+};
+
+}  // namespace qvr::core
+
+#endif  // QVR_CORE_FRAMEBUFFER_HPP

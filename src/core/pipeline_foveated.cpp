@@ -1,0 +1,396 @@
+#include "core/pipeline_foveated.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace qvr::core
+{
+
+FoveatedPolicy
+FoveatedPolicy::ffr()
+{
+    FoveatedPolicy p;
+    p.eccentricity = EccentricityPolicy::Fixed;
+    p.composition = CompositionPath::GpuKernels;
+    return p;
+}
+
+FoveatedPolicy
+FoveatedPolicy::dfr()
+{
+    FoveatedPolicy p;
+    p.eccentricity = EccentricityPolicy::Liwc;
+    p.composition = CompositionPath::GpuKernels;
+    return p;
+}
+
+FoveatedPolicy
+FoveatedPolicy::swQvr()
+{
+    FoveatedPolicy p;
+    p.eccentricity = EccentricityPolicy::SoftwareHistory;
+    p.composition = CompositionPath::GpuKernels;
+    return p;
+}
+
+FoveatedPolicy
+FoveatedPolicy::qvr()
+{
+    FoveatedPolicy p;
+    p.eccentricity = EccentricityPolicy::Liwc;
+    p.composition = CompositionPath::Uca;
+    // Fill in dropped frames from the previous layers once the
+    // remote path slips past two frame budgets.
+    p.reprojectionDeadline = 2.0 * vr_requirements::kFrameBudget;
+    return p;
+}
+
+FoveatedPipeline::FoveatedPipeline(const PipelineConfig &cfg,
+                                   const FoveatedPolicy &policy)
+    : Pipeline(cfg), policy_(policy), uca_(cfg.ucaConfig),
+      e1_(geometry_.clampE1(policy.eccentricity ==
+                                    EccentricityPolicy::Fixed
+                                ? policy.fixedE1
+                                : policy.initialE1))
+{
+    if (policy_.eccentricity == EccentricityPolicy::Liwc) {
+        const double pixels_per_tri =
+            static_cast<double>(cfg.benchmark.pixelsPerEye()) /
+            static_cast<double>(cfg.benchmark.meanTriangles);
+        const double gpu_rate =
+            gpuModel_.triangleThroughput(cfg.benchmark.shadingCost,
+                                         pixels_per_tri) *
+            cfg.gpuFrequencyScale;
+        liwc_.emplace(cfg.liwcConfig, geometry_, gpu_rate,
+                      cfg.channelConfig.nominalDownlink *
+                          cfg.channelConfig.protocolEfficiency,
+                      cfg.codecConfig.baseBitsPerPixel,
+                      policy_.initialE1,
+                      cfg.benchmark.centerConcentration);
+    }
+}
+
+std::string
+FoveatedPipeline::name() const
+{
+    const bool uca_on = policy_.composition == CompositionPath::Uca;
+    switch (policy_.eccentricity) {
+      case EccentricityPolicy::Fixed:
+        return uca_on ? "FFR+UCA" : "FFR";
+      case EccentricityPolicy::Liwc:
+        return uca_on ? "Q-VR" : "DFR";
+      case EccentricityPolicy::SoftwareHistory:
+        return uca_on ? "SW-QVR+UCA" : "SW-QVR";
+    }
+    return "Foveated";
+}
+
+double
+FoveatedPipeline::chooseE1(const scene::FrameWorkload &frame, Vec2 gaze,
+                           LiwcDecision &decision_out)
+{
+    switch (policy_.eccentricity) {
+      case EccentricityPolicy::Fixed:
+        return geometry_.clampE1(policy_.fixedE1);
+
+      case EccentricityPolicy::Liwc:
+        decision_out = liwc_->selectEccentricity(
+            frame.motionDelta, frame.totalTriangles() * 2, gaze);
+        return decision_out.e1;
+
+      case EccentricityPolicy::SoftwareHistory: {
+        // The software loop only sees measurements swDelayFrames old
+        // (it must wait for rendering to complete and results to be
+        // read back, Fig. 4-(b)).
+        if (history_.size() >= policy_.swDelayFrames) {
+            const auto &[t_local, t_remote] =
+                history_[history_.size() - policy_.swDelayFrames];
+            const double gap_ms = toMs(t_remote - t_local);
+            // Proportional step, quantised to the software tuning
+            // granularity and clamped to one step per frame.
+            double step = clamp(gap_ms * 0.5, -1.0, 1.0) *
+                          policy_.swStepDeg;
+            if (std::abs(step) < 0.1)
+                step = 0.0;
+            e1_ = geometry_.clampE1(e1_ + step);
+        }
+        return e1_;
+      }
+    }
+    QVR_PANIC("unhandled eccentricity policy");
+}
+
+FrameStats
+FoveatedPipeline::simulateFrame(const scene::FrameWorkload &frame,
+                                Seconds issue_time)
+{
+    FrameStats s;
+
+    Seconds control = cfg().controlLogicTime;
+    if (policy_.eccentricity == EccentricityPolicy::SoftwareHistory)
+        control += policy_.swControlOverhead;
+    const Seconds cpu_done = cpu_.serve(issue_time, control);
+
+    const Vec2 gaze{frame.motionSeen.gaze.x, frame.motionSeen.gaze.y};
+    LiwcDecision decision;
+    const double e1 = chooseE1(frame, gaze, decision);
+    const auto &resolved = oracle_.resolve(e1, gaze);
+    s.e1 = resolved.partition.e1;
+    s.e2 = resolved.partition.e2;
+
+    const double fovea_work =
+        foveaWorkloadFraction(resolved.partition.e1, gaze);
+
+    // ---- Local branch: full-resolution fovea on the mobile GPU. ---
+    gpu::RenderJob local;
+    local.triangles = static_cast<std::uint64_t>(
+        static_cast<double>(frame.totalTriangles()) * 2.0 *
+        fovea_work);
+    local.shadedPixels = resolved.pixels.foveaPixels * 2.0;
+    local.batches = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               cfg().benchmark.numBatches * fovea_work * 2.0));
+    local.shadingCost = cfg().benchmark.shadingCost;
+    local.frequencyScale = cfg().gpuFrequencyScale;
+    s.tLocalRender = gpuModel_.renderSeconds(local);
+    if (policy_.composition == CompositionPath::GpuKernels) {
+        // Composition/ATW preempt rendering on the shader cores
+        // (Fig. 4-(c)); UCA eliminates this inflation.
+        s.tLocalRender *=
+            1.0 + cfg().postCosts.contentionInflation;
+    }
+    s.localTriangles = local.triangles;
+    const Seconds local_done = gpu_.serve(cpu_done, s.tLocalRender);
+
+    // When the downlink is so backed up that this frame's layers
+    // could never arrive inside the reprojection deadline, skip the
+    // fetch entirely: the client keeps displaying from the resident
+    // (stale) layers and lets the link drain.
+    const bool skip_fetch =
+        policy_.reprojectionDeadline > 0.0 && havePrevLayers_ &&
+        stream_.linkNextFree() >
+            issue_time + policy_.reprojectionDeadline;
+
+    // ---- Remote branch: periphery layers on the server, streamed
+    //      as one stream per layer per eye (Section 3.2). ----------
+    gpu::RenderJob remote_job;
+    remote_job.triangles = static_cast<std::uint64_t>(
+        static_cast<double>(frame.totalTriangles()) * 2.0 *
+        (1.0 - fovea_work));
+    remote_job.shadedPixels = resolved.pixels.peripheryPixels() * 2.0;
+    remote_job.batches = cfg().benchmark.numBatches * 2;
+    remote_job.shadingCost = cfg().benchmark.shadingCost;
+    s.tRemoteRender = server_.renderSeconds(remote_job);
+
+    const double complexity = clamp(
+        static_cast<double>(frame.totalTriangles()) /
+            static_cast<double>(cfg().benchmark.meanTriangles),
+        0.7, 1.4);
+
+    net::StreamResult streamed;
+    double periphery_pixels_stereo = 0.0;
+    if (!skip_fetch) {
+        const Seconds render_done = serverBusy_.serve(
+            cpu_done + cfg().uplinkLatency, s.tRemoteRender);
+
+        // Section 2.3/3.2: remote rendering, encoding and
+        // transmission are chunk-pipelined within the frame —
+        // streaming starts once the first slices of a layer are
+        // rendered, so only a fraction of the render time sits
+        // ahead of the transfer.
+        const Seconds stream_start =
+            render_done - 0.7 * s.tRemoteRender;
+
+        std::vector<net::LayerPayload> payloads;
+        const double quality =
+            policy_.adaptiveQuality ? peripheryQuality_ : 1.0;
+        for (int eye = 0; eye < 2; eye++) {
+            net::LayerPayload middle;
+            middle.pixels = resolved.pixels.middlePixels;
+            middle.compressed = codec_.compressedSize(
+                middle.pixels, complexity * quality,
+                resolved.pixels.middleFactor);
+            middle.renderReady =
+                stream_start + 0.3 * codec_.encodeTime(middle.pixels);
+            payloads.push_back(middle);
+
+            net::LayerPayload outer;
+            outer.pixels = resolved.pixels.outerPixels;
+            outer.compressed = codec_.compressedSize(
+                outer.pixels, complexity * quality,
+                resolved.pixels.outerFactor);
+            outer.renderReady =
+                stream_start + 0.3 * codec_.encodeTime(outer.pixels);
+            payloads.push_back(outer);
+
+            periphery_pixels_stereo += middle.pixels + outer.pixels;
+        }
+        streamed = stream_.streamFrame(std::move(payloads));
+        s.tDecode = codec_.decodeTime(periphery_pixels_stereo / 2.0);
+    }
+
+    s.transmittedBytes = streamed.totalBytes;
+    s.tNetwork = streamed.networkTime;
+    s.tRemoteBranch =
+        skip_fetch ? 0.0
+                   : std::max(0.0, streamed.allDecoded - cpu_done);
+
+    // ---- Composition + ATW. ---------------------------------------
+    const auto &display = geometry_.display();
+    const double native_stereo =
+        static_cast<double>(display.pixelCount()) * 2.0;
+    Seconds done;
+    Seconds gpu_post = 0.0;
+    if (policy_.composition == CompositionPath::GpuKernels) {
+        const double ppd = display.pixelsPerDegree();
+        const double band_px = 16.0;
+        const double edge_area =
+            2.0 * kPi * band_px * ppd *
+            (resolved.partition.e1 + resolved.partition.e2);
+        const double edge_fraction = clamp(
+            edge_area / static_cast<double>(display.pixelCount()),
+            0.0, 0.15);
+        s.tComposition = gpu::postprocess::foveatedCompositionTime(
+                             gpuModel_, native_stereo, edge_fraction,
+                             cfg().postCosts) /
+                         cfg().gpuFrequencyScale;
+        s.tAtw = gpu::postprocess::atwTime(gpuModel_, native_stereo,
+                                           cfg().postCosts) /
+                 cfg().gpuFrequencyScale;
+        // Fig. 4-(c): the composition/ATW kernels contend with
+        // rendering for the shader cores — kernel launch/drain,
+        // coarse-grained preemption and cache refill stall the GPU
+        // around them for roughly another 60% of their runtime
+        // (Leng et al. [32] measure bursty slowdowns of this size).
+        const Seconds queue_penalty =
+            0.6 * (s.tComposition + s.tAtw);
+        const Seconds start =
+            std::max(local_done, streamed.allDecoded) + queue_penalty;
+        done = gpu_.serve(start, s.tComposition + s.tAtw);
+        gpu_post = s.tComposition + s.tAtw;
+    } else {
+        PixelPartition pp;
+        const double ppd = display.pixelsPerDegree();
+        pp.centerX = display.width / 2.0 + gaze.x * ppd;
+        pp.centerY = display.height / 2.0 + gaze.y * ppd;
+        pp.foveaRadius = resolved.partition.e1 * ppd;
+        pp.middleRadius = resolved.partition.e2 * ppd;
+
+        Seconds periphery_ready = streamed.allDecoded;
+        const Seconds deadline =
+            issue_time + policy_.reprojectionDeadline;
+        if (skip_fetch ||
+            (policy_.reprojectionDeadline > 0.0 && havePrevLayers_ &&
+             streamed.allDecoded > deadline)) {
+            // Dropped-frame fill-in (Section 4.2): the resident
+            // layers in DRAM are reprojected to the new pose instead
+            // of stalling on the late transfer.  Staleness: when the
+            // fetch was skipped the resident set ages another frame;
+            // when it merely arrived late, it still refreshed the
+            // resident set one pipeline-depth (~2 frames) behind.
+            s.reprojected = true;
+            reprojected_++;
+            const double frame_motion =
+                frame.motionDelta.dOrientation.norm() +
+                frame.motionDelta.dGaze.norm();
+            if (skip_fetch) {
+                staleFrames_++;
+                staleErrorDeg_ += frame_motion;
+            } else {
+                staleFrames_ = 2;
+                staleErrorDeg_ = 2.0 * frame_motion;
+            }
+            s.reprojectionErrorDeg = staleErrorDeg_;
+            periphery_ready = cpu_done;
+        } else {
+            staleFrames_ = 0;
+            staleErrorDeg_ = 0.0;
+        }
+
+        // Both eyes tile through the same two UCA instances.
+        UcaTimingResult eye0 = uca_.processFrame(
+            display.width, display.height, pp, local_done,
+            periphery_ready);
+        UcaTimingResult eye1 = uca_.processFrame(
+            display.width, display.height, pp, local_done,
+            periphery_ready);
+        done = std::max(eye0.done, eye1.done);
+        s.tComposition = (eye0.busy + eye1.busy) / 2.0;
+        s.tAtw = 0.0;  // fused into the unified pass
+        havePrevLayers_ = true;
+    }
+
+    s.displayTime = done + cfg().displayLatency;
+    s.mtpLatency = cfg().sensorLatency + (s.displayTime - issue_time);
+    s.gpuBusy = s.tLocalRender + gpu_post;
+    s.renderedResolutionFraction =
+        geometry_.linearResolutionFraction(resolved.partition);
+    lastFrameDone_ = done;
+
+    const bool liwc_on =
+        policy_.eccentricity == EccentricityPolicy::Liwc;
+    const bool uca_on = policy_.composition == CompositionPath::Uca;
+    s.energy = frameEnergy(
+        s.gpuBusy, s.tNetwork, s.tDecode,
+        std::max({s.gpuBusy, s.tRemoteBranch,
+                  vr_requirements::kFrameBudget}),
+        liwc_on, uca_on);
+
+    // ---- Controller feedback (needs a fresh remote measurement). --
+    if (liwc_on && !skip_fetch) {
+        LiwcFeedback fb;
+        fb.measuredLocal = s.tLocalRender;
+        fb.measuredRemote = s.tRemoteBranch;
+        fb.renderedTriangles = local.triangles;
+        fb.peripheryPixels = periphery_pixels_stereo;
+        fb.peripheryBytes = streamed.totalBytes;
+        fb.ackThroughput = channel_.ackThroughput();
+        liwc_->update(decision, fb);
+    }
+    history_.emplace_back(s.tLocalRender, s.tRemoteBranch);
+
+    // AIMD periphery-quality controller (Section 3.2's quality
+    // knob): multiplicative decrease under branch overrun, additive
+    // recovery with headroom.
+    s.peripheryQuality = peripheryQuality_;
+    if (policy_.adaptiveQuality && !skip_fetch) {
+        const Seconds budget = vr_requirements::kFrameBudget;
+        if (s.tRemoteBranch > policy_.qualityPressure * budget) {
+            peripheryQuality_ =
+                clamp(peripheryQuality_ * 0.85, policy_.minQuality,
+                      policy_.maxQuality);
+        } else if (s.tRemoteBranch < 0.8 * budget) {
+            peripheryQuality_ =
+                clamp(peripheryQuality_ + 0.02, policy_.minQuality,
+                      policy_.maxQuality);
+        }
+    }
+
+    return s;
+}
+
+Seconds
+FoveatedPipeline::bottleneckFree() const
+{
+    Seconds link_gate = stream_.linkNextFree();
+    if (policy_.reprojectionDeadline > 0.0 && havePrevLayers_) {
+        // With the fill-in fallback armed, a congested link does not
+        // stall frame issue: new frames reproject from the resident
+        // layers while the link drains.
+        link_gate = std::min(
+            link_gate, lastFrameDone_ + policy_.reprojectionDeadline);
+    }
+    Seconds free = std::max({gpu_.nextFree(), link_gate,
+                             serverBusy_.nextFree()});
+    if (policy_.eccentricity == EccentricityPolicy::SoftwareHistory) {
+        // Software control depends on reading back the previous
+        // frame's results before it can configure the next one: the
+        // pipeline loses its cross-frame overlap (Fig. 4-(b)).
+        free = std::max(free, lastFrameDone_);
+    }
+    return free;
+}
+
+}  // namespace qvr::core

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The collaborative foveated rendering pipeline — Q-VR itself plus
+ * the ablated design points of Section 6:
+ *
+ *  - FFR    — fixed foveated rendering: classic 5-degree fovea,
+ *    composition and ATW on the GPU;
+ *  - DFR    — LIWC-driven dynamic eccentricity, composition and ATW
+ *    still on the GPU;
+ *  - SW-QVR — pure-software Q-VR: eccentricity chosen from *previous*
+ *    frames' measured latencies (no hardware counters, extra control
+ *    latency), composition and ATW on the GPU;
+ *  - Q-VR   — LIWC + UCA, the full co-design.
+ *
+ * One class with two policy axes covers all four (and the ablation
+ * combinations the paper does not show, e.g. fixed-e1 + UCA).
+ */
+
+#ifndef QVR_CORE_PIPELINE_FOVEATED_HPP
+#define QVR_CORE_PIPELINE_FOVEATED_HPP
+
+#include <optional>
+
+#include "core/pipeline.hpp"
+
+namespace qvr::core
+{
+
+/** How the per-frame fovea radius is chosen. */
+enum class EccentricityPolicy
+{
+    Fixed,            ///< constant e1 (FFR)
+    Liwc,             ///< hardware controller (DFR, Q-VR)
+    SoftwareHistory,  ///< software loop on past measurements (SW-QVR)
+};
+
+/** Where composition + ATW execute. */
+enum class CompositionPath
+{
+    GpuKernels,  ///< on the shader cores, contending with rendering
+    Uca,         ///< on the dedicated UCA unit
+};
+
+/** Foveated-pipeline policy knobs. */
+struct FoveatedPolicy
+{
+    EccentricityPolicy eccentricity = EccentricityPolicy::Liwc;
+    CompositionPath composition = CompositionPath::Uca;
+    double fixedE1 = 5.0;      ///< FFR's classic fovea
+    double initialE1 = 5.0;    ///< dynamic policies start here
+
+    /** Software-history controller: step size, measurement delay
+     *  (the software loop sees frame N's result at frame N+delay),
+     *  and its CPU overhead per frame. */
+    double swStepDeg = 1.0;
+    std::uint32_t swDelayFrames = 2;
+    Seconds swControlOverhead = 0.5e-3;
+
+    /**
+     * UCA dropped-frame fill-in (Section 4.2): when the remote
+     * layers have not decoded within this deadline after frame
+     * issue, UCA reconstructs the frame from the previous frame's
+     * resident layers at the new pose instead of stalling.  Only
+     * effective on the Uca composition path; 0 disables.
+     */
+    Seconds reprojectionDeadline = 0.0;
+
+    /**
+     * Adaptive periphery quality (the "periphery quality" knob of
+     * Section 3.2): an AIMD bitrate controller that lowers the
+     * periphery encode quality when the remote branch overruns the
+     * frame budget and restores it when there is headroom.  This is
+     * a second, faster knob next to LIWC's e1: quality moves within
+     * a frame-time, e1 moves the partition.  Disabled by default so
+     * the paper-reproduction numbers stay pure.
+     */
+    bool adaptiveQuality = false;
+    double minQuality = 0.6;
+    double maxQuality = 1.0;
+    /** Branch latency above this multiple of the frame budget cuts
+     *  quality; below 80% of it, quality recovers. */
+    double qualityPressure = 1.2;
+
+    /** Canonical design points. */
+    static FoveatedPolicy ffr();
+    static FoveatedPolicy dfr();
+    static FoveatedPolicy swQvr();
+    static FoveatedPolicy qvr();
+};
+
+/** The collaborative foveated pipeline. */
+class FoveatedPipeline : public Pipeline
+{
+  public:
+    FoveatedPipeline(const PipelineConfig &cfg,
+                     const FoveatedPolicy &policy);
+
+    std::string name() const override;
+
+    /** Access the controller (tests / convergence study). */
+    const std::optional<Liwc> &liwc() const { return liwc_; }
+
+    /** Mutable controller access (warm-starting a saved table). */
+    std::optional<Liwc> &liwc() { return liwc_; }
+
+    /** Frames reconstructed by the UCA fallback so far. */
+    std::uint64_t reprojectedFrames() const { return reprojected_; }
+
+  protected:
+    FrameStats simulateFrame(const scene::FrameWorkload &frame,
+                             Seconds issue_time) override;
+    Seconds bottleneckFree() const override;
+
+  private:
+    double chooseE1(const scene::FrameWorkload &frame, Vec2 gaze,
+                    LiwcDecision &decision_out);
+
+    FoveatedPolicy policy_;
+    std::optional<Liwc> liwc_;
+    UcaTimingModel uca_;
+    double e1_;
+    /** Completion of the previous frame; the software controller
+     *  cannot issue the next frame before it (Fig. 4-(b): control
+     *  logic waits for rendering results to read back). */
+    Seconds lastFrameDone_ = 0.0;
+    /** Reprojection fallback state: do we hold a usable previous
+     *  frame's layer set, and how stale is it (frames + degrees)? */
+    bool havePrevLayers_ = false;
+    std::uint32_t staleFrames_ = 0;
+    double staleErrorDeg_ = 0.0;
+    std::uint64_t reprojected_ = 0;
+    double peripheryQuality_ = 1.0;
+
+    /** (t_local, t_remote_branch) history for the software policy. */
+    std::vector<std::pair<Seconds, Seconds>> history_;
+};
+
+}  // namespace qvr::core
+
+#endif  // QVR_CORE_PIPELINE_FOVEATED_HPP

@@ -1,0 +1,303 @@
+#include "core/pipelines_baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace qvr::core
+{
+
+namespace
+{
+
+/** Content entropy for the codec: busier frames compress worse. */
+double
+contentComplexity(const PipelineConfig &cfg,
+                  const scene::FrameWorkload &frame)
+{
+    const double rel =
+        static_cast<double>(frame.totalTriangles()) /
+        static_cast<double>(cfg.benchmark.meanTriangles);
+    return clamp(rel, 0.7, 1.4);
+}
+
+/** Full-frame stereo render job for @p frame. */
+gpu::RenderJob
+fullFrameJob(const PipelineConfig &cfg,
+             const scene::FrameWorkload &frame)
+{
+    gpu::RenderJob job;
+    job.triangles = frame.totalTriangles() * 2;
+    job.shadedPixels =
+        static_cast<double>(cfg.benchmark.pixelsPerEye()) * 2.0;
+    job.batches = cfg.benchmark.numBatches * 2;
+    job.shadingCost = cfg.benchmark.shadingCost;
+    job.frequencyScale = cfg.gpuFrequencyScale;
+    return job;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// LocalPipeline
+// ---------------------------------------------------------------------
+
+LocalPipeline::LocalPipeline(const PipelineConfig &cfg) : Pipeline(cfg) {}
+
+FrameStats
+LocalPipeline::simulateFrame(const scene::FrameWorkload &frame,
+                             Seconds issue_time)
+{
+    FrameStats s;
+    const Seconds cpu_done =
+        cpu_.serve(issue_time, cfg().controlLogicTime);
+
+    const gpu::RenderJob job = fullFrameJob(cfg(), frame);
+    s.tLocalRender = gpuModel_.renderSeconds(job);
+    s.localTriangles = job.triangles;
+    const Seconds render_done = gpu_.serve(cpu_done, s.tLocalRender);
+
+    // ATW runs on the GPU and contends with rendering (Fig. 4-(c)).
+    const double stereo_pixels = job.shadedPixels;
+    s.tAtw = gpu::postprocess::atwTime(gpuModel_, stereo_pixels,
+                                       cfg().postCosts) /
+             cfg().gpuFrequencyScale;
+    const Seconds atw_done = gpu_.serve(render_done, s.tAtw);
+
+    s.displayTime = atw_done + cfg().displayLatency;
+    s.mtpLatency = cfg().sensorLatency + (s.displayTime - issue_time);
+    s.gpuBusy = s.tLocalRender + s.tAtw;
+    s.renderedResolutionFraction = 1.0;
+    s.energy = frameEnergy(s.gpuBusy, 0.0, 0.0,
+                           std::max(s.gpuBusy,
+                                    vr_requirements::kFrameBudget),
+                           false, false);
+    return s;
+}
+
+Seconds
+LocalPipeline::bottleneckFree() const
+{
+    return gpu_.nextFree();
+}
+
+// ---------------------------------------------------------------------
+// RemotePipeline
+// ---------------------------------------------------------------------
+
+RemotePipeline::RemotePipeline(const PipelineConfig &cfg)
+    : Pipeline(cfg)
+{
+}
+
+FrameStats
+RemotePipeline::simulateFrame(const scene::FrameWorkload &frame,
+                              Seconds issue_time)
+{
+    FrameStats s;
+    const Seconds cpu_done =
+        cpu_.serve(issue_time, cfg().controlLogicTime);
+
+    const gpu::RenderJob job = fullFrameJob(cfg(), frame);
+    const Seconds request_at = cpu_done + cfg().uplinkLatency;
+    s.tRemoteRender = server_.renderSeconds(job);
+    const Seconds render_done =
+        serverBusy_.serve(request_at, s.tRemoteRender);
+
+    // Hardware encode is sliced and overlaps rendering; only a tail
+    // is exposed.
+    const double pixels = job.shadedPixels;
+    const Seconds encode_tail = 0.3 * codec_.encodeTime(pixels);
+    const Seconds encoded = render_done + encode_tail;
+
+    net::LayerPayload payload;
+    payload.renderReady = encoded;
+    payload.pixels = pixels;
+    payload.compressed = codec_.compressedSize(
+        pixels, contentComplexity(cfg(), frame), 1.0);
+    const net::StreamResult streamed =
+        stream_.streamFrame({payload});
+
+    s.transmittedBytes = streamed.totalBytes;
+    s.tNetwork = streamed.networkTime;
+    s.tDecode = codec_.decodeTime(pixels);
+    s.tRemoteBranch = streamed.allDecoded - cpu_done;
+
+    // Local GPU only reprojects.
+    s.tAtw = gpu::postprocess::atwTime(gpuModel_, pixels,
+                                       cfg().postCosts) /
+             cfg().gpuFrequencyScale;
+    const Seconds atw_done =
+        gpu_.serve(std::max(streamed.allDecoded, cpu_done), s.tAtw);
+
+    s.displayTime = atw_done + cfg().displayLatency;
+    s.mtpLatency = cfg().sensorLatency + (s.displayTime - issue_time);
+    s.gpuBusy = s.tAtw;
+    s.renderedResolutionFraction = 1.0;
+    s.energy = frameEnergy(
+        s.gpuBusy, s.tNetwork, s.tDecode,
+        std::max(s.tRemoteBranch, vr_requirements::kFrameBudget),
+        false, false);
+    return s;
+}
+
+Seconds
+RemotePipeline::bottleneckFree() const
+{
+    return std::max(stream_.linkNextFree(), serverBusy_.nextFree());
+}
+
+// ---------------------------------------------------------------------
+// StaticPipeline
+// ---------------------------------------------------------------------
+
+StaticPipeline::StaticPipeline(const PipelineConfig &cfg,
+                               const StaticCollabConfig &collab)
+    : Pipeline(cfg), collab_(collab),
+      posePredictor_(collab.predictor)
+{
+}
+
+double
+StaticPipeline::mispredictRate() const
+{
+    return framesSeen_
+               ? static_cast<double>(mispredicts_) /
+                     static_cast<double>(framesSeen_)
+               : 0.0;
+}
+
+FrameStats
+StaticPipeline::simulateFrame(const scene::FrameWorkload &frame,
+                              Seconds issue_time)
+{
+    FrameStats s;
+    framesSeen_++;
+    const Seconds cpu_done =
+        cpu_.serve(issue_time, cfg().controlLogicTime);
+
+    // ---- Local branch: the pre-defined interactive objects. -------
+    gpu::RenderJob local;
+    local.triangles = frame.interactiveTriangles() * 2;
+    double coverage = 0.0;
+    std::uint32_t interactive_batches = 0;
+    for (const auto &b : frame.batches) {
+        if (b.interactive) {
+            coverage += b.screenCoverage;
+            interactive_batches++;
+        }
+    }
+    coverage = clamp(coverage, 0.01, 0.6);
+    local.shadedPixels =
+        static_cast<double>(cfg().benchmark.pixelsPerEye()) * 2.0 *
+        coverage;
+    local.batches = std::max(1u, interactive_batches * 2);
+    local.shadingCost = cfg().benchmark.shadingCost;
+    local.frequencyScale = cfg().gpuFrequencyScale;
+    // Composition + ATW share the GPU with rendering here, so the
+    // render suffers the contention inflation (Fig. 4-(c)).
+    s.tLocalRender = gpuModel_.renderSeconds(local) *
+                     (1.0 + cfg().postCosts.contentionInflation);
+    s.localTriangles = local.triangles;
+    const Seconds local_done = gpu_.serve(cpu_done, s.tLocalRender);
+
+    // ---- Remote branch: full-resolution background + depth map,
+    //      prefetched prefetchAhead frames in advance. --------------
+    const double yaw = frame.motionSeen.head.orientation.x;
+    posePredictor_.observe(frame.motionSeen);
+    predictedYaw_.push_back(
+        posePredictor_
+            .predict(static_cast<double>(collab_.prefetchAhead) *
+                     vr_requirements::kFrameBudget)
+            .head.orientation.x);
+
+    const double bg_pixels =
+        static_cast<double>(cfg().benchmark.pixelsPerEye()) * 2.0;
+    gpu::RenderJob bg = fullFrameJob(cfg(), frame);
+    bg.triangles =
+        (frame.totalTriangles() - frame.interactiveTriangles()) * 2;
+    s.tRemoteRender = server_.renderSeconds(bg);
+
+    auto fetch = [&](Seconds request_at) {
+        const Seconds render_done =
+            serverBusy_.serve(request_at + cfg().uplinkLatency,
+                              s.tRemoteRender);
+        net::LayerPayload payload;
+        payload.pixels = bg_pixels;
+        payload.compressed = codec_.compressedSize(
+            bg_pixels, contentComplexity(cfg(), frame), 1.0,
+            /*with_depth=*/true);
+        payload.renderReady =
+            render_done + 0.3 * codec_.encodeTime(bg_pixels);
+        const net::StreamResult streamed =
+            stream_.streamFrame({payload});
+        s.tNetwork += streamed.networkTime;
+        s.transmittedBytes += streamed.totalBytes;
+        return streamed.allDecoded;
+    };
+
+    // Was the background we prefetched prefetchAhead frames ago for
+    // THIS frame still valid?  The prediction breaks when the head
+    // moved away from the predicted pose, or when an interaction
+    // changed scene state the server could not anticipate.
+    bool hit = false;
+    Seconds bg_ready = 0.0;
+    if (predictedYaw_.size() > collab_.prefetchAhead &&
+        !prefetchReady_.empty()) {
+        const double predicted_yaw =
+            predictedYaw_[predictedYaw_.size() - 1 -
+                          collab_.prefetchAhead];
+        const double err = std::abs(yaw - predicted_yaw);
+        hit = err <= collab_.mispredictThresholdDeg &&
+              !frame.motionSeen.interacting;
+        bg_ready = prefetchReady_.front();
+        prefetchReady_.erase(prefetchReady_.begin());
+    }
+    if (!hit) {
+        mispredicts_++;
+        bg_ready = fetch(cpu_done);  // demand fetch, fully exposed
+    }
+
+    // Issue the speculative prefetch for frame i + prefetchAhead; it
+    // occupies the server/link/decoder now and its result becomes
+    // usable (or stale) when that frame arrives.
+    prefetchReady_.push_back(fetch(cpu_done));
+
+    s.tDecode = codec_.decodeTime(bg_pixels);
+    s.tRemoteBranch = std::max(0.0, bg_ready - cpu_done);
+
+    // ---- Composition (depth-based embedding) + ATW, on the GPU. ---
+    s.tComposition =
+        gpu::postprocess::depthCompositionTime(gpuModel_, bg_pixels,
+                                               cfg().postCosts) /
+        cfg().gpuFrequencyScale;
+    s.tAtw = gpu::postprocess::atwTime(gpuModel_, bg_pixels,
+                                       cfg().postCosts) /
+             cfg().gpuFrequencyScale;
+    // Fig. 4-(c): launch/drain, preemption and cache-refill stalls
+    // around the GPU-resident composition/ATW kernels.
+    const Seconds comp_start = std::max(local_done, bg_ready) +
+                               0.6 * (s.tComposition + s.tAtw);
+    const Seconds comp_done =
+        gpu_.serve(comp_start, s.tComposition + s.tAtw);
+
+    s.displayTime = comp_done + cfg().displayLatency;
+    s.mtpLatency = cfg().sensorLatency + (s.displayTime - issue_time);
+    s.gpuBusy = s.tLocalRender + s.tComposition + s.tAtw;
+    s.renderedResolutionFraction = 1.0;  // nothing is subsampled
+    s.energy = frameEnergy(
+        s.gpuBusy, s.tNetwork, s.tDecode,
+        std::max({s.gpuBusy, s.tNetwork,
+                  vr_requirements::kFrameBudget}),
+        false, false);
+    return s;
+}
+
+Seconds
+StaticPipeline::bottleneckFree() const
+{
+    return std::max(gpu_.nextFree(), stream_.linkNextFree());
+}
+
+}  // namespace qvr::core

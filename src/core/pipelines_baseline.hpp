@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The three non-foveated design points of Section 6:
+ *
+ *  - LocalPipeline   — "Baseline": traditional local rendering in a
+ *    commercial mobile VR device (full frame on the mobile GPU, ATW
+ *    on the GPU too);
+ *  - RemotePipeline  — remote-only rendering: full frame rendered on
+ *    the server, streamed compressed, decoded and ATW'd locally;
+ *  - StaticPipeline  — "Static": state-of-the-art static
+ *    collaborative rendering (interactive objects local, background
+ *    remote with one-frame-granularity prefetching, depth-based
+ *    composition on the GPU).
+ */
+
+#ifndef QVR_CORE_PIPELINES_BASELINE_HPP
+#define QVR_CORE_PIPELINES_BASELINE_HPP
+
+#include "core/pipeline.hpp"
+#include "motion/predictor.hpp"
+
+namespace qvr::core
+{
+
+/** Traditional local rendering (the paper's normalisation target). */
+class LocalPipeline : public Pipeline
+{
+  public:
+    explicit LocalPipeline(const PipelineConfig &cfg);
+
+    std::string name() const override { return "Local"; }
+
+  protected:
+    FrameStats simulateFrame(const scene::FrameWorkload &frame,
+                             Seconds issue_time) override;
+    Seconds bottleneckFree() const override;
+};
+
+/** Remote-only rendering over the modelled channel. */
+class RemotePipeline : public Pipeline
+{
+  public:
+    explicit RemotePipeline(const PipelineConfig &cfg);
+
+    std::string name() const override { return "Remote"; }
+
+  protected:
+    FrameStats simulateFrame(const scene::FrameWorkload &frame,
+                             Seconds issue_time) override;
+    Seconds bottleneckFree() const override;
+};
+
+/** Static collaborative rendering parameters. */
+struct StaticCollabConfig
+{
+    /** Background is prefetched this many frames ahead (the paper:
+     *  ">30 ms ahead (about 3 frames)"). */
+    std::uint32_t prefetchAhead = 3;
+    /** Head rotation (deg) between the predicted and actual pose
+     *  beyond which the prefetched background is unusable and must
+     *  be re-fetched on demand. */
+    double mispredictThresholdDeg = 2.0;
+    /** Pose predictor driving the prefetch (the paper's prototypes
+     *  hold the last pose; shipping stacks extrapolate). */
+    motion::PredictorKind predictor =
+        motion::PredictorKind::HoldLast;
+};
+
+/** Static collaborative rendering (FlashBack/Furion-style). */
+class StaticPipeline : public Pipeline
+{
+  public:
+    StaticPipeline(const PipelineConfig &cfg,
+                   const StaticCollabConfig &collab = {});
+
+    std::string name() const override { return "Static"; }
+
+    /** Fraction of frames whose prefetch mispredicted (diagnostics). */
+    double mispredictRate() const;
+
+  protected:
+    FrameStats simulateFrame(const scene::FrameWorkload &frame,
+                             Seconds issue_time) override;
+    Seconds bottleneckFree() const override;
+
+  private:
+    StaticCollabConfig collab_;
+    motion::PosePredictor posePredictor_;
+    /** Yaw predictions issued prefetchAhead frames ago, oldest
+     *  first; entry for frame i was predicted at frame
+     *  i - prefetchAhead. */
+    std::vector<double> predictedYaw_;
+    /** Completion times of in-flight prefetches, oldest first; the
+     *  entry issued at frame i serves frame i + prefetchAhead. */
+    std::vector<Seconds> prefetchReady_;
+    std::uint64_t mispredicts_ = 0;
+    std::uint64_t framesSeen_ = 0;
+};
+
+}  // namespace qvr::core
+
+#endif  // QVR_CORE_PIPELINES_BASELINE_HPP

@@ -1,0 +1,95 @@
+#include "core/qvr_system.hpp"
+
+#include "common/log.hpp"
+
+namespace qvr::core
+{
+
+const char *
+designName(DesignPoint design)
+{
+    switch (design) {
+      case DesignPoint::Local: return "Local";
+      case DesignPoint::Remote: return "Remote";
+      case DesignPoint::Static: return "Static";
+      case DesignPoint::Ffr: return "FFR";
+      case DesignPoint::Dfr: return "DFR";
+      case DesignPoint::SwQvr: return "SW-QVR";
+      case DesignPoint::Qvr: return "Q-VR";
+    }
+    return "?";
+}
+
+std::unique_ptr<Pipeline>
+makePipeline(DesignPoint design, const PipelineConfig &cfg)
+{
+    switch (design) {
+      case DesignPoint::Local:
+        return std::make_unique<LocalPipeline>(cfg);
+      case DesignPoint::Remote:
+        return std::make_unique<RemotePipeline>(cfg);
+      case DesignPoint::Static:
+        return std::make_unique<StaticPipeline>(cfg);
+      case DesignPoint::Ffr:
+        return std::make_unique<FoveatedPipeline>(
+            cfg, FoveatedPolicy::ffr());
+      case DesignPoint::Dfr:
+        return std::make_unique<FoveatedPipeline>(
+            cfg, FoveatedPolicy::dfr());
+      case DesignPoint::SwQvr:
+        return std::make_unique<FoveatedPipeline>(
+            cfg, FoveatedPolicy::swQvr());
+      case DesignPoint::Qvr:
+        return std::make_unique<FoveatedPipeline>(
+            cfg, FoveatedPolicy::qvr());
+    }
+    QVR_PANIC("unhandled design point");
+}
+
+PipelineConfig
+ExperimentSpec::toConfig() const
+{
+    PipelineConfig cfg = PipelineConfig::forBenchmark(
+        scene::findBenchmark(benchmark));
+    cfg.channelConfig = channel;
+    cfg.powerConfig.radio = power::RadioProfile::forNetwork(channel.name);
+    cfg.gpuFrequencyScale = gpuFrequencyScale;
+    cfg.seed = seed;
+    return cfg;
+}
+
+std::vector<scene::FrameWorkload>
+generateExperimentWorkload(const ExperimentSpec &spec)
+{
+    motion::TraceConfig trace_cfg;
+    trace_cfg.numFrames = spec.numFrames;
+    trace_cfg.seed = spec.seed;
+    const motion::MotionTrace trace = motion::generateTrace(trace_cfg);
+    return scene::generateWorkloads(scene::findBenchmark(spec.benchmark),
+                                    trace, spec.seed + 1000);
+}
+
+PipelineResult
+runExperiment(DesignPoint design, const ExperimentSpec &spec)
+{
+    const auto workload = generateExperimentWorkload(spec);
+    auto pipeline = makePipeline(design, spec.toConfig());
+    return pipeline->run(workload);
+}
+
+QvrSystem::QvrSystem(const PipelineConfig &cfg)
+    : pipeline_(cfg, FoveatedPolicy::qvr())
+{
+}
+
+QvrFrameOutput
+QvrSystem::renderFrame(const scene::FrameWorkload &frame)
+{
+    QvrFrameOutput out;
+    out.stats = pipeline_.step(frame);
+    out.e1 = out.stats.e1;
+    out.e2 = out.stats.e2;
+    return out;
+}
+
+}  // namespace qvr::core

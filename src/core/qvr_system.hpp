@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Public entry points of the Q-VR library.
+ *
+ *  - DesignPoint / makePipeline: factory over every design the paper
+ *    evaluates, so benches and applications build comparisons in two
+ *    lines;
+ *  - ExperimentSpec / runExperiment: one call from (benchmark,
+ *    network, GPU frequency, frame count) to a full PipelineResult —
+ *    the shared harness under every table and figure;
+ *  - QvrSystem: the downstream-facing facade — configure once, feed
+ *    per-frame motion + workload, get back the partition decision and
+ *    the frame's timing/energy accounting.
+ */
+
+#ifndef QVR_CORE_QVR_SYSTEM_HPP
+#define QVR_CORE_QVR_SYSTEM_HPP
+
+#include <memory>
+#include <string>
+
+#include "core/pipeline_foveated.hpp"
+#include "core/pipelines_baseline.hpp"
+#include "motion/trace.hpp"
+
+namespace qvr::core
+{
+
+/** Every design point of Section 6. */
+enum class DesignPoint
+{
+    Local,    ///< Baseline: traditional local rendering
+    Remote,   ///< remote-only rendering
+    Static,   ///< static collaborative rendering
+    Ffr,      ///< fixed collaborative foveated rendering
+    Dfr,      ///< LIWC only
+    SwQvr,    ///< pure-software Q-VR
+    Qvr,      ///< full Q-VR (LIWC + UCA)
+};
+
+/** Display name matching the paper's figures. */
+const char *designName(DesignPoint design);
+
+/** Build the pipeline for @p design under @p cfg. */
+std::unique_ptr<Pipeline> makePipeline(DesignPoint design,
+                                       const PipelineConfig &cfg);
+
+/** One experiment cell: benchmark x environment x duration. */
+struct ExperimentSpec
+{
+    std::string benchmark = "Doom3-H";
+    net::ChannelConfig channel = net::ChannelConfig::wifi();
+    double gpuFrequencyScale = 1.0;   ///< 1.0/0.8/0.6 = 500/400/300 MHz
+    std::size_t numFrames = 300;
+    std::uint64_t seed = 1;
+
+    /** Resolve to a full PipelineConfig. */
+    PipelineConfig toConfig() const;
+};
+
+/** Generate the motion trace + workload stream for @p spec. */
+std::vector<scene::FrameWorkload>
+generateExperimentWorkload(const ExperimentSpec &spec);
+
+/** Run @p design on @p spec end to end. */
+PipelineResult runExperiment(DesignPoint design,
+                             const ExperimentSpec &spec);
+
+/** Per-frame output of the facade. */
+struct QvrFrameOutput
+{
+    double e1 = 0.0;             ///< chosen fovea radius (deg)
+    double e2 = 0.0;             ///< periphery split (deg)
+    FrameStats stats;            ///< full accounting
+};
+
+/**
+ * Downstream-facing facade over the full Q-VR pipeline.
+ *
+ * Typical use:
+ * @code
+ *   auto cfg = qvr::core::PipelineConfig::forBenchmark(
+ *       qvr::scene::findBenchmark("GRID"));
+ *   qvr::core::QvrSystem system(cfg);
+ *   for (auto &frame : workload)
+ *       auto out = system.renderFrame(frame);
+ * @endcode
+ */
+class QvrSystem
+{
+  public:
+    explicit QvrSystem(const PipelineConfig &cfg);
+
+    /** Process one frame through the collaborative pipeline. */
+    QvrFrameOutput renderFrame(const scene::FrameWorkload &frame);
+
+    /** The underlying pipeline (advanced diagnostics). */
+    const FoveatedPipeline &pipeline() const { return pipeline_; }
+
+  private:
+    FoveatedPipeline pipeline_;
+};
+
+}  // namespace qvr::core
+
+#endif  // QVR_CORE_QVR_SYSTEM_HPP

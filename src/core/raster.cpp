@@ -1,0 +1,306 @@
+#include "core/raster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace qvr::core
+{
+
+namespace
+{
+
+/** Twice the signed area of triangle (a, b, c). */
+double
+edgeFunction(double ax, double ay, double bx, double by, double cx,
+             double cy)
+{
+    return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+}
+
+/** Top-left fill rule: is edge (a -> b) a top or left edge? */
+bool
+isTopLeft(double ax, double ay, double bx, double by)
+{
+    // Top edge: horizontal and going right.  Left edge: going up
+    // (in a y-down raster with counter-clockwise winding).
+    return (ay == by && bx > ax) || (by < ay);
+}
+
+}  // namespace
+
+TileRasterizer::TileRasterizer(std::int32_t width, std::int32_t height,
+                               std::int32_t tile_size)
+    : color_(width, height),
+      depth_(static_cast<std::size_t>(width) * height, 1.0f),
+      tileSize_(tile_size)
+{
+    QVR_REQUIRE(tile_size > 0, "tile size must be positive");
+}
+
+void
+TileRasterizer::clear(const Rgb &color, float depth)
+{
+    for (std::int32_t y = 0; y < height(); y++) {
+        for (std::int32_t x = 0; x < width(); x++)
+            color_.at(x, y) = color;
+    }
+    std::fill(depth_.begin(), depth_.end(), depth);
+}
+
+float
+TileRasterizer::depthAt(std::int32_t x, std::int32_t y) const
+{
+    QVR_REQUIRE(x >= 0 && x < width() && y >= 0 && y < height(),
+                "depth read out of bounds");
+    return depth_[static_cast<std::size_t>(y) * width() + x];
+}
+
+void
+TileRasterizer::draw(const RasterTriangle &tri)
+{
+    stats_.trianglesSubmitted++;
+
+    // Order vertices counter-clockwise (y-down): positive area.
+    RasterTriangle t = tri;
+    double area = edgeFunction(t.v0.x, t.v0.y, t.v1.x, t.v1.y,
+                               t.v2.x, t.v2.y);
+    if (area < 0.0) {
+        std::swap(t.v1, t.v2);
+        area = -area;
+    }
+    if (area < 1e-12) {
+        stats_.trianglesCulled++;  // degenerate
+        return;
+    }
+
+    // Screen-space bounding box, clipped.
+    const double min_x =
+        std::min({t.v0.x, t.v1.x, t.v2.x});
+    const double max_x =
+        std::max({t.v0.x, t.v1.x, t.v2.x});
+    const double min_y =
+        std::min({t.v0.y, t.v1.y, t.v2.y});
+    const double max_y =
+        std::max({t.v0.y, t.v1.y, t.v2.y});
+    if (max_x <= 0.0 || max_y <= 0.0 ||
+        min_x >= static_cast<double>(width()) ||
+        min_y >= static_cast<double>(height())) {
+        stats_.trianglesCulled++;  // fully offscreen
+        return;
+    }
+
+    const auto bx0 = clamp(static_cast<std::int32_t>(
+                               std::floor(min_x)),
+                           0, width() - 1);
+    const auto by0 = clamp(static_cast<std::int32_t>(
+                               std::floor(min_y)),
+                           0, height() - 1);
+    const auto bx1 = clamp(static_cast<std::int32_t>(
+                               std::ceil(max_x)),
+                           0, width() - 1);
+    const auto by1 = clamp(static_cast<std::int32_t>(
+                               std::ceil(max_y)),
+                           0, height() - 1);
+
+    // Bin to tiles; rasterise tile by tile (hardware-shaped loop).
+    for (std::int32_t ty = by0 / tileSize_;
+         ty <= by1 / tileSize_; ty++) {
+        for (std::int32_t tx = bx0 / tileSize_;
+             tx <= bx1 / tileSize_; tx++) {
+            stats_.tileBinEntries++;
+            const std::int32_t x0 =
+                std::max(bx0, tx * tileSize_);
+            const std::int32_t y0 =
+                std::max(by0, ty * tileSize_);
+            const std::int32_t x1 =
+                std::min(bx1, (tx + 1) * tileSize_ - 1);
+            const std::int32_t y1 =
+                std::min(by1, (ty + 1) * tileSize_ - 1);
+            rasterizeInTile(t, x0, y0, x1, y1);
+        }
+    }
+}
+
+void
+TileRasterizer::rasterizeInTile(const RasterTriangle &t,
+                                std::int32_t x0, std::int32_t y0,
+                                std::int32_t x1, std::int32_t y1)
+{
+    const double area = edgeFunction(t.v0.x, t.v0.y, t.v1.x, t.v1.y,
+                                     t.v2.x, t.v2.y);
+    const double inv_area = 1.0 / area;
+
+    // Fill-rule bias per edge: a pixel centre exactly ON an edge
+    // (w == 0) is owned by the triangle only when that edge is a
+    // top-left edge; otherwise it is rejected here and owned by the
+    // adjacent triangle.
+    const double bias0 =
+        isTopLeft(t.v1.x, t.v1.y, t.v2.x, t.v2.y) ? 0.0 : 1e-9;
+    const double bias1 =
+        isTopLeft(t.v2.x, t.v2.y, t.v0.x, t.v0.y) ? 0.0 : 1e-9;
+    const double bias2 =
+        isTopLeft(t.v0.x, t.v0.y, t.v1.x, t.v1.y) ? 0.0 : 1e-9;
+
+    for (std::int32_t y = y0; y <= y1; y++) {
+        for (std::int32_t x = x0; x <= x1; x++) {
+            const double px = x + 0.5;
+            const double py = y + 0.5;
+            const double w0 = edgeFunction(t.v1.x, t.v1.y, t.v2.x,
+                                           t.v2.y, px, py);
+            const double w1 = edgeFunction(t.v2.x, t.v2.y, t.v0.x,
+                                           t.v0.y, px, py);
+            const double w2 = edgeFunction(t.v0.x, t.v0.y, t.v1.x,
+                                           t.v1.y, px, py);
+            if (w0 < bias0 || w1 < bias1 || w2 < bias2)
+                continue;
+            stats_.fragmentsTested++;
+
+            const double b0 = w0 * inv_area;
+            const double b1 = w1 * inv_area;
+            const double b2 = w2 * inv_area;
+            const float z = static_cast<float>(
+                b0 * t.v0.z + b1 * t.v1.z + b2 * t.v2.z);
+
+            float &zbuf =
+                depth_[static_cast<std::size_t>(y) * width() + x];
+            if (z >= zbuf)
+                continue;
+            zbuf = z;
+            stats_.fragmentsShaded++;
+
+            color_.at(x, y) = Rgb{
+                static_cast<float>(b0 * t.v0.color.r +
+                                   b1 * t.v1.color.r +
+                                   b2 * t.v2.color.r),
+                static_cast<float>(b0 * t.v0.color.g +
+                                   b1 * t.v1.color.g +
+                                   b2 * t.v2.color.g),
+                static_cast<float>(b0 * t.v0.color.b +
+                                   b1 * t.v1.color.b +
+                                   b2 * t.v2.color.b)};
+        }
+    }
+}
+
+void
+TileRasterizer::draw(const std::vector<RasterTriangle> &tris)
+{
+    for (const auto &t : tris)
+        draw(t);
+}
+
+double
+psnr(const Image &a, const Image &b)
+{
+    QVR_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+                "psnr requires equal-size images");
+    double mse = 0.0;
+    const auto n =
+        static_cast<double>(a.width()) * a.height() * 3.0;
+    for (std::int32_t y = 0; y < a.height(); y++) {
+        for (std::int32_t x = 0; x < a.width(); x++) {
+            const Rgb d = a.at(x, y) - b.at(x, y);
+            mse += static_cast<double>(d.r) * d.r +
+                   static_cast<double>(d.g) * d.g +
+                   static_cast<double>(d.b) * d.b;
+        }
+    }
+    mse /= n;
+    if (mse <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(1.0 / mse);
+}
+
+namespace testscene
+{
+
+std::vector<RasterTriangle>
+chessHall(std::int32_t width, std::int32_t height,
+          std::int32_t detail, double view_shift)
+{
+    QVR_REQUIRE(detail >= 2, "detail too low for a scene");
+    std::vector<RasterTriangle> tris;
+    const double w = width;
+    const double h = height;
+
+    auto quad = [&tris](RasterVertex a, RasterVertex b,
+                        RasterVertex c, RasterVertex d) {
+        tris.push_back(RasterTriangle{a, b, c});
+        tris.push_back(RasterTriangle{a, c, d});
+    };
+
+    // Checkerboard "floor": perspective-ish rows shrinking toward a
+    // horizon at 40% height; alternating albedo.
+    const std::int32_t rows = detail;
+    const std::int32_t cols = detail * 2;
+    const double horizon = 0.40 * h;
+    for (std::int32_t r = 0; r < rows; r++) {
+        // Nonlinear row spacing emulates perspective foreshortening.
+        const double t0 =
+            std::pow(static_cast<double>(r) / rows, 1.8);
+        const double t1 =
+            std::pow(static_cast<double>(r + 1) / rows, 1.8);
+        const double y_top = horizon + (h - horizon) * t0;
+        const double y_bot = horizon + (h - horizon) * t1;
+        const double depth0 = 0.9 - 0.5 * t0;
+        const double depth1 = 0.9 - 0.5 * t1;
+        const double shrink0 = 0.25 + 0.75 * t0;
+        const double shrink1 = 0.25 + 0.75 * t1;
+        for (std::int32_t c = 0; c < cols; c++) {
+            const double u0 = static_cast<double>(c) / cols;
+            const double u1 = static_cast<double>(c + 1) / cols;
+            auto map_x = [&](double u, double shrink) {
+                return w / 2.0 +
+                       (u - 0.5) * w * shrink +
+                       view_shift * shrink;
+            };
+            const bool dark = (r + c) % 2 == 0;
+            const Rgb col = dark ? Rgb{0.12f, 0.10f, 0.10f}
+                                 : Rgb{0.85f, 0.83f, 0.78f};
+            RasterVertex a{map_x(u0, shrink0), y_top, depth0, col};
+            RasterVertex b{map_x(u1, shrink0), y_top, depth0, col};
+            RasterVertex cc{map_x(u1, shrink1), y_bot, depth1, col};
+            RasterVertex d{map_x(u0, shrink1), y_bot, depth1, col};
+            quad(a, b, cc, d);
+        }
+    }
+
+    // Coloured "columns" standing on the floor at several depths.
+    const std::int32_t n_cols = std::max(3, detail / 2);
+    for (std::int32_t k = 0; k < n_cols; k++) {
+        const double t =
+            static_cast<double>(k + 1) / (n_cols + 1);
+        const double depth = 0.85 - 0.6 * t;
+        const double shrink = 0.3 + 0.7 * t;
+        const double cx = w / 2.0 +
+                          (t - 0.5) * w * 0.8 * shrink +
+                          view_shift * shrink;
+        const double col_w = 0.03 * w * shrink;
+        const double base = horizon + (h - horizon) * t * 0.9;
+        const double top = base - 0.35 * h * shrink;
+        const Rgb col{static_cast<float>(0.2 + 0.7 * t),
+                      static_cast<float>(0.9 - 0.6 * t),
+                      static_cast<float>(0.3 + 0.5 * (k % 2))};
+        RasterVertex a{cx - col_w, top, depth, col};
+        RasterVertex b{cx + col_w, top, depth, col};
+        RasterVertex c{cx + col_w, base, depth, col};
+        RasterVertex d{cx - col_w, base, depth, col};
+        quad(a, b, c, d);
+    }
+
+    // "Sky" gradient band above the horizon (two big triangles).
+    RasterVertex s0{0.0, 0.0, 0.99, Rgb{0.25f, 0.45f, 0.75f}};
+    RasterVertex s1{w, 0.0, 0.99, Rgb{0.25f, 0.45f, 0.75f}};
+    RasterVertex s2{w, horizon, 0.99, Rgb{0.7f, 0.8f, 0.95f}};
+    RasterVertex s3{0.0, horizon, 0.99, Rgb{0.7f, 0.8f, 0.95f}};
+    quad(s0, s1, s2, s3);
+
+    return tris;
+}
+
+}  // namespace testscene
+
+}  // namespace qvr::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-eye display geometry: resolution, field of view, and the
+ * angular pixel pitch that anchors the MAR model.
+ */
+
+#ifndef QVR_FOVEATION_DISPLAY_HPP
+#define QVR_FOVEATION_DISPLAY_HPP
+
+#include <cstdint>
+
+#include "common/geometry.hpp"
+
+namespace qvr::foveation
+{
+
+/**
+ * One eye of the HMD.  Default matches the paper's evaluation
+ * resolution (1920x2160 per eye) with a typical ~110-degree lens.
+ */
+struct DisplayConfig
+{
+    std::int32_t width = 1920;    ///< pixels per eye, horizontal
+    std::int32_t height = 2160;   ///< pixels per eye, vertical
+    double fovHorizontal = 110.0; ///< degrees
+    double fovVertical = 110.0;   ///< degrees
+
+    /** Pixels per degree, horizontal (the binding axis for MAR). */
+    double
+    pixelsPerDegree() const
+    {
+        return static_cast<double>(width) / fovHorizontal;
+    }
+
+    /** Angular pixel pitch omega* in degrees (Eq. 1 denominator). */
+    double
+    pixelPitchDeg() const
+    {
+        return 1.0 / pixelsPerDegree();
+    }
+
+    /** Total pixels per eye. */
+    std::int64_t
+    pixelCount() const
+    {
+        return static_cast<std::int64_t>(width) * height;
+    }
+
+    /** Angular eccentricity of the farthest screen corner from the
+     *  screen centre (degrees), i.e. the largest useful e2. */
+    double
+    maxEccentricity() const
+    {
+        const double half_w = fovHorizontal / 2.0;
+        const double half_h = fovVertical / 2.0;
+        return Vec2{half_w, half_h}.norm();
+    }
+};
+
+}  // namespace qvr::foveation
+
+#endif  // QVR_FOVEATION_DISPLAY_HPP

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimum-angle-of-resolution (MAR) acuity model.
+ *
+ * Human visual acuity falls off linearly with eccentricity e:
+ *     omega(e) = m * e + omega_0                      (paper Eq. 1)
+ * where omega_0 is the foveal MAR (~1 arcmin for 20/20 vision) and m
+ * the acuity fall-off slope from the user studies the paper cites
+ * (Guenter et al. 2012; Albert et al. 2017; Meng et al. 2018).
+ *
+ * A display layer sub-sampled by factor s shows angular detail of
+ * s * omega_star (omega_star = angular pixel pitch); perception is
+ * preserved while s * omega_star <= omega(e) for every eccentricity
+ * the layer covers, i.e. the constraint binds at the layer's inner
+ * edge.
+ */
+
+#ifndef QVR_FOVEATION_MAR_HPP
+#define QVR_FOVEATION_MAR_HPP
+
+#include "foveation/display.hpp"
+
+namespace qvr::foveation
+{
+
+/** Linear MAR model parameters (degrees). */
+struct MarModel
+{
+    /** Foveal MAR omega_0: 1 arcmin = 1/60 degree. */
+    double omega0 = 1.0 / 60.0;
+    /** MAR slope m (deg of MAR per deg of eccentricity);
+     *  Guenter et al. report 0.022-0.034, we take their mid value. */
+    double slope = 0.028;
+    /**
+     * Cap on the per-dimension sub-sampling factor.  Production
+     * foveated pipelines bound periphery blur regardless of what the
+     * raw MAR line permits (reconstruction/aliasing artefacts appear
+     * under motion well before static acuity predicts); 2x per
+     * dimension in the streamed-periphery setting (video-coded
+     * layers tolerate less sub-sampling than locally rendered ones).
+     */
+    double maxSamplingFactor = 2.0;
+    /**
+     * Safety margin applied before the MAR bound is converted to a
+     * sampling factor (>1 renders the periphery finer than the bare
+     * constraint requires).
+     */
+    double qualityMargin = 1.0;
+
+    /** omega(e): smallest resolvable angular detail at ecc. e. */
+    double
+    mar(double eccentricity_deg) const
+    {
+        return slope * eccentricity_deg + omega0;
+    }
+
+    /**
+     * Maximum perception-safe sub-sampling factor for a layer whose
+     * inner edge sits at @p inner_ecc_deg (Eq. 1's s_i), clamped to
+     * >= 1 because a layer cannot be rendered above display
+     * resolution.
+     */
+    double
+    samplingFactor(double inner_ecc_deg, const DisplayConfig &display) const
+    {
+        const double s =
+            mar(inner_ecc_deg) / (display.pixelPitchDeg() * qualityMargin);
+        if (s < 1.0)
+            return 1.0;
+        return s > maxSamplingFactor ? maxSamplingFactor : s;
+    }
+
+    /**
+     * Eccentricity below which the display itself is the limit
+     * (sampling factor 1): inside this radius, rendering at reduced
+     * resolution WOULD be perceptible.
+     */
+    double
+    nativeLimitEccentricity(const DisplayConfig &display) const
+    {
+        const double e = (display.pixelPitchDeg() - omega0) / slope;
+        return e < 0.0 ? 0.0 : e;
+    }
+};
+
+}  // namespace qvr::foveation
+
+#endif  // QVR_FOVEATION_MAR_HPP

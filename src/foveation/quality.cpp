@@ -1,0 +1,65 @@
+#include "foveation/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qvr::foveation
+{
+
+QualityReport
+auditPartition(const LayerGeometry &geometry,
+               const LayerPartition &partition)
+{
+    const DisplayConfig &display = geometry.display();
+    const MarModel &mar = geometry.mar();
+    const double pitch = display.pixelPitchDeg();
+    const LayerPixels px = geometry.pixelCounts(partition);
+
+    // Shown angular detail per layer: full resolution in the fovea,
+    // s_i * pitch in the periphery layers.
+    auto shown_detail = [&](double ecc) {
+        if (ecc <= partition.e1)
+            return pitch;
+        if (ecc <= partition.e2)
+            return px.middleFactor * pitch;
+        return px.outerFactor * pitch;
+    };
+
+    QualityReport report;
+    report.worstMarginDeg = std::numeric_limits<double>::infinity();
+
+    // The margin mar(e) - shown(e) is monotone increasing inside each
+    // layer (mar grows, shown is constant), so the candidates are the
+    // layer inner edges plus e = 0.
+    const double candidates[] = {0.0, partition.e1 + 1e-9,
+                                 partition.e2 + 1e-9};
+    for (double ecc : candidates) {
+        if (ecc > display.maxEccentricity())
+            continue;
+        const double margin = mar.mar(ecc) - shown_detail(ecc);
+        if (margin < report.worstMarginDeg) {
+            report.worstMarginDeg = margin;
+            report.worstEccentricity = ecc;
+        }
+    }
+
+    // At e=0 the display itself may already be coarser than retinal
+    // acuity (shown = pitch > mar(0)); that is the native-display
+    // floor, not a foveation artefact, so compare against it.
+    const double native_floor = std::min(0.0, mar.mar(0.0) - pitch);
+    report.perceptuallyLossless =
+        report.worstMarginDeg >= native_floor - 1e-12;
+
+    if (report.perceptuallyLossless) {
+        report.meanOpinionScore = 10.0;
+    } else {
+        // Score decays with relative violation depth; saturates at 1.
+        const double violation =
+            (native_floor - report.worstMarginDeg) / pitch;
+        report.meanOpinionScore =
+            std::max(1.0, 10.0 - 3.0 * violation);
+    }
+    return report;
+}
+
+}  // namespace qvr::foveation

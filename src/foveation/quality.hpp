@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Perceptual-quality accounting for a foveated partition.
+ *
+ * Section 3.1's user survey found no visible quality difference as
+ * long as the target MAR is satisfied at every eccentricity.  This
+ * module checks that constraint analytically (worst-case MAR margin
+ * over the frame) and maps violations to a mean-opinion-score-style
+ * penalty, so tests and examples can assert "perception preserved"
+ * without human subjects.
+ */
+
+#ifndef QVR_FOVEATION_QUALITY_HPP
+#define QVR_FOVEATION_QUALITY_HPP
+
+#include "foveation/layers.hpp"
+
+namespace qvr::foveation
+{
+
+/** Result of a perceptual audit of one partition. */
+struct QualityReport
+{
+    /**
+     * Minimum over the frame of mar(e) - shown_detail(e), degrees.
+     * >= 0 means every pixel meets its acuity budget (imperceptible
+     * from native rendering per the cited studies).
+     */
+    double worstMarginDeg = 0.0;
+
+    /** Eccentricity (deg) where the worst margin occurs. */
+    double worstEccentricity = 0.0;
+
+    /** True iff worstMarginDeg >= 0 (perception preserved). */
+    bool perceptuallyLossless = false;
+
+    /**
+     * Survey-style mean opinion score in [1, 10]: 10 when lossless,
+     * decaying with the relative depth of the worst violation.
+     */
+    double meanOpinionScore = 10.0;
+};
+
+/** Audit @p partition against @p geometry's display and MAR model. */
+QualityReport auditPartition(const LayerGeometry &geometry,
+                             const LayerPartition &partition);
+
+}  // namespace qvr::foveation
+
+#endif  // QVR_FOVEATION_QUALITY_HPP

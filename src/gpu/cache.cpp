@@ -1,0 +1,71 @@
+#include "gpu/cache.hpp"
+
+#include "common/log.hpp"
+
+namespace qvr::gpu
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint32_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace
+
+Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    QVR_REQUIRE(isPowerOfTwo(cfg.lineBytes), "line size must be 2^n");
+    QVR_REQUIRE(cfg.ways > 0, "cache needs at least one way");
+    const std::uint32_t lines = cfg.sizeBytes / cfg.lineBytes;
+    QVR_REQUIRE(lines >= cfg.ways, "cache smaller than one set");
+    numSets_ = lines / cfg.ways;
+    QVR_REQUIRE(isPowerOfTwo(numSets_), "set count must be 2^n");
+    lines_.resize(static_cast<std::size_t>(numSets_) * cfg.ways);
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    clock_++;
+    stats_.accesses++;
+
+    const std::uint64_t line_addr = addr / cfg_.lineBytes;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line_addr) & (numSets_ - 1);
+    const std::uint64_t tag = line_addr / numSets_;
+
+    Line *base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < cfg_.ways; w++) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = clock_;
+            stats_.hits++;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;  // prefer an invalid way
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    stats_.misses++;
+    victim->tag = tag;
+    victim->valid = true;
+    victim->lastUse = clock_;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+}  // namespace qvr::gpu

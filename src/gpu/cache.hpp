@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Set-associative LRU cache model.
+ *
+ * Used two ways: (1) directly, by the texture-access microbenchmarks
+ * and calibration tests that justify the analytic bytes-per-pixel
+ * figure in GpuCostModel; (2) as the building block for the UCA's
+ * small tile buffer.  It is a functional+statistical model: it tracks
+ * hits/misses per access but does not store data.
+ */
+
+#ifndef QVR_GPU_CACHE_HPP
+#define QVR_GPU_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace qvr::gpu
+{
+
+/** Geometry of a cache instance. */
+struct CacheConfig
+{
+    std::uint32_t sizeBytes = 16 * 1024;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t ways = 4;
+};
+
+/** Access statistics. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** Set-associative cache with true-LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /** Access byte address @p addr; @return true on hit. */
+    bool access(std::uint64_t addr);
+
+    /** Invalidate all lines (e.g. between frames). */
+    void flush();
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+
+    std::uint32_t numSets() const { return numSets_; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    CacheConfig cfg_;
+    std::uint32_t numSets_;
+    std::vector<Line> lines_;  ///< numSets_ x ways, row-major
+    std::uint64_t clock_ = 0;
+    CacheStats stats_;
+};
+
+}  // namespace qvr::gpu
+
+#endif  // QVR_GPU_CACHE_HPP

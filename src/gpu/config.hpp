@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Mobile GPU configuration, mirroring the paper's Table 2 baseline
+ * (ARM Mali-G76-class SoC GPU): 500 MHz, 8 shader cores with 8
+ * SIMD4-scale ALUs each, 16 KB unified L1, one texture unit per core
+ * with 4x anisotropic filtering, 16x16 tiled rasterisation, 256 KB
+ * 8-way shared L2 with 16 bytes/cycle, 8 DRAM channels.
+ */
+
+#ifndef QVR_GPU_CONFIG_HPP
+#define QVR_GPU_CONFIG_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace qvr::gpu
+{
+
+/** Static hardware parameters of the mobile GPU (Table 2). */
+struct GpuConfig
+{
+    Hertz coreFrequency = fromMHz(500.0);
+    std::uint32_t numCores = 8;
+    std::uint32_t simd4PerCore = 8;        ///< 8 SIMD4-scale ALUs
+    std::uint32_t lanesPerSimd4 = 4;
+    std::uint32_t l1KiB = 16;              ///< unified L1 per core
+    std::uint32_t textureUnitsPerCore = 1;
+    std::uint32_t anisotropy = 4;          ///< 4x anisotropic filtering
+    std::uint32_t tileSize = 16;           ///< 16x16 tiled rasterisation
+    std::uint32_t l2KiB = 256;             ///< shared, 8-way
+    std::uint32_t l2Ways = 8;
+    std::uint32_t l2BytesPerCycle = 16;
+    std::uint32_t dramChannels = 8;
+
+    /** Total ALU lanes across the device. */
+    std::uint32_t
+    totalLanes() const
+    {
+        return numCores * simd4PerCore * lanesPerSimd4;
+    }
+
+    /** Peak L2/memory bandwidth in bytes per second. */
+    double
+    memoryBandwidth() const
+    {
+        return static_cast<double>(l2BytesPerCycle) * coreFrequency;
+    }
+};
+
+/**
+ * Microarchitectural cost calibration.  These constants were tuned
+ * (tests/gpu/test_timing.cpp pins them) so full-frame stereo render
+ * times of the Table-3 benchmarks land in the ranges the paper's
+ * Figure 3 implies for a Gen9/A10-class local renderer.
+ */
+struct GpuCostModel
+{
+    /** ALU ops to shade one visible pixel at shadingCost = 1.0
+     *  (lighting + texturing, before the texture-stall factor). */
+    double aluOpsPerPixel = 260.0;
+    /** Sustained ALU-lane utilisation (divergence, scheduling). */
+    double laneUtilisation = 0.70;
+    /** Geometry front-end throughput, triangles per cycle
+     *  (vertex fetch + shade + setup + bin, device-wide). */
+    double trianglesPerCycle = 0.5;
+    /** Command-processor + driver cycles per draw batch. */
+    double cyclesPerBatch = 200.0;
+    /** Average overdraw: shaded fragments per visible pixel. */
+    double overdraw = 1.5;
+    /** DRAM traffic per shaded pixel (texture + framebuffer), bytes;
+     *  already discounted by typical L1/L2 hit rates (the cache model
+     *  in gpu/cache.hpp reproduces this figure in calibration tests). */
+    double bytesPerPixel = 12.0;
+    /** Fixed per-render-pass overhead (state setup, tile flush). */
+    double passOverheadCycles = 40'000.0;
+    /**
+     * Stereo geometry-sharing factor (simultaneous multi-projection:
+     * the paper adds an SMP engine to ATTILA-sim for two-eye
+     * rendering).  1.0 = both eyes run the full geometry front end;
+     * ~0.55 = vertex work shared, only per-eye setup/binning repeats.
+     * Applied to the geometry stage of stereo jobs.
+     */
+    double stereoGeometryFactor = 1.0;
+};
+
+}  // namespace qvr::gpu
+
+#endif  // QVR_GPU_CONFIG_HPP

@@ -1,0 +1,127 @@
+#include "gpu/frame_simulator.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace qvr::gpu
+{
+
+double
+FrameSimResult::bottleneckUtilisation() const
+{
+    if (frameTime <= 0.0)
+        return 0.0;
+    return std::max({cpBusy, geometryBusy, fragmentBusy}) / frameTime;
+}
+
+FrameSimulator::FrameSimulator(const GpuConfig &cfg,
+                               const GpuCostModel &cost)
+    : cfg_(cfg), cost_(cost)
+{
+    QVR_REQUIRE(cfg.coreFrequency > 0.0, "zero GPU frequency");
+}
+
+FrameSimResult
+FrameSimulator::simulate(const scene::FrameWorkload &frame,
+                         double shading_cost, double pixels_per_eye,
+                         double pixel_share, double freq_scale) const
+{
+    QVR_REQUIRE(pixel_share > 0.0 && pixel_share <= 1.0,
+                "pixel share outside (0, 1]");
+    QVR_REQUIRE(freq_scale > 0.0, "non-positive frequency scale");
+    QVR_REQUIRE(pixels_per_eye > 0.0, "empty render target");
+
+    const Hertz freq = cfg_.coreFrequency * freq_scale;
+    const double lane_rate =
+        static_cast<double>(cfg_.totalLanes()) * cost_.laneUtilisation;
+
+    FrameSimResult r;
+    r.batches = frame.batches.size() * 2;  // both eyes
+
+    // Batch screenCoverage values are relative weights; the frame's
+    // shaded-fragment budget is pixels x overdraw, exactly the
+    // aggregate the analytic model uses.
+    double coverage_sum = 0.0;
+    for (const auto &b : frame.batches)
+        coverage_sum += b.screenCoverage;
+    if (coverage_sum <= 0.0)
+        coverage_sum = 1.0;
+    const double fragment_budget =
+        pixels_per_eye * pixel_share * cost_.overdraw;
+
+    // Per-batch service times for the three stages.
+    struct BatchWork
+    {
+        Seconds cp;
+        Seconds geometry;
+        Seconds fragment;
+    };
+    std::vector<BatchWork> work;
+    work.reserve(frame.batches.size() * 2);
+
+    for (int eye = 0; eye < 2; eye++) {
+        for (const auto &b : frame.batches) {
+            BatchWork w;
+            w.cp = cost_.cyclesPerBatch / freq;
+            const double geom_share =
+                cost_.stereoGeometryFactor;  // vertex work shared
+            w.geometry = static_cast<double>(b.triangles) *
+                         geom_share / cost_.trianglesPerCycle / freq;
+            const double fragments = fragment_budget *
+                                     (b.screenCoverage /
+                                      coverage_sum);
+            const double ops =
+                fragments * cost_.aluOpsPerPixel * shading_cost;
+            w.fragment = ops / lane_rate / freq;
+
+            r.triangles += b.triangles;
+            r.shadedPixels += fragments / cost_.overdraw;
+            work.push_back(w);
+        }
+    }
+
+    // Event-driven three-stage pipeline: each stage is serial, a
+    // batch enters stage k+1 when both it has left stage k and the
+    // stage is free.
+    sim::EventQueue queue;
+    Seconds cp_free = cost_.passOverheadCycles / freq;
+    Seconds geom_free = 0.0;
+    Seconds frag_free = 0.0;
+    Seconds last_retire = 0.0;
+
+    for (std::size_t i = 0; i < work.size(); i++) {
+        const BatchWork &w = work[i];
+        const Seconds cp_done = cp_free + w.cp;
+        cp_free = cp_done;
+        r.cpBusy += w.cp;
+
+        const Seconds geom_start = std::max(cp_done, geom_free);
+        const Seconds geom_done = geom_start + w.geometry;
+        geom_free = geom_done;
+        r.geometryBusy += w.geometry;
+
+        const Seconds frag_start = std::max(geom_done, frag_free);
+        const Seconds frag_done = frag_start + w.fragment;
+        frag_free = frag_done;
+        r.fragmentBusy += w.fragment;
+
+        // Retirement is observable through the event queue so other
+        // components (tests, future per-batch hooks) can attach.
+        queue.schedule(frag_done, [&last_retire, frag_done] {
+            last_retire = std::max(last_retire, frag_done);
+        });
+    }
+    queue.run();
+
+    // Memory-boundedness correction, as in the analytic model.
+    const double traffic = r.shadedPixels * cost_.overdraw *
+                           cost_.bytesPerPixel;
+    (void)queue;  // drained above
+    const double seconds_at_peak =
+        traffic / (static_cast<double>(cfg_.l2BytesPerCycle) * freq);
+    r.frameTime = std::max(last_retire, seconds_at_peak);
+    return r;
+}
+
+}  // namespace qvr::gpu

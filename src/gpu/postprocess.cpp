@@ -1,0 +1,51 @@
+#include "gpu/postprocess.hpp"
+
+namespace qvr::gpu::postprocess
+{
+
+namespace
+{
+
+/** Seconds for @p ops ALU operations on the GPU's lane array. */
+Seconds
+opsTime(const MobileGpuModel &gpu, double ops)
+{
+    const double lane_rate =
+        static_cast<double>(gpu.config().totalLanes()) *
+        gpu.cost().laneUtilisation;
+    const double cycles = ops / lane_rate;
+    return cycles / gpu.config().coreFrequency;
+}
+
+}  // namespace
+
+Seconds
+atwTime(const MobileGpuModel &gpu, double pixels,
+        const PostprocessCosts &costs)
+{
+    return opsTime(gpu, pixels * costs.atwOpsPerPixel);
+}
+
+Seconds
+foveatedCompositionTime(const MobileGpuModel &gpu, double pixels,
+                        double edge_fraction,
+                        const PostprocessCosts &costs)
+{
+    const double blend_ops = pixels * costs.foveaBlendOpsPerPixel;
+    const double msaa_ops =
+        pixels * edge_fraction * costs.msaaEdgeOpsPerPixel;
+    return opsTime(gpu, blend_ops + msaa_ops);
+}
+
+Seconds
+depthCompositionTime(const MobileGpuModel &gpu, double pixels,
+                     const PostprocessCosts &costs)
+{
+    const Seconds compose =
+        opsTime(gpu, pixels * costs.depthCompositeOpsPerPixel);
+    const Seconds collide =
+        costs.collisionDetectCycles / gpu.config().coreFrequency;
+    return compose + collide;
+}
+
+}  // namespace qvr::gpu::postprocess

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Costs of the post-rendering kernels when they run ON the GPU
+ * (composition and ATW).  Q-VR's UCA removes these from the GPU; the
+ * baseline/static/software pipelines keep them here, where they
+ * contend with local rendering for the shader cores (the Fig. 4-(c)
+ * contention the paper highlights).
+ */
+
+#ifndef QVR_GPU_POSTPROCESS_HPP
+#define QVR_GPU_POSTPROCESS_HPP
+
+#include "common/types.hpp"
+#include "gpu/timing.hpp"
+
+namespace qvr::gpu::postprocess
+{
+
+/** Per-pixel ALU op counts of the post-processing kernels. */
+struct PostprocessCosts
+{
+    /** ATW: lens distortion + chromatic-aberration-corrected
+     *  coordinate remap + bilinear filter (per-channel warp). */
+    double atwOpsPerPixel = 40.0;
+    /** Foveated composition: layer blend, plus MSAA on layer edges. */
+    double foveaBlendOpsPerPixel = 10.0;
+    double msaaEdgeOpsPerPixel = 40.0;
+    /** Static-collab composition: depth compare + embed, plus a fixed
+     *  collision-detection pass (paper Section 1: "high composition
+     *  overhead ... more complex collision detection and embedding"). */
+    double depthCompositeOpsPerPixel = 22.0;
+    double collisionDetectCycles = 250'000.0;
+    /**
+     * Render-time inflation when composition/ATW kernels share the
+     * GPU with rendering in a collaborative pipeline: they preempt
+     * warps mid-frame (composition cannot start until the remote
+     * layers arrive, which is mid-way through the NEXT frame's
+     * render) and thrash the L1/L2 working set.  Leng et al. [32]
+     * and PIM-VR [65] measure bursty FPS drops from exactly this;
+     * the paper's Fig. 4-(c) calls it out as a first-order effect.
+     * UCA removes it entirely.
+     */
+    double contentionInflation = 0.25;
+};
+
+/** ATW of a @p pixels-sized frame executed on the GPU cores. */
+Seconds atwTime(const MobileGpuModel &gpu, double pixels,
+                const PostprocessCosts &costs = {});
+
+/**
+ * Foveated composition (Q-VR software path / FFR-DFR without UCA):
+ * blends three layers over @p pixels with MSAA applied to
+ * @p edge_fraction of them.
+ */
+Seconds foveatedCompositionTime(const MobileGpuModel &gpu, double pixels,
+                                double edge_fraction,
+                                const PostprocessCosts &costs = {});
+
+/** Static collaborative composition: depth-based embedding of the
+ *  locally rendered interactive objects into the remote background. */
+Seconds depthCompositionTime(const MobileGpuModel &gpu, double pixels,
+                             const PostprocessCosts &costs = {});
+
+}  // namespace qvr::gpu::postprocess
+
+#endif  // QVR_GPU_POSTPROCESS_HPP

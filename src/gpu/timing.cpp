@@ -1,0 +1,93 @@
+#include "gpu/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace qvr::gpu
+{
+
+MobileGpuModel::MobileGpuModel(const GpuConfig &cfg,
+                               const GpuCostModel &cost)
+    : cfg_(cfg), cost_(cost)
+{
+    QVR_REQUIRE(cfg.coreFrequency > 0.0, "zero GPU frequency");
+    QVR_REQUIRE(cfg.totalLanes() > 0, "GPU without ALU lanes");
+}
+
+RenderTiming
+MobileGpuModel::time(const RenderJob &job) const
+{
+    QVR_REQUIRE(job.shadedPixels >= 0.0, "negative pixel count");
+    QVR_REQUIRE(job.frequencyScale > 0.0, "non-positive DVFS scale");
+
+    RenderTiming t;
+
+    // Command processor: serial driver/CP work per draw batch.
+    t.commandCycles = static_cast<Cycles>(
+        cost_.cyclesPerBatch * job.batches + cost_.passOverheadCycles);
+
+    // Geometry front end: vertex shade + setup + bin.  Stereo jobs
+    // may share vertex work across eyes (SMP).
+    const double geometry_share =
+        job.stereo ? cost_.stereoGeometryFactor : 1.0;
+    t.geometryCycles = static_cast<Cycles>(
+        static_cast<double>(job.triangles) * geometry_share /
+        cost_.trianglesPerCycle);
+
+    // Fragment back end: shaded fragments over the ALU array.
+    const double fragments = job.shadedPixels * cost_.overdraw;
+    const double ops = fragments * cost_.aluOpsPerPixel *
+                       job.shadingCost;
+    const double lane_rate = static_cast<double>(cfg_.totalLanes()) *
+                             cost_.laneUtilisation;
+    t.fragmentCycles = static_cast<Cycles>(ops / lane_rate);
+
+    // TBDR overlap: geometry of tile N+1 overlaps fragment of tile N,
+    // so the compute-limited total is max(geom, frag) plus the
+    // pipeline fill from the shorter stage (approximated at 10%).
+    const double geom = static_cast<double>(t.geometryCycles);
+    const double frag = static_cast<double>(t.fragmentCycles);
+    double compute =
+        std::max(geom, frag) + 0.10 * std::min(geom, frag);
+    compute += static_cast<double>(t.commandCycles);
+
+    // Memory-boundedness: required DRAM rate vs. Table 2's 16 B/cyc.
+    const double traffic = fragments * cost_.bytesPerPixel;
+    const double bytes_per_cycle_needed =
+        compute > 0.0 ? traffic / compute : 0.0;
+    t.memoryStallFactor = std::max(
+        1.0, bytes_per_cycle_needed /
+                 static_cast<double>(cfg_.l2BytesPerCycle));
+
+    t.totalCycles = static_cast<Cycles>(compute * t.memoryStallFactor);
+    t.seconds = cyclesToSeconds(
+        t.totalCycles, cfg_.coreFrequency * job.frequencyScale);
+    return t;
+}
+
+Seconds
+MobileGpuModel::renderSeconds(const RenderJob &job) const
+{
+    return time(job).seconds;
+}
+
+double
+MobileGpuModel::triangleThroughput(double shading_cost,
+                                   double pixels_per_tri) const
+{
+    // Cycles consumed per triangle once its share of fragment work is
+    // attributed to it; inverse is the sustained triangle rate.
+    const double geom_cpt = 1.0 / cost_.trianglesPerCycle;
+    const double lane_rate = static_cast<double>(cfg_.totalLanes()) *
+                             cost_.laneUtilisation;
+    const double frag_cpt = pixels_per_tri * cost_.overdraw *
+                            cost_.aluOpsPerPixel * shading_cost /
+                            lane_rate;
+    const double cpt = std::max(geom_cpt, frag_cpt) +
+                       0.10 * std::min(geom_cpt, frag_cpt);
+    return cfg_.coreFrequency / cpt;
+}
+
+}  // namespace qvr::gpu

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Mobile GPU render-time model.
+ *
+ * Converts a render job (triangles, shaded pixels, batch count,
+ * shading cost) into cycles through a four-stage tile-based pipeline
+ * (command processing, geometry+binning, fragment shading, memory),
+ * with the fragment and geometry stages overlapped as in a real TBDR
+ * part and a memory-boundedness correction from Table 2's bandwidth.
+ */
+
+#ifndef QVR_GPU_TIMING_HPP
+#define QVR_GPU_TIMING_HPP
+
+#include "common/types.hpp"
+#include "gpu/config.hpp"
+
+namespace qvr::gpu
+{
+
+/** One rendering pass submitted to the GPU. */
+struct RenderJob
+{
+    std::uint64_t triangles = 0;    ///< post-culling triangles
+    double shadedPixels = 0.0;      ///< visible pixels to shade
+    std::uint32_t batches = 1;      ///< draw calls (CP cost)
+    double shadingCost = 1.0;       ///< relative shader complexity
+    /** Stereo pair rendered with multiview geometry sharing. */
+    bool stereo = true;
+    /** Fraction of default frequency actually available (DVFS). */
+    double frequencyScale = 1.0;
+};
+
+/** Cycle breakdown of a completed job. */
+struct RenderTiming
+{
+    Cycles commandCycles = 0;
+    Cycles geometryCycles = 0;
+    Cycles fragmentCycles = 0;
+    Cycles totalCycles = 0;     ///< after overlap + memory correction
+    double memoryStallFactor = 1.0;
+    Seconds seconds = 0.0;
+};
+
+/**
+ * Analytic-but-calibrated GPU timing model.  Stateless; one instance
+ * can serve many pipelines.
+ */
+class MobileGpuModel
+{
+  public:
+    MobileGpuModel(const GpuConfig &cfg, const GpuCostModel &cost);
+    explicit MobileGpuModel(const GpuConfig &cfg)
+        : MobileGpuModel(cfg, GpuCostModel{}) {}
+    MobileGpuModel() : MobileGpuModel(GpuConfig{}, GpuCostModel{}) {}
+
+    const GpuConfig &config() const { return cfg_; }
+    const GpuCostModel &cost() const { return cost_; }
+
+    /** Full timing breakdown for @p job. */
+    RenderTiming time(const RenderJob &job) const;
+
+    /** Convenience: just the wall-clock render time. */
+    Seconds renderSeconds(const RenderJob &job) const;
+
+    /**
+     * Effective processing capability P(GPU_m) used by LIWC's Eq. 2
+     * latency predictor: sustained triangles per second for a
+     * workload of typical pixel/triangle ratio @p pixels_per_tri.
+     */
+    double triangleThroughput(double shading_cost,
+                              double pixels_per_tri) const;
+
+  private:
+    GpuConfig cfg_;
+    GpuCostModel cost_;
+};
+
+}  // namespace qvr::gpu
+
+#endif  // QVR_GPU_TIMING_HPP

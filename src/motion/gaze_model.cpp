@@ -1,0 +1,80 @@
+#include "motion/gaze_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace qvr::motion
+{
+
+GazeModel::GazeModel(const GazeModelConfig &cfg, Rng rng)
+    : cfg_(cfg), rng_(rng)
+{
+    fixationRemaining_ = cfg_.fixationMeanDuration;
+}
+
+void
+GazeModel::beginSaccade()
+{
+    saccades_++;
+    saccadeStart_ = gaze_;
+
+    double amplitude = std::min(
+        cfg_.saccadeMaxAmplitude,
+        rng_.exponential(1.0 / cfg_.saccadeMeanAmplitude));
+
+    Vec2 direction;
+    if (rng_.chance(cfg_.recenterBias) && gaze_.norm() > 1.0) {
+        // Re-centre: aim back toward straight-ahead.
+        direction = gaze_ * (-1.0 / gaze_.norm());
+        amplitude = std::min(amplitude, gaze_.norm());
+    } else {
+        const double theta = rng_.uniform(0.0, 2.0 * kPi);
+        direction = Vec2{std::cos(theta), std::sin(theta)};
+    }
+
+    saccadeTarget_ = gaze_ + direction * amplitude;
+    saccadeTarget_.x =
+        clamp(saccadeTarget_.x, -cfg_.gazeRangeH, cfg_.gazeRangeH);
+    saccadeTarget_.y =
+        clamp(saccadeTarget_.y, -cfg_.gazeRangeV, cfg_.gazeRangeV);
+
+    // Saccade main-sequence: duration ~ 2.2 ms/deg + 21 ms.
+    const double actual =
+        (saccadeTarget_ - saccadeStart_).norm();
+    saccadeDuration_ = 0.021 + 0.0022 * actual;
+    saccadeRemaining_ = saccadeDuration_;
+}
+
+const GazeAngles &
+GazeModel::step(Seconds dt)
+{
+    QVR_REQUIRE(dt > 0.0, "non-positive dt");
+
+    if (saccadeRemaining_ > 0.0) {
+        saccadeRemaining_ = std::max(0.0, saccadeRemaining_ - dt);
+        // Minimum-jerk-ish position profile via smoothstep.
+        const double t =
+            1.0 - saccadeRemaining_ / saccadeDuration_;
+        const double s = t * t * (3.0 - 2.0 * t);
+        gaze_ = saccadeStart_ + (saccadeTarget_ - saccadeStart_) * s;
+        if (saccadeRemaining_ == 0.0) {
+            const double dur = std::max(
+                cfg_.fixationMinDuration,
+                rng_.exponential(1.0 / cfg_.fixationMeanDuration));
+            fixationRemaining_ = dur;
+        }
+        return gaze_;
+    }
+
+    // Fixation: micro-drift.
+    gaze_.x += rng_.normal(0.0, cfg_.microDriftSigma) * dt;
+    gaze_.y += rng_.normal(0.0, cfg_.microDriftSigma) * dt;
+    fixationRemaining_ -= dt;
+    if (fixationRemaining_ <= 0.0)
+        beginSaccade();
+    return gaze_;
+}
+
+}  // namespace qvr::motion

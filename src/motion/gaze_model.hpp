@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixation/saccade gaze model.
+ *
+ * Human gaze alternates between fixations (200-500 ms of near-still
+ * gaze with micro-drift) and ballistic saccades (20-80 ms jumps of up
+ * to ~20 degrees).  Q-VR's fovea follows the gaze, so the fovea-centre
+ * movement statistics directly feed LIWC's 4-bit fovea-movement code
+ * and the scene-complexity correlation.
+ */
+
+#ifndef QVR_MOTION_GAZE_MODEL_HPP
+#define QVR_MOTION_GAZE_MODEL_HPP
+
+#include "common/rng.hpp"
+#include "motion/pose.hpp"
+
+namespace qvr::motion
+{
+
+/** Tunables for the gaze process. */
+struct GazeModelConfig
+{
+    double fixationMeanDuration = 0.30;   ///< s
+    double fixationMinDuration = 0.08;    ///< s
+    double saccadeMeanAmplitude = 8.0;    ///< deg
+    double saccadeMaxAmplitude = 20.0;    ///< deg
+    double microDriftSigma = 0.3;         ///< deg/s during fixation
+    /** Gaze stays within the comfortable oculomotor range (deg). */
+    double gazeRangeH = 30.0;
+    double gazeRangeV = 20.0;
+    /** Fraction of saccades that re-centre toward (0,0), reflecting
+     *  the strong central bias of VR gaze datasets. */
+    double recenterBias = 0.4;
+};
+
+/**
+ * Discrete-step gaze model.  step(dt) advances the fixation clock,
+ * possibly executing a saccade, and returns gaze angles relative to
+ * the head.
+ */
+class GazeModel
+{
+  public:
+    GazeModel(const GazeModelConfig &cfg, Rng rng);
+
+    /** Advance by @p dt and return gaze angles (deg, head-relative). */
+    const GazeAngles &step(Seconds dt);
+
+    const GazeAngles &gaze() const { return gaze_; }
+
+    /** True while a saccade is in flight (tracker confidence drops). */
+    bool inSaccade() const { return saccadeRemaining_ > 0.0; }
+
+    /** Number of saccades executed so far (diagnostics). */
+    std::uint64_t saccadeCount() const { return saccades_; }
+
+  private:
+    void beginSaccade();
+
+    GazeModelConfig cfg_;
+    Rng rng_;
+    GazeAngles gaze_;
+    GazeAngles saccadeTarget_;
+    Seconds fixationRemaining_ = 0.0;
+    Seconds saccadeRemaining_ = 0.0;
+    Seconds saccadeDuration_ = 0.0;
+    GazeAngles saccadeStart_;
+    std::uint64_t saccades_ = 0;
+};
+
+}  // namespace qvr::motion
+
+#endif  // QVR_MOTION_GAZE_MODEL_HPP

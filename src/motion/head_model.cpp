@@ -1,0 +1,92 @@
+#include "motion/head_model.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace qvr::motion
+{
+
+HeadMotionModel::HeadMotionModel(const HeadModelConfig &cfg, Rng rng)
+    : cfg_(cfg), rng_(rng)
+{
+    QVR_REQUIRE(cfg.angularReversion > 0.0 && cfg.linearReversion > 0.0,
+                "reversion rates must be positive");
+}
+
+double
+HeadMotionModel::ouStep(double value, double reversion, double sigma,
+                        Seconds dt)
+{
+    // Exact discretisation of the OU process:
+    //   v' = v e^{-k dt} + sigma sqrt(1 - e^{-2 k dt}) N(0,1)
+    const double decay = std::exp(-reversion * dt);
+    const double diffusion =
+        sigma * std::sqrt(std::max(0.0, 1.0 - decay * decay));
+    return value * decay + diffusion * rng_.normal();
+}
+
+void
+HeadMotionModel::maybeStartTurn(Seconds dt)
+{
+    if (turnRemaining_ > 0.0)
+        return;
+    // Poisson arrival of rapid reorientations.
+    if (rng_.chance(1.0 - std::exp(-cfg_.turnRate * dt))) {
+        turnRemaining_ = cfg_.turnDuration;
+        turnDirection_ = rng_.chance(0.5) ? 1.0 : -1.0;
+    }
+}
+
+const HeadPose &
+HeadMotionModel::step(Seconds dt)
+{
+    QVR_REQUIRE(dt > 0.0, "non-positive dt");
+    maybeStartTurn(dt);
+
+    angVel_.x = ouStep(angVel_.x, cfg_.angularReversion,
+                       cfg_.angularSigma, dt);
+    angVel_.y = ouStep(angVel_.y, cfg_.angularReversion,
+                       cfg_.angularSigma * 0.6, dt);
+    angVel_.z = ouStep(angVel_.z, cfg_.angularReversion,
+                       cfg_.angularSigma * 0.3, dt);
+
+    double yaw_rate = angVel_.x;
+    if (turnRemaining_ > 0.0) {
+        // Raised-cosine velocity profile for a smooth fast turn.
+        const double phase = 1.0 - turnRemaining_ / cfg_.turnDuration;
+        yaw_rate += turnDirection_ * cfg_.turnSpeed *
+                    0.5 * (1.0 - std::cos(2.0 * kPi * phase));
+        turnRemaining_ -= dt;
+    }
+
+    linVel_.x = ouStep(linVel_.x, cfg_.linearReversion,
+                       cfg_.linearSigma, dt);
+    linVel_.y = ouStep(linVel_.y, cfg_.linearReversion,
+                       cfg_.linearSigma * 0.4, dt);
+    linVel_.z = ouStep(linVel_.z, cfg_.linearReversion,
+                       cfg_.linearSigma, dt);
+
+    pose_.orientation.x += yaw_rate * dt;
+    pose_.orientation.y += angVel_.y * dt;
+    pose_.orientation.z += angVel_.z * dt;
+    pose_.position += linVel_ * dt;
+
+    // Soft clamp pitch/roll: reflect velocity at the limits so users
+    // do not tumble.
+    auto soft_clamp = [](double &angle, double &vel, double limit) {
+        if (angle > limit) {
+            angle = limit;
+            vel = -std::abs(vel) * 0.5;
+        } else if (angle < -limit) {
+            angle = -limit;
+            vel = std::abs(vel) * 0.5;
+        }
+    };
+    soft_clamp(pose_.orientation.y, angVel_.y, cfg_.pitchLimit);
+    soft_clamp(pose_.orientation.z, angVel_.z, cfg_.rollLimit);
+
+    return pose_;
+}
+
+}  // namespace qvr::motion

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Stochastic 6-DoF head-motion model.
+ *
+ * Substitution note (DESIGN.md S2): the paper drives its evaluation
+ * with real HMD traces; we generate statistically similar motion with
+ * an Ornstein-Uhlenbeck angular-velocity process (smooth wandering)
+ * punctuated by occasional rapid reorientations ("head saccades"),
+ * which is the standard first-order model for seated/standing VR
+ * users.  What downstream consumers need is realistic *frame-to-frame
+ * deltas* and their correlation with scene-complexity change.
+ */
+
+#ifndef QVR_MOTION_HEAD_MODEL_HPP
+#define QVR_MOTION_HEAD_MODEL_HPP
+
+#include "common/rng.hpp"
+#include "motion/pose.hpp"
+
+namespace qvr::motion
+{
+
+/** Tunable intensity of the head-motion process. */
+struct HeadModelConfig
+{
+    /** Mean-reversion rate of angular velocity (1/s). */
+    double angularReversion = 4.0;
+    /** Stationary std-dev of angular velocity (deg/s). */
+    double angularSigma = 30.0;
+    /** Mean-reversion rate of linear velocity (1/s). */
+    double linearReversion = 2.0;
+    /** Stationary std-dev of linear velocity (m/s). */
+    double linearSigma = 0.15;
+    /** Mean rate of rapid reorientations (events/s). */
+    double turnRate = 0.25;
+    /** Peak angular speed during a rapid turn (deg/s). */
+    double turnSpeed = 180.0;
+    /** Duration of a rapid turn (s). */
+    double turnDuration = 0.35;
+    /** Yaw is unbounded; pitch/roll are softly clamped (deg). */
+    double pitchLimit = 60.0;
+    double rollLimit = 30.0;
+};
+
+/**
+ * Continuous-time head model advanced in discrete steps.  step(dt)
+ * integrates the velocity processes and returns the new pose.
+ */
+class HeadMotionModel
+{
+  public:
+    HeadMotionModel(const HeadModelConfig &cfg, Rng rng);
+
+    /** Advance by @p dt seconds and return the resulting pose. */
+    const HeadPose &step(Seconds dt);
+
+    const HeadPose &pose() const { return pose_; }
+
+    /** Instantaneous angular speed (deg/s), for diagnostics. */
+    double angularSpeed() const { return angVel_.norm(); }
+
+  private:
+    void maybeStartTurn(Seconds dt);
+    double ouStep(double value, double reversion, double sigma,
+                  Seconds dt);
+
+    HeadModelConfig cfg_;
+    Rng rng_;
+    HeadPose pose_;
+    Vec3 angVel_;    ///< deg/s
+    Vec3 linVel_;    ///< m/s
+    Seconds turnRemaining_ = 0.0;
+    double turnDirection_ = 0.0;  ///< signed yaw rate during a turn
+};
+
+}  // namespace qvr::motion
+
+#endif  // QVR_MOTION_HEAD_MODEL_HPP

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Pose and motion-sample value types shared by the trackers, the
+ * scene-complexity model and LIWC's motion codec.
+ */
+
+#ifndef QVR_MOTION_POSE_HPP
+#define QVR_MOTION_POSE_HPP
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace qvr::motion
+{
+
+/**
+ * 6-DoF head pose: metres for position, degrees for orientation
+ * (yaw around vertical, pitch, roll).
+ */
+struct HeadPose
+{
+    Vec3 position;     ///< metres, room coordinates
+    Vec3 orientation;  ///< degrees: {yaw, pitch, roll}
+
+    /** Component-wise delta (this - other). */
+    HeadPose
+    delta(const HeadPose &other) const
+    {
+        return HeadPose{position - other.position,
+                        orientation - other.orientation};
+    }
+};
+
+/**
+ * Gaze direction as angular offset from the view centre, in degrees.
+ * x is horizontal eccentricity, y vertical.
+ */
+using GazeAngles = Vec2;
+
+/** One fused sensor sample delivered to the rendering pipeline. */
+struct MotionSample
+{
+    Seconds timestamp = 0.0;     ///< capture time
+    HeadPose head;               ///< 6-DoF head pose
+    GazeAngles gaze;             ///< gaze angles relative to HMD
+    bool interacting = false;    ///< user currently manipulating scene
+};
+
+/**
+ * Per-frame motion deltas, the inputs to LIWC's motion codec
+ * (Section 4.1: "changes of user motion between two frames").
+ */
+struct MotionDelta
+{
+    Vec3 dPosition;      ///< metres/frame
+    Vec3 dOrientation;   ///< degrees/frame
+    Vec2 dGaze;          ///< fovea-centre movement, degrees/frame
+
+    /** Magnitude summary used by the scene-complexity correlation. */
+    double
+    headSpeed() const
+    {
+        return dPosition.norm() + dOrientation.norm() / 60.0;
+    }
+};
+
+/** Compute deltas between two consecutive samples. */
+inline MotionDelta
+deltaBetween(const MotionSample &prev, const MotionSample &curr)
+{
+    MotionDelta d;
+    d.dPosition = curr.head.position - prev.head.position;
+    d.dOrientation = curr.head.orientation - prev.head.orientation;
+    d.dGaze = curr.gaze - prev.gaze;
+    return d;
+}
+
+}  // namespace qvr::motion
+
+#endif  // QVR_MOTION_POSE_HPP

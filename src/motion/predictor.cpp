@@ -1,0 +1,64 @@
+#include "motion/predictor.hpp"
+
+#include "common/log.hpp"
+
+namespace qvr::motion
+{
+
+PosePredictor::PosePredictor(PredictorKind kind, double velocity_alpha)
+    : kind_(kind), alpha_(velocity_alpha)
+{
+    QVR_REQUIRE(velocity_alpha > 0.0 && velocity_alpha <= 1.0,
+                "velocity alpha outside (0,1]");
+}
+
+void
+PosePredictor::observe(const MotionSample &sample)
+{
+    if (haveOne_) {
+        const Seconds dt = sample.timestamp - last_.timestamp;
+        if (dt > 1e-9) {
+            const Vec3 ang_inst =
+                (sample.head.orientation - last_.head.orientation) *
+                (1.0 / dt);
+            const Vec3 lin_inst =
+                (sample.head.position - last_.head.position) *
+                (1.0 / dt);
+            const Vec2 gaze_inst =
+                (sample.gaze - last_.gaze) * (1.0 / dt);
+            if (!haveTwo_) {
+                angVel_ = ang_inst;
+                linVel_ = lin_inst;
+                gazeVel_ = gaze_inst;
+            } else {
+                angVel_ = angVel_ * (1.0 - alpha_) +
+                          ang_inst * alpha_;
+                linVel_ = linVel_ * (1.0 - alpha_) +
+                          lin_inst * alpha_;
+                gazeVel_ = gazeVel_ * (1.0 - alpha_) +
+                           gaze_inst * alpha_;
+            }
+            haveTwo_ = true;
+        }
+    }
+    last_ = sample;
+    haveOne_ = true;
+}
+
+MotionSample
+PosePredictor::predict(Seconds horizon) const
+{
+    QVR_REQUIRE(horizon >= 0.0, "negative prediction horizon");
+    MotionSample out = last_;
+    out.timestamp = last_.timestamp + horizon;
+    if (kind_ == PredictorKind::HoldLast || !haveTwo_)
+        return out;
+
+    out.head.orientation = last_.head.orientation +
+                           angVel_ * horizon;
+    out.head.position = last_.head.position + linVel_ * horizon;
+    out.gaze = last_.gaze + gazeVel_ * horizon;
+    return out;
+}
+
+}  // namespace qvr::motion

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Pose prediction for prefetch-ahead rendering.
+ *
+ * The static collaborative design must request frame N+3's background
+ * at frame N — i.e. predict the user's pose >30 ms out, which the
+ * paper flags as the accuracy cliff ("failing to predict users'
+ * behaviors will trigger even higher end-to-end VR latency").  This
+ * module implements the standard predictors that debate hinges on:
+ *
+ *  - HoldLast: assume the pose freezes (what naive prefetch does);
+ *  - ConstantVelocity: extrapolate with an EWMA-smoothed velocity
+ *    estimate (what shipping reprojection stacks use).
+ *
+ * The ablation bench quantifies how much CV prediction rescues the
+ * static design — and why it still cannot fix it (rotations are
+ * predictable; saccade-coupled content changes are not).
+ */
+
+#ifndef QVR_MOTION_PREDICTOR_HPP
+#define QVR_MOTION_PREDICTOR_HPP
+
+#include "motion/pose.hpp"
+
+namespace qvr::motion
+{
+
+/** Prediction strategy. */
+enum class PredictorKind
+{
+    HoldLast,
+    ConstantVelocity,
+};
+
+/**
+ * Streaming pose predictor: feed observed samples, ask for the pose
+ * @p horizon seconds past the latest observation.
+ */
+class PosePredictor
+{
+  public:
+    explicit PosePredictor(PredictorKind kind,
+                           double velocity_alpha = 0.4);
+
+    /** Observe the latest delivered sample. */
+    void observe(const MotionSample &sample);
+
+    /** Predict the pose @p horizon seconds after the last sample.
+     *  Before two samples arrive, falls back to hold-last. */
+    MotionSample predict(Seconds horizon) const;
+
+    PredictorKind kind() const { return kind_; }
+    bool primed() const { return haveTwo_; }
+
+  private:
+    PredictorKind kind_;
+    double alpha_;
+    MotionSample last_;
+    Vec3 angVel_;   ///< deg/s, EWMA
+    Vec3 linVel_;   ///< m/s, EWMA
+    Vec2 gazeVel_;  ///< deg/s, EWMA
+    bool haveOne_ = false;
+    bool haveTwo_ = false;
+};
+
+}  // namespace qvr::motion
+
+#endif  // QVR_MOTION_PREDICTOR_HPP

@@ -1,0 +1,86 @@
+#include "motion/trace.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace qvr::motion
+{
+
+MotionDelta
+MotionTrace::deltaAt(std::size_t i) const
+{
+    QVR_REQUIRE(i < samples.size(), "frame index out of range");
+    if (i == 0)
+        return MotionDelta{};
+    return deltaBetween(samples[i - 1], samples[i]);
+}
+
+MotionTrace
+generateTrace(const TraceConfig &cfg)
+{
+    QVR_REQUIRE(cfg.frameRate > 0.0 && cfg.numFrames > 0,
+                "bad trace shape");
+
+    Rng root(cfg.seed);
+    HeadMotionModel head(cfg.head, root.split(1));
+    GazeModel gaze(cfg.gaze, root.split(2));
+    EyeTracker eye(cfg.eyeTracker, root.split(3));
+    MotionSensor imu(cfg.motionSensor, root.split(4));
+    Rng interaction_rng = root.split(5);
+
+    MotionTrace trace;
+    trace.samples.reserve(cfg.numFrames);
+    trace.groundTruth.reserve(cfg.numFrames);
+
+    const Seconds frame_dt = 1.0 / cfg.frameRate;
+    // Advance the continuous models on a fine grid so sensors can
+    // sample at their own (higher) frequencies between frames.
+    const Seconds fine_dt =
+        std::min({frame_dt, eye.samplePeriod(), imu.samplePeriod()}) / 2.0;
+
+    Seconds now = 0.0;
+    Seconds interaction_until = 0.0;
+    Seconds next_interaction =
+        interaction_rng.exponential(cfg.interactionRate);
+
+    for (std::size_t f = 0; f < cfg.numFrames; f++) {
+        const Seconds frame_time =
+            static_cast<double>(f + 1) * frame_dt;
+        while (now < frame_time) {
+            const Seconds dt = std::min(fine_dt, frame_time - now);
+            now += dt;
+            const HeadPose &pose = head.step(dt);
+            const GazeAngles &g = gaze.step(dt);
+            imu.observe(now, pose);
+            eye.observe(now, g);
+        }
+
+        // Interaction episodes arrive as a Poisson process.
+        if (now >= next_interaction) {
+            interaction_until =
+                now + interaction_rng.exponential(
+                          1.0 / cfg.interactionDuration);
+            next_interaction =
+                now + interaction_rng.exponential(cfg.interactionRate);
+        }
+        const bool interacting = now < interaction_until;
+
+        MotionSample seen;
+        seen.timestamp = now;
+        seen.head = imu.delivered(now);
+        seen.gaze = eye.delivered(now);
+        seen.interacting = interacting;
+        trace.samples.push_back(seen);
+
+        MotionSample truth;
+        truth.timestamp = now;
+        truth.head = head.pose();
+        truth.gaze = gaze.gaze();
+        truth.interacting = interacting;
+        trace.groundTruth.push_back(truth);
+    }
+    return trace;
+}
+
+}  // namespace qvr::motion

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-frame motion trace generation.
+ *
+ * Composes the head model, gaze model and sensor front-ends into the
+ * sequence of MotionSamples the render loop actually sees at each
+ * frame boundary, plus interaction episodes (the user grabbing or
+ * manipulating scene objects, which spikes interactive-object
+ * complexity in the scene model).
+ */
+
+#ifndef QVR_MOTION_TRACE_HPP
+#define QVR_MOTION_TRACE_HPP
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "motion/gaze_model.hpp"
+#include "motion/head_model.hpp"
+#include "motion/tracker.hpp"
+
+namespace qvr::motion
+{
+
+/** Everything needed to synthesise a frame-aligned motion trace. */
+struct TraceConfig
+{
+    double frameRate = 90.0;       ///< frames per second
+    std::size_t numFrames = 300;
+    HeadModelConfig head;
+    GazeModelConfig gaze;
+    EyeTrackerConfig eyeTracker;
+    MotionSensorConfig motionSensor;
+    /** Mean rate of interaction episodes (per second). */
+    double interactionRate = 0.2;
+    /** Mean duration of an interaction episode (s). */
+    double interactionDuration = 1.5;
+    std::uint64_t seed = 1;
+};
+
+/** Frame-aligned trace plus ground truth for error analysis. */
+struct MotionTrace
+{
+    std::vector<MotionSample> samples;       ///< what the pipeline sees
+    std::vector<MotionSample> groundTruth;   ///< noiseless, zero-latency
+
+    std::size_t size() const { return samples.size(); }
+
+    /** Delta between frame @p i and its predecessor (zero for i==0). */
+    MotionDelta deltaAt(std::size_t i) const;
+};
+
+/** Generate a trace; deterministic in cfg.seed. */
+MotionTrace generateTrace(const TraceConfig &cfg);
+
+}  // namespace qvr::motion
+
+#endif  // QVR_MOTION_TRACE_HPP

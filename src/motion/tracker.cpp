@@ -1,0 +1,92 @@
+#include "motion/tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace qvr::motion
+{
+
+EyeTracker::EyeTracker(const EyeTrackerConfig &cfg, Rng rng)
+    : cfg_(cfg), rng_(rng)
+{
+    QVR_REQUIRE(cfg.sampleRate > 0.0, "eye tracker rate must be positive");
+}
+
+void
+EyeTracker::observe(Seconds t, const GazeAngles &truth)
+{
+    // Sensor captures at its own cadence; drop observations between
+    // sample instants.
+    if (t + 1e-12 < nextSample_)
+        return;
+    nextSample_ = t + samplePeriod();
+
+    // Bias drifts as an OU process with the datasheet accuracy as
+    // its stationary magnitude.
+    const Seconds dt = std::max(1e-4, t - lastBiasStep_);
+    lastBiasStep_ = t;
+    const double decay = std::exp(-cfg_.biasReversion * dt);
+    const double sigma = cfg_.accuracyDeg / std::sqrt(2.0);
+    const double diffusion =
+        sigma * std::sqrt(std::max(0.0, 1.0 - decay * decay));
+    bias_.x = bias_.x * decay + diffusion * rng_.normal();
+    bias_.y = bias_.y * decay + diffusion * rng_.normal();
+
+    GazeAngles noisy = truth + bias_;
+    noisy.x += rng_.normal(0.0, cfg_.jitterDeg);
+    noisy.y += rng_.normal(0.0, cfg_.jitterDeg);
+    history_.push_back(Sample{t, noisy});
+    // Keep the history bounded; delivery only needs recent samples.
+    if (history_.size() > 64)
+        history_.erase(history_.begin(), history_.begin() + 32);
+}
+
+GazeAngles
+EyeTracker::delivered(Seconds t) const
+{
+    const Seconds visible = t - cfg_.transportLatency;
+    for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+        if (it->captured <= visible)
+            return it->gaze;
+    }
+    return history_.empty() ? GazeAngles{} : history_.front().gaze;
+}
+
+MotionSensor::MotionSensor(const MotionSensorConfig &cfg, Rng rng)
+    : cfg_(cfg), rng_(rng)
+{
+    QVR_REQUIRE(cfg.sampleRate > 0.0, "motion sensor rate must be positive");
+}
+
+void
+MotionSensor::observe(Seconds t, const HeadPose &truth)
+{
+    if (t + 1e-12 < nextSample_)
+        return;
+    nextSample_ = t + samplePeriod();
+    HeadPose noisy = truth;
+    noisy.position.x += rng_.normal(0.0, cfg_.positionNoise);
+    noisy.position.y += rng_.normal(0.0, cfg_.positionNoise);
+    noisy.position.z += rng_.normal(0.0, cfg_.positionNoise);
+    noisy.orientation.x += rng_.normal(0.0, cfg_.orientationNoise);
+    noisy.orientation.y += rng_.normal(0.0, cfg_.orientationNoise);
+    noisy.orientation.z += rng_.normal(0.0, cfg_.orientationNoise);
+    history_.push_back(Sample{t, noisy});
+    if (history_.size() > 256)
+        history_.erase(history_.begin(), history_.begin() + 128);
+}
+
+HeadPose
+MotionSensor::delivered(Seconds t) const
+{
+    const Seconds visible = t - cfg_.transportLatency;
+    for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+        if (it->captured <= visible)
+            return it->pose;
+    }
+    return history_.empty() ? HeadPose{} : history_.front().pose;
+}
+
+}  // namespace qvr::motion

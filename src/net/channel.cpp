@@ -1,0 +1,123 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/geometry.hpp"
+#include "common/log.hpp"
+
+namespace qvr::net
+{
+
+ChannelConfig
+ChannelConfig::wifi()
+{
+    ChannelConfig c;
+    c.name = "Wi-Fi";
+    c.nominalDownlink = fromMbps(200.0);
+    c.baseLatency = 2e-3;
+    return c;
+}
+
+ChannelConfig
+ChannelConfig::lte4g()
+{
+    ChannelConfig c;
+    c.name = "4G LTE";
+    c.nominalDownlink = fromMbps(100.0);
+    c.baseLatency = 12e-3;
+    return c;
+}
+
+ChannelConfig
+ChannelConfig::early5g()
+{
+    ChannelConfig c;
+    c.name = "Early 5G";
+    c.nominalDownlink = fromMbps(500.0);
+    c.baseLatency = 1.5e-3;
+    return c;
+}
+
+Channel::Channel(const ChannelConfig &cfg, Rng rng)
+    : cfg_(cfg), rng_(rng), ackEstimate_(0.25)
+{
+    QVR_REQUIRE(cfg.nominalDownlink > 0.0, "zero downlink bandwidth");
+    QVR_REQUIRE(cfg.protocolEfficiency > 0.0 &&
+                    cfg.protocolEfficiency <= 1.0,
+                "protocol efficiency outside (0,1]");
+}
+
+TransferResult
+Channel::transfer(Bytes payload)
+{
+    // SNR -> relative rate jitter.  For AWGN, capacity per Hz is
+    // log2(1 + snr); a noise perturbation dP around the signal power
+    // moves capacity by roughly dP/(P ln2 (1 + 1/snr)).  At 20 dB the
+    // resulting relative std-dev is ~10%; we scale with 1/sqrt(snr).
+    const double snr = std::pow(10.0, cfg_.snrDb / 10.0);
+    const double jitter_sigma = 1.0 / std::sqrt(snr);
+    const double noise =
+        std::max(0.3, 1.0 + jitter_sigma * rng_.normal());
+
+    TransferResult r;
+    r.goodput = cfg_.nominalDownlink * cfg_.protocolEfficiency * noise;
+
+    // Loss -> retransmissions: goodput divides by the delivery
+    // probability and each lost packet costs a recovery RTT tail
+    // (capped: selective repeat recovers many losses in one RTT).
+    if (cfg_.packetLoss > 0.0) {
+        const double delivery =
+            clamp(1.0 - cfg_.packetLoss, 0.05, 1.0);
+        r.goodput *= delivery;
+        const double packets = std::max(
+            1.0, static_cast<double>(payload) /
+                     static_cast<double>(cfg_.packetBytes));
+        const double expected_loss_events =
+            std::min(3.0, packets * cfg_.packetLoss);
+        r.duration += expected_loss_events * 2.0 * cfg_.baseLatency;
+    }
+
+    const double bits = static_cast<double>(payload) * 8.0;
+    r.duration += cfg_.baseLatency + bits / r.goodput;
+
+    if (pendingOutage_ > 0.0) {
+        r.duration += pendingOutage_;
+        pendingOutage_ = 0.0;
+    }
+
+    ackEstimate_.add(r.goodput);
+    goodputStats_.add(r.goodput);
+    return r;
+}
+
+void
+Channel::setPacketLoss(double loss)
+{
+    QVR_REQUIRE(loss >= 0.0 && loss < 1.0, "loss rate outside [0,1)");
+    cfg_.packetLoss = loss;
+}
+
+void
+Channel::injectOutage(Seconds duration)
+{
+    QVR_REQUIRE(duration >= 0.0, "negative outage duration");
+    pendingOutage_ += duration;
+}
+
+void
+Channel::setNominalDownlink(BitsPerSecond bps)
+{
+    QVR_REQUIRE(bps > 0.0, "downlink must be positive");
+    cfg_.nominalDownlink = bps;
+}
+
+BitsPerSecond
+Channel::ackThroughput() const
+{
+    if (!ackEstimate_.primed())
+        return cfg_.nominalDownlink * cfg_.protocolEfficiency;
+    return ackEstimate_.value();
+}
+
+}  // namespace qvr::net

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Downlink network channel model.
+ *
+ * The paper computes network latency as compressed-frame-size over
+ * bandwidth, with 20 dB-SNR white noise injected to reflect real
+ * channels, and validates against netcat.  We model per-transfer
+ * goodput as nominal bandwidth x protocol efficiency x a lognormal-ish
+ * noise factor derived from the SNR, plus a base propagation delay,
+ * and expose the ACK-derived throughput estimate that LIWC monitors
+ * (Section 4.1: "monitor the network's ACK packets for assessing the
+ * remote latencies").
+ */
+
+#ifndef QVR_NET_CHANNEL_HPP
+#define QVR_NET_CHANNEL_HPP
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace qvr::net
+{
+
+/** Link-level configuration. */
+struct ChannelConfig
+{
+    std::string name = "Wi-Fi";
+    BitsPerSecond nominalDownlink = fromMbps(200.0);
+    /** MAC/transport protocol efficiency (headers, ACK turnaround). */
+    double protocolEfficiency = 0.67;
+    /** Channel SNR in dB; drives the per-transfer rate jitter. */
+    double snrDb = 20.0;
+    /** One-way propagation + queuing floor. */
+    Seconds baseLatency = 2e-3;
+    /**
+     * Packet loss probability.  Lost packets are retransmitted:
+     * goodput divides by (1 - loss) and each loss event adds one
+     * retransmission round trip to the transfer tail.
+     */
+    double packetLoss = 0.0;
+    /** MTU used for loss accounting. */
+    Bytes packetBytes = 1400;
+
+    /** Table 2 presets. */
+    static ChannelConfig wifi();
+    static ChannelConfig lte4g();
+    static ChannelConfig early5g();
+};
+
+/** Outcome of one downlink transfer. */
+struct TransferResult
+{
+    Seconds duration = 0.0;       ///< base latency + serialisation
+    BitsPerSecond goodput = 0.0;  ///< achieved rate for this transfer
+};
+
+/**
+ * Stateful channel: produces per-transfer latencies and maintains the
+ * ACK-visible throughput estimate.
+ */
+class Channel
+{
+  public:
+    Channel(const ChannelConfig &cfg, Rng rng);
+    explicit Channel(const ChannelConfig &cfg) : Channel(cfg, Rng(42)) {}
+
+    const ChannelConfig &config() const { return cfg_; }
+
+    /** Simulate transferring @p payload bytes downlink. */
+    TransferResult transfer(Bytes payload);
+
+    /**
+     * Change the link's nominal downlink mid-session (coverage
+     * change, contention, handover).  The ACK estimate keeps its
+     * history and converges to the new rate, exactly as LIWC would
+     * observe on hardware.
+     */
+    void setNominalDownlink(BitsPerSecond bps);
+
+    /** Change the loss rate mid-session (interference burst). */
+    void setPacketLoss(double loss);
+
+    /**
+     * Inject a hard outage: transfers issued while the outage is
+     * pending stall for @p duration before the link recovers.  Used
+     * by the failure-injection tests and the reprojection-fallback
+     * demo.  One-shot: consumed by the next transfer.
+     */
+    void injectOutage(Seconds duration);
+
+    /**
+     * Throughput as observable from ACK timing (EWMA over completed
+     * transfers) — the hardware-level signal LIWC consumes.  Before
+     * any transfer completes, returns the protocol-derated nominal.
+     */
+    BitsPerSecond ackThroughput() const;
+
+    /** Mean goodput applied so far (diagnostics). */
+    const RunningStat &goodputStats() const { return goodputStats_; }
+
+  private:
+    ChannelConfig cfg_;
+    Rng rng_;
+    Ewma ackEstimate_;
+    RunningStat goodputStats_;
+    Seconds pendingOutage_ = 0.0;
+};
+
+}  // namespace qvr::net
+
+#endif  // QVR_NET_CHANNEL_HPP

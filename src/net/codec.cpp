@@ -1,0 +1,44 @@
+#include "net/codec.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace qvr::net
+{
+
+VideoCodec::VideoCodec(const CodecConfig &cfg) : cfg_(cfg)
+{
+    QVR_REQUIRE(cfg.baseBitsPerPixel > 0.0, "bpp must be positive");
+    QVR_REQUIRE(cfg.decodePixelsPerSecond > 0.0 &&
+                    cfg.encodePixelsPerSecond > 0.0,
+                "codec throughput must be positive");
+}
+
+Bytes
+VideoCodec::compressedSize(double pixels, double content_complexity,
+                           double subsample_factor,
+                           bool with_depth) const
+{
+    QVR_REQUIRE(pixels >= 0.0, "negative pixel count");
+    QVR_REQUIRE(subsample_factor >= 1.0, "subsample factor < 1");
+    double bpp = cfg_.baseBitsPerPixel * content_complexity *
+                 std::pow(subsample_factor, -cfg_.subsampleBppExponent);
+    if (with_depth)
+        bpp += cfg_.depthBitsPerPixel;
+    return static_cast<Bytes>(pixels * bpp / 8.0);
+}
+
+Seconds
+VideoCodec::decodeTime(double pixels) const
+{
+    return cfg_.perStreamOverhead + pixels / cfg_.decodePixelsPerSecond;
+}
+
+Seconds
+VideoCodec::encodeTime(double pixels) const
+{
+    return cfg_.perStreamOverhead + pixels / cfg_.encodePixelsPerSecond;
+}
+
+}  // namespace qvr::net

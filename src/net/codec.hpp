@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Video codec rate/latency model (H.264-class, as the paper uses
+ * lossless H.264 via ffmpeg).
+ *
+ * Compressed size is pixels x bits-per-pixel; bpp depends on content
+ * complexity and drops for MAR-subsampled layers (smooth upscaled
+ * periphery content compresses better per pixel).  Encoding happens
+ * on the server overlapped with streaming; decoding runs on the
+ * mobile video processing unit (VD stage of Fig. 4).
+ */
+
+#ifndef QVR_NET_CODEC_HPP
+#define QVR_NET_CODEC_HPP
+
+#include "common/types.hpp"
+
+namespace qvr::net
+{
+
+/** Codec calibration. */
+struct CodecConfig
+{
+    /** Bits per pixel for full-resolution photoreal content; 0.55
+     *  reproduces Table 1's 480-650 KB compressed stereo frames at
+     *  2x 1920x2160 (8.3 Mpixel). */
+    double baseBitsPerPixel = 0.55;
+    /** bpp scales with subsample factor^-exponent: coarser layers
+     *  carry less high-frequency energy. */
+    double subsampleBppExponent = 0.3;
+    /** Extra bits per pixel when a depth map must be shipped
+     *  (static collaborative rendering needs depth for composition). */
+    double depthBitsPerPixel = 0.10;
+    /** Mobile VPU decode throughput (pixels per second). */
+    double decodePixelsPerSecond = 1.5e9;
+    /** Server-side encode throughput (pixels per second, per stream;
+     *  hardware NVENC-class). */
+    double encodePixelsPerSecond = 2.5e9;
+    /** Fixed per-stream codec latency (bitstream setup). */
+    Seconds perStreamOverhead = 0.2e-3;
+};
+
+/** Stateless codec model. */
+class VideoCodec
+{
+  public:
+    explicit VideoCodec(const CodecConfig &cfg = CodecConfig{});
+
+    const CodecConfig &config() const { return cfg_; }
+
+    /**
+     * Compressed payload for @p pixels rendered pixels.
+     * @param content_complexity relative entropy of the content
+     *        (1.0 = typical; busier scenes compress worse)
+     * @param subsample_factor the per-dimension MAR factor the layer
+     *        was rendered at (1.0 = native)
+     * @param with_depth also encode a depth map (static collab)
+     */
+    Bytes compressedSize(double pixels, double content_complexity,
+                         double subsample_factor,
+                         bool with_depth = false) const;
+
+    /** Decode latency on the mobile VPU. */
+    Seconds decodeTime(double pixels) const;
+
+    /** Encode latency on the server (overlappable with streaming). */
+    Seconds encodeTime(double pixels) const;
+
+  private:
+    CodecConfig cfg_;
+};
+
+}  // namespace qvr::net
+
+#endif  // QVR_NET_CODEC_HPP

@@ -1,0 +1,50 @@
+#include "net/stream.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace qvr::net
+{
+
+StreamSession::StreamSession(Channel &channel, const VideoCodec &codec,
+                             std::uint32_t decodeUnits)
+    : channel_(&channel), codec_(&codec), decoders_(decodeUnits)
+{
+}
+
+StreamResult
+StreamSession::streamFrame(std::vector<LayerPayload> layers)
+{
+    StreamResult result;
+    if (layers.empty())
+        return result;
+
+    // Link is serial: ship layers in render-ready order so an early
+    // layer never waits behind a late one.
+    std::sort(layers.begin(), layers.end(),
+              [](const LayerPayload &a, const LayerPayload &b) {
+                  return a.renderReady < b.renderReady;
+              });
+
+    for (const auto &layer : layers) {
+        const TransferResult xfer = channel_->transfer(layer.compressed);
+        // Serialisation occupies the link for the payload time; the
+        // propagation floor does not.
+        const Seconds serialise =
+            xfer.duration - channel_->config().baseLatency;
+        const Seconds sent =
+            link_.serve(layer.renderReady, serialise);
+        const Seconds arrived = sent + channel_->config().baseLatency;
+        const Seconds decoded =
+            decoders_.serve(arrived, codec_->decodeTime(layer.pixels));
+
+        result.perLayerArrival.push_back(arrived);
+        result.allDecoded = std::max(result.allDecoded, decoded);
+        result.networkTime += serialise;
+        result.totalBytes += layer.compressed;
+    }
+    return result;
+}
+
+}  // namespace qvr::net

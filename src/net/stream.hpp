@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Layer streaming session: Q-VR's software framework transmits the
+ * middle and outer layers of each eye as separate parallel streams
+ * from separate framebuffers (Section 3.2), overlapping server
+ * rendering, encoding, transmission and mobile decoding.
+ *
+ * The physical downlink is one shared serial resource; "parallel"
+ * streams help by letting early-finished layers start their transfer
+ * (and their decode) before late layers render — pipeline overlap,
+ * not bandwidth multiplication.
+ */
+
+#ifndef QVR_NET_STREAM_HPP
+#define QVR_NET_STREAM_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/channel.hpp"
+#include "net/codec.hpp"
+#include "sim/resource.hpp"
+
+namespace qvr::net
+{
+
+/** One layer buffer ready to ship. */
+struct LayerPayload
+{
+    Seconds renderReady = 0.0;   ///< server finished rendering it
+    double pixels = 0.0;         ///< post-subsampling pixel count
+    Bytes compressed = 0;        ///< encoded size
+};
+
+/** Result of streaming one frame's payload set. */
+struct StreamResult
+{
+    Seconds allDecoded = 0.0;    ///< last layer decoded on device
+    Seconds networkTime = 0.0;   ///< pure serialisation time (sum)
+    Bytes totalBytes = 0;
+    std::vector<Seconds> perLayerArrival;
+};
+
+/**
+ * Stateful per-session streamer: owns the link-serialisation and
+ * decoder-occupancy timelines so successive frames queue naturally.
+ */
+class StreamSession
+{
+  public:
+    StreamSession(Channel &channel, const VideoCodec &codec,
+                  std::uint32_t decodeUnits = 2);
+
+    /**
+     * Stream @p layers (already encoded server-side).  Transfers are
+     * serialised on the link in ready-order; each layer decodes as it
+     * arrives on one of the parallel decode units.
+     */
+    StreamResult streamFrame(std::vector<LayerPayload> layers);
+
+    Channel &channel() { return *channel_; }
+
+    /** Earliest time the downlink can accept another transfer (used
+     *  by pipelines to pace frame issue off the network bottleneck). */
+    Seconds linkNextFree() const { return link_.nextFree(); }
+
+  private:
+    Channel *channel_;
+    const VideoCodec *codec_;
+    sim::BusyResource link_;
+    sim::MultiServerResource decoders_;
+};
+
+}  // namespace qvr::net
+
+#endif  // QVR_NET_STREAM_HPP

@@ -1,0 +1,48 @@
+#include "power/dvfs.hpp"
+
+#include <algorithm>
+
+#include "common/geometry.hpp"
+#include "common/log.hpp"
+
+namespace qvr::power
+{
+
+DvfsGovernor::DvfsGovernor(const DvfsConfig &cfg)
+    : cfg_(cfg), scale_(cfg.maxScale)
+{
+    QVR_REQUIRE(cfg.minScale > 0.0 && cfg.minScale <= cfg.maxScale,
+                "bad DVFS scale range");
+    QVR_REQUIRE(cfg.window >= 1, "window must be at least one frame");
+    QVR_REQUIRE(cfg.stepUp > 1.0 && cfg.stepDown < 1.0,
+                "steps must move in opposite directions");
+}
+
+double
+DvfsGovernor::update(Seconds gpu_busy, Seconds frame_interval)
+{
+    busyAccum_ += gpu_busy;
+    intervalAccum_ += std::max(frame_interval, cfg_.referenceFloor);
+    framesInWindow_++;
+    if (framesInWindow_ < cfg_.window)
+        return scale_;
+
+    const double utilisation =
+        intervalAccum_ > 0.0 ? busyAccum_ / intervalAccum_ : 0.0;
+    busyAccum_ = 0.0;
+    intervalAccum_ = 0.0;
+    framesInWindow_ = 0;
+    decisions_++;
+
+    if (utilisation > cfg_.targetUtilisation + cfg_.hysteresis) {
+        scale_ = clamp(scale_ * cfg_.stepUp, cfg_.minScale,
+                       cfg_.maxScale);
+    } else if (utilisation <
+               cfg_.targetUtilisation - cfg_.hysteresis) {
+        scale_ = clamp(scale_ * cfg_.stepDown, cfg_.minScale,
+                       cfg_.maxScale);
+    }
+    return scale_;
+}
+
+}  // namespace qvr::power

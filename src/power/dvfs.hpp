@@ -1,0 +1,76 @@
+/**
+ * @file
+ * GPU DVFS governor.
+ *
+ * The paper's sensitivity study (Table 4 / Fig. 15) sweeps *static*
+ * GPU frequencies and notes that "reducing GPU frequency will not
+ * always increase the energy benefit".  The natural follow-on —
+ * implemented here as an extension — is to close that loop: a
+ * utilisation-guided governor that lowers the clock while Q-VR's
+ * balanced pipeline leaves GPU headroom and raises it the moment the
+ * local branch becomes critical.  It composes with LIWC: the
+ * controller's measured-GPU-rate term adapts to whatever frequency
+ * the governor picks.
+ */
+
+#ifndef QVR_POWER_DVFS_HPP
+#define QVR_POWER_DVFS_HPP
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace qvr::power
+{
+
+/** Governor tunables. */
+struct DvfsConfig
+{
+    double minScale = 0.5;          ///< floor (e.g. 250 MHz)
+    double maxScale = 1.0;          ///< nominal clock
+    /** Keep busy/interval near this; below it, clock down. */
+    double targetUtilisation = 0.80;
+    /** Hysteresis band around the target. */
+    double hysteresis = 0.10;
+    /** Multiplicative step per decision. */
+    double stepUp = 1.15;
+    double stepDown = 0.94;
+    /** Frames per decision window. */
+    std::size_t window = 6;
+    /**
+     * Utilisation denominator floor.  A VR pipeline that renders
+     * faster than the display needs is wasting energy, so busy time
+     * is judged against max(actual interval, this floor) — by
+     * default the 90 Hz frame budget.
+     */
+    Seconds referenceFloor = vr_requirements::kFrameBudget;
+};
+
+/**
+ * Windowed utilisation governor.  Feed per-frame GPU busy time and
+ * frame interval; read back the frequency scale to apply.
+ */
+class DvfsGovernor
+{
+  public:
+    explicit DvfsGovernor(const DvfsConfig &cfg = DvfsConfig{});
+
+    /** Record one frame; may adjust the scale at window boundaries.
+     *  @return the scale to use for the NEXT frame. */
+    double update(Seconds gpu_busy, Seconds frame_interval);
+
+    double scale() const { return scale_; }
+    std::size_t decisions() const { return decisions_; }
+
+  private:
+    DvfsConfig cfg_;
+    double scale_;
+    double busyAccum_ = 0.0;
+    double intervalAccum_ = 0.0;
+    std::size_t framesInWindow_ = 0;
+    std::size_t decisions_ = 0;
+};
+
+}  // namespace qvr::power
+
+#endif  // QVR_POWER_DVFS_HPP

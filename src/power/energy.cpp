@@ -1,0 +1,82 @@
+#include "power/energy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace qvr::power
+{
+
+RadioProfile
+RadioProfile::forNetwork(const std::string &name)
+{
+    RadioProfile p;
+    if (name == "Wi-Fi") {
+        p.activeReceiveW = 0.8;
+        p.tailW = 0.25;
+        p.tailDuration = 15e-3;
+    } else if (name == "4G LTE") {
+        // LTE radios burn more in RRC_CONNECTED and hold a long tail.
+        p.activeReceiveW = 1.4;
+        p.tailW = 1.0;
+        p.tailDuration = 60e-3;
+    } else if (name == "Early 5G") {
+        p.activeReceiveW = 1.8;
+        p.tailW = 0.8;
+        p.tailDuration = 30e-3;
+    } else {
+        QVR_WARN("unknown network '", name, "', using Wi-Fi profile");
+    }
+    return p;
+}
+
+EnergyModel::EnergyModel(const PowerConfig &cfg) : cfg_(cfg)
+{
+    QVR_REQUIRE(cfg.gpuNominalFreq > 0.0, "zero nominal frequency");
+}
+
+Joules
+EnergyModel::gpuEnergy(Seconds busy_time, Seconds frame_time,
+                       double freq_scale) const
+{
+    QVR_REQUIRE(freq_scale > 0.0, "non-positive frequency scale");
+    // Voltage tracks frequency on mobile rails: P_dyn ~ f V^2 ~ f^3,
+    // P_static ~ V ~ f.
+    const double dyn =
+        cfg_.gpuDynamicMaxW * freq_scale * freq_scale * freq_scale;
+    const double stat = cfg_.gpuStaticW * freq_scale;
+    return dyn * busy_time + stat * frame_time;
+}
+
+Joules
+EnergyModel::radioEnergy(Seconds active_time, Seconds frame_time) const
+{
+    if (active_time <= 0.0)
+        return 0.0;
+    const Seconds tail =
+        std::min(cfg_.radio.tailDuration,
+                 std::max(0.0, frame_time - active_time));
+    return cfg_.radio.activeReceiveW * active_time +
+           cfg_.radio.tailW * tail;
+}
+
+Joules
+EnergyModel::vpuEnergy(Seconds decode_time) const
+{
+    return cfg_.vpuDecodeW * decode_time;
+}
+
+Joules
+EnergyModel::acceleratorEnergy(Seconds frame_time, bool liwc_enabled,
+                               bool uca_enabled) const
+{
+    Joules e = 0.0;
+    if (liwc_enabled)
+        e += cfg_.liwcW * frame_time;
+    if (uca_enabled)
+        e += cfg_.ucaW * cfg_.ucaInstances * frame_time;
+    return e;
+}
+
+}  // namespace qvr::power

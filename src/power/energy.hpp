@@ -1,0 +1,96 @@
+/**
+ * @file
+ * SoC + radio energy model for Figure 15's energy-efficiency study.
+ *
+ * GPU dynamic power scales cubically with frequency (voltage tracks
+ * frequency on mobile rails), static power linearly with voltage;
+ * radio power follows the LTE/Wi-Fi measurement literature the paper
+ * cites ([23] Huang et al., [25] Jin et al.): an active receive power
+ * plus a tail after each burst.  LIWC (25 mW) and UCA (94 mW) use the
+ * paper's McPAT figures (Section 4.3).
+ */
+
+#ifndef QVR_POWER_ENERGY_HPP
+#define QVR_POWER_ENERGY_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace qvr::power
+{
+
+/** Joules, plain double but named for clarity. */
+using Joules = double;
+
+/** Radio power profile for one network type. */
+struct RadioProfile
+{
+    double activeReceiveW = 0.8;
+    double tailW = 0.3;
+    Seconds tailDuration = 20e-3;
+
+    static RadioProfile forNetwork(const std::string &name);
+};
+
+/** Power-model calibration. */
+struct PowerConfig
+{
+    double gpuStaticW = 0.5;       ///< leakage at nominal voltage
+    double gpuDynamicMaxW = 3.5;   ///< busy at nominal f, full util
+    Hertz gpuNominalFreq = fromMHz(500.0);
+    double vpuDecodeW = 0.30;      ///< video decode unit when active
+    double liwcW = 0.025;          ///< paper Section 4.3 (McPAT)
+    double ucaW = 0.094;           ///< per UCA instance, 500 MHz
+    std::uint32_t ucaInstances = 2;
+    RadioProfile radio;
+};
+
+/** Energy breakdown of one rendered frame. */
+struct FrameEnergy
+{
+    Joules gpu = 0.0;
+    Joules radio = 0.0;
+    Joules vpu = 0.0;
+    Joules accelerators = 0.0;  ///< LIWC + UCA
+    Joules
+    total() const
+    {
+        return gpu + radio + vpu + accelerators;
+    }
+};
+
+/** Analytic energy model. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const PowerConfig &cfg = PowerConfig{});
+
+    const PowerConfig &config() const { return cfg_; }
+
+    /**
+     * GPU energy for a frame interval of @p frame_time where the GPU
+     * was busy for @p busy_time at @p freq_scale of nominal clock.
+     */
+    Joules gpuEnergy(Seconds busy_time, Seconds frame_time,
+                     double freq_scale) const;
+
+    /** Radio energy: active receive for @p active_time, tail capped
+     *  by the remaining frame interval. */
+    Joules radioEnergy(Seconds active_time, Seconds frame_time) const;
+
+    /** VPU decode energy. */
+    Joules vpuEnergy(Seconds decode_time) const;
+
+    /** LIWC + UCA energy over one frame (they idle-gate outside
+     *  their active windows; active fractions are tiny but counted). */
+    Joules acceleratorEnergy(Seconds frame_time, bool liwc_enabled,
+                             bool uca_enabled) const;
+
+  private:
+    PowerConfig cfg_;
+};
+
+}  // namespace qvr::power
+
+#endif  // QVR_POWER_ENERGY_HPP

@@ -1,0 +1,41 @@
+#include "remote/server.hpp"
+
+#include "common/log.hpp"
+
+namespace qvr::remote
+{
+
+RemoteServer::RemoteServer(const ServerConfig &cfg)
+    : cfg_(cfg), chipletModel_(cfg.chiplet)
+{
+    QVR_REQUIRE(cfg.chiplets > 0, "server needs at least one chiplet");
+    QVR_REQUIRE(cfg.loadImbalance >= 1.0, "imbalance factor < 1");
+}
+
+Seconds
+RemoteServer::renderSeconds(const gpu::RenderJob &job) const
+{
+    // Screen-space split: each chiplet gets 1/n of the pixels and
+    // (because triangles straddle tile boundaries) slightly more than
+    // 1/n of the triangles; the imbalance factor covers both effects.
+    const double n = static_cast<double>(cfg_.chiplets);
+    gpu::RenderJob share = job;
+    share.triangles = static_cast<std::uint64_t>(
+        static_cast<double>(job.triangles) / n * cfg_.loadImbalance);
+    share.shadedPixels = job.shadedPixels / n * cfg_.loadImbalance;
+    // The command stream is broadcast, not split.
+    share.batches = job.batches;
+
+    return chipletModel_.renderSeconds(share) + cfg_.syncOverhead;
+}
+
+double
+RemoteServer::triangleThroughput(double shading_cost,
+                                 double pixels_per_tri) const
+{
+    return chipletModel_.triangleThroughput(shading_cost,
+                                            pixels_per_tri) *
+           static_cast<double>(cfg_.chiplets) / cfg_.loadImbalance;
+}
+
+}  // namespace qvr::remote

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Remote rendering server model: a chiplet-based multi-GPU (MCM)
+ * system in the style the paper references (OO-VR, ISCA'19) — up to
+ * 8 GPU modules doing screen-space parallel rendering with NUMA-aware
+ * distribution.  Q-VR's server renders the periphery layers; the
+ * remote-only baseline renders whole frames here.
+ */
+
+#ifndef QVR_REMOTE_SERVER_HPP
+#define QVR_REMOTE_SERVER_HPP
+
+#include "common/types.hpp"
+#include "gpu/timing.hpp"
+
+namespace qvr::remote
+{
+
+/** Multi-chiplet server configuration (Table 2 "Remote GPU"). */
+struct ServerConfig
+{
+    std::uint32_t chiplets = 8;
+    /** Each chiplet is a desktop-class module: wider and faster than
+     *  the mobile part. */
+    gpu::GpuConfig chiplet = desktopChiplet();
+    /** Screen-space load imbalance: slowest chiplet carries this
+     *  multiple of the mean share. */
+    double loadImbalance = 1.10;
+    /** Inter-chiplet synchronisation/NUMA overhead per frame. */
+    Seconds syncOverhead = 150e-6;
+
+    static gpu::GpuConfig
+    desktopChiplet()
+    {
+        gpu::GpuConfig c;
+        c.coreFrequency = fromMHz(1000.0);
+        c.numCores = 16;
+        c.simd4PerCore = 8;
+        c.l2KiB = 1024;
+        c.l2BytesPerCycle = 64;
+        return c;
+    }
+};
+
+/**
+ * Render-time model for the server.  Work is split across chiplets in
+ * screen space; the frame completes when the most-loaded chiplet
+ * finishes.
+ */
+class RemoteServer
+{
+  public:
+    explicit RemoteServer(const ServerConfig &cfg = ServerConfig{});
+
+    const ServerConfig &config() const { return cfg_; }
+
+    /** Wall-clock time to render @p job across the chiplets. */
+    Seconds renderSeconds(const gpu::RenderJob &job) const;
+
+    /** Aggregate triangle throughput (for capacity sanity checks). */
+    double triangleThroughput(double shading_cost,
+                              double pixels_per_tri) const;
+
+  private:
+    ServerConfig cfg_;
+    gpu::MobileGpuModel chipletModel_;
+};
+
+}  // namespace qvr::remote
+
+#endif  // QVR_REMOTE_SERVER_HPP

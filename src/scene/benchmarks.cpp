@@ -1,0 +1,198 @@
+#include "scene/benchmarks.hpp"
+
+#include "common/log.hpp"
+
+namespace qvr::scene
+{
+
+namespace
+{
+
+std::vector<BenchmarkInfo>
+makeTable3()
+{
+    // Triangle counts and shading costs are the synthetic-workload
+    // calibration: they order the benchmarks by scene complexity the
+    // way the paper's Table 4 eccentricities imply (GRID heaviest,
+    // then Wolf, HL2-H/UT3, HL2-L, Doom3-H, Doom3-L lightest).
+    std::vector<BenchmarkInfo> v;
+
+    BenchmarkInfo d3h;
+    d3h.name = "Doom3-H";
+    d3h.api = GraphicsApi::OpenGL;
+    d3h.width = 1920;
+    d3h.height = 2160;
+    d3h.numBatches = 382;
+    d3h.meanTriangles = 400'000;
+    d3h.shadingCost = 1.0;
+    d3h.complexityVariation = 0.35;
+    d3h.interactiveObjects = "weapon + enemies";
+    v.push_back(d3h);
+
+    BenchmarkInfo d3l = d3h;
+    d3l.name = "Doom3-L";
+    d3l.width = 1280;
+    d3l.height = 1600;
+    v.push_back(d3l);
+
+    BenchmarkInfo h2h;
+    h2h.name = "HL2-H";
+    h2h.api = GraphicsApi::Direct3D;
+    h2h.width = 1920;
+    h2h.height = 2160;
+    h2h.numBatches = 656;
+    h2h.meanTriangles = 900'000;
+    h2h.shadingCost = 1.1;
+    h2h.complexityVariation = 0.35;
+    h2h.interactiveObjects = "gravity-gun props";
+    v.push_back(h2h);
+
+    BenchmarkInfo h2l = h2h;
+    h2l.name = "HL2-L";
+    h2l.width = 1280;
+    h2l.height = 1600;
+    v.push_back(h2l);
+
+    BenchmarkInfo grid;
+    grid.name = "GRID";
+    grid.api = GraphicsApi::Direct3D;
+    grid.numBatches = 3680;
+    grid.meanTriangles = 3'800'000;
+    grid.shadingCost = 1.45;
+    grid.complexityVariation = 0.40;
+    grid.interactiveObjects = "player car";
+    v.push_back(grid);
+
+    BenchmarkInfo ut3;
+    ut3.name = "UT3";
+    ut3.api = GraphicsApi::Direct3D;
+    ut3.numBatches = 1752;
+    ut3.meanTriangles = 1'100'000;
+    ut3.shadingCost = 1.2;
+    ut3.complexityVariation = 0.40;
+    ut3.interactiveObjects = "weapons + players";
+    v.push_back(ut3);
+
+    BenchmarkInfo wolf;
+    wolf.name = "Wolf";
+    wolf.api = GraphicsApi::Direct3D;
+    wolf.numBatches = 3394;
+    wolf.meanTriangles = 1'800'000;
+    wolf.shadingCost = 1.25;
+    wolf.complexityVariation = 0.35;
+    wolf.interactiveObjects = "weapons + enemies";
+    v.push_back(wolf);
+
+    return v;
+}
+
+std::vector<BenchmarkInfo>
+makeTable1()
+{
+    std::vector<BenchmarkInfo> v;
+
+    // Published reference values copied verbatim from Table 1.
+    BenchmarkInfo fov3d;
+    fov3d.name = "Foveated3D";
+    fov3d.api = GraphicsApi::Direct3D;
+    fov3d.numBatches = 120;
+    fov3d.meanTriangles = 231'000;
+    fov3d.shadingCost = 3.2;  // photorealistic shading on few triangles
+    fov3d.complexityVariation = 0.45;
+    fov3d.interactiveBase = 0.30;
+    fov3d.interactiveBoost = 1.7;
+    fov3d.interactiveObjects = "9 Chess";
+    fov3d.table1 = Table1Reference{0.16, 0.52, 43.0, 18.0, 75.0,
+                                   fromKiB(646), 38.0};
+    v.push_back(fov3d);
+
+    BenchmarkInfo viking;
+    viking.name = "Viking";
+    viking.api = GraphicsApi::Direct3D;
+    viking.numBatches = 900;
+    viking.meanTriangles = 2'800'000;
+    viking.shadingCost = 1.1;
+    viking.complexityVariation = 0.15;
+    viking.interactiveBase = 0.115;
+    viking.interactiveBoost = 1.12;
+    viking.interactiveObjects = "1 Carriage";
+    viking.table1 = Table1Reference{0.10, 0.13, 13.0, 12.0, 16.0,
+                                    fromKiB(530), 31.0};
+    v.push_back(viking);
+
+    BenchmarkInfo nature;
+    nature.name = "Nature";
+    nature.api = GraphicsApi::Direct3D;
+    nature.numBatches = 600;
+    nature.meanTriangles = 1'400'000;
+    nature.shadingCost = 1.3;
+    nature.complexityVariation = 0.30;
+    nature.interactiveBase = 0.15;
+    nature.interactiveBoost = 1.55;
+    nature.interactiveObjects = "1 Tree";
+    nature.table1 = Table1Reference{0.10, 0.24, 16.0, 12.0, 26.0,
+                                    fromKiB(482), 28.0};
+    v.push_back(nature);
+
+    BenchmarkInfo sponza;
+    sponza.name = "Sponza";
+    sponza.api = GraphicsApi::Direct3D;
+    sponza.numBatches = 250;
+    sponza.meanTriangles = 282'000;
+    sponza.shadingCost = 1.6;
+    sponza.complexityVariation = 0.40;
+    sponza.interactiveBase = 0.07;
+    sponza.interactiveBoost = 2.6;
+    sponza.interactiveObjects = "Lion Shield";
+    sponza.table1 = Table1Reference{0.001, 0.20, 5.8, 0.5, 12.0,
+                                    fromKiB(537), 31.0};
+    v.push_back(sponza);
+
+    BenchmarkInfo miguel;
+    miguel.name = "San Miguel";
+    miguel.api = GraphicsApi::Direct3D;
+    miguel.numBatches = 1400;
+    miguel.meanTriangles = 4'200'000;
+    miguel.shadingCost = 1.0;
+    miguel.complexityVariation = 0.25;
+    miguel.interactiveBase = 0.10;
+    miguel.interactiveBoost = 1.4;
+    miguel.interactiveObjects = "4 Chairs, 1 Table";
+    miguel.table1 = Table1Reference{0.06, 0.15, 11.0, 5.4, 14.0,
+                                    fromKiB(572), 33.0};
+    v.push_back(miguel);
+
+    return v;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkInfo> &
+table3Benchmarks()
+{
+    static const std::vector<BenchmarkInfo> v = makeTable3();
+    return v;
+}
+
+const std::vector<BenchmarkInfo> &
+table1Apps()
+{
+    static const std::vector<BenchmarkInfo> v = makeTable1();
+    return v;
+}
+
+const BenchmarkInfo &
+findBenchmark(const std::string &name)
+{
+    for (const auto &b : table3Benchmarks()) {
+        if (b.name == name)
+            return b;
+    }
+    for (const auto &b : table1Apps()) {
+        if (b.name == name)
+            return b;
+    }
+    QVR_FATAL("unknown benchmark: ", name);
+}
+
+}  // namespace qvr::scene

@@ -1,0 +1,174 @@
+#include "scene/scene_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/geometry.hpp"
+#include "common/log.hpp"
+
+namespace qvr::scene
+{
+
+ComplexityField::ComplexityField(double base_frequency, std::uint64_t seed)
+{
+    Rng rng(seed);
+    constexpr int kHarmonics = 8;
+    double weight_sum = 0.0;
+    for (int k = 0; k < kHarmonics; k++) {
+        Harmonic h;
+        const double freq =
+            base_frequency * rng.uniform(0.5, 2.0);
+        const double theta = rng.uniform(0.0, 2.0 * kPi);
+        h.fx = freq * std::cos(theta);
+        h.fy = freq * std::sin(theta);
+        h.phase = rng.uniform(0.0, 2.0 * kPi);
+        h.weight = rng.uniform(0.5, 1.0);
+        weight_sum += h.weight;
+        harmonics_.push_back(h);
+    }
+    // Normalise so typical excursions stay within ~[-1, 1]:
+    // independent sinusoids add in quadrature.
+    norm_ = weight_sum / std::sqrt(static_cast<double>(kHarmonics));
+}
+
+double
+ComplexityField::sample(double yaw_deg, double pitch_deg) const
+{
+    double v = 0.0;
+    for (const auto &h : harmonics_) {
+        v += h.weight *
+             std::sin(2.0 * kPi *
+                          (h.fx * yaw_deg + h.fy * pitch_deg) +
+                      h.phase);
+    }
+    return v / norm_;
+}
+
+SceneModel::SceneModel(const BenchmarkInfo &info, std::uint64_t seed)
+    : info_(info),
+      densityField_(info.complexityFrequency, seed * 2654435761u + 1),
+      interactiveField_(info.complexityFrequency * 1.7,
+                        seed * 2654435761u + 2),
+      batchRng_(seed, 0x5851f42d4c957f2dULL),
+      seed_(seed)
+{
+    QVR_REQUIRE(info.meanTriangles > 0, "benchmark without triangles");
+    QVR_REQUIRE(info.numBatches > 0, "benchmark without batches");
+}
+
+double
+SceneModel::complexityMultiplier(double yaw_deg, double pitch_deg) const
+{
+    const double field = densityField_.sample(yaw_deg, pitch_deg);
+    const double v = 1.0 + info_.complexityVariation * field;
+    return std::max(0.2, v);
+}
+
+double
+SceneModel::interactiveFractionAt(double yaw_deg, double pitch_deg,
+                                  bool interacting) const
+{
+    const double field =
+        interactiveField_.sample(yaw_deg, pitch_deg);  // [-1, 1]
+    double f = info_.interactiveBase * (1.0 + 0.5 * field);
+    if (interacting)
+        f *= info_.interactiveBoost;
+    return clamp(f, 0.001, 0.9);
+}
+
+FrameWorkload
+SceneModel::frame(FrameIndex index, const motion::MotionSample &seen,
+                  const motion::MotionSample &truth,
+                  const motion::MotionDelta &delta) const
+{
+    FrameWorkload w;
+    w.index = index;
+    w.motionSeen = seen;
+    w.motionDelta = delta;
+
+    // Scene content depends on where the user is *actually* looking;
+    // gaze shifts the effective sampling point because the content in
+    // the attended region dominates the fine-geometry budget (LoD).
+    const double yaw = truth.head.orientation.x + truth.gaze.x * 0.5;
+    const double pitch = truth.head.orientation.y + truth.gaze.y * 0.5;
+
+    const double mult = complexityMultiplier(yaw, pitch);
+    const auto total = static_cast<std::uint64_t>(
+        static_cast<double>(info_.meanTriangles) * mult);
+    const double f =
+        interactiveFractionAt(yaw, pitch, truth.interacting);
+
+    // Deterministic per-frame batch shaping: reseed from (seed,frame)
+    // so a frame's batch list never depends on generation order.
+    Rng rng(seed_ ^ (index * 0x9e3779b97f4a7c15ULL), seed_ + 11);
+
+    const auto interactive_tris =
+        static_cast<std::uint64_t>(static_cast<double>(total) * f);
+    const std::uint64_t background_tris = total - interactive_tris;
+
+    // A handful of interactive batches, the rest background.  Batch
+    // sizes follow a power-ish law: a few dominate, many are small.
+    const std::uint32_t n_interactive = std::max<std::uint32_t>(
+        1, info_.numBatches / 50);
+    const std::uint32_t n_background =
+        std::max<std::uint32_t>(1, info_.numBatches - n_interactive);
+
+    auto spread = [&rng](std::uint64_t tris, std::uint32_t n,
+                         std::vector<double> &out) {
+        out.resize(n);
+        double sum = 0.0;
+        for (std::uint32_t i = 0; i < n; i++) {
+            // Pareto-like: weight = u^-0.7 (bounded).
+            const double u = std::max(1e-3, rng.uniform());
+            out[i] = std::pow(u, -0.7);
+            sum += out[i];
+        }
+        for (auto &x : out)
+            x = x / sum * static_cast<double>(tris);
+    };
+
+    std::vector<double> shares;
+    std::uint32_t next_id = 0;
+
+    spread(interactive_tris, n_interactive, shares);
+    for (double s : shares) {
+        DrawBatch b;
+        b.id = next_id++;
+        b.triangles = static_cast<std::uint64_t>(s);
+        b.interactive = true;
+        // Interactive objects sit close to the viewer.
+        b.depth = rng.uniform(0.05, 0.35);
+        b.screenCoverage = rng.uniform(0.01, 0.25);
+        w.batches.push_back(b);
+    }
+
+    spread(background_tris, n_background, shares);
+    for (double s : shares) {
+        DrawBatch b;
+        b.id = next_id++;
+        b.triangles = static_cast<std::uint64_t>(s);
+        b.interactive = false;
+        b.depth = rng.uniform(0.4, 1.0);
+        b.screenCoverage = rng.uniform(0.002, 0.08);
+        w.batches.push_back(b);
+    }
+
+    return w;
+}
+
+std::vector<FrameWorkload>
+generateWorkloads(const BenchmarkInfo &info,
+                  const motion::MotionTrace &trace, std::uint64_t seed)
+{
+    SceneModel model(info, seed);
+    std::vector<FrameWorkload> frames;
+    frames.reserve(trace.size());
+    for (std::size_t i = 0; i < trace.size(); i++) {
+        frames.push_back(model.frame(i, trace.samples[i],
+                                     trace.groundTruth[i],
+                                     trace.deltaAt(i)));
+    }
+    return frames;
+}
+
+}  // namespace qvr::scene

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Motion-correlated synthetic scene model.
+ *
+ * LIWC's first key insight (Section 4.1) is that scene-complexity
+ * change across frames is strongly correlated with head and eye
+ * motion: as the view direction sweeps the environment, the triangle
+ * load entering the pipeline changes smoothly.  We model the
+ * environment as a smooth pseudo-random "complexity field" over view
+ * direction (a fixed sum of random-phase harmonics, deterministic per
+ * seed), so identical motion always meets identical complexity — the
+ * property LIWC's motion-indexed table learns to exploit.
+ */
+
+#ifndef QVR_SCENE_SCENE_MODEL_HPP
+#define QVR_SCENE_SCENE_MODEL_HPP
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "motion/trace.hpp"
+#include "scene/benchmarks.hpp"
+#include "scene/workload.hpp"
+
+namespace qvr::scene
+{
+
+/**
+ * Deterministic smooth scalar field over (yaw, pitch) degrees,
+ * normalised to approximately [-1, 1].
+ */
+class ComplexityField
+{
+  public:
+    ComplexityField(double base_frequency, std::uint64_t seed);
+
+    /** Sample the field at a view direction (degrees). */
+    double sample(double yaw_deg, double pitch_deg) const;
+
+  private:
+    struct Harmonic
+    {
+        double fx;      ///< cycles per degree along x
+        double fy;      ///< cycles per degree along y
+        double phase;
+        double weight;
+    };
+
+    std::vector<Harmonic> harmonics_;
+    double norm_ = 1.0;
+};
+
+/**
+ * Generates per-frame workloads for one benchmark along a motion
+ * trace.
+ */
+class SceneModel
+{
+  public:
+    SceneModel(const BenchmarkInfo &info, std::uint64_t seed);
+
+    const BenchmarkInfo &info() const { return info_; }
+
+    /**
+     * Workload for frame @p index given the motion the pipeline saw.
+     * Complexity depends on ground-truth view direction; the pipeline
+     * only observes it indirectly (triangle counts at render setup),
+     * exactly like real hardware.
+     */
+    FrameWorkload frame(FrameIndex index,
+                        const motion::MotionSample &seen,
+                        const motion::MotionSample &truth,
+                        const motion::MotionDelta &delta) const;
+
+    /** Instantaneous total-triangle multiplier at a view direction. */
+    double complexityMultiplier(double yaw_deg, double pitch_deg) const;
+
+    /** Instantaneous interactive fraction f at a view direction. */
+    double interactiveFractionAt(double yaw_deg, double pitch_deg,
+                                 bool interacting) const;
+
+  private:
+    BenchmarkInfo info_;
+    ComplexityField densityField_;
+    ComplexityField interactiveField_;
+    mutable Rng batchRng_;  ///< per-frame batch shaping (reseeded)
+    std::uint64_t seed_;
+};
+
+/** Generate the whole workload stream for @p trace. */
+std::vector<FrameWorkload>
+generateWorkloads(const BenchmarkInfo &info,
+                  const motion::MotionTrace &trace,
+                  std::uint64_t seed = 7);
+
+}  // namespace qvr::scene
+
+#endif  // QVR_SCENE_SCENE_MODEL_HPP

@@ -1,0 +1,123 @@
+#include "scene/trace_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace qvr::scene
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "qvr-trace v1";
+
+}  // namespace
+
+void
+writeTrace(std::ostream &os, const std::vector<FrameWorkload> &frames)
+{
+    os << kMagic << '\n';
+    os << "# frames: " << frames.size() << '\n';
+    os << std::setprecision(17);
+    for (const auto &f : frames) {
+        const auto &m = f.motionSeen;
+        os << "frame " << f.index << ' ' << m.timestamp << ' '
+           << m.head.orientation.x << ' ' << m.head.orientation.y
+           << ' ' << m.head.orientation.z << ' ' << m.head.position.x
+           << ' ' << m.head.position.y << ' ' << m.head.position.z
+           << ' ' << m.gaze.x << ' ' << m.gaze.y << ' '
+           << (m.interacting ? 1 : 0) << '\n';
+        for (const auto &b : f.batches) {
+            os << "batch " << b.id << ' ' << b.triangles << ' '
+               << b.depth << ' ' << b.screenCoverage << ' '
+               << (b.interactive ? 1 : 0) << '\n';
+        }
+    }
+}
+
+std::vector<FrameWorkload>
+readTrace(std::istream &is)
+{
+    std::vector<FrameWorkload> frames;
+    std::string line;
+    std::size_t line_no = 0;
+
+    auto bad = [&line_no](const std::string &why) {
+        QVR_FATAL("trace parse error at line ", line_no, ": ", why);
+    };
+
+    if (!std::getline(is, line) || line != kMagic)
+        QVR_FATAL("not a qvr trace (missing '", kMagic, "' header)");
+    line_no = 1;
+
+    while (std::getline(is, line)) {
+        line_no++;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string kind;
+        ss >> kind;
+        if (kind == "frame") {
+            FrameWorkload f;
+            auto &m = f.motionSeen;
+            int interacting = 0;
+            ss >> f.index >> m.timestamp >> m.head.orientation.x >>
+                m.head.orientation.y >> m.head.orientation.z >>
+                m.head.position.x >> m.head.position.y >>
+                m.head.position.z >> m.gaze.x >> m.gaze.y >>
+                interacting;
+            if (!ss)
+                bad("malformed frame record");
+            m.interacting = interacting != 0;
+            frames.push_back(std::move(f));
+        } else if (kind == "batch") {
+            if (frames.empty())
+                bad("batch before any frame");
+            DrawBatch b;
+            int interactive = 0;
+            ss >> b.id >> b.triangles >> b.depth >>
+                b.screenCoverage >> interactive;
+            if (!ss)
+                bad("malformed batch record");
+            b.interactive = interactive != 0;
+            frames.back().batches.push_back(b);
+        } else {
+            bad("unknown record kind '" + kind + "'");
+        }
+    }
+
+    // Deltas are derived state: recompute from consecutive samples.
+    for (std::size_t i = 1; i < frames.size(); i++) {
+        frames[i].motionDelta = motion::deltaBetween(
+            frames[i - 1].motionSeen, frames[i].motionSeen);
+    }
+    return frames;
+}
+
+void
+saveTrace(const std::string &path,
+          const std::vector<FrameWorkload> &frames)
+{
+    std::ofstream os(path);
+    if (!os)
+        QVR_FATAL("cannot open '", path, "' for writing");
+    writeTrace(os, frames);
+    if (!os)
+        QVR_FATAL("write failed for '", path, "'");
+}
+
+std::vector<FrameWorkload>
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        QVR_FATAL("cannot open '", path, "' for reading");
+    return readTrace(is);
+}
+
+}  // namespace qvr::scene

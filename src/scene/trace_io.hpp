@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Workload-trace serialisation.
+ *
+ * The paper drives ATTILA-sim with recorded graphics-API traces; the
+ * equivalent artefact here is a frame-workload trace: per frame, the
+ * motion sample the pipeline saw plus every draw batch.  This module
+ * reads/writes those traces in a line-oriented text format, so
+ * experiments can be recorded once and replayed bit-exactly (or
+ * produced by external tools and fed to the simulator).
+ *
+ * Format (one record per line, '#' comments ignored):
+ *   qvr-trace v1
+ *   frame <index> <timestamp> <yaw> <pitch> <roll> <px> <py> <pz>
+ *         <gx> <gy> <interacting>
+ *   batch <id> <triangles> <depth> <coverage> <interactive>
+ *   ...
+ */
+
+#ifndef QVR_SCENE_TRACE_IO_HPP
+#define QVR_SCENE_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scene/workload.hpp"
+
+namespace qvr::scene
+{
+
+/** Serialise @p frames to @p os.  @return bytes-ish lines written. */
+void writeTrace(std::ostream &os,
+                const std::vector<FrameWorkload> &frames);
+
+/**
+ * Parse a trace from @p is.  Fatal (user error) on malformed input,
+ * with a line number in the message.
+ */
+std::vector<FrameWorkload> readTrace(std::istream &is);
+
+/** File convenience wrappers (fatal on I/O failure). */
+void saveTrace(const std::string &path,
+               const std::vector<FrameWorkload> &frames);
+std::vector<FrameWorkload> loadTrace(const std::string &path);
+
+}  // namespace qvr::scene
+
+#endif  // QVR_SCENE_TRACE_IO_HPP

@@ -1,0 +1,36 @@
+#include "scene/workload.hpp"
+
+namespace qvr::scene
+{
+
+std::uint64_t
+FrameWorkload::totalTriangles() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &b : batches)
+        sum += b.triangles;
+    return sum;
+}
+
+std::uint64_t
+FrameWorkload::interactiveTriangles() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &b : batches) {
+        if (b.interactive)
+            sum += b.triangles;
+    }
+    return sum;
+}
+
+double
+FrameWorkload::interactiveFraction() const
+{
+    const std::uint64_t total = totalTriangles();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(interactiveTriangles()) /
+           static_cast<double>(total);
+}
+
+}  // namespace qvr::scene

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Rendering-workload value types: draw batches and per-frame
+ * workloads.  These are the simulator's stand-in for graphics API
+ * traces — everything the timing models consume is batch/triangle/
+ * depth/coverage statistics, which is exactly what the paper's
+ * evaluation extracts from its ATTILA traces.
+ */
+
+#ifndef QVR_SCENE_WORKLOAD_HPP
+#define QVR_SCENE_WORKLOAD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "motion/pose.hpp"
+
+namespace qvr::scene
+{
+
+/** One draw call as seen by the command processor. */
+struct DrawBatch
+{
+    std::uint32_t id = 0;
+    std::uint64_t triangles = 0;
+    double depth = 1.0;          ///< normalised view depth in (0, 1]
+    double screenCoverage = 0.0; ///< fraction of frame pixels touched
+    bool interactive = false;    ///< foreground interactive object
+};
+
+/** The full rendering workload of one frame (one eye; the pipeline
+ *  models double it for stereo). */
+struct FrameWorkload
+{
+    FrameIndex index = 0;
+    std::vector<DrawBatch> batches;
+    motion::MotionSample motionSeen;   ///< sensor data at frame start
+    motion::MotionDelta motionDelta;   ///< vs. previous frame
+
+    /** Total triangles across batches. */
+    std::uint64_t totalTriangles() const;
+
+    /** Triangles in interactive batches. */
+    std::uint64_t interactiveTriangles() const;
+
+    /**
+     * Workload-partition parameter f of Table 1: fraction of the
+     * frame rendering cost attributable to interactive objects
+     * (triangle-weighted, the first-order cost driver).
+     */
+    double interactiveFraction() const;
+};
+
+}  // namespace qvr::scene
+
+#endif  // QVR_SCENE_WORKLOAD_HPP

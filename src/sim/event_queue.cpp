@@ -1,0 +1,91 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace qvr::sim
+{
+
+EventId
+EventQueue::schedule(Seconds when, std::function<void()> fn, Priority prio)
+{
+    QVR_REQUIRE(when >= now_, "scheduling into the past: ", when,
+                " < ", now_);
+    QVR_REQUIRE(static_cast<bool>(fn), "scheduling empty callback");
+    const EventId id = nextId_++;
+    heap_.push(Record{when, prio, id, std::move(fn)});
+    size_++;
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(Seconds delay, std::function<void()> fn,
+                          Priority prio)
+{
+    QVR_REQUIRE(delay >= 0.0, "negative delay: ", delay);
+    return schedule(now_ + delay, std::move(fn), prio);
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    if (id == 0 || id >= nextId_)
+        return false;
+    if (cancelled(id))
+        return false;
+    cancelled_.push_back(id);
+    if (size_ == 0)
+        return false;
+    size_--;
+    return true;
+}
+
+bool
+EventQueue::cancelled(EventId id) const
+{
+    return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+           cancelled_.end();
+}
+
+void
+EventQueue::popCancelled()
+{
+    while (!heap_.empty() && cancelled(heap_.top().id)) {
+        const EventId id = heap_.top().id;
+        cancelled_.erase(
+            std::find(cancelled_.begin(), cancelled_.end(), id));
+        heap_.pop();
+    }
+}
+
+Seconds
+EventQueue::run()
+{
+    return runUntil(kNoDeadline);
+}
+
+Seconds
+EventQueue::runUntil(Seconds limit)
+{
+    for (;;) {
+        popCancelled();
+        if (heap_.empty())
+            break;
+        if (heap_.top().when > limit) {
+            now_ = limit;
+            return now_;
+        }
+        // Move the record out before dispatch: the callback may
+        // schedule new events and reshape the heap.
+        Record rec = heap_.top();
+        heap_.pop();
+        size_--;
+        now_ = rec.when;
+        dispatched_++;
+        rec.fn();
+    }
+    return now_;
+}
+
+}  // namespace qvr::sim

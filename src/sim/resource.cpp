@@ -1,0 +1,65 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace qvr::sim
+{
+
+Seconds
+BusyResource::serve(Seconds arrival, Seconds service)
+{
+    QVR_REQUIRE(service >= 0.0, "negative service time");
+    const Seconds start = std::max(arrival, nextFree_);
+    nextFree_ = start + service;
+    busy_ += service;
+    return nextFree_;
+}
+
+double
+BusyResource::utilisation(Seconds horizon) const
+{
+    if (horizon <= 0.0)
+        return 0.0;
+    return std::min(1.0, busy_ / horizon);
+}
+
+void
+BusyResource::reset()
+{
+    nextFree_ = 0.0;
+    busy_ = 0.0;
+}
+
+MultiServerResource::MultiServerResource(std::size_t servers)
+    : free_(servers, 0.0)
+{
+    QVR_REQUIRE(servers > 0, "resource needs at least one server");
+}
+
+Seconds
+MultiServerResource::serve(Seconds arrival, Seconds service)
+{
+    QVR_REQUIRE(service >= 0.0, "negative service time");
+    auto it = std::min_element(free_.begin(), free_.end());
+    const Seconds start = std::max(arrival, *it);
+    *it = start + service;
+    busy_ += service;
+    return *it;
+}
+
+Seconds
+MultiServerResource::nextFree() const
+{
+    return *std::min_element(free_.begin(), free_.end());
+}
+
+void
+MultiServerResource::reset()
+{
+    std::fill(free_.begin(), free_.end(), 0.0);
+    busy_ = 0.0;
+}
+
+}  // namespace qvr::sim

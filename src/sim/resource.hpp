@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Analytic busy-resource models.
+ *
+ * Many Q-VR pipeline stages are serially occupied units (the mobile
+ * GPU, a UCA instance, the video decoder, one network stream).  For
+ * these, queueing behaviour reduces to "completion = max(arrival,
+ * next-free) + service"; tracking that directly is faster and clearer
+ * than event callbacks, and composes with the EventQueue when stages
+ * genuinely interleave.
+ */
+
+#ifndef QVR_SIM_RESOURCE_HPP
+#define QVR_SIM_RESOURCE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qvr::sim
+{
+
+/** Single-server FIFO resource with utilisation accounting. */
+class BusyResource
+{
+  public:
+    /**
+     * Serve a request arriving at @p arrival needing @p service
+     * seconds.  @return completion time.
+     */
+    Seconds serve(Seconds arrival, Seconds service);
+
+    /** Earliest time a new request could start. */
+    Seconds nextFree() const { return nextFree_; }
+
+    /** Total busy seconds accumulated so far. */
+    Seconds busyTime() const { return busy_; }
+
+    /** Utilisation over [0, horizon]. */
+    double utilisation(Seconds horizon) const;
+
+    void reset();
+
+  private:
+    Seconds nextFree_ = 0.0;
+    Seconds busy_ = 0.0;
+};
+
+/** k identical servers, least-loaded dispatch (models chiplets,
+ *  parallel decode units or parallel network streams). */
+class MultiServerResource
+{
+  public:
+    explicit MultiServerResource(std::size_t servers);
+
+    /** Serve on the earliest-free server. @return completion time. */
+    Seconds serve(Seconds arrival, Seconds service);
+
+    std::size_t servers() const { return free_.size(); }
+    Seconds busyTime() const { return busy_; }
+
+    /** Earliest time any server is free. */
+    Seconds nextFree() const;
+
+    void reset();
+
+  private:
+    std::vector<Seconds> free_;
+    Seconds busy_ = 0.0;
+};
+
+}  // namespace qvr::sim
+
+#endif  // QVR_SIM_RESOURCE_HPP

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * binary16 conversion: exact values, rounding, subnormals, overflow,
+ * and a property sweep (round-trip error bounded by half ULP).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/fp16.hpp"
+#include "common/rng.hpp"
+
+namespace qvr
+{
+namespace
+{
+
+TEST(Fp16, ExactSmallValues)
+{
+    // Values exactly representable in binary16 round-trip exactly.
+    const float exact[] = {0.0f,  1.0f,   -1.0f,  0.5f,  2.0f,
+                           1.5f,  0.25f,  -0.75f, 1024.0f,
+                           0.125f, 65504.0f /* max half */};
+    for (float v : exact)
+        EXPECT_EQ(halfBitsToFloat(floatToHalfBits(v)), v) << v;
+}
+
+TEST(Fp16, SignedZero)
+{
+    EXPECT_EQ(floatToHalfBits(0.0f), 0x0000u);
+    EXPECT_EQ(floatToHalfBits(-0.0f), 0x8000u);
+}
+
+TEST(Fp16, OverflowToInfinity)
+{
+    EXPECT_EQ(floatToHalfBits(1e6f), 0x7c00u);
+    EXPECT_EQ(floatToHalfBits(-1e6f), 0xfc00u);
+    EXPECT_TRUE(std::isinf(halfBitsToFloat(0x7c00u)));
+}
+
+TEST(Fp16, NanPreserved)
+{
+    const std::uint16_t bits =
+        floatToHalfBits(std::numeric_limits<float>::quiet_NaN());
+    EXPECT_TRUE(std::isnan(halfBitsToFloat(bits)));
+}
+
+TEST(Fp16, SubnormalRange)
+{
+    // Smallest positive subnormal half = 2^-24.
+    const float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(halfBitsToFloat(floatToHalfBits(tiny)), tiny);
+    // Below half of it underflows to zero.
+    EXPECT_EQ(halfBitsToFloat(floatToHalfBits(tiny / 4.0f)), 0.0f);
+}
+
+TEST(Fp16, RoundTripRelativeErrorBounded)
+{
+    // Property: for normal-range inputs, quantisation error is at
+    // most 2^-11 relative (half ULP of a 10-bit mantissa).
+    Rng rng(3);
+    for (int i = 0; i < 20000; i++) {
+        const double mag = std::pow(10.0, rng.uniform(-4.0, 4.0));
+        const float v = static_cast<float>(
+            (rng.chance(0.5) ? 1.0 : -1.0) * mag);
+        const float back = halfBitsToFloat(floatToHalfBits(v));
+        if (std::abs(v) >= std::ldexp(1.0f, -14)) {  // normal halves
+            EXPECT_LE(std::abs(back - v), std::abs(v) * 0x1.0p-11f)
+                << "v=" << v;
+        }
+    }
+}
+
+TEST(Fp16, RoundToNearestEven)
+{
+    // 1 + 2^-11 sits exactly halfway between 1.0 and the next half;
+    // nearest-even rounds down to 1.0.
+    const float halfway = 1.0f + 0x1.0p-11f;
+    EXPECT_EQ(halfBitsToFloat(floatToHalfBits(halfway)), 1.0f);
+    // 1 + 3 * 2^-11 is halfway between odd and even mantissa; rounds
+    // up to the even one (1 + 2^-9... i.e. mantissa 2).
+    const float halfway_up = 1.0f + 3.0f * 0x1.0p-11f;
+    EXPECT_EQ(halfBitsToFloat(floatToHalfBits(halfway_up)),
+              1.0f + 0x1.0p-9f);
+}
+
+TEST(Fp16, HalfClassQuantisesOnStore)
+{
+    Half h(1.0f / 3.0f);
+    const float q = h;
+    EXPECT_NE(q, 1.0f / 3.0f);  // not representable
+    EXPECT_NEAR(q, 1.0f / 3.0f, 1e-3f);
+    // Storing the quantised value is idempotent.
+    Half h2(q);
+    EXPECT_EQ(h2.bits(), h.bits());
+}
+
+TEST(Fp16, FromBitsRoundTrip)
+{
+    Half h = Half::fromBits(0x3c00);  // 1.0
+    EXPECT_EQ(static_cast<float>(h), 1.0f);
+}
+
+}  // namespace
+}  // namespace qvr

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Vec/Rect helpers and angle conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/geometry.hpp"
+
+namespace qvr
+{
+namespace
+{
+
+TEST(Geometry, DegRadRoundTrip)
+{
+    EXPECT_NEAR(degToRad(180.0), kPi, 1e-12);
+    EXPECT_NEAR(radToDeg(kPi / 2.0), 90.0, 1e-12);
+    EXPECT_NEAR(radToDeg(degToRad(37.5)), 37.5, 1e-12);
+}
+
+TEST(Geometry, Vec2Arithmetic)
+{
+    const Vec2 a{3.0, 4.0};
+    const Vec2 b{1.0, -2.0};
+    EXPECT_EQ((a + b), (Vec2{4.0, 2.0}));
+    EXPECT_EQ((a - b), (Vec2{2.0, 6.0}));
+    EXPECT_EQ((a * 2.0), (Vec2{6.0, 8.0}));
+    EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+}
+
+TEST(Geometry, Vec3Arithmetic)
+{
+    const Vec3 a{1.0, 2.0, 2.0};
+    EXPECT_DOUBLE_EQ(a.norm(), 3.0);
+    Vec3 b = a;
+    b += Vec3{1.0, 1.0, 1.0};
+    EXPECT_EQ(b, (Vec3{2.0, 3.0, 3.0}));
+}
+
+TEST(Geometry, RectBasics)
+{
+    const RectI r{0, 0, 10, 5};
+    EXPECT_EQ(r.width(), 10);
+    EXPECT_EQ(r.height(), 5);
+    EXPECT_EQ(r.area(), 50);
+    EXPECT_FALSE(r.empty());
+    EXPECT_TRUE(r.contains(0, 0));
+    EXPECT_TRUE(r.contains(9, 4));
+    EXPECT_FALSE(r.contains(10, 4));  // half-open
+    EXPECT_FALSE(r.contains(-1, 2));
+}
+
+TEST(Geometry, RectIntersection)
+{
+    const RectI a{0, 0, 10, 10};
+    const RectI b{5, 5, 15, 15};
+    EXPECT_TRUE(a.intersects(b));
+    const RectI c = a.intersect(b);
+    EXPECT_EQ(c, (RectI{5, 5, 10, 10}));
+
+    const RectI d{10, 0, 20, 10};  // touching edge: no overlap
+    EXPECT_FALSE(a.intersects(d));
+    EXPECT_TRUE(a.intersect(d).empty());
+}
+
+TEST(Geometry, Clamp)
+{
+    EXPECT_EQ(clamp(5, 0, 10), 5);
+    EXPECT_EQ(clamp(-5, 0, 10), 0);
+    EXPECT_EQ(clamp(15, 0, 10), 10);
+    EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace qvr

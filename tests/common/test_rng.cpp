@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Rng: determinism, distribution sanity, stream independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace qvr
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123, 7);
+    Rng b(123, 7);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next32(), b.next32());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(123, 7);
+    Rng b(124, 7);
+    int same = 0;
+    for (int i = 0; i < 100; i++) {
+        if (a.next32() == b.next32())
+            same++;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DifferentStreamsDiverge)
+{
+    Rng a(123, 1);
+    Rng b(123, 2);
+    int same = 0;
+    for (int i = 0; i < 100; i++) {
+        if (a.next32() == b.next32())
+            same++;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(42);
+    RunningStat stat;
+    for (int i = 0; i < 20000; i++) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        stat.add(u);
+    }
+    EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+    EXPECT_NEAR(stat.stddev(), 1.0 / std::sqrt(12.0), 0.01);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(42);
+    for (int i = 0; i < 1000; i++) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(42);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; i++) {
+        const auto v = rng.uniformInt(-2, 3);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 6u);  // all 6 values hit
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(7);
+    RunningStat stat;
+    for (int i = 0; i < 50000; i++)
+        stat.add(rng.normal(2.0, 3.0));
+    EXPECT_NEAR(stat.mean(), 2.0, 0.05);
+    EXPECT_NEAR(stat.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(7);
+    RunningStat stat;
+    for (int i = 0; i < 50000; i++)
+        stat.add(rng.exponential(4.0));
+    EXPECT_NEAR(stat.mean(), 0.25, 0.01);
+    EXPECT_GE(stat.min(), 0.0);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; i++) {
+        if (rng.chance(0.3))
+            hits++;
+    }
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(5);
+    Rng child1 = parent.split(1);
+    Rng child2 = parent.split(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++) {
+        if (child1.next32() == child2.next32())
+            same++;
+    }
+    EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace qvr

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Statistics accumulators: Welford correctness, merge, EWMA,
+ * histogram binning, percentiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace qvr
+{
+namespace
+{
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    RunningStat a, b, all;
+    for (int i = 0; i < 50; i++) {
+        const double x = 0.37 * i - 3.0;
+        (i < 20 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Ewma, FirstSamplePrimes)
+{
+    Ewma e(0.5);
+    EXPECT_FALSE(e.primed());
+    e.add(10.0);
+    EXPECT_TRUE(e.primed());
+    EXPECT_DOUBLE_EQ(e.value(), 10.0);
+    e.add(0.0);
+    EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput)
+{
+    Ewma e(0.3);
+    e.add(0.0);
+    for (int i = 0; i < 100; i++)
+        e.add(7.0);
+    EXPECT_NEAR(e.value(), 7.0, 1e-9);
+}
+
+TEST(Histogram, BinningAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);   // underflow
+    h.add(0.0);    // bin 0
+    h.add(0.999);  // bin 0
+    h.add(5.0);    // bin 5
+    h.add(9.999);  // bin 9
+    h.add(10.0);   // overflow (half-open)
+    h.add(42.0);   // overflow
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.total(), 7u);
+    EXPECT_DOUBLE_EQ(h.binLow(5), 5.0);
+}
+
+TEST(SampleSeries, Percentiles)
+{
+    SampleSeries s;
+    for (int i = 100; i >= 1; i--)  // insertion order irrelevant
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSeries, EmptySafe)
+{
+    SampleSeries s;
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace qvr

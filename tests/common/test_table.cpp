@@ -1,0 +1,79 @@
+/**
+ * @file
+ * TextTable rendering: alignment, formatting helpers, CSV quoting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace qvr
+{
+namespace
+{
+
+TEST(TextTable, FormatHelpers)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(3.0, 0), "3");
+    EXPECT_EQ(TextTable::speedup(3.4), "3.40x");
+    EXPECT_EQ(TextTable::percent(0.851), "85.1%");
+}
+
+TEST(TextTable, AlignedOutput)
+{
+    TextTable t("Demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== Demo =="), std::string::npos);
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| longer-name"), std::string::npos);
+    // Every data line has the same width.
+    std::istringstream is(out);
+    std::string line;
+    std::size_t width = 0;
+    std::getline(is, line);  // title
+    while (std::getline(is, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width) << line;
+    }
+}
+
+TEST(TextTable, ShortRowsPadded)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("| 1 |"), std::string::npos);
+}
+
+TEST(TextTable, CsvQuoting)
+{
+    TextTable t;
+    t.setHeader({"name", "note"});
+    t.addRow({"a,b", "say \"hi\""});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable t;
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRow({"x"});
+    t.addRow({"y"});
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+}  // namespace
+}  // namespace qvr

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Functional foveated rendering: fovea fidelity, graceful periphery
+ * degradation, partition-size monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/foveated_render.hpp"
+
+namespace qvr::core
+{
+namespace
+{
+
+PixelPartition
+partition(double fovea_px, double middle_px)
+{
+    PixelPartition p;
+    p.centerX = 128.0;
+    p.centerY = 128.0;
+    p.foveaRadius = fovea_px;
+    p.middleRadius = middle_px;
+    p.blendBand = 12.0;
+    return p;
+}
+
+FoveatedRenderResult
+render(double fovea_px, double s_mid = 2.0, double s_out = 3.0,
+       Vec2 shift = Vec2{})
+{
+    const auto scene = testscene::chessHall(256, 256, 16);
+    return renderFoveated(scene, 256, 256,
+                          partition(fovea_px, fovea_px * 2.0), s_mid,
+                          s_out, shift);
+}
+
+TEST(FoveatedRender, FoveaIsPixelFaithful)
+{
+    const FoveatedRenderResult r = render(48.0);
+    // Inside the fovea disc the composite must match the reference
+    // almost exactly (full-resolution layer, weight 1).
+    EXPECT_GT(r.psnrFovea, 45.0);
+}
+
+TEST(FoveatedRender, PeripheryDegradesButBounded)
+{
+    const FoveatedRenderResult r = render(48.0);
+    EXPECT_LT(r.psnrPeriphery, r.psnrFovea);
+    // Still far from garbage: blurred, not broken.
+    EXPECT_GT(r.psnrPeriphery, 15.0);
+}
+
+TEST(FoveatedRender, BiggerFoveaImprovesOverallQuality)
+{
+    const double small = render(24.0).psnrOverall;
+    const double medium = render(48.0).psnrOverall;
+    const double large = render(96.0).psnrOverall;
+    EXPECT_GT(medium, small);
+    EXPECT_GT(large, medium);
+}
+
+TEST(FoveatedRender, CoarserPeripheryHurtsOverallQuality)
+{
+    const double fine = render(48.0, 1.5, 2.0).psnrOverall;
+    const double coarse = render(48.0, 3.0, 5.0).psnrOverall;
+    EXPECT_GT(fine, coarse);
+}
+
+TEST(FoveatedRender, ReprojectionDoesNotBreakFovea)
+{
+    const FoveatedRenderResult r =
+        render(48.0, 2.0, 3.0, Vec2{2.3, -1.1});
+    EXPECT_GT(r.psnrFovea, 40.0);
+}
+
+TEST(FoveatedRender, WholeScreenFoveaIsExact)
+{
+    // A fovea covering everything means no foveation at all: the
+    // composite equals the reference up to float rounding.
+    const auto scene = testscene::chessHall(128, 128, 8);
+    PixelPartition p;
+    p.centerX = 64.0;
+    p.centerY = 64.0;
+    p.foveaRadius = 400.0;
+    p.middleRadius = 500.0;
+    const FoveatedRenderResult r =
+        renderFoveated(scene, 128, 128, p, 2.0, 3.0);
+    EXPECT_GT(r.psnrOverall, 60.0);
+}
+
+TEST(PsnrInDisc, RegionsPartitionTheError)
+{
+    Image a(64, 64);
+    Image b(64, 64);
+    // Error only outside a central disc.
+    for (std::int32_t y = 0; y < 64; y++) {
+        for (std::int32_t x = 0; x < 64; x++) {
+            const double d =
+                std::hypot(x + 0.5 - 32.0, y + 0.5 - 32.0);
+            if (d > 20.0)
+                b.at(x, y) = Rgb{0.2f, 0.0f, 0.0f};
+        }
+    }
+    EXPECT_TRUE(std::isinf(
+        psnrInDisc(a, b, 32.0, 32.0, 20.0, true)));
+    EXPECT_LT(psnrInDisc(a, b, 32.0, 32.0, 20.0, false), 30.0);
+}
+
+}  // namespace
+}  // namespace qvr::core

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Image: indexing, clamp-to-edge, bilinear sampling, diff metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/framebuffer.hpp"
+
+namespace qvr::core
+{
+namespace
+{
+
+TEST(Image, ConstructAndIndex)
+{
+    Image img(4, 3, Rgb{0.5f, 0.25f, 0.125f});
+    EXPECT_EQ(img.width(), 4);
+    EXPECT_EQ(img.height(), 3);
+    EXPECT_FLOAT_EQ(img.at(3, 2).r, 0.5f);
+    img.at(1, 1) = Rgb{1.0f, 0.0f, 0.0f};
+    EXPECT_FLOAT_EQ(img.at(1, 1).r, 1.0f);
+    EXPECT_FLOAT_EQ(img.at(0, 1).r, 0.5f);
+}
+
+TEST(Image, TexelClampsToEdge)
+{
+    Image img(2, 2);
+    img.at(0, 0) = Rgb{1.0f, 0.0f, 0.0f};
+    img.at(1, 1) = Rgb{0.0f, 1.0f, 0.0f};
+    EXPECT_FLOAT_EQ(img.texel(-5, -5).r, 1.0f);
+    EXPECT_FLOAT_EQ(img.texel(9, 9).g, 1.0f);
+}
+
+TEST(Image, BilinearAtPixelCentreIsExact)
+{
+    Image img(3, 3);
+    img.at(1, 1) = Rgb{0.8f, 0.4f, 0.2f};
+    const Rgb c = img.sampleBilinear(1.5, 1.5);
+    EXPECT_FLOAT_EQ(c.r, 0.8f);
+    EXPECT_FLOAT_EQ(c.g, 0.4f);
+}
+
+TEST(Image, BilinearInterpolatesMidpoints)
+{
+    Image img(2, 1);
+    img.at(0, 0) = Rgb{0.0f, 0.0f, 0.0f};
+    img.at(1, 0) = Rgb{1.0f, 1.0f, 1.0f};
+    const Rgb mid = img.sampleBilinear(1.0, 0.5);
+    EXPECT_FLOAT_EQ(mid.r, 0.5f);
+}
+
+TEST(Image, BilinearReproducesLinearRamp)
+{
+    // Property: bilinear sampling of a linear function is exact.
+    Image img(16, 16);
+    for (int y = 0; y < 16; y++) {
+        for (int x = 0; x < 16; x++) {
+            img.at(x, y) = Rgb{static_cast<float>(x) * 0.05f,
+                               static_cast<float>(y) * 0.03f, 0.0f};
+        }
+    }
+    for (double s = 2.0; s < 13.0; s += 0.37) {
+        const Rgb c = img.sampleBilinear(s + 0.5, 2.0 * s / 3.0 + 0.5);
+        EXPECT_NEAR(c.r, s * 0.05, 1e-5);
+        EXPECT_NEAR(c.g, 2.0 * s / 3.0 * 0.03, 1e-5);
+    }
+}
+
+TEST(Image, DiffMetrics)
+{
+    Image a(2, 2);
+    Image b(2, 2);
+    b.at(1, 1) = Rgb{0.3f, 0.0f, 0.0f};
+    EXPECT_NEAR(a.meanAbsDiff(b), 0.3 / 12.0, 1e-6);
+    EXPECT_NEAR(a.maxAbsDiff(b), 0.3, 1e-6);
+    EXPECT_DOUBLE_EQ(a.meanAbsDiff(a), 0.0);
+}
+
+TEST(ImageDeath, OutOfRangePanics)
+{
+    Image img(2, 2);
+    EXPECT_DEATH(img.at(2, 0), "out of");
+}
+
+}  // namespace
+}  // namespace qvr::core

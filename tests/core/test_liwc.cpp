@@ -1,0 +1,319 @@
+/**
+ * @file
+ * LIWC: motion codec bit layout, Eq.-2 predictor, table storage
+ * (fp16, 64 KB), selection semantics, learning convergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/liwc.hpp"
+
+namespace qvr::core
+{
+namespace
+{
+
+foveation::LayerGeometry
+geo()
+{
+    return foveation::LayerGeometry(foveation::DisplayConfig{},
+                                    foveation::MarModel{});
+}
+
+Liwc
+makeLiwc(const foveation::LayerGeometry &g,
+         double e1 = 5.0, LiwcConfig cfg = LiwcConfig{})
+{
+    // 50 Mtri/s GPU, ~134 Mbit/s effective link, 0.55 bpp.
+    return Liwc(cfg, g, 50e6, 134e6, 0.55, e1);
+}
+
+TEST(MotionCodec, StillMotionIsZero)
+{
+    MotionCodec codec{LiwcConfig{}};
+    EXPECT_EQ(codec.encode(motion::MotionDelta{}), 0u);
+}
+
+TEST(MotionCodec, DofActivityBits)
+{
+    LiwcConfig cfg;
+    MotionCodec codec(cfg);
+    motion::MotionDelta d;
+    d.dOrientation.x = cfg.rotActiveDeg * 2.0;  // yaw active
+    EXPECT_EQ(codec.encode(d) & (1u << 9), 1u << 9);
+    d.dPosition.z = cfg.posActiveM * 2.0;       // z active
+    EXPECT_EQ(codec.encode(d) & (1u << 4), 1u << 4);
+    // Below threshold: bit stays clear.
+    d.dOrientation.y = cfg.rotActiveDeg * 0.5;
+    EXPECT_EQ(codec.encode(d) & (1u << 8), 0u);
+}
+
+TEST(MotionCodec, GazeMagnitudeClasses)
+{
+    LiwcConfig cfg;
+    MotionCodec codec(cfg);
+    motion::MotionDelta d;
+
+    d.dGaze = Vec2{cfg.gazeLargeDeg * 2.0, 0.0};
+    EXPECT_EQ((codec.encode(d) >> 2) & 3u, 3u);
+    d.dGaze = Vec2{cfg.gazeSmallDeg * 2.0, 0.0};
+    EXPECT_EQ((codec.encode(d) >> 2) & 3u, 2u);
+    d.dGaze = Vec2{cfg.gazeSmallDeg * 0.5, 0.0};
+    EXPECT_EQ((codec.encode(d) >> 2) & 3u, 1u);
+    d.dGaze = Vec2{};
+    EXPECT_EQ((codec.encode(d) >> 2) & 3u, 0u);
+}
+
+TEST(MotionCodec, GazeQuadrantBits)
+{
+    MotionCodec codec{LiwcConfig{}};
+    motion::MotionDelta d;
+    d.dGaze = Vec2{-1.0, -1.0};
+    EXPECT_EQ(codec.encode(d) & 3u, 3u);
+    d.dGaze = Vec2{1.0, -1.0};
+    EXPECT_EQ(codec.encode(d) & 3u, 2u);
+    d.dGaze = Vec2{-1.0, 1.0};
+    EXPECT_EQ(codec.encode(d) & 3u, 1u);
+}
+
+TEST(MotionCodec, IndexAlwaysInTenBits)
+{
+    MotionCodec codec{LiwcConfig{}};
+    motion::MotionDelta d;
+    d.dOrientation = Vec3{100.0, 100.0, 100.0};
+    d.dPosition = Vec3{1.0, 1.0, 1.0};
+    d.dGaze = Vec2{-50.0, -50.0};
+    EXPECT_LT(codec.encode(d), MotionCodec::kMotionEntries);
+}
+
+TEST(LatencyPredictor, Eq2Forms)
+{
+    LatencyPredictor p(50e6, 100e6, 0.5);
+    // T_local = tris x fovea% / P.
+    EXPECT_NEAR(p.predictLocal(5'000'000, 0.1), 0.01, 1e-12);
+    // T_remote = pixels x bpp / throughput.
+    EXPECT_NEAR(p.predictRemote(2e6), 2e6 * 0.5 / 100e6, 1e-12);
+}
+
+TEST(LatencyPredictor, RuntimeUpdatesConverge)
+{
+    LatencyPredictor p(50e6, 100e6, 0.5);
+    for (int i = 0; i < 100; i++) {
+        p.observeGpuRate(80e6);
+        p.observeThroughput(60e6);
+        p.observeCompression(0.7);
+    }
+    EXPECT_NEAR(p.gpuRate(), 80e6, 1e3);
+    EXPECT_NEAR(p.throughput(), 60e6, 1.0);
+    EXPECT_NEAR(p.bitsPerPixel(), 0.7, 1e-6);
+}
+
+TEST(Liwc, TableIs64KiloBytesOfFp16)
+{
+    const auto g = geo();
+    const Liwc liwc = makeLiwc(g);
+    EXPECT_EQ(liwc.tableBytes(), 65536u);  // 2^15 x 2 bytes
+    EXPECT_DOUBLE_EQ(liwc.areaMm2(), 0.66);
+    EXPECT_DOUBLE_EQ(liwc.maxPowerW(), 0.025);
+}
+
+TEST(Liwc, SelectionLatencyIsNanoseconds)
+{
+    const auto g = geo();
+    EXPECT_LT(makeLiwc(g).selectionLatency(), 100e-9);
+}
+
+TEST(Liwc, PriorGradientIsLinearInTag)
+{
+    const auto g = geo();
+    const Liwc liwc = makeLiwc(g);
+    const double g1 = liwc.gradientAt(0, 1);
+    const double g5 = liwc.gradientAt(0, 5);
+    const double gm5 = liwc.gradientAt(0, -5);
+    EXPECT_NEAR(g5, 5.0 * g1, 0.01);
+    EXPECT_NEAR(gm5, -g5, 0.01);
+}
+
+TEST(Liwc, GrowsFoveaWhenRemoteDominates)
+{
+    // Local renders a tiny fovea fast while the remote branch is
+    // slow: LIWC must push e1 up.
+    const auto g = geo();
+    Liwc liwc = makeLiwc(g, 5.0);
+    const motion::MotionDelta still{};
+    const auto d = liwc.selectEccentricity(still, 2'000'000, Vec2{});
+    EXPECT_GT(d.deltaTag, 0);
+    EXPECT_GT(liwc.currentE1(), 5.0);
+}
+
+TEST(Liwc, ShrinksFoveaWhenLocalDominates)
+{
+    // Start with a huge fovea: local becomes the bottleneck.
+    const auto g = geo();
+    Liwc liwc = makeLiwc(g, 60.0);
+    const motion::MotionDelta still{};
+    const auto d =
+        liwc.selectEccentricity(still, 20'000'000, Vec2{});
+    EXPECT_LT(d.deltaTag, 0);
+    EXPECT_LT(liwc.currentE1(), 60.0);
+}
+
+TEST(Liwc, ConvergesToLatencyBalance)
+{
+    // Closed loop against a self-consistent synthetic environment:
+    // the measured latencies and the hardware counters the updater
+    // sees are all derived from the same geometry, as on real
+    // hardware.  LIWC should settle near the local/remote crossing.
+    const auto g = geo();
+    LiwcConfig cfg;
+    Liwc liwc = makeLiwc(g, 5.0, cfg);
+
+    const double total_tris = 2'000'000.0;
+    const double true_gpu_rate = 50e6;       // triangles/s
+    const double true_tput = 134e6;          // bits/s
+    const double true_bpp = 0.48;
+    const Seconds fixed_overhead = 5e-3;     // uplink+render+decode
+
+    foveation::PartitionOracle oracle(g);
+    auto environment = [&](double e1) {
+        const auto &res = oracle.resolve(e1, Vec2{});
+        const double work = std::pow(
+            g.foveaAreaFraction(res.partition.e1, Vec2{}), 1.0 / 1.25);
+        const double tris = total_tris * work;
+        const double px = res.pixels.peripheryPixels();
+        struct Env
+        {
+            Seconds local;
+            Seconds remote;
+            double tris;
+            double pixels;
+        } env{tris / true_gpu_rate,
+              px * true_bpp / true_tput + fixed_overhead, tris, px};
+        return env;
+    };
+
+    const motion::MotionDelta still{};
+    double e1 = 5.0;
+    for (int i = 0; i < 150; i++) {
+        const auto d = liwc.selectEccentricity(
+            still, static_cast<std::uint64_t>(total_tris), Vec2{});
+        e1 = d.e1;
+        const auto env = environment(e1);
+        LiwcFeedback fb;
+        fb.measuredLocal = env.local;
+        fb.measuredRemote = env.remote;
+        fb.renderedTriangles =
+            static_cast<std::uint64_t>(env.tris);
+        fb.peripheryPixels = env.pixels;
+        fb.peripheryBytes = static_cast<Bytes>(
+            env.pixels * true_bpp / 8.0);
+        fb.ackThroughput = true_tput;
+        liwc.update(d, fb);
+    }
+
+    const auto settled = environment(e1);
+    const double gap = std::abs(settled.local - settled.remote);
+    const double scale =
+        std::max(settled.local, settled.remote);
+    EXPECT_LT(gap, 0.35 * scale) << "settled at e1=" << e1;
+    EXPECT_GT(e1, 8.0);
+    EXPECT_LT(e1, 45.0);
+}
+
+TEST(Liwc, LearningUpdatesSelectedSlotOnly)
+{
+    const auto g = geo();
+    Liwc liwc = makeLiwc(g);
+    const motion::MotionDelta still{};
+    const auto d = liwc.selectEccentricity(still, 2'000'000, Vec2{});
+
+    const double before_other = liwc.gradientAt(d.motionIndex, -1);
+
+    LiwcFeedback fb;
+    fb.measuredLocal = 5e-3;
+    fb.measuredRemote = 6e-3;
+    liwc.update(d, fb);   // primes prevDiff
+    const auto d2 = liwc.selectEccentricity(still, 2'000'000, Vec2{});
+    fb.measuredLocal = 9e-3;
+    fb.measuredRemote = 2e-3;
+    liwc.update(d2, fb);  // now a real gradient update
+
+    // Untouched tag keeps its prior.
+    if (d2.deltaTag != -1) {
+        EXPECT_DOUBLE_EQ(liwc.gradientAt(d2.motionIndex, -1),
+                         before_other);
+    }
+    // Updated slot moved toward the observed +8 ms delta.
+    const double updated =
+        liwc.gradientAt(d2.motionIndex, d2.deltaTag);
+    EXPECT_GT(updated,
+              0.8 * static_cast<double>(d2.deltaTag) - 0.01);
+}
+
+TEST(Liwc, TablePersistenceRoundTrip)
+{
+    const auto g = geo();
+    Liwc trained = makeLiwc(g);
+
+    // Train a few slots away from the prior.
+    const motion::MotionDelta still{};
+    for (int i = 0; i < 10; i++) {
+        const auto d =
+            trained.selectEccentricity(still, 2'000'000, Vec2{});
+        LiwcFeedback fb;
+        fb.measuredLocal = 4e-3 + 0.3e-3 * i;
+        fb.measuredRemote = 7e-3;
+        fb.renderedTriangles = 400'000;
+        fb.peripheryPixels = 1e6;
+        fb.peripheryBytes = 60'000;
+        fb.ackThroughput = 134e6;
+        trained.update(d, fb);
+    }
+
+    std::stringstream image;
+    trained.saveTable(image);
+
+    Liwc restored = makeLiwc(g);
+    restored.loadTable(image);
+    for (std::uint32_t m : {0u, 1u, 512u, 1023u}) {
+        for (int tag = -5; tag <= 5; tag++) {
+            EXPECT_DOUBLE_EQ(restored.gradientAt(m, tag),
+                             trained.gradientAt(m, tag));
+        }
+    }
+}
+
+TEST(LiwcDeath, LoadRejectsGarbage)
+{
+    const auto g = geo();
+    Liwc liwc = makeLiwc(g);
+    std::stringstream garbage("not a table at all");
+    EXPECT_EXIT(liwc.loadTable(garbage),
+                testing::ExitedWithCode(1), "not a LIWC table");
+}
+
+TEST(LiwcDeath, LoadRejectsDepthMismatch)
+{
+    const auto g = geo();
+    LiwcConfig deep;
+    deep.tableDepthLog2 = 16;
+    Liwc big(deep, g, 50e6, 134e6, 0.55);
+    std::stringstream image;
+    big.saveTable(image);
+    Liwc standard = makeLiwc(g);
+    EXPECT_EXIT(standard.loadTable(image),
+                testing::ExitedWithCode(1), "depth mismatch");
+}
+
+TEST(LiwcDeath, ShallowTablePanics)
+{
+    const auto g = geo();
+    LiwcConfig cfg;
+    cfg.tableDepthLog2 = 10;  // < motion bits + tag bits
+    EXPECT_DEATH(makeLiwc(g, 5.0, cfg), "too shallow");
+}
+
+}  // namespace
+}  // namespace qvr::core

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * QvrSystem facade and the design-point factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/qvr_system.hpp"
+
+namespace qvr::core
+{
+namespace
+{
+
+TEST(DesignFactory, NamesMatchPaper)
+{
+    EXPECT_STREQ(designName(DesignPoint::Local), "Local");
+    EXPECT_STREQ(designName(DesignPoint::Static), "Static");
+    EXPECT_STREQ(designName(DesignPoint::Ffr), "FFR");
+    EXPECT_STREQ(designName(DesignPoint::Dfr), "DFR");
+    EXPECT_STREQ(designName(DesignPoint::SwQvr), "SW-QVR");
+    EXPECT_STREQ(designName(DesignPoint::Qvr), "Q-VR");
+}
+
+TEST(DesignFactory, BuildsEveryDesign)
+{
+    ExperimentSpec spec;
+    spec.benchmark = "Doom3-L";
+    const PipelineConfig cfg = spec.toConfig();
+    for (DesignPoint d : {DesignPoint::Local, DesignPoint::Remote,
+                          DesignPoint::Static, DesignPoint::Ffr,
+                          DesignPoint::Dfr, DesignPoint::SwQvr,
+                          DesignPoint::Qvr}) {
+        auto p = makePipeline(d, cfg);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p->name(), designName(d));
+    }
+}
+
+TEST(ExperimentSpec, ConfigReflectsEnvironment)
+{
+    ExperimentSpec spec;
+    spec.benchmark = "GRID";
+    spec.channel = net::ChannelConfig::lte4g();
+    spec.gpuFrequencyScale = 0.6;
+    const PipelineConfig cfg = spec.toConfig();
+    EXPECT_EQ(cfg.benchmark.name, "GRID");
+    EXPECT_EQ(cfg.channelConfig.name, "4G LTE");
+    EXPECT_DOUBLE_EQ(cfg.gpuFrequencyScale, 0.6);
+    // Radio profile follows the channel.
+    EXPECT_DOUBLE_EQ(cfg.powerConfig.radio.activeReceiveW, 1.4);
+}
+
+TEST(QvrSystem, StreamsFrames)
+{
+    ExperimentSpec spec;
+    spec.benchmark = "HL2-H";
+    spec.numFrames = 50;
+    const auto frames = generateExperimentWorkload(spec);
+    QvrSystem system(spec.toConfig());
+
+    double last_display = 0.0;
+    for (const auto &f : frames) {
+        const QvrFrameOutput out = system.renderFrame(f);
+        EXPECT_GE(out.e1, 5.0);
+        EXPECT_GE(out.e2, out.e1);
+        EXPECT_GT(out.stats.displayTime, last_display);
+        last_display = out.stats.displayTime;
+    }
+}
+
+TEST(QvrSystem, MatchesBatchPipeline)
+{
+    ExperimentSpec spec;
+    spec.benchmark = "HL2-H";
+    spec.numFrames = 30;
+    const auto frames = generateExperimentWorkload(spec);
+
+    QvrSystem streaming(spec.toConfig());
+    auto batch = makePipeline(DesignPoint::Qvr, spec.toConfig());
+    const PipelineResult batch_result = batch->run(frames);
+
+    for (std::size_t i = 0; i < frames.size(); i++) {
+        const QvrFrameOutput out = streaming.renderFrame(frames[i]);
+        EXPECT_DOUBLE_EQ(out.stats.mtpLatency,
+                         batch_result.frames[i].mtpLatency);
+        EXPECT_DOUBLE_EQ(out.e1, batch_result.frames[i].e1);
+    }
+}
+
+TEST(RunExperiment, EndToEnd)
+{
+    ExperimentSpec spec;
+    spec.benchmark = "Doom3-L";
+    spec.numFrames = 60;
+    const PipelineResult r = runExperiment(DesignPoint::Qvr, spec);
+    EXPECT_EQ(r.design, "Q-VR");
+    EXPECT_EQ(r.benchmark, "Doom3-L");
+    EXPECT_EQ(r.frames.size(), 60u);
+    EXPECT_GT(r.meanFps(), 0.0);
+}
+
+}  // namespace
+}  // namespace qvr::core

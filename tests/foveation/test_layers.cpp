@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Layer geometry: disc-screen intersection, pixel accounting, Eq. 1
+ * e2 selection, resolution metrics, oracle caching.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "foveation/layers.hpp"
+
+namespace qvr::foveation
+{
+namespace
+{
+
+LayerGeometry
+geo()
+{
+    return LayerGeometry(DisplayConfig{}, MarModel{});
+}
+
+TEST(DiscScreenArea, FullyInsideMatchesCircle)
+{
+    DisplayConfig d;
+    const double r_deg = 5.0;
+    const double r_px = r_deg * d.pixelsPerDegree();
+    const double area = discScreenAreaPixels(d, Vec2{0.0, 0.0}, r_deg);
+    EXPECT_NEAR(area, kPi * r_px * r_px, kPi * r_px * r_px * 1e-4);
+}
+
+TEST(DiscScreenArea, HugeRadiusCoversScreen)
+{
+    DisplayConfig d;
+    const double area =
+        discScreenAreaPixels(d, Vec2{0.0, 0.0}, 1000.0);
+    EXPECT_NEAR(area, static_cast<double>(d.pixelCount()), 1.0);
+}
+
+TEST(DiscScreenArea, OffscreenGazeClipsArea)
+{
+    DisplayConfig d;
+    const double centered =
+        discScreenAreaPixels(d, Vec2{0.0, 0.0}, 10.0);
+    const double cornered =
+        discScreenAreaPixels(d, Vec2{58.0, 58.0}, 10.0);
+    EXPECT_LT(cornered, centered * 0.5);
+}
+
+TEST(DiscScreenArea, ZeroRadiusIsZero)
+{
+    DisplayConfig d;
+    EXPECT_DOUBLE_EQ(discScreenAreaPixels(d, Vec2{}, 0.0), 0.0);
+}
+
+TEST(LayerGeometry, PixelCountsPartitionTheScreen)
+{
+    const LayerGeometry g = geo();
+    LayerPartition p{10.0, 30.0, Vec2{}};
+    const LayerPixels px = g.pixelCounts(p);
+
+    EXPECT_GT(px.foveaPixels, 0.0);
+    EXPECT_GT(px.middlePixels, 0.0);
+    EXPECT_GT(px.outerPixels, 0.0);
+
+    // Native areas (undo the subsampling) must sum to the screen.
+    const double native =
+        px.foveaPixels +
+        px.middlePixels * px.middleFactor * px.middleFactor +
+        px.outerPixels * px.outerFactor * px.outerFactor;
+    EXPECT_NEAR(native,
+                static_cast<double>(g.display().pixelCount()),
+                static_cast<double>(g.display().pixelCount()) * 1e-3);
+}
+
+TEST(LayerGeometry, BiggerFoveaMoreLocalFewerRemote)
+{
+    const LayerGeometry g = geo();
+    const LayerPixels small =
+        g.pixelCounts(LayerPartition{5.0, 30.0, Vec2{}});
+    const LayerPixels big =
+        g.pixelCounts(LayerPartition{20.0, 30.0, Vec2{}});
+    EXPECT_GT(big.foveaPixels, small.foveaPixels);
+    EXPECT_LT(big.peripheryPixels(), small.peripheryPixels());
+}
+
+TEST(LayerGeometry, SubsamplingFactorsOrdered)
+{
+    const LayerGeometry g = geo();
+    const LayerPixels px =
+        g.pixelCounts(LayerPartition{8.0, 35.0, Vec2{}});
+    EXPECT_GE(px.outerFactor, px.middleFactor);
+    EXPECT_GE(px.middleFactor, 1.0);
+}
+
+TEST(LayerGeometry, OptimalE2BeatsArbitraryChoices)
+{
+    const LayerGeometry g = geo();
+    const double e1 = 8.0;
+    const Vec2 gaze{};
+    const double e2 = g.selectOptimalE2(e1, gaze);
+    ASSERT_GT(e2, e1);
+
+    const double best =
+        g.pixelCounts(LayerPartition{e1, e2, gaze}).peripheryPixels();
+    for (double cand : {e1 + 1.0, 20.0, 40.0, 60.0}) {
+        if (cand <= e1 || cand > g.display().maxEccentricity())
+            continue;
+        const double cost =
+            g.pixelCounts(LayerPartition{e1, cand, gaze})
+                .peripheryPixels();
+        EXPECT_LE(best, cost * 1.001) << "e2 candidate " << cand;
+    }
+}
+
+TEST(LayerGeometry, FoveaAreaFractionMonotone)
+{
+    const LayerGeometry g = geo();
+    double prev = 0.0;
+    for (double e1 = 5.0; e1 <= 60.0; e1 += 5.0) {
+        const double frac = g.foveaAreaFraction(e1, Vec2{});
+        EXPECT_GE(frac, prev);
+        EXPECT_LE(frac, 1.0 + 1e-9);
+        prev = frac;
+    }
+    EXPECT_GT(prev, 0.5);  // 60-degree fovea covers most of the view
+}
+
+TEST(LayerGeometry, ResolutionFractionsBehave)
+{
+    const LayerGeometry g = geo();
+    const LayerPartition small{5.0, 25.0, Vec2{}};
+    const LayerPartition large{40.0, 60.0, Vec2{}};
+
+    const double pix_small = g.renderedResolutionFraction(small);
+    const double pix_large = g.renderedResolutionFraction(large);
+    EXPECT_LT(pix_small, pix_large);  // small fovea = more savings
+    EXPECT_GT(pix_small, 0.0);
+    EXPECT_LE(pix_large, 1.0 + 1e-9);
+
+    // Linear metric is gentler than the pixel metric.
+    EXPECT_GE(g.linearResolutionFraction(small), pix_small);
+    EXPECT_LE(g.linearResolutionFraction(small), 1.0);
+}
+
+TEST(LayerGeometry, ClampE1Range)
+{
+    const LayerGeometry g = geo();
+    EXPECT_DOUBLE_EQ(g.clampE1(1.0), LayerGeometry::kMinE1);
+    EXPECT_DOUBLE_EQ(g.clampE1(12.0), 12.0);
+    EXPECT_DOUBLE_EQ(g.clampE1(1000.0),
+                     g.display().maxEccentricity());
+}
+
+TEST(PartitionOracle, CachesQuantisedQueries)
+{
+    const LayerGeometry g = geo();
+    PartitionOracle oracle(g);
+    const auto &a = oracle.resolve(10.0, Vec2{1.2, 0.4});
+    EXPECT_EQ(oracle.cacheSize(), 1u);
+    // Sub-quantum changes hit the same entry.
+    const auto &b = oracle.resolve(10.1, Vec2{1.4, 0.1});
+    EXPECT_EQ(oracle.cacheSize(), 1u);
+    EXPECT_EQ(&a, &b);
+    // A clearly different query allocates a new entry.
+    oracle.resolve(20.0, Vec2{1.2, 0.4});
+    EXPECT_EQ(oracle.cacheSize(), 2u);
+}
+
+TEST(PartitionOracle, MatchesDirectComputation)
+{
+    const LayerGeometry g = geo();
+    PartitionOracle oracle(g);
+    const auto &r = oracle.resolve(12.0, Vec2{3.0, -2.0});
+    EXPECT_DOUBLE_EQ(r.partition.e1, 12.0);
+    const double direct_e2 =
+        g.selectOptimalE2(12.0, Vec2{3.0, -2.0});
+    EXPECT_DOUBLE_EQ(r.partition.e2, direct_e2);
+}
+
+}  // namespace
+}  // namespace qvr::foveation

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * MAR acuity model: Eq. 1 behaviour, clamps, native-limit radius.
+ */
+
+#include <gtest/gtest.h>
+
+#include "foveation/mar.hpp"
+
+namespace qvr::foveation
+{
+namespace
+{
+
+TEST(MarModel, LinearFalloff)
+{
+    MarModel m;
+    EXPECT_DOUBLE_EQ(m.mar(0.0), m.omega0);
+    EXPECT_DOUBLE_EQ(m.mar(10.0), m.omega0 + 10.0 * m.slope);
+    EXPECT_GT(m.mar(30.0), m.mar(10.0));
+}
+
+TEST(MarModel, SamplingFactorClampedToOneInFovea)
+{
+    MarModel m;
+    DisplayConfig d;  // ~17.5 ppd: display pitch >> foveal MAR
+    EXPECT_DOUBLE_EQ(m.samplingFactor(0.0, d), 1.0);
+    EXPECT_DOUBLE_EQ(m.samplingFactor(1.0, d), 1.0);
+}
+
+TEST(MarModel, SamplingFactorGrowsWithEccentricity)
+{
+    MarModel m;
+    DisplayConfig d;
+    const double s10 = m.samplingFactor(10.0, d);
+    const double s20 = m.samplingFactor(20.0, d);
+    EXPECT_GE(s20, s10);
+    EXPECT_GT(s20, 1.0);
+}
+
+TEST(MarModel, SamplingFactorCapped)
+{
+    MarModel m;
+    DisplayConfig d;
+    EXPECT_DOUBLE_EQ(m.samplingFactor(80.0, d), m.maxSamplingFactor);
+}
+
+TEST(MarModel, QualityMarginShrinksFactor)
+{
+    MarModel strict;
+    strict.qualityMargin = 2.0;
+    MarModel loose;
+    DisplayConfig d;
+    const double e = 15.0;
+    EXPECT_LE(strict.samplingFactor(e, d),
+              loose.samplingFactor(e, d));
+}
+
+TEST(MarModel, NativeLimitEccentricityConsistent)
+{
+    MarModel m;
+    DisplayConfig d;
+    const double e_lim = m.nativeLimitEccentricity(d);
+    ASSERT_GT(e_lim, 0.0);
+    // At the limit, mar == pixel pitch exactly.
+    EXPECT_NEAR(m.mar(e_lim), d.pixelPitchDeg(), 1e-12);
+    // Just inside: factor 1; well outside: factor > 1.
+    EXPECT_DOUBLE_EQ(m.samplingFactor(e_lim * 0.5, d), 1.0);
+    EXPECT_GT(m.samplingFactor(e_lim * 2.0 + 5.0, d), 1.0);
+}
+
+TEST(DisplayConfig, DerivedQuantities)
+{
+    DisplayConfig d;
+    EXPECT_NEAR(d.pixelsPerDegree(), 1920.0 / 110.0, 1e-12);
+    EXPECT_DOUBLE_EQ(d.pixelPitchDeg() * d.pixelsPerDegree(), 1.0);
+    EXPECT_EQ(d.pixelCount(), 1920ll * 2160ll);
+    EXPECT_NEAR(d.maxEccentricity(), std::hypot(55.0, 55.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace qvr::foveation

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Perceptual audit: MAR-constrained partitions are lossless (the
+ * Section 3.1 user-survey result), violations are scored down.
+ */
+
+#include <gtest/gtest.h>
+
+#include "foveation/quality.hpp"
+
+namespace qvr::foveation
+{
+namespace
+{
+
+TEST(Quality, MarConstrainedPartitionIsLossless)
+{
+    // Any partition whose factors come from the MAR model itself
+    // must audit as perceptually lossless (the survey result).
+    LayerGeometry g(DisplayConfig{}, MarModel{});
+    for (double e1 : {5.0, 10.0, 20.0, 40.0}) {
+        LayerPartition p{e1, g.selectOptimalE2(e1, Vec2{}), Vec2{}};
+        const QualityReport r = auditPartition(g, p);
+        EXPECT_TRUE(r.perceptuallyLossless) << "e1=" << e1;
+        EXPECT_DOUBLE_EQ(r.meanOpinionScore, 10.0);
+    }
+}
+
+TEST(Quality, OverAggressiveSubsamplingIsFlagged)
+{
+    // Force factors beyond the MAR bound by removing the safety cap
+    // and shrinking the slope used for auditing: audit with a
+    // *stricter* (flatter) acuity model than the one that chose the
+    // factors.
+    MarModel generous;
+    generous.slope = 0.10;             // permits huge factors
+    generous.maxSamplingFactor = 16.0;
+    MarModel strict;                    // human baseline
+    strict.maxSamplingFactor = 16.0;
+
+    DisplayConfig d;
+    LayerGeometry chooser(d, generous);
+    LayerGeometry auditor(d, strict);
+
+    LayerPartition p{5.0, 20.0, Vec2{}};
+    // The chooser's factors violate the strict model's budget.
+    const LayerPixels px = chooser.pixelCounts(p);
+    ASSERT_GT(px.outerFactor, strict.samplingFactor(20.0, d));
+
+    // Audit the partition as if rendered with the generous factors:
+    // emulate by auditing under a geometry whose MAR model IS the
+    // generous one but scoring with the strict one via margin check.
+    const QualityReport honest = auditPartition(auditor, p);
+    // Under the strict auditor the partition itself is fine (factors
+    // recomputed from the strict model), so this stays lossless...
+    EXPECT_TRUE(honest.perceptuallyLossless);
+    // ...but auditing under the generous chooser must reveal the
+    // violation relative to the strict budget when margins shrink.
+    const QualityReport risky = auditPartition(chooser, p);
+    EXPECT_LE(risky.worstMarginDeg, honest.worstMarginDeg + 1e-12);
+}
+
+TEST(Quality, ScoreDegradesWithViolationDepth)
+{
+    // Construct a report scenario with a violation by using a margin
+    // model where the display is *sharper* than the acuity line and
+    // the factor cap is disabled.
+    MarModel m;
+    m.maxSamplingFactor = 1000.0;
+    m.qualityMargin = 0.25;  // deliberately renders too coarse
+    DisplayConfig d;
+    LayerGeometry g(d, m);
+    LayerPartition p{5.0, 15.0, Vec2{}};
+    const QualityReport r = auditPartition(g, p);
+    EXPECT_FALSE(r.perceptuallyLossless);
+    EXPECT_LT(r.meanOpinionScore, 10.0);
+    EXPECT_GE(r.meanOpinionScore, 1.0);
+}
+
+TEST(Quality, WorstEccentricityAtLayerEdge)
+{
+    LayerGeometry g(DisplayConfig{}, MarModel{});
+    LayerPartition p{10.0, 30.0, Vec2{}};
+    const QualityReport r = auditPartition(g, p);
+    // The binding constraint sits at a layer inner edge (or centre).
+    EXPECT_TRUE(r.worstEccentricity == 0.0 ||
+                std::abs(r.worstEccentricity - p.e1) < 0.01 ||
+                std::abs(r.worstEccentricity - p.e2) < 0.01);
+}
+
+}  // namespace
+}  // namespace qvr::foveation

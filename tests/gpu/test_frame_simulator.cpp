@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Draw-call-level frame simulator: stage accounting, pipelining
+ * behaviour, and agreement with the analytic MobileGpuModel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/qvr_system.hpp"
+#include "gpu/frame_simulator.hpp"
+#include "gpu/timing.hpp"
+
+namespace qvr::gpu
+{
+namespace
+{
+
+scene::FrameWorkload
+workloadFrame(const std::string &bench, std::size_t index = 10)
+{
+    core::ExperimentSpec spec;
+    spec.benchmark = bench;
+    spec.numFrames = index + 1;
+    return core::generateExperimentWorkload(spec)[index];
+}
+
+TEST(FrameSimulator, AccountingMatchesInputStream)
+{
+    const auto frame = workloadFrame("HL2-H");
+    FrameSimulator sim;
+    const auto &info = scene::findBenchmark("HL2-H");
+    const FrameSimResult r = sim.simulate(
+        frame, info.shadingCost,
+        static_cast<double>(info.pixelsPerEye()));
+    EXPECT_EQ(r.batches, frame.batches.size() * 2);
+    EXPECT_EQ(r.triangles, frame.totalTriangles() * 2);
+    EXPECT_NEAR(r.shadedPixels,
+                static_cast<double>(info.pixelsPerEye()) * 2.0,
+                static_cast<double>(info.pixelsPerEye()) * 0.01);
+}
+
+TEST(FrameSimulator, StagesOverlap)
+{
+    // Pipelined total must be far below the sum of stage busy times
+    // and at least the busiest stage.
+    const auto frame = workloadFrame("GRID");
+    FrameSimulator sim;
+    const auto &info = scene::findBenchmark("GRID");
+    const FrameSimResult r = sim.simulate(
+        frame, info.shadingCost,
+        static_cast<double>(info.pixelsPerEye()));
+    const double busiest =
+        std::max({r.cpBusy, r.geometryBusy, r.fragmentBusy});
+    const double sum = r.cpBusy + r.geometryBusy + r.fragmentBusy;
+    EXPECT_GE(r.frameTime, busiest - 1e-12);
+    EXPECT_LT(r.frameTime, sum * 0.85);
+    EXPECT_GT(r.bottleneckUtilisation(), 0.6);
+}
+
+TEST(FrameSimulator, AgreesWithAnalyticModel)
+{
+    // The batch-granular simulation and the aggregate analytic model
+    // must tell the same story (within the pipeline-fill slack) on
+    // every Table-3 benchmark.
+    for (const auto &info : scene::table3Benchmarks()) {
+        const auto frame = workloadFrame(info.name);
+        FrameSimulator sim;
+        const FrameSimResult detailed = sim.simulate(
+            frame, info.shadingCost,
+            static_cast<double>(info.pixelsPerEye()));
+
+        MobileGpuModel analytic;
+        RenderJob job;
+        job.triangles = frame.totalTriangles() * 2;
+        job.shadedPixels =
+            static_cast<double>(info.pixelsPerEye()) * 2.0;
+        job.batches =
+            static_cast<std::uint32_t>(frame.batches.size() * 2);
+        job.shadingCost = info.shadingCost;
+        const Seconds coarse = analytic.renderSeconds(job);
+
+        EXPECT_NEAR(detailed.frameTime, coarse, coarse * 0.30)
+            << info.name;
+    }
+}
+
+TEST(FrameSimulator, FrequencyScalesInverse)
+{
+    const auto frame = workloadFrame("UT3");
+    FrameSimulator sim;
+    const auto &info = scene::findBenchmark("UT3");
+    const double px = static_cast<double>(info.pixelsPerEye());
+    const FrameSimResult full =
+        sim.simulate(frame, info.shadingCost, px, 1.0, 1.0);
+    const FrameSimResult half =
+        sim.simulate(frame, info.shadingCost, px, 1.0, 0.5);
+    EXPECT_NEAR(half.frameTime, full.frameTime * 2.0,
+                full.frameTime * 0.02);
+}
+
+TEST(FrameSimulator, FoveaShareCutsFragmentWork)
+{
+    const auto frame = workloadFrame("Wolf");
+    FrameSimulator sim;
+    const auto &info = scene::findBenchmark("Wolf");
+    const double px = static_cast<double>(info.pixelsPerEye());
+    const FrameSimResult full =
+        sim.simulate(frame, info.shadingCost, px, 1.0);
+    const FrameSimResult fovea =
+        sim.simulate(frame, info.shadingCost, px, 0.08);
+    EXPECT_NEAR(fovea.fragmentBusy, full.fragmentBusy * 0.08,
+                full.fragmentBusy * 0.01);
+    // Geometry and CP are unchanged: culling is not coverage-based.
+    EXPECT_NEAR(fovea.geometryBusy, full.geometryBusy,
+                full.geometryBusy * 1e-9);
+    EXPECT_LT(fovea.frameTime, full.frameTime);
+}
+
+TEST(FrameSimulator, ManySmallBatchesStressCp)
+{
+    // GRID's 3680 batches/eye make the command processor a visible
+    // cost; Doom3's 382 do not.
+    FrameSimulator sim;
+    const auto grid = workloadFrame("GRID");
+    const auto doom = workloadFrame("Doom3-H");
+    const auto &gi = scene::findBenchmark("GRID");
+    const auto &di = scene::findBenchmark("Doom3-H");
+    const FrameSimResult rg = sim.simulate(
+        grid, gi.shadingCost, static_cast<double>(gi.pixelsPerEye()));
+    const FrameSimResult rd = sim.simulate(
+        doom, di.shadingCost, static_cast<double>(di.pixelsPerEye()));
+    EXPECT_GT(rg.cpBusy, rd.cpBusy * 5.0);
+}
+
+TEST(FrameSimulatorDeath, BadShareRejected)
+{
+    FrameSimulator sim;
+    const auto frame = workloadFrame("HL2-L");
+    EXPECT_DEATH(sim.simulate(frame, 1.0, 1e6, 1.5),
+                 "pixel share");
+}
+
+}  // namespace
+}  // namespace qvr::gpu

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * GPU-resident composition/ATW kernel costs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/postprocess.hpp"
+
+namespace qvr::gpu::postprocess
+{
+namespace
+{
+
+TEST(Postprocess, AtwScalesWithPixels)
+{
+    MobileGpuModel gpu;
+    const Seconds small = atwTime(gpu, 1e6);
+    const Seconds big = atwTime(gpu, 4e6);
+    EXPECT_NEAR(big, small * 4.0, small * 0.01);
+    EXPECT_GT(small, 0.0);
+}
+
+TEST(Postprocess, AtwOfStereoFrameIsMilliseconds)
+{
+    // 2x 1920x2160 at 18 ops/px on the Table-2 array: order 1-2 ms —
+    // enough to matter for FPS when it contends with rendering.
+    MobileGpuModel gpu;
+    const Seconds t = atwTime(gpu, 2.0 * 1920 * 2160);
+    EXPECT_GT(t, 0.3e-3);
+    EXPECT_LT(t, 5e-3);
+}
+
+TEST(Postprocess, MsaaEdgesAddCost)
+{
+    MobileGpuModel gpu;
+    const Seconds no_edges = foveatedCompositionTime(gpu, 4e6, 0.0);
+    const Seconds edges = foveatedCompositionTime(gpu, 4e6, 0.1);
+    EXPECT_GT(edges, no_edges);
+}
+
+TEST(Postprocess, DepthCompositionCostlierThanFoveated)
+{
+    // The static design's depth-based embedding (plus collision
+    // detection) must exceed Q-VR's simple layer overlap: that is
+    // the "high composition overhead" of Section 1.
+    MobileGpuModel gpu;
+    const double px = 2.0 * 1920 * 2160;
+    EXPECT_GT(depthCompositionTime(gpu, px),
+              foveatedCompositionTime(gpu, px, 0.05));
+}
+
+TEST(Postprocess, CollisionDetectionIsFixedCost)
+{
+    MobileGpuModel gpu;
+    PostprocessCosts costs;
+    const Seconds base = depthCompositionTime(gpu, 1e6, costs);
+    costs.collisionDetectCycles *= 2.0;
+    const Seconds more = depthCompositionTime(gpu, 1e6, costs);
+    const Seconds delta = more - base;
+    EXPECT_NEAR(delta,
+                250'000.0 / gpu.config().coreFrequency,
+                delta * 0.01);
+}
+
+}  // namespace
+}  // namespace qvr::gpu::postprocess

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * MobileGpuModel: monotonicity, stage attribution, DVFS, memory
+ * boundedness, and the Figure-3-class calibration pins (full-frame
+ * stereo render times for the Table-3 benchmarks land in the ranges
+ * a Gen9/A10-class local renderer exhibits).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/timing.hpp"
+#include "scene/benchmarks.hpp"
+
+namespace qvr::gpu
+{
+namespace
+{
+
+RenderJob
+stereoJob(const scene::BenchmarkInfo &b)
+{
+    RenderJob j;
+    j.triangles = b.meanTriangles * 2;
+    j.shadedPixels = static_cast<double>(b.pixelsPerEye()) * 2.0;
+    j.batches = b.numBatches * 2;
+    j.shadingCost = b.shadingCost;
+    return j;
+}
+
+TEST(MobileGpuModel, MoreWorkTakesLonger)
+{
+    MobileGpuModel gpu;
+    RenderJob small;
+    small.triangles = 100'000;
+    small.shadedPixels = 1e6;
+    RenderJob big = small;
+    big.triangles = 1'000'000;
+    big.shadedPixels = 8e6;
+    EXPECT_GT(gpu.renderSeconds(big), gpu.renderSeconds(small));
+}
+
+TEST(MobileGpuModel, ShadingCostScalesFragmentStage)
+{
+    MobileGpuModel gpu;
+    RenderJob j;
+    j.triangles = 10'000;  // fragment-dominated
+    j.shadedPixels = 8e6;
+    const RenderTiming cheap = gpu.time(j);
+    j.shadingCost = 2.0;
+    const RenderTiming dear = gpu.time(j);
+    EXPECT_NEAR(static_cast<double>(dear.fragmentCycles),
+                2.0 * static_cast<double>(cheap.fragmentCycles),
+                static_cast<double>(cheap.fragmentCycles) * 0.01);
+}
+
+TEST(MobileGpuModel, DvfsScalesTimeNotCycles)
+{
+    MobileGpuModel gpu;
+    RenderJob j;
+    j.triangles = 500'000;
+    j.shadedPixels = 4e6;
+    const RenderTiming full = gpu.time(j);
+    j.frequencyScale = 0.5;
+    const RenderTiming half = gpu.time(j);
+    EXPECT_EQ(full.totalCycles, half.totalCycles);
+    EXPECT_NEAR(half.seconds, full.seconds * 2.0, full.seconds * 1e-9);
+}
+
+TEST(MobileGpuModel, GeometryAndFragmentOverlap)
+{
+    // Total compute is close to the max of the stages, not their sum.
+    MobileGpuModel gpu;
+    RenderJob j;
+    j.triangles = 2'000'000;
+    j.shadedPixels = 8e6;
+    j.batches = 1;
+    const RenderTiming t = gpu.time(j);
+    const double geom = static_cast<double>(t.geometryCycles);
+    const double frag = static_cast<double>(t.fragmentCycles);
+    const double total = static_cast<double>(t.totalCycles);
+    EXPECT_LT(total, (geom + frag) * 0.95);
+    EXPECT_GE(total, std::max(geom, frag));
+}
+
+TEST(MobileGpuModel, MemoryBoundJobsSlowDown)
+{
+    GpuConfig cfg;
+    GpuCostModel cost;
+    cost.bytesPerPixel = 400.0;  // absurdly heavy traffic
+    MobileGpuModel heavy(cfg, cost);
+    RenderJob j;
+    j.triangles = 1000;
+    j.shadedPixels = 4e6;
+    const RenderTiming t = heavy.time(j);
+    EXPECT_GT(t.memoryStallFactor, 1.5);
+
+    MobileGpuModel normal(cfg, GpuCostModel{});
+    EXPECT_NEAR(normal.time(j).memoryStallFactor, 1.0, 0.5);
+}
+
+TEST(MobileGpuModel, TriangleThroughputConsistentWithJobTime)
+{
+    // Rendering N triangles at the sustained rate should take about
+    // N / rate seconds when the job matches the assumed ratio.
+    MobileGpuModel gpu;
+    const double px_per_tri = 4.0;
+    const double rate = gpu.triangleThroughput(1.0, px_per_tri);
+    RenderJob j;
+    j.triangles = 1'000'000;
+    j.shadedPixels = static_cast<double>(j.triangles) * px_per_tri;
+    j.batches = 1;
+    const Seconds predicted =
+        static_cast<double>(j.triangles) / rate;
+    const Seconds actual = gpu.renderSeconds(j);
+    EXPECT_NEAR(actual, predicted, predicted * 0.25);
+}
+
+TEST(MobileGpuModel, Fig3CalibrationLocalRenderTimes)
+{
+    // Figure 3 shows high-quality apps missing 90 Hz badly on local
+    // mobile hardware: full-frame stereo render times in the tens of
+    // milliseconds for heavy scenes, near budget for light ones.
+    MobileGpuModel gpu;
+    const Seconds budget = vr_requirements::kFrameBudget;
+
+    const Seconds grid =
+        gpu.renderSeconds(stereoJob(scene::findBenchmark("GRID")));
+    EXPECT_GT(grid, 3.0 * budget);   // far over budget
+    EXPECT_LT(grid, 100e-3);         // still playable-ish
+
+    const Seconds d3l =
+        gpu.renderSeconds(stereoJob(scene::findBenchmark("Doom3-L")));
+    EXPECT_GT(d3l, 0.8 * budget);
+    EXPECT_LT(d3l, 3.0 * budget);
+
+    // Heavier benchmarks must take longer.
+    const Seconds wolf =
+        gpu.renderSeconds(stereoJob(scene::findBenchmark("Wolf")));
+    const Seconds d3h =
+        gpu.renderSeconds(stereoJob(scene::findBenchmark("Doom3-H")));
+    EXPECT_GT(grid, wolf);
+    EXPECT_GT(wolf, d3h);
+    EXPECT_GT(d3h, d3l);
+}
+
+TEST(MobileGpuModel, Fig6FoveaWithin15DegreesMeetsBudget)
+{
+    // Figure 6: at eccentricity <= 15 degrees every tested scene
+    // complexity renders within the 11 ms budget on the local SoC.
+    MobileGpuModel gpu;
+    for (const auto &b : scene::table3Benchmarks()) {
+        RenderJob j = stereoJob(b);
+        // 15-degree fovea on the 110-degree display: ~6.5% of the
+        // screen area, centre-weighted workload share ~11%.
+        const double share = 0.11;
+        j.triangles = static_cast<std::uint64_t>(
+            static_cast<double>(j.triangles) * share);
+        j.shadedPixels *= 0.065;
+        j.batches = std::max(2u, static_cast<std::uint32_t>(
+                                     j.batches * share));
+        EXPECT_LT(gpu.renderSeconds(j), vr_requirements::kFrameBudget)
+            << b.name;
+    }
+}
+
+TEST(MobileGpuModelDeath, BadJobPanics)
+{
+    MobileGpuModel gpu;
+    RenderJob j;
+    j.shadedPixels = -1.0;
+    EXPECT_DEATH(gpu.time(j), "negative pixel count");
+}
+
+}  // namespace
+}  // namespace qvr::gpu

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Adaptive periphery-quality (ABR) controller: stability on good
+ * links, pressure response, recovery, and interplay with LIWC.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline_foveated.hpp"
+#include "core/qvr_system.hpp"
+
+namespace qvr::core
+{
+namespace
+{
+
+FoveatedPolicy
+abrPolicy()
+{
+    FoveatedPolicy p = FoveatedPolicy::qvr();
+    p.adaptiveQuality = true;
+    return p;
+}
+
+ExperimentSpec
+spec(std::size_t frames = 250)
+{
+    ExperimentSpec s;
+    s.benchmark = "HL2-H";
+    s.numFrames = frames;
+    return s;
+}
+
+double
+meanQuality(const PipelineResult &r, std::size_t from)
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = from; i < r.frames.size(); i++) {
+        sum += r.frames[i].peripheryQuality;
+        n++;
+    }
+    return sum / static_cast<double>(n);
+}
+
+TEST(AdaptiveQuality, StaysNominalOnHealthyLink)
+{
+    FoveatedPipeline p(spec().toConfig(), abrPolicy());
+    const auto r = p.run(generateExperimentWorkload(spec()));
+    // Wi-Fi has headroom at the balanced point: no quality sacrifice.
+    EXPECT_GT(meanQuality(r, 50), 0.95);
+}
+
+TEST(AdaptiveQuality, DropsUnderSustainedPressure)
+{
+    auto cfg = spec().toConfig();
+    cfg.channelConfig.nominalDownlink = fromMbps(50.0);
+    FoveatedPipeline p(cfg, abrPolicy());
+    const auto r = p.run(generateExperimentWorkload(spec()));
+    EXPECT_LT(meanQuality(r, 100), 0.95);
+    // Floor respected.
+    for (const auto &f : r.frames)
+        EXPECT_GE(f.peripheryQuality, 0.6 - 1e-9);
+}
+
+TEST(AdaptiveQuality, ImprovesLatencyOnSlowLink)
+{
+    auto cfg = spec().toConfig();
+    cfg.channelConfig.nominalDownlink = fromMbps(50.0);
+    const auto workload = generateExperimentWorkload(spec());
+
+    FoveatedPipeline plain(cfg, FoveatedPolicy::qvr());
+    const auto base = plain.run(workload);
+    FoveatedPipeline abr(cfg, abrPolicy());
+    const auto helped = abr.run(workload);
+
+    EXPECT_LT(helped.meanMtp(), base.meanMtp());
+    EXPECT_LT(helped.meanTransmittedBytes(),
+              base.meanTransmittedBytes());
+}
+
+TEST(AdaptiveQuality, RecoversAfterDegradation)
+{
+    const auto workload = generateExperimentWorkload(spec(500));
+    FoveatedPipeline p(spec(500).toConfig(), abrPolicy());
+
+    double during = 0.0, after = 0.0;
+    std::size_t n_during = 0, n_after = 0;
+    for (const auto &frame : workload) {
+        if (frame.index == 150)
+            p.channel().setNominalDownlink(fromMbps(40.0));
+        if (frame.index == 300)
+            p.channel().setNominalDownlink(fromMbps(200.0));
+        const FrameStats s = p.step(frame);
+        if (frame.index >= 220 && frame.index < 300) {
+            during += s.peripheryQuality;
+            n_during++;
+        }
+        if (frame.index >= 440) {
+            after += s.peripheryQuality;
+            n_after++;
+        }
+    }
+    during /= static_cast<double>(n_during);
+    after /= static_cast<double>(n_after);
+    EXPECT_LT(during, 0.97);
+    EXPECT_GT(after, during + 0.02);
+}
+
+TEST(AdaptiveQuality, DefaultOffKeepsReproductionPure)
+{
+    // Q-VR's canonical policy must not silently enable ABR: the
+    // paper-reproduction numbers assume nominal periphery bitrate.
+    const FoveatedPolicy canonical = FoveatedPolicy::qvr();
+    EXPECT_FALSE(canonical.adaptiveQuality);
+    FoveatedPipeline p(spec().toConfig(), canonical);
+    const auto r = p.run(generateExperimentWorkload(spec(60)));
+    for (const auto &f : r.frames)
+        EXPECT_DOUBLE_EQ(f.peripheryQuality, 1.0);
+}
+
+}  // namespace
+}  // namespace qvr::core

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Fig. 14 behaviour: starting from e1 = 5, Q-VR's latency ratio
+ * T_remote/T_local starts high, converges toward balance, and the
+ * controller adapts across environments.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "core/qvr_system.hpp"
+
+namespace qvr::core
+{
+namespace
+{
+
+PipelineResult
+runQvr(const std::string &bench, net::ChannelConfig channel,
+       double freq_scale = 1.0, std::size_t frames = 300)
+{
+    ExperimentSpec spec;
+    spec.benchmark = bench;
+    spec.channel = channel;
+    spec.gpuFrequencyScale = freq_scale;
+    spec.numFrames = frames;
+    return runExperiment(DesignPoint::Qvr, spec);
+}
+
+double
+latencyRatio(const FrameStats &f)
+{
+    if (f.tLocalRender <= 0.0)
+        return 0.0;
+    return f.tRemoteBranch / f.tLocalRender;
+}
+
+TEST(Convergence, RatioStartsHighAndSettles)
+{
+    const PipelineResult r =
+        runQvr("HL2-H", net::ChannelConfig::wifi());
+    ASSERT_GE(r.frames.size(), 300u);
+
+    // First frames: small fovea renders fast locally while the
+    // remote path dominates -> ratio well above 1.
+    RunningStat early, late;
+    for (std::size_t i = 0; i < 10; i++)
+        early.add(latencyRatio(r.frames[i]));
+    for (std::size_t i = 200; i < 300; i++)
+        late.add(latencyRatio(r.frames[i]));
+
+    EXPECT_GT(early.mean(), 2.0);
+    EXPECT_LT(late.mean(), early.mean() / 1.5);
+    // Settled near balance (the remote branch carries fixed
+    // overheads, so "balanced" sits within a small band, not at 1).
+    EXPECT_GT(late.mean(), 0.4);
+    EXPECT_LT(late.mean(), 3.5);
+}
+
+TEST(Convergence, EccentricityGrowsFromInitialValue)
+{
+    const PipelineResult r =
+        runQvr("Doom3-H", net::ChannelConfig::wifi());
+    EXPECT_NEAR(r.frames.front().e1, 5.0, 5.0 + 1e-9);
+    RunningStat settled;
+    for (std::size_t i = 150; i < r.frames.size(); i++)
+        settled.add(r.frames[i].e1);
+    EXPECT_GT(settled.mean(), 10.0);
+}
+
+TEST(Convergence, SteadyStateIsStable)
+{
+    const PipelineResult r =
+        runQvr("UT3", net::ChannelConfig::wifi());
+    RunningStat e1;
+    for (std::size_t i = 150; i < r.frames.size(); i++)
+        e1.add(r.frames[i].e1);
+    // e1 keeps adapting to scene/motion but stays in a band rather
+    // than oscillating wall to wall.
+    EXPECT_LT(e1.stddev(), 0.5 * e1.mean());
+}
+
+TEST(Convergence, FasterNetworkShrinksFovea)
+{
+    // Table 4 column shape: early 5G gives smaller e1 than 4G LTE on
+    // the same benchmark/frequency (faster remote path -> offload
+    // more).
+    const double e1_lte =
+        runQvr("HL2-H", net::ChannelConfig::lte4g()).meanE1();
+    const double e1_5g =
+        runQvr("HL2-H", net::ChannelConfig::early5g()).meanE1();
+    EXPECT_LT(e1_5g, e1_lte);
+}
+
+TEST(Convergence, SlowerGpuShrinksFovea)
+{
+    // Table 4 row shape: at 300 MHz the SoC affords a smaller fovea
+    // than at 500 MHz.
+    const double e1_full =
+        runQvr("HL2-H", net::ChannelConfig::wifi(), 1.0).meanE1();
+    const double e1_slow =
+        runQvr("HL2-H", net::ChannelConfig::wifi(), 0.6).meanE1();
+    EXPECT_LT(e1_slow, e1_full);
+}
+
+TEST(Convergence, HeavierSceneShrinksFovea)
+{
+    // Table 4 row shape: GRID (heaviest) runs a smaller fovea than
+    // Doom3-L (lightest) under identical environments.
+    const double e1_grid =
+        runQvr("GRID", net::ChannelConfig::wifi()).meanE1();
+    const double e1_d3l =
+        runQvr("Doom3-L", net::ChannelConfig::wifi()).meanE1();
+    EXPECT_LT(e1_grid, e1_d3l);
+}
+
+TEST(Convergence, SwQvrConvergesSlowerThanLiwc)
+{
+    // The software controller sees stale measurements and pays CPU
+    // overhead: its early latency ratios stay unbalanced longer.
+    ExperimentSpec spec;
+    spec.benchmark = "HL2-H";
+    spec.numFrames = 60;
+    const PipelineResult hw = runExperiment(DesignPoint::Qvr, spec);
+    const PipelineResult sw = runExperiment(DesignPoint::SwQvr, spec);
+
+    auto settle_frame = [](const PipelineResult &r) {
+        for (std::size_t i = 0; i < r.frames.size(); i++) {
+            if (latencyRatio(r.frames[i]) < 2.0)
+                return i;
+        }
+        return r.frames.size();
+    };
+    EXPECT_LE(settle_frame(hw), settle_frame(sw));
+}
+
+}  // namespace
+}  // namespace qvr::core

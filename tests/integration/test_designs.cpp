@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Cross-design integration: every design point runs every Table-3
+ * benchmark and the qualitative ordering of Section 6 holds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/qvr_system.hpp"
+
+namespace qvr::core
+{
+namespace
+{
+
+PipelineResult
+runCell(DesignPoint d, const std::string &bench, std::size_t frames = 150)
+{
+    ExperimentSpec spec;
+    spec.benchmark = bench;
+    spec.numFrames = frames;
+    return runExperiment(d, spec);
+}
+
+class DesignsOnBenchmark
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(DesignsOnBenchmark, AllDesignsProduceValidFrames)
+{
+    const std::string bench = GetParam();
+    for (DesignPoint d : {DesignPoint::Local, DesignPoint::Remote,
+                          DesignPoint::Static, DesignPoint::Ffr,
+                          DesignPoint::Dfr, DesignPoint::SwQvr,
+                          DesignPoint::Qvr}) {
+        const PipelineResult r = runCell(d, bench, 80);
+        ASSERT_EQ(r.frames.size(), 80u) << designName(d);
+        for (const auto &f : r.frames) {
+            EXPECT_GT(f.mtpLatency, 0.0) << designName(d);
+            EXPECT_LT(f.mtpLatency, 1.0) << designName(d);
+            EXPECT_GE(f.energy.total(), 0.0) << designName(d);
+        }
+        EXPECT_GT(r.meanFps(), 5.0) << designName(d);
+        EXPECT_LE(r.meanFps(), 500.0) << designName(d);
+    }
+}
+
+TEST_P(DesignsOnBenchmark, QvrBeatsLocalBaseline)
+{
+    const std::string bench = GetParam();
+    const double base = runCell(DesignPoint::Local, bench).meanMtp();
+    const double qvr = runCell(DesignPoint::Qvr, bench).meanMtp();
+    EXPECT_LT(qvr, base) << bench;
+}
+
+TEST_P(DesignsOnBenchmark, QvrMeetsFrameRate)
+{
+    // Fig. 14(b): Q-VR sustains ~90 Hz on every benchmark under the
+    // default Wi-Fi / 500 MHz environment.
+    const PipelineResult r = runCell(DesignPoint::Qvr, GetParam());
+    EXPECT_GT(r.meanFps(), 80.0);
+}
+
+TEST_P(DesignsOnBenchmark, QvrTransmitsLessThanStatic)
+{
+    const std::string bench = GetParam();
+    const double st =
+        runCell(DesignPoint::Static, bench).meanTransmittedBytes();
+    const double qvr =
+        runCell(DesignPoint::Qvr, bench).meanTransmittedBytes();
+    EXPECT_LT(qvr, st * 0.5) << bench;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3, DesignsOnBenchmark,
+    ::testing::Values("Doom3-H", "Doom3-L", "HL2-H", "HL2-L", "GRID",
+                      "UT3", "Wolf"),
+    [](const ::testing::TestParamInfo<const char *> &param_info) {
+        std::string name = param_info.param;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(DesignOrdering, FoveatedDesignsImproveProgressively)
+{
+    // Fig. 12's qualitative ordering on a heavy benchmark:
+    // Local slowest; FFR well ahead of Local; DFR >= FFR; Q-VR best.
+    const std::string bench = "GRID";
+    const double local = runCell(DesignPoint::Local, bench).meanMtp();
+    const double ffr = runCell(DesignPoint::Ffr, bench).meanMtp();
+    const double dfr = runCell(DesignPoint::Dfr, bench).meanMtp();
+    const double qvr = runCell(DesignPoint::Qvr, bench).meanMtp();
+
+    EXPECT_LT(ffr, local / 1.4);
+    EXPECT_LT(dfr, ffr * 1.1);   // DFR ~1.1x over FFR
+    EXPECT_LT(qvr, dfr * 1.02);  // UCA adds on top
+}
+
+TEST(DesignOrdering, QvrFpsBeatsSoftwareImplementation)
+{
+    // Fig. 12's FPS comparison: hardware co-design beats the pure
+    // software Q-VR.
+    const std::string bench = "Wolf";
+    const double sw = runCell(DesignPoint::SwQvr, bench).meanFps();
+    const double hw = runCell(DesignPoint::Qvr, bench).meanFps();
+    EXPECT_GT(hw, sw);
+}
+
+}  // namespace
+}  // namespace qvr::core

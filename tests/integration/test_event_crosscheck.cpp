@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Cross-validation of the analytic busy-resource pipeline against an
+ * independent discrete-event simulation of the same stage graph.
+ *
+ * The pipelines compute completion times with the closed-form
+ * "completion = max(arrival, next-free) + service" recurrence; this
+ * test rebuilds the local-rendering design as explicit events on
+ * sim::EventQueue and requires the two formulations to agree
+ * exactly.  Any future change that breaks the queueing semantics of
+ * either layer fails here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipelines_baseline.hpp"
+#include "core/qvr_system.hpp"
+#include "sim/event_queue.hpp"
+
+namespace qvr::core
+{
+namespace
+{
+
+/**
+ * Event-driven re-implementation of LocalPipeline's stage graph:
+ * CPU (CL) -> GPU (render) -> GPU (ATW) -> display, with the same
+ * vsync-free issue rule.
+ */
+std::vector<Seconds>
+eventDrivenLocal(const PipelineConfig &cfg,
+                 const std::vector<scene::FrameWorkload> &frames)
+{
+    sim::EventQueue queue;
+    gpu::MobileGpuModel gpu_model(cfg.gpuConfig, cfg.gpuCost);
+
+    std::vector<Seconds> display_times(frames.size(), 0.0);
+    Seconds cpu_free = 0.0;
+    Seconds gpu_free = 0.0;
+    Seconds issue = 0.0;
+
+    for (std::size_t i = 0; i < frames.size(); i++) {
+        gpu::RenderJob job;
+        job.triangles = frames[i].totalTriangles() * 2;
+        job.shadedPixels =
+            static_cast<double>(cfg.benchmark.pixelsPerEye()) * 2.0;
+        job.batches = cfg.benchmark.numBatches * 2;
+        job.shadingCost = cfg.benchmark.shadingCost;
+        job.frequencyScale = cfg.gpuFrequencyScale;
+        const Seconds t_render = gpu_model.renderSeconds(job);
+        const Seconds t_atw =
+            gpu::postprocess::atwTime(gpu_model, job.shadedPixels,
+                                      cfg.postCosts) /
+            cfg.gpuFrequencyScale;
+
+        // CL on the CPU.
+        const Seconds cpu_start = std::max(issue, cpu_free);
+        const Seconds cpu_done = cpu_start + cfg.controlLogicTime;
+        cpu_free = cpu_done;
+
+        // Render then ATW on the GPU, as events.
+        const Seconds render_start = std::max(cpu_done, gpu_free);
+        const Seconds render_done = render_start + t_render;
+        const Seconds atw_done = render_done + t_atw;
+        gpu_free = atw_done;
+
+        queue.schedule(atw_done, [&display_times, i, atw_done, &cfg] {
+            display_times[i] = atw_done + cfg.displayLatency;
+        });
+
+        issue = std::max(issue + 0.2e-3, gpu_free);
+    }
+    queue.run();
+    return display_times;
+}
+
+TEST(EventCrosscheck, LocalPipelineMatchesEventSimulation)
+{
+    ExperimentSpec spec;
+    spec.benchmark = "HL2-H";
+    spec.numFrames = 60;
+    const auto workload = generateExperimentWorkload(spec);
+    const PipelineConfig cfg = spec.toConfig();
+
+    LocalPipeline analytic(cfg);
+    const PipelineResult a = analytic.run(workload);
+    const std::vector<Seconds> b = eventDrivenLocal(cfg, workload);
+
+    ASSERT_EQ(a.frames.size(), b.size());
+    for (std::size_t i = 0; i < b.size(); i++) {
+        EXPECT_NEAR(a.frames[i].displayTime, b[i], 1e-12)
+            << "frame " << i;
+    }
+}
+
+TEST(EventCrosscheck, HoldsAcrossBenchmarks)
+{
+    for (const char *bench : {"Doom3-L", "GRID"}) {
+        ExperimentSpec spec;
+        spec.benchmark = bench;
+        spec.numFrames = 25;
+        const auto workload = generateExperimentWorkload(spec);
+        const PipelineConfig cfg = spec.toConfig();
+
+        LocalPipeline analytic(cfg);
+        const PipelineResult a = analytic.run(workload);
+        const std::vector<Seconds> b =
+            eventDrivenLocal(cfg, workload);
+        for (std::size_t i = 0; i < b.size(); i++) {
+            EXPECT_NEAR(a.frames[i].displayTime, b[i], 1e-12)
+                << bench << " frame " << i;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace qvr::core

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Failure injection: packet loss, bandwidth collapse, hard outages —
+ * and the UCA reprojection fallback that keeps frames flowing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline_foveated.hpp"
+#include "core/qvr_system.hpp"
+
+namespace qvr::core
+{
+namespace
+{
+
+ExperimentSpec
+spec(std::size_t frames = 200)
+{
+    ExperimentSpec s;
+    s.benchmark = "HL2-H";
+    s.numFrames = frames;
+    return s;
+}
+
+TEST(FailureInjection, PacketLossDegradesGracefully)
+{
+    const auto workload = generateExperimentWorkload(spec());
+
+    FoveatedPipeline clean(spec().toConfig(), FoveatedPolicy::qvr());
+    const PipelineResult base = clean.run(workload);
+
+    auto lossy_cfg = spec().toConfig();
+    lossy_cfg.channelConfig.packetLoss = 0.05;
+    FoveatedPipeline lossy(lossy_cfg, FoveatedPolicy::qvr());
+    const PipelineResult hit = lossy.run(workload);
+
+    // Loss costs latency but the controller re-balances: still
+    // functional, no collapse.
+    EXPECT_GT(hit.meanMtp(), base.meanMtp());
+    EXPECT_LT(hit.meanMtp(), base.meanMtp() * 2.0);
+    EXPECT_GT(hit.meanFps(), 45.0);
+    // The controller pushes work local to compensate.
+    EXPECT_GT(hit.meanE1(), base.meanE1() * 0.95);
+}
+
+TEST(FailureInjection, BandwidthCollapseRebalancesE1)
+{
+    const auto workload = generateExperimentWorkload(spec(400));
+    FoveatedPipeline qvr(spec(400).toConfig(), FoveatedPolicy::qvr());
+
+    double e1_before = 0.0, e1_after = 0.0;
+    std::size_t n_before = 0, n_after = 0;
+    for (const auto &frame : workload) {
+        if (frame.index == 200)
+            qvr.channel().setNominalDownlink(fromMbps(40.0));
+        const FrameStats s = qvr.step(frame);
+        if (frame.index >= 100 && frame.index < 200) {
+            e1_before += s.e1;
+            n_before++;
+        }
+        if (frame.index >= 300) {
+            e1_after += s.e1;
+            n_after++;
+        }
+    }
+    e1_before /= static_cast<double>(n_before);
+    e1_after /= static_cast<double>(n_after);
+    // Slow link -> remote path costlier -> bigger local fovea.
+    EXPECT_GT(e1_after, e1_before + 3.0);
+}
+
+TEST(FailureInjection, OutageTriggersReprojectionFallback)
+{
+    const auto workload = generateExperimentWorkload(spec());
+    FoveatedPipeline qvr(spec().toConfig(), FoveatedPolicy::qvr());
+
+    std::size_t reprojected = 0;
+    double worst_interval = 0.0;
+    for (const auto &frame : workload) {
+        if (frame.index == 100)
+            qvr.channel().injectOutage(0.200);  // 200 ms blackout
+        const FrameStats s = qvr.step(frame);
+        if (s.reprojected) {
+            reprojected++;
+            EXPECT_GT(s.reprojectionErrorDeg, 0.0);
+        }
+        if (frame.index > 50)
+            worst_interval = std::max(worst_interval,
+                                      s.frameInterval);
+    }
+    EXPECT_EQ(qvr.reprojectedFrames(), reprojected);
+    EXPECT_GE(reprojected, 1u);
+    // The fallback fills in frames: display cadence never stalls for
+    // the whole 200 ms outage.
+    EXPECT_LT(worst_interval, 0.15);
+}
+
+TEST(FailureInjection, WithoutFallbackOutageStallsDisplay)
+{
+    const auto workload = generateExperimentWorkload(spec());
+    FoveatedPolicy no_fallback = FoveatedPolicy::qvr();
+    no_fallback.reprojectionDeadline = 0.0;
+    FoveatedPipeline qvr(spec().toConfig(), no_fallback);
+
+    double worst_interval = 0.0;
+    for (const auto &frame : workload) {
+        if (frame.index == 100)
+            qvr.channel().injectOutage(0.200);
+        const FrameStats s = qvr.step(frame);
+        EXPECT_FALSE(s.reprojected);
+        if (frame.index > 50)
+            worst_interval = std::max(worst_interval,
+                                      s.frameInterval);
+    }
+    // The stalled transfer shows up as a display gap.
+    EXPECT_GT(worst_interval, 0.15);
+}
+
+TEST(FailureInjection, ReprojectionErrorAccumulatesWhileStale)
+{
+    const auto workload = generateExperimentWorkload(spec());
+    FoveatedPipeline qvr(spec().toConfig(), FoveatedPolicy::qvr());
+
+    double prev_error = 0.0;
+    bool in_stale_run = false;
+    bool saw_accumulation = false;
+    for (const auto &frame : workload) {
+        if (frame.index == 100)
+            qvr.channel().injectOutage(0.300);
+        const FrameStats s = qvr.step(frame);
+        if (s.reprojected) {
+            if (in_stale_run && s.reprojectionErrorDeg > prev_error)
+                saw_accumulation = true;
+            prev_error = s.reprojectionErrorDeg;
+            in_stale_run = true;
+        } else {
+            in_stale_run = false;
+            prev_error = 0.0;
+        }
+    }
+    EXPECT_TRUE(saw_accumulation);
+}
+
+TEST(FailureInjection, RecoveryAfterOutageIsClean)
+{
+    const auto workload = generateExperimentWorkload(spec(300));
+    FoveatedPipeline qvr(spec(300).toConfig(), FoveatedPolicy::qvr());
+
+    std::size_t late_reprojections = 0;
+    for (const auto &frame : workload) {
+        if (frame.index == 100)
+            qvr.channel().injectOutage(0.100);
+        const FrameStats s = qvr.step(frame);
+        if (frame.index > 200 && s.reprojected)
+            late_reprojections++;
+    }
+    EXPECT_EQ(late_reprojections, 0u);
+}
+
+}  // namespace
+}  // namespace qvr::core

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The paper's headline quantitative *shapes* (Section 6), with
+ * generous tolerance: our substrate is a calibrated model, not the
+ * authors' testbed, so we pin directions and rough magnitudes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/qvr_system.hpp"
+
+namespace qvr::core
+{
+namespace
+{
+
+std::vector<PipelineResult>
+runAll(DesignPoint d, std::size_t frames = 200)
+{
+    std::vector<PipelineResult> out;
+    for (const auto &b : scene::table3Benchmarks()) {
+        ExperimentSpec spec;
+        spec.benchmark = b.name;
+        spec.numFrames = frames;
+        out.push_back(runExperiment(d, spec));
+    }
+    return out;
+}
+
+TEST(PaperShapes, QvrSpeedupOverLocalBaseline)
+{
+    // Paper: 3.4x mean (up to 6.7x) end-to-end speedup over Local.
+    const auto base = runAll(DesignPoint::Local);
+    const auto qvr = runAll(DesignPoint::Qvr);
+    const double mean = meanSpeedup(base, qvr);
+    EXPECT_GT(mean, 2.0);
+    EXPECT_LT(mean, 6.0);
+
+    double best = 0.0;
+    for (std::size_t i = 0; i < base.size(); i++)
+        best = std::max(best, base[i].meanMtp() / qvr[i].meanMtp());
+    EXPECT_GT(best, 3.0);   // some benchmark gains a lot more
+}
+
+TEST(PaperShapes, FfrSpeedupOverBaseline)
+{
+    // Paper: FFR ~1.75x mean over Baseline.
+    const auto base = runAll(DesignPoint::Local);
+    const auto ffr = runAll(DesignPoint::Ffr);
+    const double mean = meanSpeedup(base, ffr);
+    EXPECT_GT(mean, 1.2);
+    EXPECT_LT(mean, 4.0);
+}
+
+TEST(PaperShapes, QvrFpsGainOverStatic)
+{
+    // Paper: 4.1x frame-rate improvement over Static.
+    const auto st = runAll(DesignPoint::Static);
+    const auto qvr = runAll(DesignPoint::Qvr);
+    double ratio = 0.0;
+    for (std::size_t i = 0; i < st.size(); i++)
+        ratio += qvr[i].meanFps() / st[i].meanFps();
+    ratio /= static_cast<double>(st.size());
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 7.0);
+}
+
+TEST(PaperShapes, QvrFpsGainOverSoftware)
+{
+    // Paper: 2.8x FPS over the pure software implementation.
+    const auto sw = runAll(DesignPoint::SwQvr);
+    const auto qvr = runAll(DesignPoint::Qvr);
+    double ratio = 0.0;
+    for (std::size_t i = 0; i < sw.size(); i++)
+        ratio += qvr[i].meanFps() / sw[i].meanFps();
+    ratio /= static_cast<double>(sw.size());
+    EXPECT_GT(ratio, 1.0);
+}
+
+TEST(PaperShapes, TransmittedDataReductionVsRemote)
+{
+    // Fig. 13: Q-VR cuts transmitted data by ~85% vs. remote-only
+    // (static cuts ~nothing).
+    const auto remote = runAll(DesignPoint::Remote, 120);
+    const auto qvr = runAll(DesignPoint::Qvr, 120);
+    double reduction = 0.0;
+    for (std::size_t i = 0; i < remote.size(); i++) {
+        reduction += 1.0 - qvr[i].meanTransmittedBytes() /
+                               remote[i].meanTransmittedBytes();
+    }
+    reduction /= static_cast<double>(remote.size());
+    EXPECT_GT(reduction, 0.60);
+    EXPECT_LT(reduction, 0.99);
+}
+
+TEST(PaperShapes, ResolutionReductionModerate)
+{
+    // Fig. 13: ~41% mean resolution reduction (linear metric), with
+    // light benchmarks reduced far less (Doom3-L: ~7%).
+    const auto qvr = runAll(DesignPoint::Qvr, 120);
+    double reduction = 0.0;
+    double d3l_reduction = -1.0;
+    for (const auto &r : qvr) {
+        const double red = 1.0 - r.meanResolutionFraction();
+        reduction += red;
+        if (r.benchmark == "Doom3-L")
+            d3l_reduction = red;
+    }
+    reduction /= static_cast<double>(qvr.size());
+    EXPECT_GT(reduction, 0.20);
+    EXPECT_LT(reduction, 0.65);
+    // The lightest workload keeps most of its frame local and
+    // reduces resolution the least.
+    EXPECT_LT(d3l_reduction, reduction);
+}
+
+TEST(PaperShapes, EnergyReductionVsLocal)
+{
+    // Fig. 15: ~73% mean energy reduction over local-only rendering.
+    const auto base = runAll(DesignPoint::Local, 120);
+    const auto qvr = runAll(DesignPoint::Qvr, 120);
+    double reduction = 0.0;
+    for (std::size_t i = 0; i < base.size(); i++)
+        reduction += 1.0 - qvr[i].meanEnergy() / base[i].meanEnergy();
+    reduction /= static_cast<double>(base.size());
+    EXPECT_GT(reduction, 0.35);
+    EXPECT_LT(reduction, 0.95);
+}
+
+TEST(PaperShapes, Table1StaticLocalLatencyCanExceedBudget)
+{
+    // Table 1 / Challenge I: static collaboration's local rendering
+    // of interactive objects can blow the 11 ms budget on its own.
+    ExperimentSpec spec;
+    spec.benchmark = "Foveated3D";
+    spec.numFrames = 300;
+    const PipelineResult r = runExperiment(DesignPoint::Static, spec);
+    double max_local = 0.0;
+    for (const auto &f : r.frames)
+        max_local = std::max(max_local, f.tLocalRender);
+    EXPECT_GT(max_local, vr_requirements::kFrameBudget);
+}
+
+}  // namespace
+}  // namespace qvr::core

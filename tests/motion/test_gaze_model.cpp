@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Gaze model: fixation/saccade alternation, amplitude limits,
+ * oculomotor range, central bias.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "motion/gaze_model.hpp"
+
+namespace qvr::motion
+{
+namespace
+{
+
+TEST(GazeModel, StaysWithinOculomotorRange)
+{
+    GazeModelConfig cfg;
+    GazeModel g(cfg, Rng(3));
+    for (int i = 0; i < 50000; i++) {
+        const GazeAngles &a = g.step(0.002);
+        ASSERT_LE(std::abs(a.x), cfg.gazeRangeH + 1.0);
+        ASSERT_LE(std::abs(a.y), cfg.gazeRangeV + 1.0);
+    }
+}
+
+TEST(GazeModel, SaccadesHappenAtPlausibleRate)
+{
+    GazeModelConfig cfg;
+    GazeModel g(cfg, Rng(5));
+    const double seconds = 60.0;
+    const double dt = 0.002;
+    for (int i = 0; i < static_cast<int>(seconds / dt); i++)
+        g.step(dt);
+    // Humans make ~1-4 saccades/s with 300 ms mean fixations.
+    const double rate = static_cast<double>(g.saccadeCount()) / seconds;
+    EXPECT_GT(rate, 0.5);
+    EXPECT_LT(rate, 5.0);
+}
+
+TEST(GazeModel, FixationDriftIsSmall)
+{
+    GazeModelConfig cfg;
+    cfg.fixationMeanDuration = 1000.0;  // never saccade
+    GazeModel g(cfg, Rng(6));
+    const GazeAngles start = g.gaze();
+    for (int i = 0; i < 500; i++)  // 1 s of fixation
+        g.step(0.002);
+    EXPECT_LT((g.gaze() - start).norm(), 2.0);
+    EXPECT_EQ(g.saccadeCount(), 0u);
+}
+
+TEST(GazeModel, SaccadeIsBallistic)
+{
+    // During a saccade, per-step displacement peaks far above the
+    // fixation drift level.
+    GazeModelConfig cfg;
+    GazeModel g(cfg, Rng(7));
+    RunningStat step_move;
+    GazeAngles prev = g.gaze();
+    for (int i = 0; i < 20000; i++) {
+        const GazeAngles &now = g.step(0.002);
+        step_move.add((now - prev).norm());
+        prev = now;
+    }
+    // Peak instantaneous speed must far exceed the mean.
+    EXPECT_GT(step_move.max(), step_move.mean() * 10.0);
+}
+
+TEST(GazeModel, CentralBiasKeepsMeanNearCentre)
+{
+    GazeModelConfig cfg;
+    GazeModel g(cfg, Rng(8));
+    RunningStat x, y;
+    for (int i = 0; i < 100000; i++) {
+        const GazeAngles &a = g.step(0.002);
+        x.add(a.x);
+        y.add(a.y);
+    }
+    EXPECT_LT(std::abs(x.mean()), 8.0);
+    EXPECT_LT(std::abs(y.mean()), 8.0);
+}
+
+TEST(GazeModel, InSaccadeFlagTogglesWithMotion)
+{
+    GazeModelConfig cfg;
+    cfg.fixationMeanDuration = 0.02;
+    GazeModel g(cfg, Rng(9));
+    bool saw_saccade = false;
+    bool saw_fixation = false;
+    for (int i = 0; i < 5000; i++) {
+        g.step(0.002);
+        (g.inSaccade() ? saw_saccade : saw_fixation) = true;
+    }
+    EXPECT_TRUE(saw_saccade);
+    EXPECT_TRUE(saw_fixation);
+}
+
+}  // namespace
+}  // namespace qvr::motion

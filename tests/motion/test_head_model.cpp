@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Head-motion model: determinism, stationarity, limits, turn events.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "motion/head_model.hpp"
+
+namespace qvr::motion
+{
+namespace
+{
+
+TEST(HeadMotionModel, DeterministicForSeed)
+{
+    HeadModelConfig cfg;
+    HeadMotionModel a(cfg, Rng(9));
+    HeadMotionModel b(cfg, Rng(9));
+    for (int i = 0; i < 200; i++) {
+        a.step(0.011);
+        b.step(0.011);
+    }
+    EXPECT_EQ(a.pose().orientation, b.pose().orientation);
+    EXPECT_EQ(a.pose().position, b.pose().position);
+}
+
+TEST(HeadMotionModel, PitchAndRollStayBounded)
+{
+    HeadModelConfig cfg;
+    HeadMotionModel m(cfg, Rng(4));
+    for (int i = 0; i < 20000; i++) {
+        const HeadPose &p = m.step(0.005);
+        ASSERT_LE(std::abs(p.orientation.y), cfg.pitchLimit + 1e-9);
+        ASSERT_LE(std::abs(p.orientation.z), cfg.rollLimit + 1e-9);
+    }
+}
+
+TEST(HeadMotionModel, AngularSpeedStationaryScale)
+{
+    // The OU process should keep angular speed around its stationary
+    // sigma, not diverge.
+    HeadModelConfig cfg;
+    cfg.turnRate = 0.0;  // isolate the OU part
+    HeadMotionModel m(cfg, Rng(12));
+    RunningStat speed;
+    for (int i = 0; i < 20000; i++) {
+        m.step(0.005);
+        if (i > 1000)
+            speed.add(m.angularSpeed());
+    }
+    // |(wx, wy, wz)| with sigmas (30, 18, 9): mean of order ~30-40.
+    EXPECT_GT(speed.mean(), 10.0);
+    EXPECT_LT(speed.mean(), 80.0);
+}
+
+TEST(HeadMotionModel, TurnsProduceLargeYawExcursions)
+{
+    HeadModelConfig calm;
+    calm.turnRate = 0.0;
+    calm.angularSigma = 5.0;
+    HeadModelConfig turny = calm;
+    turny.turnRate = 2.0;  // frequent rapid turns
+
+    HeadMotionModel a(calm, Rng(5));
+    HeadMotionModel b(turny, Rng(5));
+    RunningStat yaw_rate_a, yaw_rate_b;
+    double prev_a = 0.0, prev_b = 0.0;
+    for (int i = 0; i < 5000; i++) {
+        const double ya = a.step(0.011).orientation.x;
+        const double yb = b.step(0.011).orientation.x;
+        if (i) {
+            yaw_rate_a.add(std::abs(ya - prev_a) / 0.011);
+            yaw_rate_b.add(std::abs(yb - prev_b) / 0.011);
+        }
+        prev_a = ya;
+        prev_b = yb;
+    }
+    EXPECT_GT(yaw_rate_b.max(), yaw_rate_a.max() * 2.0);
+}
+
+TEST(HeadMotionModel, PositionDriftsSlowly)
+{
+    HeadModelConfig cfg;
+    HeadMotionModel m(cfg, Rng(8));
+    for (int i = 0; i < 9000; i++)  // ~45 s
+        m.step(0.005);
+    // A standing VR user wanders but stays room-scale.
+    EXPECT_LT(m.pose().position.norm(), 10.0);
+}
+
+TEST(HeadMotionModelDeath, NonPositiveDtPanics)
+{
+    HeadMotionModel m(HeadModelConfig{}, Rng(1));
+    EXPECT_DEATH(m.step(0.0), "non-positive dt");
+}
+
+}  // namespace
+}  // namespace qvr::motion

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Frame-aligned trace generation: shape, determinism, deltas,
+ * interaction episodes, sensor-vs-truth error bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "motion/trace.hpp"
+
+namespace qvr::motion
+{
+namespace
+{
+
+TEST(MotionTrace, ShapeAndTimestamps)
+{
+    TraceConfig cfg;
+    cfg.numFrames = 90;
+    cfg.frameRate = 90.0;
+    const MotionTrace t = generateTrace(cfg);
+    ASSERT_EQ(t.size(), 90u);
+    ASSERT_EQ(t.groundTruth.size(), 90u);
+    for (std::size_t i = 1; i < t.size(); i++) {
+        EXPECT_NEAR(t.samples[i].timestamp -
+                        t.samples[i - 1].timestamp,
+                    1.0 / 90.0, 1e-9);
+    }
+}
+
+TEST(MotionTrace, DeterministicInSeed)
+{
+    TraceConfig cfg;
+    cfg.numFrames = 50;
+    cfg.seed = 77;
+    const MotionTrace a = generateTrace(cfg);
+    const MotionTrace b = generateTrace(cfg);
+    for (std::size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a.samples[i].head.orientation,
+                  b.samples[i].head.orientation);
+        EXPECT_EQ(a.samples[i].gaze, b.samples[i].gaze);
+    }
+}
+
+TEST(MotionTrace, DifferentSeedsDiffer)
+{
+    TraceConfig cfg;
+    cfg.numFrames = 50;
+    cfg.seed = 1;
+    const MotionTrace a = generateTrace(cfg);
+    cfg.seed = 2;
+    const MotionTrace b = generateTrace(cfg);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < a.size(); i++) {
+        diff += std::abs(a.samples[i].head.orientation.x -
+                         b.samples[i].head.orientation.x);
+    }
+    EXPECT_GT(diff, 1.0);
+}
+
+TEST(MotionTrace, DeltaAtMatchesSamples)
+{
+    TraceConfig cfg;
+    cfg.numFrames = 20;
+    const MotionTrace t = generateTrace(cfg);
+    const MotionDelta d0 = t.deltaAt(0);
+    EXPECT_DOUBLE_EQ(d0.dGaze.norm(), 0.0);
+    const MotionDelta d5 = t.deltaAt(5);
+    EXPECT_NEAR(d5.dOrientation.x,
+                t.samples[5].head.orientation.x -
+                    t.samples[4].head.orientation.x,
+                1e-12);
+}
+
+TEST(MotionTrace, SensorLagsTruth)
+{
+    // The delivered gaze must lag ground truth: correlation of the
+    // sensor stream with truth shifted back should beat unshifted.
+    TraceConfig cfg;
+    cfg.numFrames = 2000;
+    cfg.seed = 3;
+    const MotionTrace t = generateTrace(cfg);
+    RunningStat err_now, err_lag;
+    for (std::size_t i = 2; i < t.size(); i++) {
+        err_now.add(std::abs(t.samples[i].gaze.x -
+                             t.groundTruth[i].gaze.x));
+        err_lag.add(std::abs(t.samples[i].gaze.x -
+                             t.groundTruth[i - 1].gaze.x));
+    }
+    EXPECT_LT(err_lag.mean(), err_now.mean() * 1.25);
+}
+
+TEST(MotionTrace, InteractionEpisodesOccur)
+{
+    TraceConfig cfg;
+    cfg.numFrames = 5000;
+    cfg.interactionRate = 0.5;
+    cfg.interactionDuration = 1.0;
+    cfg.seed = 4;
+    const MotionTrace t = generateTrace(cfg);
+    std::size_t interacting = 0;
+    for (const auto &s : t.samples) {
+        if (s.interacting)
+            interacting++;
+    }
+    const double frac =
+        static_cast<double>(interacting) / static_cast<double>(t.size());
+    EXPECT_GT(frac, 0.02);
+    EXPECT_LT(frac, 0.9);
+}
+
+TEST(MotionTrace, HeadSpeedSummaryNonNegative)
+{
+    TraceConfig cfg;
+    cfg.numFrames = 100;
+    const MotionTrace t = generateTrace(cfg);
+    for (std::size_t i = 0; i < t.size(); i++)
+        EXPECT_GE(t.deltaAt(i).headSpeed(), 0.0);
+}
+
+}  // namespace
+}  // namespace qvr::motion

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Sensor front-ends: own-frequency sampling, transport latency,
+ * bounded noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "motion/tracker.hpp"
+
+namespace qvr::motion
+{
+namespace
+{
+
+TEST(EyeTracker, DeliversWithTransportLatency)
+{
+    EyeTrackerConfig cfg;
+    cfg.accuracyDeg = 0.0;  // isolate the latency path
+    cfg.jitterDeg = 0.0;
+    EyeTracker t(cfg, Rng(1));
+
+    t.observe(0.000, GazeAngles{1.0, 0.0});
+    // Before the transport latency elapses, nothing newer than the
+    // (only) old sample is visible — the tracker returns its oldest
+    // knowledge.
+    t.observe(0.010, GazeAngles{2.0, 0.0});
+    const GazeAngles at_11ms = t.delivered(0.011);
+    EXPECT_DOUBLE_EQ(at_11ms.x, 1.0);  // 10 ms sample not yet visible
+    const GazeAngles at_13ms = t.delivered(0.013);
+    EXPECT_DOUBLE_EQ(at_13ms.x, 2.0);  // now it is
+}
+
+TEST(EyeTracker, SamplesAtOwnFrequencyOnly)
+{
+    EyeTrackerConfig cfg;
+    cfg.sampleRate = 100.0;  // 10 ms period
+    cfg.accuracyDeg = 0.0;
+    cfg.jitterDeg = 0.0;
+    EyeTracker t(cfg, Rng(2));
+
+    t.observe(0.000, GazeAngles{1.0, 0.0});
+    t.observe(0.005, GazeAngles{5.0, 0.0});  // between samples: dropped
+    t.observe(0.010, GazeAngles{2.0, 0.0});
+    EXPECT_DOUBLE_EQ(t.delivered(0.05).x, 2.0);
+}
+
+TEST(EyeTracker, NoiseMatchesAccuracySpec)
+{
+    EyeTrackerConfig cfg;
+    cfg.accuracyDeg = 1.0;
+    cfg.transportLatency = 0.0;
+    EyeTracker t(cfg, Rng(3));
+    RunningStat err;
+    Seconds now = 0.0;
+    for (int i = 0; i < 5000; i++) {
+        now += t.samplePeriod();
+        t.observe(now, GazeAngles{3.0, -2.0});
+        const GazeAngles d = t.delivered(now);
+        err.add(std::hypot(d.x - 3.0, d.y + 2.0));
+    }
+    // RMS angular error ~ accuracyDeg.
+    const double rms = std::sqrt(err.mean() * err.mean() +
+                                 err.variance());
+    EXPECT_GT(rms, 0.5);
+    EXPECT_LT(rms, 1.6);
+}
+
+TEST(MotionSensor, DeliversLatestVisiblePose)
+{
+    MotionSensorConfig cfg;
+    cfg.positionNoise = 0.0;
+    cfg.orientationNoise = 0.0;
+    MotionSensor s(cfg, Rng(4));
+
+    HeadPose p1;
+    p1.orientation.x = 10.0;
+    HeadPose p2;
+    p2.orientation.x = 20.0;
+    s.observe(0.000, p1);
+    s.observe(0.002, p2);
+    EXPECT_DOUBLE_EQ(s.delivered(0.0021).orientation.x, 10.0);
+}
+
+TEST(MotionSensor, EmptyHistoryReturnsDefault)
+{
+    MotionSensor s(MotionSensorConfig{}, Rng(5));
+    const HeadPose p = s.delivered(1.0);
+    EXPECT_DOUBLE_EQ(p.orientation.x, 0.0);
+}
+
+TEST(MotionSensor, HistoryStaysBounded)
+{
+    MotionSensorConfig cfg;
+    MotionSensor s(cfg, Rng(6));
+    Seconds now = 0.0;
+    for (int i = 0; i < 100000; i++) {
+        now += s.samplePeriod();
+        s.observe(now, HeadPose{});
+    }
+    // Just verifying this doesn't blow up memory / stay responsive.
+    SUCCEED();
+}
+
+}  // namespace
+}  // namespace qvr::motion

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Channel model: presets, serialisation-time scaling, SNR jitter,
+ * ACK-visible throughput estimation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "net/channel.hpp"
+
+namespace qvr::net
+{
+namespace
+{
+
+TEST(ChannelConfig, Table2Presets)
+{
+    EXPECT_DOUBLE_EQ(ChannelConfig::wifi().nominalDownlink,
+                     fromMbps(200.0));
+    EXPECT_DOUBLE_EQ(ChannelConfig::lte4g().nominalDownlink,
+                     fromMbps(100.0));
+    EXPECT_DOUBLE_EQ(ChannelConfig::early5g().nominalDownlink,
+                     fromMbps(500.0));
+    EXPECT_GT(ChannelConfig::lte4g().baseLatency,
+              ChannelConfig::wifi().baseLatency);
+}
+
+TEST(Channel, TransferTimeScalesWithPayload)
+{
+    ChannelConfig cfg = ChannelConfig::wifi();
+    cfg.snrDb = 200.0;  // effectively noiseless
+    Channel ch(cfg, Rng(1));
+    const Seconds t1 = ch.transfer(fromKiB(100)).duration;
+    const Seconds t4 = ch.transfer(fromKiB(400)).duration;
+    const Seconds base = cfg.baseLatency;
+    EXPECT_NEAR(t4 - base, (t1 - base) * 4.0, (t1 - base) * 0.02);
+}
+
+TEST(Channel, NoiselessMatchesAnalyticFormula)
+{
+    ChannelConfig cfg = ChannelConfig::wifi();
+    cfg.snrDb = 300.0;
+    Channel ch(cfg, Rng(2));
+    const Bytes payload = fromKiB(530);
+    const Seconds t = ch.transfer(payload).duration;
+    const double expected =
+        cfg.baseLatency + static_cast<double>(payload) * 8.0 /
+                              (cfg.nominalDownlink *
+                               cfg.protocolEfficiency);
+    EXPECT_NEAR(t, expected, expected * 0.01);
+}
+
+TEST(Channel, Table1ClassTransferLatency)
+{
+    // A ~530 KB compressed background over Wi-Fi lands around the
+    // ~31 ms Table 1 reports.
+    Channel ch(ChannelConfig::wifi(), Rng(3));
+    RunningStat t;
+    for (int i = 0; i < 200; i++)
+        t.add(toMs(ch.transfer(fromKiB(530)).duration));
+    EXPECT_GT(t.mean(), 22.0);
+    EXPECT_LT(t.mean(), 45.0);
+}
+
+TEST(Channel, SnrControlsJitter)
+{
+    ChannelConfig noisy = ChannelConfig::wifi();
+    noisy.snrDb = 10.0;
+    ChannelConfig clean = ChannelConfig::wifi();
+    clean.snrDb = 40.0;
+
+    Channel a(noisy, Rng(4));
+    Channel b(clean, Rng(4));
+    RunningStat ga, gb;
+    for (int i = 0; i < 2000; i++) {
+        ga.add(a.transfer(fromKiB(100)).goodput);
+        gb.add(b.transfer(fromKiB(100)).goodput);
+    }
+    const double cv_a = ga.stddev() / ga.mean();
+    const double cv_b = gb.stddev() / gb.mean();
+    EXPECT_GT(cv_a, cv_b * 3.0);
+    // 20 dB default should sit near 10% relative jitter.
+    Channel c(ChannelConfig::wifi(), Rng(5));
+    RunningStat gc;
+    for (int i = 0; i < 2000; i++)
+        gc.add(c.transfer(fromKiB(100)).goodput);
+    EXPECT_NEAR(gc.stddev() / gc.mean(), 0.10, 0.04);
+}
+
+TEST(Channel, AckThroughputTracksGoodput)
+{
+    Channel ch(ChannelConfig::wifi(), Rng(6));
+    // Before any transfer: derated nominal.
+    EXPECT_NEAR(ch.ackThroughput(),
+                fromMbps(200.0) * 0.67, fromMbps(1.0));
+    RunningStat g;
+    for (int i = 0; i < 500; i++)
+        g.add(ch.transfer(fromKiB(200)).goodput);
+    EXPECT_NEAR(ch.ackThroughput(), g.mean(), g.mean() * 0.25);
+}
+
+TEST(Channel, GoodputNeverCollapses)
+{
+    ChannelConfig cfg = ChannelConfig::wifi();
+    cfg.snrDb = 3.0;  // terrible link
+    Channel ch(cfg, Rng(7));
+    for (int i = 0; i < 5000; i++) {
+        EXPECT_GE(ch.transfer(fromKiB(10)).goodput,
+                  cfg.nominalDownlink * cfg.protocolEfficiency * 0.3);
+    }
+}
+
+}  // namespace
+}  // namespace qvr::net

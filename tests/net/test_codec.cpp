@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Codec rate model: Table-1 size calibration, subsampling and depth
+ * effects, decode/encode latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/codec.hpp"
+
+namespace qvr::net
+{
+namespace
+{
+
+TEST(VideoCodec, Table1CompressedSizeCalibration)
+{
+    // Full-resolution stereo 1920x2160 photoreal frames compress to
+    // ~480-650 KB in Table 1.
+    VideoCodec codec;
+    const double stereo_px = 2.0 * 1920.0 * 2160.0;
+    const Bytes typical = codec.compressedSize(stereo_px, 1.0, 1.0);
+    EXPECT_GT(typical, fromKiB(400));
+    EXPECT_LT(typical, fromKiB(750));
+}
+
+TEST(VideoCodec, ComplexityScalesSize)
+{
+    VideoCodec codec;
+    const Bytes calm = codec.compressedSize(1e6, 0.8, 1.0);
+    const Bytes busy = codec.compressedSize(1e6, 1.3, 1.0);
+    EXPECT_NEAR(static_cast<double>(busy),
+                static_cast<double>(calm) * 1.3 / 0.8,
+                static_cast<double>(calm) * 0.01);
+}
+
+TEST(VideoCodec, SubsampledLayersCompressBetterPerPixel)
+{
+    VideoCodec codec;
+    const Bytes native = codec.compressedSize(1e6, 1.0, 1.0);
+    const Bytes coarse = codec.compressedSize(1e6, 1.0, 3.0);
+    EXPECT_LT(coarse, native);
+    // ...but not absurdly so (exponent 0.3 -> ~28% smaller at s=3).
+    EXPECT_GT(static_cast<double>(coarse),
+              static_cast<double>(native) * 0.6);
+}
+
+TEST(VideoCodec, DepthMapAddsBytes)
+{
+    VideoCodec codec;
+    const Bytes rgb = codec.compressedSize(1e6, 1.0, 1.0, false);
+    const Bytes with_depth = codec.compressedSize(1e6, 1.0, 1.0, true);
+    EXPECT_GT(with_depth, rgb);
+    const double extra_bits =
+        static_cast<double>(with_depth - rgb) * 8.0 / 1e6;
+    EXPECT_NEAR(extra_bits, 0.10, 0.01);
+}
+
+TEST(VideoCodec, DecodeFasterThanBudgetForPeriphery)
+{
+    // Periphery layers (~1 Mpixel after subsampling) must decode in
+    // a small fraction of the 11 ms budget.
+    VideoCodec codec;
+    EXPECT_LT(codec.decodeTime(1e6), 2e-3);
+}
+
+TEST(VideoCodec, LatenciesScaleWithPixels)
+{
+    VideoCodec codec;
+    const Seconds d1 = codec.decodeTime(1e6);
+    const Seconds d2 = codec.decodeTime(2e6);
+    EXPECT_GT(d2, d1);
+    const Seconds e1 = codec.encodeTime(1e6);
+    const Seconds e2 = codec.encodeTime(2e6);
+    EXPECT_GT(e2, e1);
+    // Server-class encoder beats the mobile decoder per pixel.
+    EXPECT_LT(e2 - e1, d2 - d1);
+}
+
+TEST(VideoCodec, ZeroPixelsGivesOverheadOnly)
+{
+    VideoCodec codec;
+    EXPECT_EQ(codec.compressedSize(0.0, 1.0, 1.0), 0u);
+    EXPECT_NEAR(codec.decodeTime(0.0),
+                codec.config().perStreamOverhead, 1e-12);
+}
+
+}  // namespace
+}  // namespace qvr::net

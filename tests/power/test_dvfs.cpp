@@ -1,0 +1,138 @@
+/**
+ * @file
+ * DVFS governor: windowing, hysteresis, clamping, and the closed
+ * loop with the Q-VR pipeline (energy down, latency ~flat).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline_foveated.hpp"
+#include "core/qvr_system.hpp"
+#include "power/dvfs.hpp"
+
+namespace qvr::power
+{
+namespace
+{
+
+TEST(DvfsGovernor, HoldsScaleWithinWindow)
+{
+    DvfsConfig cfg;
+    cfg.window = 4;
+    DvfsGovernor g(cfg);
+    for (int i = 0; i < 3; i++)
+        EXPECT_DOUBLE_EQ(g.update(1e-3, 11e-3), 1.0);
+    EXPECT_EQ(g.decisions(), 0u);
+    g.update(1e-3, 11e-3);  // window boundary
+    EXPECT_EQ(g.decisions(), 1u);
+}
+
+TEST(DvfsGovernor, ClocksDownWhenIdle)
+{
+    DvfsConfig cfg;
+    cfg.window = 2;
+    DvfsGovernor g(cfg);
+    for (int i = 0; i < 40; i++)
+        g.update(1e-3, 11e-3);  // ~9% utilisation
+    EXPECT_LT(g.scale(), 0.7);
+    EXPECT_GE(g.scale(), cfg.minScale);
+}
+
+TEST(DvfsGovernor, ClocksUpWhenSaturated)
+{
+    DvfsConfig cfg;
+    cfg.window = 2;
+    DvfsGovernor g(cfg);
+    for (int i = 0; i < 40; i++)
+        g.update(1e-3, 11e-3);
+    const double low = g.scale();
+    for (int i = 0; i < 40; i++)
+        g.update(11e-3, 11e-3);  // 100% utilisation
+    EXPECT_GT(g.scale(), low);
+    EXPECT_DOUBLE_EQ(g.scale(), cfg.maxScale);
+}
+
+TEST(DvfsGovernor, HysteresisHoldsNearTarget)
+{
+    DvfsConfig cfg;
+    cfg.window = 2;
+    DvfsGovernor g(cfg);
+    // Exactly on target: neither direction.
+    for (int i = 0; i < 20; i++)
+        g.update(cfg.targetUtilisation * 11e-3, 11e-3);
+    EXPECT_DOUBLE_EQ(g.scale(), 1.0);
+}
+
+TEST(DvfsGovernorDeath, BadConfigPanics)
+{
+    DvfsConfig cfg;
+    cfg.minScale = 0.0;
+    EXPECT_DEATH(DvfsGovernor{cfg}, "scale range");
+}
+
+TEST(DvfsClosedLoop, SavesEnergyAtSmallLatencyCost)
+{
+    // Q-VR leaves the GPU under-utilised on light scenes; the
+    // governor should harvest that as energy without breaking the
+    // latency budget.
+    core::ExperimentSpec spec;
+    spec.benchmark = "Doom3-L";
+    spec.numFrames = 300;
+    const auto workload = core::generateExperimentWorkload(spec);
+
+    core::FoveatedPipeline fixed(spec.toConfig(),
+                                 core::FoveatedPolicy::qvr());
+    const auto fixed_r = fixed.run(workload);
+
+    core::FoveatedPipeline governed(spec.toConfig(),
+                                    core::FoveatedPolicy::qvr());
+    DvfsGovernor governor;
+    core::PipelineResult governed_r;
+    governed_r.design = "Q-VR+DVFS";
+    for (const auto &frame : workload) {
+        const core::FrameStats s = governed.step(frame);
+        governed_r.frames.push_back(s);
+        governed.setFrequencyScale(
+            governor.update(s.gpuBusy, s.frameInterval));
+    }
+
+    EXPECT_LT(governed_r.meanEnergy(), fixed_r.meanEnergy() * 0.95);
+    EXPECT_LT(governed_r.meanMtp(), fixed_r.meanMtp() * 1.30);
+    EXPECT_LT(governor.scale(), 1.0);  // actually clocked down
+}
+
+TEST(DvfsClosedLoop, GovernorAndLiwcCooperate)
+{
+    // Emergent co-design behaviour: as the governor sheds clock,
+    // LIWC re-balances by shrinking the fovea (offloading work), so
+    // the system rides down to the energy-optimal point WITHOUT
+    // losing the 90 Hz requirement.
+    core::ExperimentSpec spec;
+    spec.benchmark = "GRID";
+    spec.numFrames = 250;
+    const auto workload = core::generateExperimentWorkload(spec);
+
+    core::FoveatedPipeline fixed(spec.toConfig(),
+                                 core::FoveatedPolicy::qvr());
+    const auto fixed_r = fixed.run(workload);
+
+    core::FoveatedPipeline governed(spec.toConfig(),
+                                    core::FoveatedPolicy::qvr());
+    DvfsGovernor governor;
+    core::PipelineResult governed_r;
+    for (const auto &frame : workload) {
+        const core::FrameStats s = governed.step(frame);
+        governed_r.frames.push_back(s);
+        governed.setFrequencyScale(
+            governor.update(s.gpuBusy, s.frameInterval));
+    }
+
+    // Clock went down, the controller compensated with a smaller
+    // fovea, and the frame-rate requirement survived.
+    EXPECT_LT(governor.scale(), 0.8);
+    EXPECT_LT(governed_r.meanE1(), fixed_r.meanE1());
+    EXPECT_GT(governed_r.meanFps(), 85.0);
+}
+
+}  // namespace
+}  // namespace qvr::power

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Energy model: DVFS scaling, radio profiles and tails, accelerator
+ * budgets from the paper's McPAT numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy.hpp"
+
+namespace qvr::power
+{
+namespace
+{
+
+TEST(EnergyModel, GpuEnergyCubicInFrequency)
+{
+    EnergyModel m;
+    const Joules full = m.gpuEnergy(10e-3, 11e-3, 1.0);
+    const Joules slow = m.gpuEnergy(10e-3, 11e-3, 0.5);
+    // Dynamic part drops 8x, static 2x: well below half overall.
+    EXPECT_LT(slow, full * 0.35);
+    EXPECT_GT(slow, 0.0);
+}
+
+TEST(EnergyModel, GpuBusyVsIdleSplit)
+{
+    EnergyModel m;
+    const Joules busy = m.gpuEnergy(11e-3, 11e-3, 1.0);
+    const Joules idle = m.gpuEnergy(0.0, 11e-3, 1.0);
+    // Idle frame burns only static power.
+    EXPECT_NEAR(idle, 0.5 * 11e-3, 1e-6);
+    EXPECT_GT(busy, idle * 5.0);
+}
+
+TEST(EnergyModel, RadioTailCappedByFrameTime)
+{
+    PowerConfig cfg;
+    cfg.radio = RadioProfile::forNetwork("4G LTE");
+    EnergyModel m(cfg);
+    // Short frame: tail cannot exceed remaining frame time.
+    const Joules short_frame = m.radioEnergy(5e-3, 11e-3);
+    const Joules expected = cfg.radio.activeReceiveW * 5e-3 +
+                            cfg.radio.tailW * 6e-3;
+    EXPECT_NEAR(short_frame, expected, expected * 1e-9);
+    // No activity, no energy.
+    EXPECT_DOUBLE_EQ(m.radioEnergy(0.0, 11e-3), 0.0);
+}
+
+TEST(EnergyModel, LteCostlierThanWifi)
+{
+    PowerConfig wifi;
+    wifi.radio = RadioProfile::forNetwork("Wi-Fi");
+    PowerConfig lte;
+    lte.radio = RadioProfile::forNetwork("4G LTE");
+    const Joules e_wifi = EnergyModel(wifi).radioEnergy(8e-3, 11e-3);
+    const Joules e_lte = EnergyModel(lte).radioEnergy(8e-3, 11e-3);
+    EXPECT_GT(e_lte, e_wifi);
+}
+
+TEST(EnergyModel, AcceleratorBudgetsMatchPaper)
+{
+    // Section 4.3: LIWC <= 25 mW, UCA 94 mW per instance, 2 instances.
+    EnergyModel m;
+    const Seconds frame = 11e-3;
+    const Joules liwc_only = m.acceleratorEnergy(frame, true, false);
+    const Joules uca_only = m.acceleratorEnergy(frame, false, true);
+    EXPECT_NEAR(liwc_only, 0.025 * frame, 1e-9);
+    EXPECT_NEAR(uca_only, 2.0 * 0.094 * frame, 1e-9);
+    EXPECT_NEAR(m.acceleratorEnergy(frame, true, true),
+                liwc_only + uca_only, 1e-12);
+    EXPECT_DOUBLE_EQ(m.acceleratorEnergy(frame, false, false), 0.0);
+}
+
+TEST(EnergyModel, AcceleratorsAreNoiseNextToGpu)
+{
+    // The co-design only makes sense if LIWC+UCA cost far less than
+    // the GPU work they displace.
+    EnergyModel m;
+    const Joules accel = m.acceleratorEnergy(11e-3, true, true);
+    const Joules gpu_ms = m.gpuEnergy(1e-3, 11e-3, 1.0);
+    EXPECT_LT(accel, gpu_ms);
+}
+
+TEST(FrameEnergy, TotalSumsComponents)
+{
+    FrameEnergy e;
+    e.gpu = 1.0;
+    e.radio = 2.0;
+    e.vpu = 3.0;
+    e.accelerators = 4.0;
+    EXPECT_DOUBLE_EQ(e.total(), 10.0);
+}
+
+TEST(RadioProfile, UnknownFallsBackToWifi)
+{
+    const RadioProfile p = RadioProfile::forNetwork("carrier-pigeon");
+    EXPECT_DOUBLE_EQ(p.activeReceiveW, 0.8);
+}
+
+}  // namespace
+}  // namespace qvr::power

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Property sweeps over the foveation geometry: invariants that must
+ * hold for EVERY (eccentricity, gaze) combination, not just the
+ * hand-picked cases of the unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "foveation/quality.hpp"
+
+namespace qvr::foveation
+{
+namespace
+{
+
+using Params = std::tuple<double, double, double>;  // e1, gx, gy
+
+class FoveationSweep : public ::testing::TestWithParam<Params>
+{
+  protected:
+    FoveationSweep() : geometry_(DisplayConfig{}, MarModel{}) {}
+
+    double e1() const { return std::get<0>(GetParam()); }
+    Vec2
+    gaze() const
+    {
+        return Vec2{std::get<1>(GetParam()), std::get<2>(GetParam())};
+    }
+
+    LayerGeometry geometry_;
+};
+
+TEST_P(FoveationSweep, NativeAreasPartitionTheScreen)
+{
+    const double e2 = geometry_.selectOptimalE2(e1(), gaze());
+    const LayerPixels px =
+        geometry_.pixelCounts(LayerPartition{e1(), e2, gaze()});
+    const double native =
+        px.foveaPixels +
+        px.middlePixels * px.middleFactor * px.middleFactor +
+        px.outerPixels * px.outerFactor * px.outerFactor;
+    const double total =
+        static_cast<double>(geometry_.display().pixelCount());
+    EXPECT_NEAR(native, total, total * 2e-3);
+}
+
+TEST_P(FoveationSweep, RenderedNeverExceedsNative)
+{
+    const double e2 = geometry_.selectOptimalE2(e1(), gaze());
+    const LayerPartition p{e1(), e2, gaze()};
+    const double pixel_fraction =
+        geometry_.renderedResolutionFraction(p);
+    const double linear_fraction =
+        geometry_.linearResolutionFraction(p);
+    EXPECT_GT(pixel_fraction, 0.0);
+    EXPECT_LE(pixel_fraction, 1.0 + 1e-9);
+    EXPECT_GE(linear_fraction, pixel_fraction - 1e-9);
+    EXPECT_LE(linear_fraction, 1.0 + 1e-9);
+}
+
+TEST_P(FoveationSweep, GrowingFoveaShrinksPeriphery)
+{
+    if (e1() + 5.0 > geometry_.display().maxEccentricity())
+        GTEST_SKIP() << "no headroom to grow";
+    const double e2a = geometry_.selectOptimalE2(e1(), gaze());
+    const double e2b = geometry_.selectOptimalE2(e1() + 5.0, gaze());
+    const double small =
+        geometry_.pixelCounts(LayerPartition{e1(), e2a, gaze()})
+            .peripheryPixels();
+    const double big =
+        geometry_
+            .pixelCounts(LayerPartition{e1() + 5.0, e2b, gaze()})
+            .peripheryPixels();
+    EXPECT_LE(big, small * 1.001);
+}
+
+TEST_P(FoveationSweep, MarPartitionIsAlwaysLossless)
+{
+    // The Section 3.1 survey result as a universal property: any
+    // partition whose factors come from the MAR model audits clean.
+    const double e2 = geometry_.selectOptimalE2(e1(), gaze());
+    const QualityReport r = auditPartition(
+        geometry_, LayerPartition{e1(), e2, gaze()});
+    EXPECT_TRUE(r.perceptuallyLossless)
+        << "e1=" << e1() << " gaze=(" << gaze().x << ","
+        << gaze().y << ")";
+}
+
+TEST_P(FoveationSweep, OracleAgreesWithDirectGeometry)
+{
+    PartitionOracle oracle(geometry_);
+    const auto &r = oracle.resolve(e1(), gaze());
+    // The oracle quantises gaze to 1 degree; recompute at the
+    // quantised point.
+    const Vec2 gq{std::round(gaze().x), std::round(gaze().y)};
+    const double direct =
+        geometry_.selectOptimalE2(r.partition.e1, gq);
+    EXPECT_DOUBLE_EQ(r.partition.e2, direct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FoveationSweep,
+    ::testing::Combine(::testing::Values(5.0, 8.0, 12.0, 18.0, 25.0,
+                                         35.0, 50.0),
+                       ::testing::Values(-20.0, 0.0, 15.0),
+                       ::testing::Values(-10.0, 0.0, 10.0)));
+
+}  // namespace
+}  // namespace qvr::foveation

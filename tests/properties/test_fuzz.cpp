@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Randomised robustness sweeps: thousands of random inputs through
+ * the numeric kernels, asserting the outputs stay finite, bounded
+ * and in-contract.  These hunt for NaN/overflow/ordering bugs the
+ * targeted unit tests would never hit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fp16.hpp"
+#include "common/rng.hpp"
+#include "core/liwc.hpp"
+#include "core/uca.hpp"
+#include "foveation/layers.hpp"
+#include "gpu/timing.hpp"
+#include "net/codec.hpp"
+
+namespace qvr
+{
+namespace
+{
+
+TEST(Fuzz, GpuTimingAlwaysFiniteAndMonotoneInWork)
+{
+    gpu::MobileGpuModel model;
+    Rng rng(101);
+    for (int i = 0; i < 5000; i++) {
+        gpu::RenderJob job;
+        job.triangles = static_cast<std::uint64_t>(
+            rng.uniform(0.0, 2e7));
+        job.shadedPixels = rng.uniform(0.0, 2e7);
+        job.batches = static_cast<std::uint32_t>(
+            rng.uniformInt(1, 10000));
+        job.shadingCost = rng.uniform(0.1, 5.0);
+        job.frequencyScale = rng.uniform(0.2, 1.5);
+
+        const Seconds t = model.renderSeconds(job);
+        ASSERT_TRUE(std::isfinite(t));
+        ASSERT_GE(t, 0.0);
+
+        // Adding work can never make it faster.
+        gpu::RenderJob more = job;
+        more.triangles += 100'000;
+        more.shadedPixels += 100'000.0;
+        ASSERT_GE(model.renderSeconds(more), t - 1e-15);
+    }
+}
+
+TEST(Fuzz, LayerGeometryNeverProducesNegativePixels)
+{
+    foveation::LayerGeometry g{foveation::DisplayConfig{},
+                               foveation::MarModel{}};
+    Rng rng(102);
+    for (int i = 0; i < 2000; i++) {
+        const double e1 = rng.uniform(0.5, 80.0);
+        const double e2 = e1 + rng.uniform(0.0, 60.0);
+        const Vec2 gaze{rng.uniform(-60.0, 60.0),
+                        rng.uniform(-60.0, 60.0)};
+        const auto px = g.pixelCounts(
+            foveation::LayerPartition{e1, e2, gaze});
+        ASSERT_GE(px.foveaPixels, 0.0);
+        ASSERT_GE(px.middlePixels, 0.0);
+        ASSERT_GE(px.outerPixels, 0.0);
+        ASSERT_TRUE(std::isfinite(px.totalRendered()));
+        ASSERT_GE(px.middleFactor, 1.0);
+        ASSERT_GE(px.outerFactor, px.middleFactor - 1e-12);
+    }
+}
+
+TEST(Fuzz, MotionCodecTotalFunction)
+{
+    core::MotionCodec codec{core::LiwcConfig{}};
+    Rng rng(103);
+    for (int i = 0; i < 20000; i++) {
+        motion::MotionDelta d;
+        d.dOrientation = Vec3{rng.normal(0.0, 50.0),
+                              rng.normal(0.0, 50.0),
+                              rng.normal(0.0, 50.0)};
+        d.dPosition = Vec3{rng.normal(0.0, 0.5),
+                           rng.normal(0.0, 0.5),
+                           rng.normal(0.0, 0.5)};
+        d.dGaze = Vec2{rng.normal(0.0, 10.0), rng.normal(0.0, 10.0)};
+        const std::uint32_t idx = codec.encode(d);
+        ASSERT_LT(idx, core::MotionCodec::kMotionEntries);
+        // Pure function: same input, same output.
+        ASSERT_EQ(codec.encode(d), idx);
+    }
+}
+
+TEST(Fuzz, LiwcSurvivesAdversarialFeedback)
+{
+    foveation::LayerGeometry g{foveation::DisplayConfig{},
+                               foveation::MarModel{}};
+    core::Liwc liwc(core::LiwcConfig{}, g, 50e6, 134e6, 0.55);
+    Rng rng(104);
+    for (int i = 0; i < 2000; i++) {
+        motion::MotionDelta d;
+        d.dOrientation.x = rng.normal(0.0, 2.0);
+        d.dGaze = Vec2{rng.normal(0.0, 3.0), rng.normal(0.0, 3.0)};
+        const auto decision = liwc.selectEccentricity(
+            d,
+            static_cast<std::uint64_t>(rng.uniform(1e4, 1e7)),
+            Vec2{rng.uniform(-30.0, 30.0), rng.uniform(-20.0, 20.0)});
+        ASSERT_GE(decision.e1, foveation::LayerGeometry::kMinE1);
+        ASSERT_LE(decision.e1,
+                  g.display().maxEccentricity() + 1e-9);
+
+        // Hostile measurements: spikes, zeros, contradictions.
+        core::LiwcFeedback fb;
+        fb.measuredLocal = rng.chance(0.1)
+                               ? 0.0
+                               : rng.uniform(1e-5, 0.2);
+        fb.measuredRemote = rng.chance(0.1)
+                                ? 1.0
+                                : rng.uniform(1e-5, 0.2);
+        fb.renderedTriangles = static_cast<std::uint64_t>(
+            rng.uniform(0.0, 1e7));
+        fb.peripheryPixels = rng.uniform(0.0, 1e7);
+        fb.peripheryBytes =
+            static_cast<Bytes>(rng.uniform(0.0, 1e7));
+        fb.ackThroughput = rng.uniform(0.0, 1e9);
+        liwc.update(decision, fb);
+
+        // Predictor state must stay usable.
+        ASSERT_TRUE(std::isfinite(liwc.predictor().gpuRate()));
+        ASSERT_GT(liwc.predictor().gpuRate(), 0.0);
+        ASSERT_GT(liwc.predictor().throughput(), 0.0);
+    }
+}
+
+TEST(Fuzz, Fp16NeverWidensRange)
+{
+    Rng rng(105);
+    for (int i = 0; i < 50000; i++) {
+        const float v = static_cast<float>(rng.normal(0.0, 1e3));
+        const float q = halfBitsToFloat(floatToHalfBits(v));
+        if (std::isfinite(q)) {
+            // Quantisation moves toward representable values; it
+            // cannot flip sign.
+            ASSERT_GE(q * v, 0.0f) << v;
+        }
+    }
+}
+
+TEST(Fuzz, CodecSizesFiniteAndOrdered)
+{
+    net::VideoCodec codec;
+    Rng rng(106);
+    for (int i = 0; i < 5000; i++) {
+        const double px = rng.uniform(0.0, 2e7);
+        const double complexity = rng.uniform(0.2, 2.0);
+        const double factor = rng.uniform(1.0, 8.0);
+        const Bytes plain =
+            codec.compressedSize(px, complexity, factor, false);
+        const Bytes with_depth =
+            codec.compressedSize(px, complexity, factor, true);
+        ASSERT_GE(with_depth, plain);
+        ASSERT_LT(static_cast<double>(with_depth), 1e9);
+    }
+}
+
+TEST(Fuzz, UcaWeightsAlwaysPartitionUnity)
+{
+    Rng rng(107);
+    for (int i = 0; i < 20000; i++) {
+        core::PixelPartition p;
+        p.foveaRadius = rng.uniform(1.0, 500.0);
+        p.middleRadius =
+            p.foveaRadius + rng.uniform(0.0, 500.0);
+        p.blendBand = rng.uniform(0.5, 64.0);
+        const double r = rng.uniform(0.0, 1500.0);
+        const core::LayerWeights w = core::layerWeights(p, r);
+        ASSERT_NEAR(w.fovea + w.middle + w.outer, 1.0, 1e-9);
+        ASSERT_GE(w.fovea, -1e-12);
+        ASSERT_GE(w.middle, -1e-12);
+        ASSERT_GE(w.outer, -1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace qvr

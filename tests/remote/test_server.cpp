@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Remote multi-chiplet server: scaling, overheads, capability vs.
+ * the mobile part.
+ */
+
+#include <gtest/gtest.h>
+
+#include "remote/server.hpp"
+#include "scene/benchmarks.hpp"
+
+namespace qvr::remote
+{
+namespace
+{
+
+gpu::RenderJob
+heavyJob()
+{
+    gpu::RenderJob j;
+    j.triangles = 5'200'000;  // GRID-class stereo
+    j.shadedPixels = 2.0 * 1920 * 2160;
+    j.batches = 7360;
+    j.shadingCost = 1.3;
+    return j;
+}
+
+TEST(RemoteServer, FarFasterThanMobileGpu)
+{
+    RemoteServer server;
+    gpu::MobileGpuModel mobile;
+    const gpu::RenderJob j = heavyJob();
+    const Seconds remote = server.renderSeconds(j);
+    const Seconds local = mobile.renderSeconds(j);
+    EXPECT_LT(remote, local / 8.0);
+    // Heavy frames render in a few ms on the server (so the network,
+    // not the server, dominates remote latency — Fig. 3's point).
+    EXPECT_LT(remote, 8e-3);
+    EXPECT_GT(remote, 0.2e-3);
+}
+
+TEST(RemoteServer, MoreChipletsFaster)
+{
+    ServerConfig one;
+    one.chiplets = 1;
+    ServerConfig eight;
+    eight.chiplets = 8;
+    const gpu::RenderJob j = heavyJob();
+    const Seconds t1 = RemoteServer(one).renderSeconds(j);
+    const Seconds t8 = RemoteServer(eight).renderSeconds(j);
+    EXPECT_LT(t8, t1);
+    // Sub-linear speedup: command broadcast + imbalance + sync.
+    EXPECT_GT(t8, t1 / 8.0);
+}
+
+TEST(RemoteServer, SyncOverheadIsFloor)
+{
+    ServerConfig cfg;
+    RemoteServer server(cfg);
+    gpu::RenderJob tiny;
+    tiny.triangles = 10;
+    tiny.shadedPixels = 100.0;
+    tiny.batches = 1;
+    EXPECT_GE(server.renderSeconds(tiny), cfg.syncOverhead);
+}
+
+TEST(RemoteServer, ImbalanceSlowsCompletion)
+{
+    ServerConfig balanced;
+    balanced.loadImbalance = 1.0;
+    ServerConfig skewed;
+    skewed.loadImbalance = 1.5;
+    const gpu::RenderJob j = heavyJob();
+    EXPECT_GT(RemoteServer(skewed).renderSeconds(j),
+              RemoteServer(balanced).renderSeconds(j));
+}
+
+TEST(RemoteServer, TriangleThroughputScalesWithChiplets)
+{
+    ServerConfig one;
+    one.chiplets = 1;
+    ServerConfig four;
+    four.chiplets = 4;
+    const double r1 =
+        RemoteServer(one).triangleThroughput(1.0, 4.0);
+    const double r4 =
+        RemoteServer(four).triangleThroughput(1.0, 4.0);
+    EXPECT_NEAR(r4, r1 * 4.0, r1 * 0.01);
+}
+
+TEST(RemoteServerDeath, ZeroChipletsPanics)
+{
+    ServerConfig cfg;
+    cfg.chiplets = 0;
+    EXPECT_DEATH(RemoteServer{cfg}, "at least one chiplet");
+}
+
+}  // namespace
+}  // namespace qvr::remote

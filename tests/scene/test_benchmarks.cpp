@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Benchmark catalog: Table 3 / Table 1 contents match the paper's
+ * published statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scene/benchmarks.hpp"
+
+namespace qvr::scene
+{
+namespace
+{
+
+TEST(Benchmarks, Table3HasSevenEntriesInPaperOrder)
+{
+    const auto &v = table3Benchmarks();
+    ASSERT_EQ(v.size(), 7u);
+    EXPECT_EQ(v[0].name, "Doom3-H");
+    EXPECT_EQ(v[1].name, "Doom3-L");
+    EXPECT_EQ(v[2].name, "HL2-H");
+    EXPECT_EQ(v[3].name, "HL2-L");
+    EXPECT_EQ(v[4].name, "GRID");
+    EXPECT_EQ(v[5].name, "UT3");
+    EXPECT_EQ(v[6].name, "Wolf");
+}
+
+TEST(Benchmarks, Table3BatchCountsMatchPaper)
+{
+    EXPECT_EQ(findBenchmark("Doom3-H").numBatches, 382u);
+    EXPECT_EQ(findBenchmark("HL2-H").numBatches, 656u);
+    EXPECT_EQ(findBenchmark("GRID").numBatches, 3680u);
+    EXPECT_EQ(findBenchmark("UT3").numBatches, 1752u);
+    EXPECT_EQ(findBenchmark("Wolf").numBatches, 3394u);
+}
+
+TEST(Benchmarks, Table3ResolutionsMatchPaper)
+{
+    const auto &d3h = findBenchmark("Doom3-H");
+    EXPECT_EQ(d3h.width, 1920);
+    EXPECT_EQ(d3h.height, 2160);
+    const auto &d3l = findBenchmark("Doom3-L");
+    EXPECT_EQ(d3l.width, 1280);
+    EXPECT_EQ(d3l.height, 1600);
+    const auto &h2l = findBenchmark("HL2-L");
+    EXPECT_EQ(h2l.width, 1280);
+    EXPECT_EQ(h2l.height, 1600);
+}
+
+TEST(Benchmarks, Table3ApisMatchPaper)
+{
+    EXPECT_EQ(findBenchmark("Doom3-H").api, GraphicsApi::OpenGL);
+    EXPECT_EQ(findBenchmark("HL2-H").api, GraphicsApi::Direct3D);
+    EXPECT_EQ(findBenchmark("GRID").api, GraphicsApi::Direct3D);
+}
+
+TEST(Benchmarks, ComplexityOrderingImpliedByTable4)
+{
+    // Table 4 eccentricities imply GRID is the heaviest scene and
+    // Doom3 the lightest; our synthetic triangle budgets must
+    // preserve that ordering or every downstream shape breaks.
+    const auto tri = [](const char *n) {
+        return findBenchmark(n).meanTriangles;
+    };
+    EXPECT_GT(tri("GRID"), tri("Wolf"));
+    EXPECT_GT(tri("Wolf"), tri("UT3"));
+    EXPECT_GT(tri("UT3"), tri("HL2-H"));
+    EXPECT_GT(tri("HL2-H"), tri("Doom3-H"));
+}
+
+TEST(Benchmarks, Table1AppsCarryPaperReferences)
+{
+    const auto &apps = table1Apps();
+    ASSERT_EQ(apps.size(), 5u);
+
+    const auto &fov3d = findBenchmark("Foveated3D");
+    ASSERT_TRUE(fov3d.table1.has_value());
+    EXPECT_EQ(fov3d.meanTriangles, 231'000u);
+    EXPECT_DOUBLE_EQ(fov3d.table1->fMin, 0.16);
+    EXPECT_DOUBLE_EQ(fov3d.table1->fMax, 0.52);
+    EXPECT_DOUBLE_EQ(fov3d.table1->tLocalAvgMs, 43.0);
+    EXPECT_DOUBLE_EQ(fov3d.table1->tRemoteMs, 38.0);
+    EXPECT_EQ(fov3d.table1->backgroundBytes, fromKiB(646));
+
+    const auto &miguel = findBenchmark("San Miguel");
+    EXPECT_EQ(miguel.meanTriangles, 4'200'000u);
+    EXPECT_DOUBLE_EQ(miguel.table1->tLocalMinMs, 5.4);
+
+    const auto &sponza = findBenchmark("Sponza");
+    EXPECT_DOUBLE_EQ(sponza.table1->fMin, 0.001);
+    EXPECT_DOUBLE_EQ(sponza.table1->tLocalMinMs, 0.5);
+}
+
+TEST(Benchmarks, InteractiveModelSpansPublishedFRange)
+{
+    // The interactive-fraction model parameters must be able to
+    // reach both ends of the published f range.
+    for (const auto &app : table1Apps()) {
+        ASSERT_TRUE(app.table1.has_value());
+        const double lo = app.interactiveBase * 0.5;
+        const double hi =
+            app.interactiveBase * 1.5 * app.interactiveBoost;
+        EXPECT_LE(lo, app.table1->fMax) << app.name;
+        EXPECT_GE(hi, app.table1->fMin) << app.name;
+    }
+}
+
+TEST(BenchmarksDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(findBenchmark("NoSuchGame"),
+                testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+}  // namespace
+}  // namespace qvr::scene

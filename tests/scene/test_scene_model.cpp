@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Scene model: determinism, published-statistics reproduction, and
+ * the motion/complexity correlation LIWC depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "motion/trace.hpp"
+#include "scene/scene_model.hpp"
+
+namespace qvr::scene
+{
+namespace
+{
+
+motion::MotionTrace
+trace(std::size_t frames, std::uint64_t seed = 1)
+{
+    motion::TraceConfig cfg;
+    cfg.numFrames = frames;
+    cfg.seed = seed;
+    return motion::generateTrace(cfg);
+}
+
+TEST(ComplexityField, SmoothAndBounded)
+{
+    ComplexityField f(0.02, 42);
+    double prev = f.sample(0.0, 0.0);
+    RunningStat values;
+    for (double yaw = 0.0; yaw < 720.0; yaw += 0.5) {
+        const double v = f.sample(yaw, 10.0);
+        values.add(v);
+        // Smoothness: small step, small change.
+        EXPECT_LT(std::abs(v - prev), 0.35) << yaw;
+        prev = v;
+    }
+    EXPECT_LT(values.max(), 2.5);
+    EXPECT_GT(values.min(), -2.5);
+    EXPECT_GT(values.stddev(), 0.2);  // not degenerate
+}
+
+TEST(ComplexityField, DeterministicPerSeed)
+{
+    ComplexityField a(0.02, 7);
+    ComplexityField b(0.02, 7);
+    ComplexityField c(0.02, 8);
+    EXPECT_DOUBLE_EQ(a.sample(10.0, 5.0), b.sample(10.0, 5.0));
+    EXPECT_NE(a.sample(10.0, 5.0), c.sample(10.0, 5.0));
+}
+
+TEST(SceneModel, WorkloadsDeterministic)
+{
+    const auto &info = findBenchmark("HL2-H");
+    const auto t = trace(30);
+    const auto a = generateWorkloads(info, t, 9);
+    const auto b = generateWorkloads(info, t, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].totalTriangles(), b[i].totalTriangles());
+        EXPECT_EQ(a[i].batches.size(), b[i].batches.size());
+    }
+}
+
+TEST(SceneModel, BatchCountMatchesCatalog)
+{
+    const auto &info = findBenchmark("GRID");
+    const auto t = trace(5);
+    const auto frames = generateWorkloads(info, t);
+    for (const auto &f : frames)
+        EXPECT_EQ(f.batches.size(), info.numBatches);
+}
+
+TEST(SceneModel, MeanTrianglesNearCatalogValue)
+{
+    const auto &info = findBenchmark("GRID");
+    const auto t = trace(400, 11);
+    const auto frames = generateWorkloads(info, t, 5);
+    RunningStat tris;
+    for (const auto &f : frames)
+        tris.add(static_cast<double>(f.totalTriangles()));
+    EXPECT_NEAR(tris.mean(),
+                static_cast<double>(info.meanTriangles),
+                0.30 * static_cast<double>(info.meanTriangles));
+}
+
+TEST(SceneModel, ComplexityVariesAcrossFrames)
+{
+    const auto &info = findBenchmark("GRID");
+    const auto t = trace(400, 12);
+    const auto frames = generateWorkloads(info, t, 5);
+    RunningStat tris;
+    for (const auto &f : frames)
+        tris.add(static_cast<double>(f.totalTriangles()));
+    EXPECT_GT(tris.max() / tris.min(), 1.15);
+}
+
+TEST(SceneModel, ComplexityChangeCorrelatesWithMotion)
+{
+    // LIWC's key insight: |d complexity| correlates with head/eye
+    // motion magnitude.  Frames with near-zero motion must show much
+    // smaller complexity deltas than fast-motion frames.
+    const auto &info = findBenchmark("GRID");
+    const auto t = trace(3000, 13);
+    const auto frames = generateWorkloads(info, t, 5);
+
+    // Quartile split on motion speed (sensor noise sets a floor, so
+    // absolute thresholds are meaningless).
+    SampleSeries speeds;
+    for (std::size_t i = 1; i < frames.size(); i++) {
+        speeds.add(frames[i].motionDelta.headSpeed() +
+                   frames[i].motionDelta.dGaze.norm());
+    }
+    const double q25 = speeds.percentile(25);
+    const double q75 = speeds.percentile(75);
+
+    RunningStat slow_delta, fast_delta;
+    for (std::size_t i = 1; i < frames.size(); i++) {
+        const double d_tris = std::abs(
+            static_cast<double>(frames[i].totalTriangles()) -
+            static_cast<double>(frames[i - 1].totalTriangles()));
+        const double speed = frames[i].motionDelta.headSpeed() +
+                             frames[i].motionDelta.dGaze.norm();
+        if (speed <= q25)
+            slow_delta.add(d_tris);
+        else if (speed >= q75)
+            fast_delta.add(d_tris);
+    }
+    ASSERT_GT(slow_delta.count(), 20u);
+    ASSERT_GT(fast_delta.count(), 20u);
+    EXPECT_GT(fast_delta.mean(), slow_delta.mean() * 1.5);
+}
+
+TEST(SceneModel, InteractiveFractionRespondsToInteraction)
+{
+    const auto &info = findBenchmark("Foveated3D");
+    SceneModel model(info, 3);
+    const double idle = model.interactiveFractionAt(10.0, 5.0, false);
+    const double busy = model.interactiveFractionAt(10.0, 5.0, true);
+    EXPECT_GT(busy, idle);
+    EXPECT_NEAR(busy / idle, info.interactiveBoost, 1e-9);
+}
+
+TEST(SceneModel, InteractiveDepthsAreForeground)
+{
+    const auto &info = findBenchmark("Foveated3D");
+    const auto t = trace(10);
+    const auto frames = generateWorkloads(info, t);
+    for (const auto &f : frames) {
+        for (const auto &b : f.batches) {
+            if (b.interactive) {
+                EXPECT_LT(b.depth, 0.4);
+            } else {
+                EXPECT_GE(b.depth, 0.4);
+            }
+        }
+    }
+}
+
+TEST(SceneModel, Table1FRangesApproximated)
+{
+    // Over a long trace, each Table-1 app's interactive fraction
+    // should stay broadly within its published range (we allow
+    // generous tolerance; the paper's f is a latency share, ours is
+    // triangle share — first-order equivalent).
+    const auto t = trace(1500, 21);
+    for (const auto &app : table1Apps()) {
+        const auto frames = generateWorkloads(app, t, 4);
+        RunningStat f;
+        for (const auto &fr : frames)
+            f.add(fr.interactiveFraction());
+        ASSERT_TRUE(app.table1.has_value());
+        EXPECT_GT(f.max(), app.table1->fMin) << app.name;
+        EXPECT_LT(f.min(), app.table1->fMax * 1.5) << app.name;
+    }
+}
+
+}  // namespace
+}  // namespace qvr::scene

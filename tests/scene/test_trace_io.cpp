@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Trace serialisation: round-trip fidelity, delta reconstruction,
+ * malformed-input rejection, replay equivalence through a pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/qvr_system.hpp"
+#include "scene/trace_io.hpp"
+
+namespace qvr::scene
+{
+namespace
+{
+
+std::vector<FrameWorkload>
+sampleWorkload(std::size_t frames = 40)
+{
+    core::ExperimentSpec spec;
+    spec.benchmark = "HL2-H";
+    spec.numFrames = frames;
+    return core::generateExperimentWorkload(spec);
+}
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    const auto original = sampleWorkload();
+    std::stringstream buffer;
+    writeTrace(buffer, original);
+    const auto loaded = readTrace(buffer);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); i++) {
+        const auto &a = original[i];
+        const auto &b = loaded[i];
+        EXPECT_EQ(a.index, b.index);
+        EXPECT_DOUBLE_EQ(a.motionSeen.timestamp,
+                         b.motionSeen.timestamp);
+        EXPECT_EQ(a.motionSeen.head.orientation,
+                  b.motionSeen.head.orientation);
+        EXPECT_EQ(a.motionSeen.head.position,
+                  b.motionSeen.head.position);
+        EXPECT_EQ(a.motionSeen.gaze, b.motionSeen.gaze);
+        EXPECT_EQ(a.motionSeen.interacting,
+                  b.motionSeen.interacting);
+        ASSERT_EQ(a.batches.size(), b.batches.size());
+        for (std::size_t k = 0; k < a.batches.size(); k++) {
+            EXPECT_EQ(a.batches[k].triangles, b.batches[k].triangles);
+            EXPECT_DOUBLE_EQ(a.batches[k].depth, b.batches[k].depth);
+            EXPECT_EQ(a.batches[k].interactive,
+                      b.batches[k].interactive);
+        }
+    }
+}
+
+TEST(TraceIo, DeltasReconstructedOnLoad)
+{
+    const auto original = sampleWorkload();
+    std::stringstream buffer;
+    writeTrace(buffer, original);
+    const auto loaded = readTrace(buffer);
+    for (std::size_t i = 1; i < original.size(); i++) {
+        EXPECT_NEAR(loaded[i].motionDelta.dOrientation.x,
+                    original[i].motionDelta.dOrientation.x, 1e-12);
+        EXPECT_NEAR(loaded[i].motionDelta.dGaze.norm(),
+                    original[i].motionDelta.dGaze.norm(), 1e-12);
+    }
+}
+
+TEST(TraceIo, ReplayedTraceDrivesPipelineIdentically)
+{
+    const auto original = sampleWorkload(30);
+    std::stringstream buffer;
+    writeTrace(buffer, original);
+    const auto replayed = readTrace(buffer);
+
+    core::ExperimentSpec spec;
+    spec.benchmark = "HL2-H";
+    const auto run_a =
+        core::makePipeline(core::DesignPoint::Qvr, spec.toConfig())
+            ->run(original);
+    const auto run_b =
+        core::makePipeline(core::DesignPoint::Qvr, spec.toConfig())
+            ->run(replayed);
+
+    ASSERT_EQ(run_a.frames.size(), run_b.frames.size());
+    for (std::size_t i = 0; i < run_a.frames.size(); i++) {
+        EXPECT_DOUBLE_EQ(run_a.frames[i].mtpLatency,
+                         run_b.frames[i].mtpLatency);
+        EXPECT_DOUBLE_EQ(run_a.frames[i].e1, run_b.frames[i].e1);
+    }
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored)
+{
+    const auto original = sampleWorkload(3);
+    std::stringstream buffer;
+    writeTrace(buffer, original);
+    std::string text = buffer.str();
+    text += "\n# trailing comment\n\n";
+    std::stringstream annotated(text);
+    EXPECT_EQ(readTrace(annotated).size(), 3u);
+}
+
+TEST(TraceIoDeath, MissingHeaderIsFatal)
+{
+    std::stringstream buffer("frame 0 0 0 0 0 0 0 0 0 0 0\n");
+    EXPECT_EXIT(readTrace(buffer), testing::ExitedWithCode(1),
+                "not a qvr trace");
+}
+
+TEST(TraceIoDeath, BatchBeforeFrameIsFatal)
+{
+    std::stringstream buffer("qvr-trace v1\nbatch 0 10 0.5 0.1 0\n");
+    EXPECT_EXIT(readTrace(buffer), testing::ExitedWithCode(1),
+                "batch before any frame");
+}
+
+TEST(TraceIoDeath, MalformedRecordIsFatal)
+{
+    std::stringstream buffer("qvr-trace v1\nframe 0 nonsense\n");
+    EXPECT_EXIT(readTrace(buffer), testing::ExitedWithCode(1),
+                "malformed frame record");
+}
+
+TEST(TraceIoDeath, UnknownKindIsFatal)
+{
+    std::stringstream buffer("qvr-trace v1\nwidget 1 2 3\n");
+    EXPECT_EXIT(readTrace(buffer), testing::ExitedWithCode(1),
+                "unknown record kind");
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const auto original = sampleWorkload(5);
+    const std::string path = "/tmp/qvr_trace_io_test.trace";
+    saveTrace(path, original);
+    const auto loaded = loadTrace(path);
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded[4].totalTriangles(),
+              original[4].totalTriangles());
+}
+
+}  // namespace
+}  // namespace qvr::scene

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * FrameWorkload aggregate accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scene/workload.hpp"
+
+namespace qvr::scene
+{
+namespace
+{
+
+FrameWorkload
+makeFrame()
+{
+    FrameWorkload w;
+    DrawBatch a;
+    a.id = 0;
+    a.triangles = 100;
+    a.interactive = true;
+    DrawBatch b;
+    b.id = 1;
+    b.triangles = 300;
+    DrawBatch c;
+    c.id = 2;
+    c.triangles = 600;
+    w.batches = {a, b, c};
+    return w;
+}
+
+TEST(FrameWorkload, TotalTriangles)
+{
+    EXPECT_EQ(makeFrame().totalTriangles(), 1000u);
+}
+
+TEST(FrameWorkload, InteractiveTriangles)
+{
+    EXPECT_EQ(makeFrame().interactiveTriangles(), 100u);
+}
+
+TEST(FrameWorkload, InteractiveFraction)
+{
+    EXPECT_DOUBLE_EQ(makeFrame().interactiveFraction(), 0.1);
+}
+
+TEST(FrameWorkload, EmptyFrameIsZero)
+{
+    FrameWorkload w;
+    EXPECT_EQ(w.totalTriangles(), 0u);
+    EXPECT_DOUBLE_EQ(w.interactiveFraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace qvr::scene

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * EventQueue: ordering, priorities, cancellation, re-entrant
+ * scheduling, runUntil semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace qvr::sim
+{
+namespace
+{
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, SameTimePriorityThenInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1.0, [&] { order.push_back(10); }, 5);
+    q.schedule(1.0, [&] { order.push_back(20); }, -1);
+    q.schedule(1.0, [&] { order.push_back(30); }, 5);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{20, 10, 30}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesNow)
+{
+    EventQueue q;
+    Seconds fired_at = -1.0;
+    q.schedule(2.0, [&] {
+        q.scheduleAfter(0.5, [&] { fired_at = q.now(); });
+    });
+    q.run();
+    EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(EventQueue, CancelPreventsDispatch)
+{
+    EventQueue q;
+    bool fired = false;
+    const EventId id = q.schedule(1.0, [&] { fired = true; });
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_TRUE(q.deschedule(id));
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_FALSE(q.deschedule(id));  // double-cancel rejected
+    q.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, ReentrantSchedulingChain)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> tick = [&] {
+        count++;
+        if (count < 10)
+            q.scheduleAfter(1.0, tick);
+    };
+    q.schedule(0.0, tick);
+    q.run();
+    EXPECT_EQ(count, 10);
+    EXPECT_DOUBLE_EQ(q.now(), 9.0);
+    EXPECT_EQ(q.dispatched(), 10u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int count = 0;
+    for (int i = 1; i <= 5; i++)
+        q.schedule(static_cast<double>(i), [&] { count++; });
+    q.runUntil(2.5);
+    EXPECT_EQ(count, 2);
+    EXPECT_DOUBLE_EQ(q.now(), 2.5);
+    EXPECT_EQ(q.pending(), 3u);
+    q.run();
+    EXPECT_EQ(count, 5);
+}
+
+TEST(EventQueue, EmptyRunIsSafe)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_DOUBLE_EQ(q.run(), 0.0);
+}
+
+TEST(EventQueueDeath, SchedulingInPastPanics)
+{
+    EventQueue q;
+    q.schedule(5.0, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(1.0, [] {}), "scheduling into the past");
+}
+
+}  // namespace
+}  // namespace qvr::sim

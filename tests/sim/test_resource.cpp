@@ -1,0 +1,89 @@
+/**
+ * @file
+ * BusyResource / MultiServerResource queueing semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/resource.hpp"
+
+namespace qvr::sim
+{
+namespace
+{
+
+TEST(BusyResource, IdleServesImmediately)
+{
+    BusyResource r;
+    EXPECT_DOUBLE_EQ(r.serve(1.0, 0.5), 1.5);
+    EXPECT_DOUBLE_EQ(r.nextFree(), 1.5);
+}
+
+TEST(BusyResource, BusyQueues)
+{
+    BusyResource r;
+    r.serve(0.0, 2.0);               // busy until 2.0
+    EXPECT_DOUBLE_EQ(r.serve(1.0, 1.0), 3.0);  // waits
+    EXPECT_DOUBLE_EQ(r.serve(5.0, 1.0), 6.0);  // idle gap
+}
+
+TEST(BusyResource, BusyTimeAccumulates)
+{
+    BusyResource r;
+    r.serve(0.0, 2.0);
+    r.serve(10.0, 3.0);
+    EXPECT_DOUBLE_EQ(r.busyTime(), 5.0);
+    EXPECT_DOUBLE_EQ(r.utilisation(20.0), 0.25);
+    EXPECT_DOUBLE_EQ(r.utilisation(0.0), 0.0);
+}
+
+TEST(BusyResource, ResetClears)
+{
+    BusyResource r;
+    r.serve(0.0, 2.0);
+    r.reset();
+    EXPECT_DOUBLE_EQ(r.nextFree(), 0.0);
+    EXPECT_DOUBLE_EQ(r.busyTime(), 0.0);
+}
+
+TEST(BusyResource, ZeroServiceIsFine)
+{
+    BusyResource r;
+    EXPECT_DOUBLE_EQ(r.serve(3.0, 0.0), 3.0);
+}
+
+TEST(MultiServerResource, ParallelismUpToServerCount)
+{
+    MultiServerResource r(2);
+    EXPECT_DOUBLE_EQ(r.serve(0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(r.serve(0.0, 1.0), 1.0);  // second server
+    EXPECT_DOUBLE_EQ(r.serve(0.0, 1.0), 2.0);  // queues
+    EXPECT_DOUBLE_EQ(r.busyTime(), 3.0);
+}
+
+TEST(MultiServerResource, LeastLoadedDispatch)
+{
+    MultiServerResource r(2);
+    r.serve(0.0, 10.0);  // server A busy to 10
+    r.serve(0.0, 1.0);   // server B busy to 1
+    // New arrival at 2 should land on B (free at 1), not queue on A.
+    EXPECT_DOUBLE_EQ(r.serve(2.0, 1.0), 3.0);
+}
+
+TEST(MultiServerResource, NextFreeIsEarliestServer)
+{
+    MultiServerResource r(3);
+    r.serve(0.0, 5.0);
+    EXPECT_DOUBLE_EQ(r.nextFree(), 0.0);  // two idle servers
+    r.serve(0.0, 4.0);
+    r.serve(0.0, 3.0);
+    EXPECT_DOUBLE_EQ(r.nextFree(), 3.0);
+}
+
+TEST(MultiServerResourceDeath, ZeroServersPanics)
+{
+    EXPECT_DEATH(MultiServerResource(0), "at least one server");
+}
+
+}  // namespace
+}  // namespace qvr::sim

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * qvr_cli — run any experiment cell from the command line.
+ *
+ *   qvr_cli --design Q-VR --benchmark GRID --network wifi \
+ *           --frames 300 --csv run.csv
+ *
+ * One invocation = one (design, benchmark, environment) cell: it
+ * prints the aggregate row the paper's figures are built from and
+ * can dump the per-frame series as CSV for plotting.  Traces can be
+ * replayed (--trace) or recorded (--save-trace) for reproducible
+ * comparisons.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "core/qvr_system.hpp"
+#include "scene/trace_io.hpp"
+
+namespace
+{
+
+using namespace qvr;
+
+void
+usage()
+{
+    std::printf(
+        "usage: qvr_cli [options]\n"
+        "  --design NAME     Local | Remote | Static | FFR | DFR |\n"
+        "                    SW-QVR | Q-VR           (default Q-VR)\n"
+        "  --benchmark NAME  Table-3/Table-1 catalog entry\n"
+        "                                            (default GRID)\n"
+        "  --network NAME    wifi | lte | 5g         (default wifi)\n"
+        "  --freq MHZ        500 | 400 | 300         (default 500)\n"
+        "  --frames N        frames to simulate      (default 300)\n"
+        "  --seed N          experiment seed         (default 1)\n"
+        "  --csv PATH        dump the per-frame series as CSV\n"
+        "  --trace PATH      replay a recorded workload trace\n"
+        "  --save-trace PATH record the workload trace\n"
+        "  --list            list designs and benchmarks\n"
+        "  --help            this text\n");
+}
+
+const std::map<std::string, core::DesignPoint> &
+designs()
+{
+    static const std::map<std::string, core::DesignPoint> m = {
+        {"Local", core::DesignPoint::Local},
+        {"Remote", core::DesignPoint::Remote},
+        {"Static", core::DesignPoint::Static},
+        {"FFR", core::DesignPoint::Ffr},
+        {"DFR", core::DesignPoint::Dfr},
+        {"SW-QVR", core::DesignPoint::SwQvr},
+        {"Q-VR", core::DesignPoint::Qvr},
+    };
+    return m;
+}
+
+void
+list()
+{
+    std::printf("designs:");
+    for (const auto &[name, d] : designs())
+        std::printf(" %s", name.c_str());
+    std::printf("\nbenchmarks (Table 3):");
+    for (const auto &b : scene::table3Benchmarks())
+        std::printf(" %s", b.name.c_str());
+    std::printf("\napps (Table 1):");
+    for (const auto &b : scene::table1Apps())
+        std::printf(" \"%s\"", b.name.c_str());
+    std::printf("\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string design_name = "Q-VR";
+    core::ExperimentSpec spec;
+    spec.benchmark = "GRID";
+    std::string csv_path;
+    std::string trace_path;
+    std::string save_trace_path;
+
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                QVR_FATAL("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list") {
+            list();
+            return 0;
+        } else if (arg == "--design") {
+            design_name = value();
+        } else if (arg == "--benchmark") {
+            spec.benchmark = value();
+        } else if (arg == "--network") {
+            const std::string n = value();
+            if (n == "wifi") {
+                spec.channel = net::ChannelConfig::wifi();
+            } else if (n == "lte") {
+                spec.channel = net::ChannelConfig::lte4g();
+            } else if (n == "5g") {
+                spec.channel = net::ChannelConfig::early5g();
+            } else {
+                QVR_FATAL("unknown network '", n,
+                          "' (wifi | lte | 5g)");
+            }
+        } else if (arg == "--freq") {
+            const double mhz = std::stod(value());
+            spec.gpuFrequencyScale = mhz / 500.0;
+        } else if (arg == "--frames") {
+            spec.numFrames =
+                static_cast<std::size_t>(std::stoul(value()));
+        } else if (arg == "--seed") {
+            spec.seed = std::stoull(value());
+        } else if (arg == "--csv") {
+            csv_path = value();
+        } else if (arg == "--trace") {
+            trace_path = value();
+        } else if (arg == "--save-trace") {
+            save_trace_path = value();
+        } else {
+            usage();
+            QVR_FATAL("unknown option '", arg, "'");
+        }
+    }
+
+    const auto it = designs().find(design_name);
+    if (it == designs().end())
+        QVR_FATAL("unknown design '", design_name, "' (see --list)");
+
+    const auto workload =
+        trace_path.empty() ? core::generateExperimentWorkload(spec)
+                           : scene::loadTrace(trace_path);
+    if (!save_trace_path.empty())
+        scene::saveTrace(save_trace_path, workload);
+
+    auto pipeline = core::makePipeline(it->second, spec.toConfig());
+    const core::PipelineResult r = pipeline->run(workload);
+
+    std::printf("%s on %s, %s @ %.0f MHz, %zu frames\n",
+                r.design.c_str(), r.benchmark.c_str(),
+                spec.channel.name.c_str(),
+                spec.gpuFrequencyScale * 500.0, r.frames.size());
+    std::printf("  MTP      %.2f ms (mean)\n", toMs(r.meanMtp()));
+    std::printf("  FPS      %.1f (mean), %.1f%% of frames >= 90 Hz\n",
+                r.meanFps(), r.fpsCompliance() * 100.0);
+    std::printf("  downlink %.0f KB/frame\n",
+                r.meanTransmittedBytes() / 1024.0);
+    std::printf("  energy   %.1f mJ/frame\n", r.meanEnergy() * 1e3);
+    if (r.meanE1() > 0.0)
+        std::printf("  e1       %.1f deg (mean steady)\n", r.meanE1());
+
+    if (!csv_path.empty()) {
+        TextTable csv;
+        csv.setHeader({"frame", "e1_deg", "e2_deg", "mtp_ms",
+                       "local_ms", "remote_ms", "net_ms", "fps",
+                       "bytes", "energy_mj", "reprojected"});
+        for (const auto &f : r.frames) {
+            csv.addRow({std::to_string(f.index),
+                        TextTable::num(f.e1, 2),
+                        TextTable::num(f.e2, 2),
+                        TextTable::num(toMs(f.mtpLatency), 3),
+                        TextTable::num(toMs(f.tLocalRender), 3),
+                        TextTable::num(toMs(f.tRemoteBranch), 3),
+                        TextTable::num(toMs(f.tNetwork), 3),
+                        TextTable::num(
+                            f.frameInterval > 0.0
+                                ? 1.0 / f.frameInterval
+                                : 0.0,
+                            1),
+                        std::to_string(f.transmittedBytes),
+                        TextTable::num(f.energy.total() * 1e3, 3),
+                        f.reprojected ? "1" : "0"});
+        }
+        std::ofstream os(csv_path);
+        if (!os)
+            QVR_FATAL("cannot open '", csv_path, "'");
+        csv.printCsv(os);
+        std::printf("  per-frame series -> %s\n", csv_path.c_str());
+    }
+    return 0;
+}

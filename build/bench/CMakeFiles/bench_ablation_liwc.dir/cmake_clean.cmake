@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_liwc.dir/bench_ablation_liwc.cpp.o"
+  "CMakeFiles/bench_ablation_liwc.dir/bench_ablation_liwc.cpp.o.d"
+  "bench_ablation_liwc"
+  "bench_ablation_liwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_liwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

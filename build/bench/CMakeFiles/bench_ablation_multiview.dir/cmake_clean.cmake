@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiview.dir/bench_ablation_multiview.cpp.o"
+  "CMakeFiles/bench_ablation_multiview.dir/bench_ablation_multiview.cpp.o.d"
+  "bench_ablation_multiview"
+  "bench_ablation_multiview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

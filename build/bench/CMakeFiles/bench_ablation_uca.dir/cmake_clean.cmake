@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_uca.dir/bench_ablation_uca.cpp.o"
+  "CMakeFiles/bench_ablation_uca.dir/bench_ablation_uca.cpp.o.d"
+  "bench_ablation_uca"
+  "bench_ablation_uca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_uca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_network.dir/bench_fig13_network.cpp.o"
+  "CMakeFiles/bench_fig13_network.dir/bench_fig13_network.cpp.o.d"
+  "bench_fig13_network"
+  "bench_fig13_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_convergence.cpp" "bench/CMakeFiles/bench_fig14_convergence.dir/bench_fig14_convergence.cpp.o" "gcc" "bench/CMakeFiles/bench_fig14_convergence.dir/bench_fig14_convergence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collab/CMakeFiles/qvr_collab.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qvr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/foveation/CMakeFiles/qvr_foveation.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/qvr_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/qvr_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/qvr_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/motion/CMakeFiles/qvr_motion.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/qvr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qvr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/qvr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qvr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_image_quality.dir/bench_image_quality.cpp.o"
+  "CMakeFiles/bench_image_quality.dir/bench_image_quality.cpp.o.d"
+  "bench_image_quality"
+  "bench_image_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_image_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

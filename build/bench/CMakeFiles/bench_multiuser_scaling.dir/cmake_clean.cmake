@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiuser_scaling.dir/bench_multiuser_scaling.cpp.o"
+  "CMakeFiles/bench_multiuser_scaling.dir/bench_multiuser_scaling.cpp.o.d"
+  "bench_multiuser_scaling"
+  "bench_multiuser_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiuser_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

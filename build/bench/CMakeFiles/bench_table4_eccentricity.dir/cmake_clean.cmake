@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_eccentricity.dir/bench_table4_eccentricity.cpp.o"
+  "CMakeFiles/bench_table4_eccentricity.dir/bench_table4_eccentricity.cpp.o.d"
+  "bench_table4_eccentricity"
+  "bench_table4_eccentricity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_eccentricity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_arena.dir/collaborative_arena.cpp.o"
+  "CMakeFiles/collaborative_arena.dir/collaborative_arena.cpp.o.d"
+  "collaborative_arena"
+  "collaborative_arena.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_arena.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

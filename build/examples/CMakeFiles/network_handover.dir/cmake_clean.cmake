@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_handover.dir/network_handover.cpp.o"
+  "CMakeFiles/network_handover.dir/network_handover.cpp.o.d"
+  "network_handover"
+  "network_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceptual_audit.dir/perceptual_audit.cpp.o"
+  "CMakeFiles/perceptual_audit.dir/perceptual_audit.cpp.o.d"
+  "perceptual_audit"
+  "perceptual_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceptual_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

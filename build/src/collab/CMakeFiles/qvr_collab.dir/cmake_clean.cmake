@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvr_collab.dir/session.cpp.o"
+  "CMakeFiles/qvr_collab.dir/session.cpp.o.d"
+  "libqvr_collab.a"
+  "libqvr_collab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvr_collab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvr_common.dir/fp16.cpp.o"
+  "CMakeFiles/qvr_common.dir/fp16.cpp.o.d"
+  "CMakeFiles/qvr_common.dir/log.cpp.o"
+  "CMakeFiles/qvr_common.dir/log.cpp.o.d"
+  "CMakeFiles/qvr_common.dir/rng.cpp.o"
+  "CMakeFiles/qvr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/qvr_common.dir/stats.cpp.o"
+  "CMakeFiles/qvr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/qvr_common.dir/table.cpp.o"
+  "CMakeFiles/qvr_common.dir/table.cpp.o.d"
+  "libqvr_common.a"
+  "libqvr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/foveated_render.cpp" "src/core/CMakeFiles/qvr_core.dir/foveated_render.cpp.o" "gcc" "src/core/CMakeFiles/qvr_core.dir/foveated_render.cpp.o.d"
+  "/root/repo/src/core/framebuffer.cpp" "src/core/CMakeFiles/qvr_core.dir/framebuffer.cpp.o" "gcc" "src/core/CMakeFiles/qvr_core.dir/framebuffer.cpp.o.d"
+  "/root/repo/src/core/liwc.cpp" "src/core/CMakeFiles/qvr_core.dir/liwc.cpp.o" "gcc" "src/core/CMakeFiles/qvr_core.dir/liwc.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/qvr_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/qvr_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/pipeline_foveated.cpp" "src/core/CMakeFiles/qvr_core.dir/pipeline_foveated.cpp.o" "gcc" "src/core/CMakeFiles/qvr_core.dir/pipeline_foveated.cpp.o.d"
+  "/root/repo/src/core/pipelines_baseline.cpp" "src/core/CMakeFiles/qvr_core.dir/pipelines_baseline.cpp.o" "gcc" "src/core/CMakeFiles/qvr_core.dir/pipelines_baseline.cpp.o.d"
+  "/root/repo/src/core/qvr_system.cpp" "src/core/CMakeFiles/qvr_core.dir/qvr_system.cpp.o" "gcc" "src/core/CMakeFiles/qvr_core.dir/qvr_system.cpp.o.d"
+  "/root/repo/src/core/raster.cpp" "src/core/CMakeFiles/qvr_core.dir/raster.cpp.o" "gcc" "src/core/CMakeFiles/qvr_core.dir/raster.cpp.o.d"
+  "/root/repo/src/core/uca.cpp" "src/core/CMakeFiles/qvr_core.dir/uca.cpp.o" "gcc" "src/core/CMakeFiles/qvr_core.dir/uca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qvr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qvr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/qvr_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/motion/CMakeFiles/qvr_motion.dir/DependInfo.cmake"
+  "/root/repo/build/src/foveation/CMakeFiles/qvr_foveation.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/qvr_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/qvr_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/qvr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/qvr_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

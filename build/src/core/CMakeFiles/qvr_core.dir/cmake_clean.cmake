@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvr_core.dir/foveated_render.cpp.o"
+  "CMakeFiles/qvr_core.dir/foveated_render.cpp.o.d"
+  "CMakeFiles/qvr_core.dir/framebuffer.cpp.o"
+  "CMakeFiles/qvr_core.dir/framebuffer.cpp.o.d"
+  "CMakeFiles/qvr_core.dir/liwc.cpp.o"
+  "CMakeFiles/qvr_core.dir/liwc.cpp.o.d"
+  "CMakeFiles/qvr_core.dir/pipeline.cpp.o"
+  "CMakeFiles/qvr_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/qvr_core.dir/pipeline_foveated.cpp.o"
+  "CMakeFiles/qvr_core.dir/pipeline_foveated.cpp.o.d"
+  "CMakeFiles/qvr_core.dir/pipelines_baseline.cpp.o"
+  "CMakeFiles/qvr_core.dir/pipelines_baseline.cpp.o.d"
+  "CMakeFiles/qvr_core.dir/qvr_system.cpp.o"
+  "CMakeFiles/qvr_core.dir/qvr_system.cpp.o.d"
+  "CMakeFiles/qvr_core.dir/raster.cpp.o"
+  "CMakeFiles/qvr_core.dir/raster.cpp.o.d"
+  "CMakeFiles/qvr_core.dir/uca.cpp.o"
+  "CMakeFiles/qvr_core.dir/uca.cpp.o.d"
+  "libqvr_core.a"
+  "libqvr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

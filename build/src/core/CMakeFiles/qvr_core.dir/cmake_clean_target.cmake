@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqvr_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvr_foveation.dir/layers.cpp.o"
+  "CMakeFiles/qvr_foveation.dir/layers.cpp.o.d"
+  "CMakeFiles/qvr_foveation.dir/quality.cpp.o"
+  "CMakeFiles/qvr_foveation.dir/quality.cpp.o.d"
+  "libqvr_foveation.a"
+  "libqvr_foveation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvr_foveation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

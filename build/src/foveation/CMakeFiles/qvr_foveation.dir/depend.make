@@ -1,0 +1,2 @@
+# Empty dependencies file for qvr_foveation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/cache.cpp" "src/gpu/CMakeFiles/qvr_gpu.dir/cache.cpp.o" "gcc" "src/gpu/CMakeFiles/qvr_gpu.dir/cache.cpp.o.d"
+  "/root/repo/src/gpu/frame_simulator.cpp" "src/gpu/CMakeFiles/qvr_gpu.dir/frame_simulator.cpp.o" "gcc" "src/gpu/CMakeFiles/qvr_gpu.dir/frame_simulator.cpp.o.d"
+  "/root/repo/src/gpu/postprocess.cpp" "src/gpu/CMakeFiles/qvr_gpu.dir/postprocess.cpp.o" "gcc" "src/gpu/CMakeFiles/qvr_gpu.dir/postprocess.cpp.o.d"
+  "/root/repo/src/gpu/timing.cpp" "src/gpu/CMakeFiles/qvr_gpu.dir/timing.cpp.o" "gcc" "src/gpu/CMakeFiles/qvr_gpu.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qvr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qvr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/qvr_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/motion/CMakeFiles/qvr_motion.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

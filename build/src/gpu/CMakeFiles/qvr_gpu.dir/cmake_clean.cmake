@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvr_gpu.dir/cache.cpp.o"
+  "CMakeFiles/qvr_gpu.dir/cache.cpp.o.d"
+  "CMakeFiles/qvr_gpu.dir/frame_simulator.cpp.o"
+  "CMakeFiles/qvr_gpu.dir/frame_simulator.cpp.o.d"
+  "CMakeFiles/qvr_gpu.dir/postprocess.cpp.o"
+  "CMakeFiles/qvr_gpu.dir/postprocess.cpp.o.d"
+  "CMakeFiles/qvr_gpu.dir/timing.cpp.o"
+  "CMakeFiles/qvr_gpu.dir/timing.cpp.o.d"
+  "libqvr_gpu.a"
+  "libqvr_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvr_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/motion/gaze_model.cpp" "src/motion/CMakeFiles/qvr_motion.dir/gaze_model.cpp.o" "gcc" "src/motion/CMakeFiles/qvr_motion.dir/gaze_model.cpp.o.d"
+  "/root/repo/src/motion/head_model.cpp" "src/motion/CMakeFiles/qvr_motion.dir/head_model.cpp.o" "gcc" "src/motion/CMakeFiles/qvr_motion.dir/head_model.cpp.o.d"
+  "/root/repo/src/motion/predictor.cpp" "src/motion/CMakeFiles/qvr_motion.dir/predictor.cpp.o" "gcc" "src/motion/CMakeFiles/qvr_motion.dir/predictor.cpp.o.d"
+  "/root/repo/src/motion/trace.cpp" "src/motion/CMakeFiles/qvr_motion.dir/trace.cpp.o" "gcc" "src/motion/CMakeFiles/qvr_motion.dir/trace.cpp.o.d"
+  "/root/repo/src/motion/tracker.cpp" "src/motion/CMakeFiles/qvr_motion.dir/tracker.cpp.o" "gcc" "src/motion/CMakeFiles/qvr_motion.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qvr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvr_motion.dir/gaze_model.cpp.o"
+  "CMakeFiles/qvr_motion.dir/gaze_model.cpp.o.d"
+  "CMakeFiles/qvr_motion.dir/head_model.cpp.o"
+  "CMakeFiles/qvr_motion.dir/head_model.cpp.o.d"
+  "CMakeFiles/qvr_motion.dir/predictor.cpp.o"
+  "CMakeFiles/qvr_motion.dir/predictor.cpp.o.d"
+  "CMakeFiles/qvr_motion.dir/trace.cpp.o"
+  "CMakeFiles/qvr_motion.dir/trace.cpp.o.d"
+  "CMakeFiles/qvr_motion.dir/tracker.cpp.o"
+  "CMakeFiles/qvr_motion.dir/tracker.cpp.o.d"
+  "libqvr_motion.a"
+  "libqvr_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvr_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvr_net.dir/channel.cpp.o"
+  "CMakeFiles/qvr_net.dir/channel.cpp.o.d"
+  "CMakeFiles/qvr_net.dir/codec.cpp.o"
+  "CMakeFiles/qvr_net.dir/codec.cpp.o.d"
+  "CMakeFiles/qvr_net.dir/stream.cpp.o"
+  "CMakeFiles/qvr_net.dir/stream.cpp.o.d"
+  "libqvr_net.a"
+  "libqvr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvr_power.dir/dvfs.cpp.o"
+  "CMakeFiles/qvr_power.dir/dvfs.cpp.o.d"
+  "CMakeFiles/qvr_power.dir/energy.cpp.o"
+  "CMakeFiles/qvr_power.dir/energy.cpp.o.d"
+  "libqvr_power.a"
+  "libqvr_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvr_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/remote/server.cpp" "src/remote/CMakeFiles/qvr_remote.dir/server.cpp.o" "gcc" "src/remote/CMakeFiles/qvr_remote.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qvr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/qvr_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qvr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/qvr_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/motion/CMakeFiles/qvr_motion.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvr_remote.dir/server.cpp.o"
+  "CMakeFiles/qvr_remote.dir/server.cpp.o.d"
+  "libqvr_remote.a"
+  "libqvr_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvr_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scene/benchmarks.cpp" "src/scene/CMakeFiles/qvr_scene.dir/benchmarks.cpp.o" "gcc" "src/scene/CMakeFiles/qvr_scene.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/scene/scene_model.cpp" "src/scene/CMakeFiles/qvr_scene.dir/scene_model.cpp.o" "gcc" "src/scene/CMakeFiles/qvr_scene.dir/scene_model.cpp.o.d"
+  "/root/repo/src/scene/trace_io.cpp" "src/scene/CMakeFiles/qvr_scene.dir/trace_io.cpp.o" "gcc" "src/scene/CMakeFiles/qvr_scene.dir/trace_io.cpp.o.d"
+  "/root/repo/src/scene/workload.cpp" "src/scene/CMakeFiles/qvr_scene.dir/workload.cpp.o" "gcc" "src/scene/CMakeFiles/qvr_scene.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qvr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/motion/CMakeFiles/qvr_motion.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

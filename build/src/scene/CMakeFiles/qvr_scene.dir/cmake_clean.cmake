@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvr_scene.dir/benchmarks.cpp.o"
+  "CMakeFiles/qvr_scene.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/qvr_scene.dir/scene_model.cpp.o"
+  "CMakeFiles/qvr_scene.dir/scene_model.cpp.o.d"
+  "CMakeFiles/qvr_scene.dir/trace_io.cpp.o"
+  "CMakeFiles/qvr_scene.dir/trace_io.cpp.o.d"
+  "CMakeFiles/qvr_scene.dir/workload.cpp.o"
+  "CMakeFiles/qvr_scene.dir/workload.cpp.o.d"
+  "libqvr_scene.a"
+  "libqvr_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvr_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

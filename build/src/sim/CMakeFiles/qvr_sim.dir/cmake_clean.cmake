@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvr_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/qvr_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/qvr_sim.dir/resource.cpp.o"
+  "CMakeFiles/qvr_sim.dir/resource.cpp.o.d"
+  "libqvr_sim.a"
+  "libqvr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_foveated_render.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_foveated_render.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_framebuffer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_framebuffer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_liwc.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_liwc.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_qvr_system.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_qvr_system.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_raster.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_raster.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_uca.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_uca.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

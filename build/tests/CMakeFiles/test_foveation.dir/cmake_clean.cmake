@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_foveation.dir/foveation/test_layers.cpp.o"
+  "CMakeFiles/test_foveation.dir/foveation/test_layers.cpp.o.d"
+  "CMakeFiles/test_foveation.dir/foveation/test_mar.cpp.o"
+  "CMakeFiles/test_foveation.dir/foveation/test_mar.cpp.o.d"
+  "CMakeFiles/test_foveation.dir/foveation/test_quality.cpp.o"
+  "CMakeFiles/test_foveation.dir/foveation/test_quality.cpp.o.d"
+  "test_foveation"
+  "test_foveation.pdb"
+  "test_foveation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_foveation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

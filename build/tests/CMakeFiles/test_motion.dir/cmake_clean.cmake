@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_motion.dir/motion/test_gaze_model.cpp.o"
+  "CMakeFiles/test_motion.dir/motion/test_gaze_model.cpp.o.d"
+  "CMakeFiles/test_motion.dir/motion/test_head_model.cpp.o"
+  "CMakeFiles/test_motion.dir/motion/test_head_model.cpp.o.d"
+  "CMakeFiles/test_motion.dir/motion/test_predictor.cpp.o"
+  "CMakeFiles/test_motion.dir/motion/test_predictor.cpp.o.d"
+  "CMakeFiles/test_motion.dir/motion/test_trace.cpp.o"
+  "CMakeFiles/test_motion.dir/motion/test_trace.cpp.o.d"
+  "CMakeFiles/test_motion.dir/motion/test_tracker.cpp.o"
+  "CMakeFiles/test_motion.dir/motion/test_tracker.cpp.o.d"
+  "test_motion"
+  "test_motion.pdb"
+  "test_motion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

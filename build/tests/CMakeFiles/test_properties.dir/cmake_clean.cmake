@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/test_channel_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_channel_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_foveation_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_foveation_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_fuzz.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_pipeline_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_pipeline_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_uca_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_uca_properties.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scene.dir/scene/test_benchmarks.cpp.o"
+  "CMakeFiles/test_scene.dir/scene/test_benchmarks.cpp.o.d"
+  "CMakeFiles/test_scene.dir/scene/test_scene_model.cpp.o"
+  "CMakeFiles/test_scene.dir/scene/test_scene_model.cpp.o.d"
+  "CMakeFiles/test_scene.dir/scene/test_trace_io.cpp.o"
+  "CMakeFiles/test_scene.dir/scene/test_trace_io.cpp.o.d"
+  "CMakeFiles/test_scene.dir/scene/test_workload.cpp.o"
+  "CMakeFiles/test_scene.dir/scene/test_workload.cpp.o.d"
+  "test_scene"
+  "test_scene.pdb"
+  "test_scene[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

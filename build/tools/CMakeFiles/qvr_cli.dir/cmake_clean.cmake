@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvr_cli.dir/qvr_cli.cpp.o"
+  "CMakeFiles/qvr_cli.dir/qvr_cli.cpp.o.d"
+  "qvr_cli"
+  "qvr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(qvr_cli_runs "/root/repo/build/tools/qvr_cli" "--design" "Q-VR" "--benchmark" "Doom3-L" "--frames" "40")
+set_tests_properties(qvr_cli_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(qvr_cli_lists "/root/repo/build/tools/qvr_cli" "--list")
+set_tests_properties(qvr_cli_lists PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(qvr_cli_rejects_bad_design "/root/repo/build/tools/qvr_cli" "--design" "Nonsense" "--frames" "5")
+set_tests_properties(qvr_cli_rejects_bad_design PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -25,42 +25,50 @@ main()
     table.setHeader({"Benchmark", "MTP (ms)", "+ABR", "e1 (deg)",
                      "+ABR", "KB/frame", "+ABR", "quality"});
 
-    for (const auto &b : scene::table3Benchmarks()) {
-        core::ExperimentSpec spec;
-        spec.benchmark = b.name;
-        spec.numFrames = 250;
-        auto cfg = spec.toConfig();
-        cfg.channelConfig.nominalDownlink = fromMbps(50.0);
-        const auto workload = core::generateExperimentWorkload(spec);
+    const auto &benches = scene::table3Benchmarks();
+    const auto rows = sim::runParallel(
+        benches.size(),
+        [&benches](std::size_t bi) -> std::vector<std::string> {
+            const auto &b = benches[bi];
+            core::ExperimentSpec spec;
+            spec.benchmark = b.name;
+            spec.numFrames = 250;
+            auto cfg = spec.toConfig();
+            cfg.channelConfig.nominalDownlink = fromMbps(50.0);
+            const auto workload =
+                core::generateExperimentWorkload(spec);
 
-        core::FoveatedPipeline plain(cfg, core::FoveatedPolicy::qvr());
-        const auto base = plain.run(workload);
+            core::FoveatedPipeline plain(cfg,
+                                         core::FoveatedPolicy::qvr());
+            const auto base = plain.run(workload);
 
-        core::FoveatedPolicy policy = core::FoveatedPolicy::qvr();
-        policy.adaptiveQuality = true;
-        core::FoveatedPipeline abr(cfg, policy);
-        const auto helped = abr.run(workload);
+            core::FoveatedPolicy policy = core::FoveatedPolicy::qvr();
+            policy.adaptiveQuality = true;
+            core::FoveatedPipeline abr(cfg, policy);
+            const auto helped = abr.run(workload);
 
-        double quality = 0.0;
-        std::size_t n = 0;
-        for (std::size_t i = helped.warmupFrames;
-             i < helped.frames.size(); i++) {
-            quality += helped.frames[i].peripheryQuality;
-            n++;
-        }
-        quality /= static_cast<double>(n);
+            double quality = 0.0;
+            std::size_t n = 0;
+            for (std::size_t i = helped.warmupFrames;
+                 i < helped.frames.size(); i++) {
+                quality += helped.frames[i].peripheryQuality;
+                n++;
+            }
+            quality /= static_cast<double>(n);
 
-        table.addRow({b.name,
-                      TextTable::num(toMs(base.meanMtp()), 1),
-                      TextTable::num(toMs(helped.meanMtp()), 1),
-                      TextTable::num(base.meanE1(), 1),
-                      TextTable::num(helped.meanE1(), 1),
-                      TextTable::num(
-                          base.meanTransmittedBytes() / 1024.0, 0),
-                      TextTable::num(
-                          helped.meanTransmittedBytes() / 1024.0, 0),
-                      TextTable::num(quality, 2)});
-    }
+            return {b.name,
+                    TextTable::num(toMs(base.meanMtp()), 1),
+                    TextTable::num(toMs(helped.meanMtp()), 1),
+                    TextTable::num(base.meanE1(), 1),
+                    TextTable::num(helped.meanE1(), 1),
+                    TextTable::num(
+                        base.meanTransmittedBytes() / 1024.0, 0),
+                    TextTable::num(
+                        helped.meanTransmittedBytes() / 1024.0, 0),
+                    TextTable::num(quality, 2)};
+        });
+    for (const auto &row : rows)
+        table.addRow(row);
     table.print(std::cout);
 
     std::cout << "\nReading: on a constrained link the quality knob"

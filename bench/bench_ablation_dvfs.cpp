@@ -60,23 +60,29 @@ main()
     table.setHeader({"Benchmark", "500 MHz", "400 MHz", "300 MHz",
                      "governed", "settled clock"});
 
-    for (const auto &b : scene::table3Benchmarks()) {
-        core::ExperimentSpec spec;
-        spec.benchmark = b.name;
-        spec.numFrames = 250;
+    const auto &benches = scene::table3Benchmarks();
+    const auto rows = sim::runParallel(
+        benches.size(),
+        [&benches](std::size_t bi) -> std::vector<std::string> {
+            const auto &b = benches[bi];
+            core::ExperimentSpec spec;
+            spec.benchmark = b.name;
+            spec.numFrames = 250;
 
-        auto fmt = [](const core::PipelineResult &r) {
-            return TextTable::num(toMs(r.meanMtp()), 1) + " / " +
-                   TextTable::num(r.meanEnergy() * 1e3, 1);
-        };
+            auto fmt = [](const core::PipelineResult &r) {
+                return TextTable::num(toMs(r.meanMtp()), 1) + " / " +
+                       TextTable::num(r.meanEnergy() * 1e3, 1);
+            };
 
-        double settled = 1.0;
-        const auto governed = runGoverned(spec, &settled);
-        table.addRow({b.name, fmt(runFixedScale(spec, 1.0)),
-                      fmt(runFixedScale(spec, 0.8)),
-                      fmt(runFixedScale(spec, 0.6)), fmt(governed),
-                      TextTable::num(settled * 500.0, 0) + " MHz"});
-    }
+            double settled = 1.0;
+            const auto governed = runGoverned(spec, &settled);
+            return {b.name, fmt(runFixedScale(spec, 1.0)),
+                    fmt(runFixedScale(spec, 0.8)),
+                    fmt(runFixedScale(spec, 0.6)), fmt(governed),
+                    TextTable::num(settled * 500.0, 0) + " MHz"};
+        });
+    for (const auto &row : rows)
+        table.addRow(row);
     table.print(std::cout);
 
     std::cout << "\nReading: static down-clocking trades latency for"

@@ -54,13 +54,39 @@ main()
 
     const char *bench = "HL2-H";
 
+    // All three sweeps (5 alphas + 3 depths + 3 ranges) go through
+    // the parallel runner as one 11-cell grid, results in cell order.
+    const double alphas[] = {0.05, 0.15, 0.30, 0.50, 0.80};
+    const std::uint32_t depths[] = {15u, 16u, 17u};
+    const int ranges[] = {2, 5, 10};
+
+    std::vector<core::LiwcConfig> cfgs;
+    for (double alpha : alphas) {
+        core::LiwcConfig cfg;
+        cfg.alpha = alpha;
+        cfgs.push_back(cfg);
+    }
+    for (std::uint32_t log2 : depths) {
+        core::LiwcConfig cfg;
+        cfg.tableDepthLog2 = log2;
+        cfgs.push_back(cfg);
+    }
+    for (int range : ranges) {
+        core::LiwcConfig cfg;
+        cfg.deltaRange = range;
+        cfgs.push_back(cfg);
+    }
+    const auto results = sim::runParallel(
+        cfgs.size(), [&cfgs, bench](std::size_t i) {
+            return runWith(bench, cfgs[i]);
+        });
+
+    std::size_t idx = 0;
     TextTable alpha_table("(a) reward parameter alpha (HL2-H)");
     alpha_table.setHeader({"alpha", "converge (frames)",
                            "steady MTP (ms)", "FPS"});
-    for (double alpha : {0.05, 0.15, 0.30, 0.50, 0.80}) {
-        core::LiwcConfig cfg;
-        cfg.alpha = alpha;
-        const auto r = runWith(bench, cfg);
+    for (double alpha : alphas) {
+        const auto &r = results[idx++];
         alpha_table.addRow(
             {TextTable::num(alpha, 2),
              std::to_string(convergenceFrame(r)),
@@ -73,10 +99,8 @@ main()
         "(b) SRAM table depth (paper default 2^15 = 64 KB)");
     depth_table.setHeader({"depth", "size", "steady MTP (ms)",
                            "FPS"});
-    for (std::uint32_t log2 : {15u, 16u, 17u}) {
-        core::LiwcConfig cfg;
-        cfg.tableDepthLog2 = log2;
-        const auto r = runWith(bench, cfg);
+    for (std::uint32_t log2 : depths) {
+        const auto &r = results[idx++];
         depth_table.addRow(
             {"2^" + std::to_string(log2),
              std::to_string((1u << log2) * 2 / 1024) + " KB",
@@ -88,10 +112,8 @@ main()
     TextTable range_table("(c) delta-tag range (paper: -5..+5 deg)");
     range_table.setHeader({"range", "converge (frames)",
                            "steady MTP (ms)", "FPS"});
-    for (int range : {2, 5, 10}) {
-        core::LiwcConfig cfg;
-        cfg.deltaRange = range;
-        const auto r = runWith(bench, cfg);
+    for (int range : ranges) {
+        const auto &r = results[idx++];
         range_table.addRow(
             {"+-" + std::to_string(range),
              std::to_string(convergenceFrame(r)),

@@ -25,35 +25,54 @@ main()
                      "Local gain", "Q-VR naive", "Q-VR SMP",
                      "Q-VR gain"});
 
+    struct Row
+    {
+        std::vector<std::string> cells;
+        double localGain = 0.0;
+        double qvrGain = 0.0;
+    };
+    const auto &benches = scene::table3Benchmarks();
+    const auto rows = sim::runParallel(
+        benches.size(), [&benches](std::size_t bi) {
+            const auto &b = benches[bi];
+            core::ExperimentSpec spec;
+            spec.benchmark = b.name;
+            spec.numFrames = 200;
+            const auto workload =
+                core::generateExperimentWorkload(spec);
+
+            auto run = [&](core::DesignPoint d, double smp) {
+                auto cfg = spec.toConfig();
+                cfg.gpuCost.stereoGeometryFactor = smp;
+                return core::makePipeline(d, cfg)->run(workload);
+            };
+
+            const auto local_naive =
+                run(core::DesignPoint::Local, 1.0);
+            const auto local_smp =
+                run(core::DesignPoint::Local, 0.55);
+            const auto qvr_naive = run(core::DesignPoint::Qvr, 1.0);
+            const auto qvr_smp = run(core::DesignPoint::Qvr, 0.55);
+
+            Row row;
+            row.localGain =
+                local_naive.meanMtp() / local_smp.meanMtp();
+            row.qvrGain = qvr_naive.meanMtp() / qvr_smp.meanMtp();
+            row.cells = {
+                b.name, TextTable::num(toMs(local_naive.meanMtp()), 1),
+                TextTable::num(toMs(local_smp.meanMtp()), 1),
+                TextTable::speedup(row.localGain),
+                TextTable::num(toMs(qvr_naive.meanMtp()), 1),
+                TextTable::num(toMs(qvr_smp.meanMtp()), 1),
+                TextTable::speedup(row.qvrGain)};
+            return row;
+        });
+
     std::vector<double> local_gain, qvr_gain;
-    for (const auto &b : scene::table3Benchmarks()) {
-        core::ExperimentSpec spec;
-        spec.benchmark = b.name;
-        spec.numFrames = 200;
-        const auto workload = core::generateExperimentWorkload(spec);
-
-        auto run = [&](core::DesignPoint d, double smp) {
-            auto cfg = spec.toConfig();
-            cfg.gpuCost.stereoGeometryFactor = smp;
-            return core::makePipeline(d, cfg)->run(workload);
-        };
-
-        const auto local_naive = run(core::DesignPoint::Local, 1.0);
-        const auto local_smp = run(core::DesignPoint::Local, 0.55);
-        const auto qvr_naive = run(core::DesignPoint::Qvr, 1.0);
-        const auto qvr_smp = run(core::DesignPoint::Qvr, 0.55);
-
-        local_gain.push_back(local_naive.meanMtp() /
-                             local_smp.meanMtp());
-        qvr_gain.push_back(qvr_naive.meanMtp() / qvr_smp.meanMtp());
-
-        table.addRow(
-            {b.name, TextTable::num(toMs(local_naive.meanMtp()), 1),
-             TextTable::num(toMs(local_smp.meanMtp()), 1),
-             TextTable::speedup(local_gain.back()),
-             TextTable::num(toMs(qvr_naive.meanMtp()), 1),
-             TextTable::num(toMs(qvr_smp.meanMtp()), 1),
-             TextTable::speedup(qvr_gain.back())});
+    for (const auto &row : rows) {
+        local_gain.push_back(row.localGain);
+        qvr_gain.push_back(row.qvrGain);
+        table.addRow(row.cells);
     }
     table.addRow({"MEAN", "", "", TextTable::speedup(mean(local_gain)),
                   "", "", TextTable::speedup(mean(qvr_gain))});

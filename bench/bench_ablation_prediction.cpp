@@ -31,36 +31,55 @@ main()
     table.setHeader({"Benchmark", "miss% hold", "miss% CV",
                      "MTP hold (ms)", "MTP CV (ms)", "Q-VR (ms)"});
 
+    struct Row
+    {
+        std::vector<std::string> cells;
+        double missHold = 0.0;
+        double missCv = 0.0;
+    };
+    const auto &benches = scene::table3Benchmarks();
+    const auto rows = sim::runParallel(
+        benches.size(), [&benches](std::size_t bi) {
+            const auto &b = benches[bi];
+            core::ExperimentSpec spec;
+            spec.benchmark = b.name;
+            spec.numFrames = 300;
+            const auto cfg = spec.toConfig();
+            const auto workload =
+                core::generateExperimentWorkload(spec);
+
+            core::StaticCollabConfig hold_cfg;
+            hold_cfg.predictor = motion::PredictorKind::HoldLast;
+            core::StaticPipeline hold(cfg, hold_cfg);
+            const auto hold_r = hold.run(workload);
+
+            core::StaticCollabConfig cv_cfg;
+            cv_cfg.predictor =
+                motion::PredictorKind::ConstantVelocity;
+            core::StaticPipeline cv(cfg, cv_cfg);
+            const auto cv_r = cv.run(workload);
+
+            const auto qvr =
+                core::makePipeline(core::DesignPoint::Qvr, cfg)
+                    ->run(workload);
+
+            Row row;
+            row.missHold = hold.mispredictRate();
+            row.missCv = cv.mispredictRate();
+            row.cells = {b.name,
+                         TextTable::percent(row.missHold),
+                         TextTable::percent(row.missCv),
+                         TextTable::num(toMs(hold_r.meanMtp()), 1),
+                         TextTable::num(toMs(cv_r.meanMtp()), 1),
+                         TextTable::num(toMs(qvr.meanMtp()), 1)};
+            return row;
+        });
+
     std::vector<double> miss_hold, miss_cv;
-    for (const auto &b : scene::table3Benchmarks()) {
-        core::ExperimentSpec spec;
-        spec.benchmark = b.name;
-        spec.numFrames = 300;
-        const auto cfg = spec.toConfig();
-        const auto workload = core::generateExperimentWorkload(spec);
-
-        core::StaticCollabConfig hold_cfg;
-        hold_cfg.predictor = motion::PredictorKind::HoldLast;
-        core::StaticPipeline hold(cfg, hold_cfg);
-        const auto hold_r = hold.run(workload);
-
-        core::StaticCollabConfig cv_cfg;
-        cv_cfg.predictor = motion::PredictorKind::ConstantVelocity;
-        core::StaticPipeline cv(cfg, cv_cfg);
-        const auto cv_r = cv.run(workload);
-
-        const auto qvr =
-            core::makePipeline(core::DesignPoint::Qvr, cfg)
-                ->run(workload);
-
-        miss_hold.push_back(hold.mispredictRate());
-        miss_cv.push_back(cv.mispredictRate());
-        table.addRow({b.name,
-                      TextTable::percent(hold.mispredictRate()),
-                      TextTable::percent(cv.mispredictRate()),
-                      TextTable::num(toMs(hold_r.meanMtp()), 1),
-                      TextTable::num(toMs(cv_r.meanMtp()), 1),
-                      TextTable::num(toMs(qvr.meanMtp()), 1)});
+    for (const auto &row : rows) {
+        miss_hold.push_back(row.missHold);
+        miss_cv.push_back(row.missCv);
+        table.addRow(row.cells);
     }
     table.addRow({"MEAN", TextTable::percent(mean(miss_hold)),
                   TextTable::percent(mean(miss_cv)), "", "", ""});

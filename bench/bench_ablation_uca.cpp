@@ -22,36 +22,51 @@ main()
     table.setHeader({"Benchmark", "FFR", "FFR+UCA", "DFR",
                      "Q-VR (DFR+UCA)", "UCA gain (DFR->Q-VR)"});
 
+    struct Row
+    {
+        std::vector<std::string> cells;
+        double gain = 0.0;
+    };
+    const auto &benches = scene::table3Benchmarks();
+    const auto rows = sim::runParallel(
+        benches.size(), [&benches](std::size_t bi) {
+            const auto &b = benches[bi];
+            core::ExperimentSpec spec;
+            spec.benchmark = b.name;
+            spec.numFrames = kFrames;
+            const auto cfg = spec.toConfig();
+            const auto workload =
+                core::generateExperimentWorkload(spec);
+
+            auto run = [&](core::FoveatedPolicy policy) {
+                core::FoveatedPipeline p(cfg, policy);
+                return p.run(workload);
+            };
+
+            auto fmt = [](const core::PipelineResult &r) {
+                return TextTable::num(toMs(r.meanMtp()), 1) + " / " +
+                       TextTable::num(r.meanFps(), 0);
+            };
+
+            core::FoveatedPolicy ffr_uca = core::FoveatedPolicy::ffr();
+            ffr_uca.composition = core::CompositionPath::Uca;
+
+            const auto ffr = run(core::FoveatedPolicy::ffr());
+            const auto ffru = run(ffr_uca);
+            const auto dfr = run(core::FoveatedPolicy::dfr());
+            const auto qvr = run(core::FoveatedPolicy::qvr());
+
+            Row row;
+            row.gain = dfr.meanMtp() / qvr.meanMtp();
+            row.cells = {b.name, fmt(ffr), fmt(ffru), fmt(dfr),
+                         fmt(qvr), TextTable::speedup(row.gain)};
+            return row;
+        });
+
     std::vector<double> gains;
-    for (const auto &b : scene::table3Benchmarks()) {
-        core::ExperimentSpec spec;
-        spec.benchmark = b.name;
-        spec.numFrames = kFrames;
-        const auto cfg = spec.toConfig();
-        const auto workload = core::generateExperimentWorkload(spec);
-
-        auto run = [&](core::FoveatedPolicy policy) {
-            core::FoveatedPipeline p(cfg, policy);
-            return p.run(workload);
-        };
-
-        auto fmt = [](const core::PipelineResult &r) {
-            return TextTable::num(toMs(r.meanMtp()), 1) + " / " +
-                   TextTable::num(r.meanFps(), 0);
-        };
-
-        core::FoveatedPolicy ffr_uca = core::FoveatedPolicy::ffr();
-        ffr_uca.composition = core::CompositionPath::Uca;
-
-        const auto ffr = run(core::FoveatedPolicy::ffr());
-        const auto ffru = run(ffr_uca);
-        const auto dfr = run(core::FoveatedPolicy::dfr());
-        const auto qvr = run(core::FoveatedPolicy::qvr());
-
-        const double gain = dfr.meanMtp() / qvr.meanMtp();
-        gains.push_back(gain);
-        table.addRow({b.name, fmt(ffr), fmt(ffru), fmt(dfr),
-                      fmt(qvr), TextTable::speedup(gain)});
+    for (const auto &row : rows) {
+        gains.push_back(row.gain);
+        table.addRow(row.cells);
     }
     table.addRow({"MEAN", "", "", "", "",
                   TextTable::speedup(mean(gains))});

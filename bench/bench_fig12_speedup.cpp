@@ -20,12 +20,25 @@ main()
 
     printHeader("Figure 12 — end-to-end speedup and FPS");
 
-    const auto base = runTable3(core::DesignPoint::Local);
-    const auto stat = runTable3(core::DesignPoint::Static);
-    const auto ffr = runTable3(core::DesignPoint::Ffr);
-    const auto dfr = runTable3(core::DesignPoint::Dfr);
-    const auto sw = runTable3(core::DesignPoint::SwQvr);
-    const auto qvr = runTable3(core::DesignPoint::Qvr);
+    // All 6 designs x 7 benchmarks go through the parallel runner as
+    // one flat grid instead of six serial Table-3 sweeps.
+    const std::vector<core::DesignPoint> designs = {
+        core::DesignPoint::Local, core::DesignPoint::Static,
+        core::DesignPoint::Ffr,   core::DesignPoint::Dfr,
+        core::DesignPoint::SwQvr, core::DesignPoint::Qvr};
+    const auto grid = runDesignGrid(designs);
+    const std::size_t nb = scene::table3Benchmarks().size();
+    const auto slice = [&](std::size_t d) {
+        return std::vector<core::PipelineResult>(
+            grid.begin() + static_cast<std::ptrdiff_t>(d * nb),
+            grid.begin() + static_cast<std::ptrdiff_t>((d + 1) * nb));
+    };
+    const auto base = slice(0);
+    const auto stat = slice(1);
+    const auto ffr = slice(2);
+    const auto dfr = slice(3);
+    const auto sw = slice(4);
+    const auto qvr = slice(5);
 
     TextTable table("Normalised E2E speedup over Baseline");
     table.setHeader({"Benchmark", "Static", "FFR", "DFR", "Q-VR",

@@ -30,6 +30,10 @@ main()
                      "mean MTP (ms)", "egress util", "chiplet util",
                      "agg KB/frame"});
 
+    // Each session is independent (users *within* a session share an
+    // egress pipe and chiplet pool and must stay serial; whole
+    // sessions fan out across cores through the parallel runner).
+    std::vector<collab::SessionConfig> grid;
     for (std::size_t users : {1u, 2u, 4u, 8u, 12u, 16u}) {
         for (auto design : {collab::SessionDesign::Static,
                             collab::SessionDesign::Qvr}) {
@@ -38,35 +42,52 @@ main()
             cfg.design = design;
             cfg.benchmark = "HL2-H";
             cfg.numFrames = 150;
-            const collab::SessionResult r = collab::runSession(cfg);
-            table.addRow(
-                {std::to_string(users),
-                 design == collab::SessionDesign::Qvr ? "Q-VR"
-                                                      : "Static",
-                 TextTable::num(r.meanFps(), 1),
-                 TextTable::num(r.worstUserFps(), 1),
-                 TextTable::num(toMs(r.meanMtp()), 1),
-                 TextTable::percent(r.egressUtilisation),
-                 TextTable::percent(r.serverUtilisation),
-                 TextTable::num(r.aggregateBytesPerFrame() / 1024.0,
-                                0)});
+            grid.push_back(cfg);
         }
+    }
+    const auto sessions = sim::runParallel(
+        grid.size(),
+        [&grid](std::size_t i) { return collab::runSession(grid[i]); });
+
+    for (std::size_t i = 0; i < grid.size(); i++) {
+        const collab::SessionResult &r = sessions[i];
+        table.addRow(
+            {std::to_string(grid[i].users),
+             grid[i].design == collab::SessionDesign::Qvr ? "Q-VR"
+                                                          : "Static",
+             TextTable::num(r.meanFps(), 1),
+             TextTable::num(r.worstUserFps(), 1),
+             TextTable::num(toMs(r.meanMtp()), 1),
+             TextTable::percent(r.egressUtilisation),
+             TextTable::percent(r.serverUtilisation),
+             TextTable::num(r.aggregateBytesPerFrame() / 1024.0, 0)});
     }
     table.print(std::cout);
 
-    collab::SessionConfig cap_cfg;
-    cap_cfg.benchmark = "HL2-H";
-    cap_cfg.numFrames = 120;
-    cap_cfg.design = collab::SessionDesign::Qvr;
-    const std::size_t qvr90 =
-        collab::findUserCapacity(cap_cfg, 90.0, 24);
-    const std::size_t qvr60 =
-        collab::findUserCapacity(cap_cfg, 60.0, 24);
-    cap_cfg.design = collab::SessionDesign::Static;
-    const std::size_t st90 =
-        collab::findUserCapacity(cap_cfg, 90.0, 24);
-    const std::size_t st60 =
-        collab::findUserCapacity(cap_cfg, 60.0, 24);
+    struct CapacityQuery
+    {
+        collab::SessionDesign design;
+        double minFps;
+    };
+    const std::vector<CapacityQuery> queries = {
+        {collab::SessionDesign::Qvr, 90.0},
+        {collab::SessionDesign::Qvr, 60.0},
+        {collab::SessionDesign::Static, 90.0},
+        {collab::SessionDesign::Static, 60.0},
+    };
+    const auto capacities = sim::runParallel(
+        queries.size(), [&queries](std::size_t i) {
+            collab::SessionConfig cap_cfg;
+            cap_cfg.benchmark = "HL2-H";
+            cap_cfg.numFrames = 120;
+            cap_cfg.design = queries[i].design;
+            return collab::findUserCapacity(cap_cfg,
+                                            queries[i].minFps, 24);
+        });
+    const std::size_t qvr90 = capacities[0];
+    const std::size_t qvr60 = capacities[1];
+    const std::size_t st90 = capacities[2];
+    const std::size_t st60 = capacities[3];
 
     std::cout << "\nUser capacity of one edge server (worst user"
                  " >= target FPS):\n";

@@ -42,12 +42,23 @@ main()
         header.push_back(b.name);
     table.setHeader(header);
 
+    // Flatten the 3 freq x 3 net x 7 benchmark grid into one
+    // parallel submission; results come back in cell order.
+    const auto &benches = scene::table3Benchmarks();
+    std::vector<Cell> cells;
+    for (int fi = 0; fi < 3; fi++)
+        for (const auto &n : nets)
+            for (const auto &b : benches)
+                cells.push_back({core::DesignPoint::Qvr, b.name,
+                                 n.cfg, freqs[fi], kFrames, 1});
+    const auto results = runCells(cells);
+
+    std::size_t idx = 0;
     for (int fi = 0; fi < 3; fi++) {
         for (const auto &n : nets) {
             std::vector<std::string> row{freq_labels[fi], n.label};
-            for (const auto &b : scene::table3Benchmarks()) {
-                const auto r = runCell(core::DesignPoint::Qvr,
-                                       b.name, n.cfg, freqs[fi]);
+            for (std::size_t bi = 0; bi < benches.size(); bi++) {
+                const auto &r = results[idx++];
                 std::string cell = TextTable::num(r.meanE1(), 1);
                 if (r.fpsCompliance() < 0.9)
                     cell += "*";

@@ -3,6 +3,12 @@
  * Shared helpers for the paper-reproduction bench binaries: every
  * bench runs design points through the common experiment harness and
  * prints a TextTable mirroring one table/figure of the paper.
+ *
+ * Sweep grids are submitted through sim::runParallel, which fans the
+ * independent cells across cores (QVR_JOBS overrides the worker
+ * count).  Results come back in cell order, and every cell owns its
+ * seeded Rng streams, so table output is bit-identical to the old
+ * serial loops at any thread count.
  */
 
 #ifndef QVR_BENCH_BENCH_UTIL_HPP
@@ -14,6 +20,7 @@
 
 #include "common/table.hpp"
 #include "core/qvr_system.hpp"
+#include "sim/parallel.hpp"
 
 namespace qvr::bench
 {
@@ -37,17 +44,53 @@ runCell(core::DesignPoint design, const std::string &benchmark,
     return core::runExperiment(design, spec);
 }
 
-/** Run a design on all Table-3 benchmarks. */
+/** One sweep cell, for batch submission through runCells(). */
+struct Cell
+{
+    core::DesignPoint design = core::DesignPoint::Qvr;
+    std::string benchmark = "Doom3-H";
+    net::ChannelConfig channel = net::ChannelConfig::wifi();
+    double freqScale = 1.0;
+    std::size_t frames = kFrames;
+    std::uint64_t seed = 1;
+};
+
+/** Run a whole grid of cells across cores, results in cell order. */
+inline std::vector<core::PipelineResult>
+runCells(const std::vector<Cell> &cells)
+{
+    return sim::runParallel(cells.size(), [&cells](std::size_t i) {
+        const Cell &c = cells[i];
+        return runCell(c.design, c.benchmark, c.channel, c.freqScale,
+                       c.frames, c.seed);
+    });
+}
+
+/** Run a design on all Table-3 benchmarks (cells in parallel). */
 inline std::vector<core::PipelineResult>
 runTable3(core::DesignPoint design,
           const net::ChannelConfig &channel = net::ChannelConfig::wifi(),
           double freq_scale = 1.0, std::size_t frames = kFrames)
 {
-    std::vector<core::PipelineResult> out;
+    std::vector<Cell> cells;
     for (const auto &b : scene::table3Benchmarks())
-        out.push_back(runCell(design, b.name, channel, freq_scale,
-                              frames));
-    return out;
+        cells.push_back({design, b.name, channel, freq_scale, frames, 1});
+    return runCells(cells);
+}
+
+/** Run several designs over all Table-3 benchmarks as one flat grid;
+ *  result index = design_index * numBenchmarks + benchmark_index. */
+inline std::vector<core::PipelineResult>
+runDesignGrid(const std::vector<core::DesignPoint> &designs,
+              const net::ChannelConfig &channel =
+                  net::ChannelConfig::wifi(),
+              double freq_scale = 1.0, std::size_t frames = kFrames)
+{
+    std::vector<Cell> cells;
+    for (const auto d : designs)
+        for (const auto &b : scene::table3Benchmarks())
+            cells.push_back({d, b.name, channel, freq_scale, frames, 1});
+    return runCells(cells);
 }
 
 /** Geometric-mean helper for "average speedup" style rows. */

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace qvr
 {
@@ -11,6 +12,11 @@ namespace
 {
 
 std::atomic<LogLevel> g_level{LogLevel::Info};
+
+/** Serialises record emission so concurrent experiment cells (the
+ *  sim::ThreadPool workers) never interleave partial lines across the
+ *  stdout/stderr sinks. */
+std::mutex g_sinkMutex;
 
 const char *
 levelName(LogLevel level)
@@ -47,6 +53,7 @@ emit(LogLevel level, const std::string &msg, const char *file, int line)
     if (level < logLevel())
         return;
     std::FILE *sink = (level >= LogLevel::Warn) ? stderr : stdout;
+    std::lock_guard<std::mutex> lock(g_sinkMutex);
     std::fprintf(sink, "[%s] %s (%s:%d)\n",
                  levelName(level), msg.c_str(), file, line);
 }
@@ -54,14 +61,22 @@ emit(LogLevel level, const std::string &msg, const char *file, int line)
 void
 panicImpl(const std::string &msg, const char *file, int line)
 {
-    std::fprintf(stderr, "[panic] %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(g_sinkMutex);
+        std::fprintf(stderr, "[panic] %s (%s:%d)\n",
+                     msg.c_str(), file, line);
+    }
     std::abort();
 }
 
 void
 fatalImpl(const std::string &msg, const char *file, int line)
 {
-    std::fprintf(stderr, "[fatal] %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(g_sinkMutex);
+        std::fprintf(stderr, "[fatal] %s (%s:%d)\n",
+                     msg.c_str(), file, line);
+    }
     std::exit(1);
 }
 

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic parallel experiment runner.
+ *
+ * runParallel(n, fn) evaluates fn(0) … fn(n-1) on a ThreadPool and
+ * returns the results in index order.  The contract is bit-exact
+ * determinism: because every task writes only its own result slot and
+ * each experiment cell owns its seeded Rng streams (common/rng.hpp),
+ * the returned sequence is byte-identical to the serial loop
+ *
+ *     for (i = 0; i < n; i++) out.push_back(fn(i));
+ *
+ * for EVERY thread count and EVERY scheduling order.  The caller's
+ * side of the contract: fn must not touch shared mutable state —
+ * tests/sim/test_parallel_runner.cpp enforces this for the pipeline
+ * and session runners, under ThreadSanitizer when QVR_SANITIZE=thread.
+ */
+
+#ifndef QVR_SIM_PARALLEL_HPP
+#define QVR_SIM_PARALLEL_HPP
+
+#include <cstddef>
+#include <exception>
+#include <type_traits>
+#include <vector>
+
+#include "sim/thread_pool.hpp"
+
+namespace qvr::sim
+{
+
+/**
+ * Fan fn(0..n-1) across @p pool; results land in index order.
+ *
+ * fn is invoked concurrently from pool workers and must be safe to
+ * call from multiple threads at once.  If any invocation throws, the
+ * lowest-index exception is rethrown after every task has finished
+ * (no partial results escape).
+ */
+template <typename Fn>
+auto
+runParallel(ThreadPool &pool, std::size_t n, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+{
+    using R = std::invoke_result_t<Fn &, std::size_t>;
+    static_assert(std::is_default_constructible_v<R>,
+                  "runParallel results must be default-constructible");
+    std::vector<R> out(n);
+    if (n == 0)
+        return out;
+    std::vector<std::exception_ptr> errors(n);
+    for (std::size_t i = 0; i < n; i++) {
+        pool.submit([&out, &errors, &fn, i] {
+            try {
+                out[i] = fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    pool.wait();
+    for (const auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return out;
+}
+
+/** Convenience overload: a one-shot pool with @p threads workers
+ *  (0 = ThreadPool::defaultParallelism()). */
+template <typename Fn>
+auto
+runParallel(std::size_t n, Fn &&fn, std::size_t threads = 0)
+    -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+{
+    ThreadPool pool(threads);
+    return runParallel(pool, n, fn);
+}
+
+}  // namespace qvr::sim
+
+#endif  // QVR_SIM_PARALLEL_HPP

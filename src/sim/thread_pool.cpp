@@ -1,0 +1,89 @@
+#include "sim/thread_pool.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace qvr::sim
+{
+
+std::size_t
+ThreadPool::defaultParallelism()
+{
+    if (const char *env = std::getenv("QVR_JOBS")) {
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && n >= 1)
+            return static_cast<std::size_t>(n);
+        QVR_WARN("ignoring malformed QVR_JOBS='", env, "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = defaultParallelism();
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        QVR_REQUIRE(!stopping_, "submit() on a stopping ThreadPool");
+        queue_.push_back(std::move(task));
+    }
+    workAvailable_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock,
+                  [this] { return queue_.empty() && inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return;  // stopping_ and nothing left to run
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            inFlight_++;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inFlight_--;
+            if (queue_.empty() && inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+}  // namespace qvr::sim

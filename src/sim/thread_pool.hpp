@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fixed-size worker pool for fanning independent experiment cells
+ * across cores.
+ *
+ * The pool is deliberately minimal: a FIFO task queue, N workers, and
+ * a wait() barrier.  Determinism is the caller's concern — tasks must
+ * not share mutable state — and is what runParallel() (parallel.hpp)
+ * layers on top by binding every task to its own result slot.
+ */
+
+#ifndef QVR_SIM_THREAD_POOL_HPP
+#define QVR_SIM_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qvr::sim
+{
+
+class ThreadPool
+{
+  public:
+    /** Start @p threads workers; 0 means defaultParallelism(). */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Drains nothing: queued-but-unstarted tasks are dropped only
+     *  after wait(); the destructor joins once the queue is empty. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /** Enqueue one task; runs on some worker, FIFO dispatch. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /**
+     * Worker count when none is requested: the QVR_JOBS environment
+     * variable if set to a positive integer, else the hardware
+     * concurrency (at least 1).
+     */
+    static std::size_t defaultParallelism();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    std::size_t inFlight_ = 0;
+    bool stopping_ = false;
+};
+
+}  // namespace qvr::sim
+
+#endif  // QVR_SIM_THREAD_POOL_HPP

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The parallel experiment runner's determinism contract: a sweep
+ * fanned across 1, 2 or 8 workers must produce FrameStats sequences
+ * that are BIT-identical to the serial loop, for pipeline cells and
+ * for whole collaborative sessions.  Built with -DQVR_SANITIZE=thread
+ * and run via `ctest -L tsan`, this is also the data-race gate for
+ * the shared component models the cells touch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "collab/session.hpp"
+#include "core/qvr_system.hpp"
+#include "sim/parallel.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace
+{
+
+using namespace qvr;
+
+/** Bit pattern of a double: the comparison the contract is stated
+ *  in.  (EXPECT_DOUBLE_EQ tolerates ULP noise; we tolerate none.) */
+std::uint64_t
+bits(double x)
+{
+    return std::bit_cast<std::uint64_t>(x);
+}
+
+void
+expectBitIdentical(const core::FrameStats &a, const core::FrameStats &b)
+{
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(bits(a.e1), bits(b.e1));
+    EXPECT_EQ(bits(a.e2), bits(b.e2));
+    EXPECT_EQ(bits(a.tLocalRender), bits(b.tLocalRender));
+    EXPECT_EQ(bits(a.tRemoteRender), bits(b.tRemoteRender));
+    EXPECT_EQ(bits(a.tNetwork), bits(b.tNetwork));
+    EXPECT_EQ(bits(a.tDecode), bits(b.tDecode));
+    EXPECT_EQ(bits(a.tComposition), bits(b.tComposition));
+    EXPECT_EQ(bits(a.tAtw), bits(b.tAtw));
+    EXPECT_EQ(bits(a.tRemoteBranch), bits(b.tRemoteBranch));
+    EXPECT_EQ(bits(a.mtpLatency), bits(b.mtpLatency));
+    EXPECT_EQ(bits(a.frameInterval), bits(b.frameInterval));
+    EXPECT_EQ(bits(a.displayTime), bits(b.displayTime));
+    EXPECT_EQ(bits(a.gpuBusy), bits(b.gpuBusy));
+    EXPECT_EQ(a.transmittedBytes, b.transmittedBytes);
+    EXPECT_EQ(bits(a.renderedResolutionFraction),
+              bits(b.renderedResolutionFraction));
+    EXPECT_EQ(a.localTriangles, b.localTriangles);
+    EXPECT_EQ(bits(a.energy.gpu), bits(b.energy.gpu));
+    EXPECT_EQ(bits(a.energy.radio), bits(b.energy.radio));
+    EXPECT_EQ(bits(a.energy.vpu), bits(b.energy.vpu));
+    EXPECT_EQ(bits(a.energy.accelerators), bits(b.energy.accelerators));
+    EXPECT_EQ(a.meetsFrameRate, b.meetsFrameRate);
+    EXPECT_EQ(a.meetsMtp, b.meetsMtp);
+    EXPECT_EQ(a.reprojected, b.reprojected);
+    EXPECT_EQ(bits(a.reprojectionErrorDeg), bits(b.reprojectionErrorDeg));
+    EXPECT_EQ(bits(a.peripheryQuality), bits(b.peripheryQuality));
+}
+
+void
+expectBitIdentical(const core::PipelineResult &a,
+                   const core::PipelineResult &b)
+{
+    EXPECT_EQ(a.design, b.design);
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    ASSERT_EQ(a.frames.size(), b.frames.size());
+    for (std::size_t i = 0; i < a.frames.size(); i++) {
+        SCOPED_TRACE("frame " + std::to_string(i));
+        expectBitIdentical(a.frames[i], b.frames[i]);
+    }
+}
+
+/** The sweep under test: every design on two benchmarks. */
+std::vector<std::pair<core::DesignPoint, const char *>>
+pipelineGrid()
+{
+    std::vector<std::pair<core::DesignPoint, const char *>> grid;
+    for (auto d : {core::DesignPoint::Local, core::DesignPoint::Remote,
+                   core::DesignPoint::Static, core::DesignPoint::Ffr,
+                   core::DesignPoint::Dfr, core::DesignPoint::SwQvr,
+                   core::DesignPoint::Qvr}) {
+        grid.emplace_back(d, "Doom3-H");
+        grid.emplace_back(d, "GRID");
+    }
+    return grid;
+}
+
+core::PipelineResult
+runPipelineCell(std::size_t i)
+{
+    const auto grid = pipelineGrid();
+    core::ExperimentSpec spec;
+    spec.benchmark = grid[i].second;
+    spec.numFrames = 60;
+    spec.seed = 7;
+    return core::runExperiment(grid[i].first, spec);
+}
+
+collab::SessionConfig
+sessionCell(std::size_t i)
+{
+    const std::size_t users[] = {1, 2, 4};
+    collab::SessionConfig cfg;
+    cfg.users = users[i % 3];
+    cfg.design = i < 3 ? collab::SessionDesign::Static
+                       : collab::SessionDesign::Qvr;
+    cfg.benchmark = "HL2-H";
+    cfg.numFrames = 40;
+    return cfg;
+}
+
+TEST(ParallelRunner, PipelineSweepBitExactAcrossThreadCounts)
+{
+    const std::size_t n = pipelineGrid().size();
+
+    std::vector<core::PipelineResult> serial;
+    for (std::size_t i = 0; i < n; i++)
+        serial.push_back(runPipelineCell(i));
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const auto parallel =
+            sim::runParallel(n, runPipelineCell, threads);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < n; i++) {
+            SCOPED_TRACE("cell " + std::to_string(i));
+            expectBitIdentical(serial[i], parallel[i]);
+        }
+    }
+}
+
+TEST(ParallelRunner, SessionSweepBitExactAcrossThreadCounts)
+{
+    const std::size_t n = 6;
+    auto run = [](std::size_t i) {
+        return collab::runSession(sessionCell(i));
+    };
+
+    std::vector<collab::SessionResult> serial;
+    for (std::size_t i = 0; i < n; i++)
+        serial.push_back(run(i));
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const auto parallel = sim::runParallel(n, run, threads);
+        for (std::size_t i = 0; i < n; i++) {
+            SCOPED_TRACE("session " + std::to_string(i));
+            EXPECT_EQ(bits(serial[i].egressUtilisation),
+                      bits(parallel[i].egressUtilisation));
+            EXPECT_EQ(bits(serial[i].serverUtilisation),
+                      bits(parallel[i].serverUtilisation));
+            ASSERT_EQ(serial[i].perUser.size(),
+                      parallel[i].perUser.size());
+            for (std::size_t u = 0; u < serial[i].perUser.size(); u++) {
+                SCOPED_TRACE("user " + std::to_string(u));
+                expectBitIdentical(serial[i].perUser[u],
+                                   parallel[i].perUser[u]);
+            }
+        }
+    }
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    sim::ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; i++)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    sim::ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 3; batch++) {
+        for (int i = 0; i < 10; i++)
+            pool.submit([&count] { count.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(count.load(), (batch + 1) * 10);
+    }
+}
+
+TEST(ThreadPool, DefaultParallelismIsPositive)
+{
+    EXPECT_GE(sim::ThreadPool::defaultParallelism(), 1u);
+}
+
+TEST(ParallelRunner, ResultsLandInIndexOrder)
+{
+    const auto out = sim::runParallel(
+        257, [](std::size_t i) { return i * i; }, 8);
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); i++)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelRunner, SharedPoolOverloadMatchesOneShot)
+{
+    sim::ThreadPool pool(3);
+    const auto a = sim::runParallel(
+        pool, 50, [](std::size_t i) { return 3 * i + 1; });
+    const auto b = sim::runParallel(
+        50, [](std::size_t i) { return 3 * i + 1; }, 2);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ParallelRunner, PropagatesTaskExceptions)
+{
+    EXPECT_THROW(
+        sim::runParallel(
+            16,
+            [](std::size_t i) {
+                if (i == 11)
+                    throw std::runtime_error("cell 11 exploded");
+                return i;
+            },
+            4),
+        std::runtime_error);
+}
+
+TEST(ParallelRunner, EmptyGridIsFine)
+{
+    const auto out =
+        sim::runParallel(0, [](std::size_t i) { return i; }, 4);
+    EXPECT_TRUE(out.empty());
+}
+
+}  // namespace

@@ -10,6 +10,11 @@
  * can dump the per-frame series as CSV for plotting.  Traces can be
  * replayed (--trace) or recorded (--save-trace) for reproducible
  * comparisons.
+ *
+ * --sweep fans a whole cell grid (designs, benchmarks, or their
+ * product) through the parallel experiment runner; --jobs bounds the
+ * worker count (default: QVR_JOBS or the core count).  Output is in
+ * grid order and bit-identical for every worker count.
  */
 
 #include <cstdio>
@@ -18,11 +23,13 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "core/qvr_system.hpp"
 #include "scene/trace_io.hpp"
+#include "sim/parallel.hpp"
 
 namespace
 {
@@ -45,6 +52,10 @@ usage()
         "  --csv PATH        dump the per-frame series as CSV\n"
         "  --trace PATH      replay a recorded workload trace\n"
         "  --save-trace PATH record the workload trace\n"
+        "  --sweep MODE      designs | benchmarks | grid: run the\n"
+        "                    whole cell grid in parallel\n"
+        "  --jobs N          sweep worker threads (default: QVR_JOBS\n"
+        "                    env var, else the core count)\n"
         "  --list            list designs and benchmarks\n"
         "  --help            this text\n");
 }
@@ -79,6 +90,68 @@ list()
     std::printf("\n");
 }
 
+/** --sweep: run a cell grid through the parallel runner and print a
+ *  comparison table, one row per cell in grid order. */
+int
+runSweep(const std::string &mode, const std::string &design_name,
+         const core::ExperimentSpec &spec, std::size_t jobs)
+{
+    struct SweepCell
+    {
+        std::string design;
+        std::string benchmark;
+    };
+    std::vector<SweepCell> cells;
+    if (mode == "designs" || mode == "grid") {
+        for (const auto &[name, d] : designs()) {
+            (void)d;
+            if (mode == "designs") {
+                cells.push_back({name, spec.benchmark});
+            } else {
+                for (const auto &b : scene::table3Benchmarks())
+                    cells.push_back({name, b.name});
+            }
+        }
+    } else if (mode == "benchmarks") {
+        for (const auto &b : scene::table3Benchmarks())
+            cells.push_back({design_name, b.name});
+    } else {
+        QVR_FATAL("unknown --sweep mode '", mode,
+                  "' (designs | benchmarks | grid)");
+    }
+
+    const auto results = sim::runParallel(
+        cells.size(),
+        [&cells, &spec](std::size_t i) {
+            core::ExperimentSpec cell_spec = spec;
+            cell_spec.benchmark = cells[i].benchmark;
+            return core::runExperiment(
+                designs().at(cells[i].design), cell_spec);
+        },
+        jobs);
+
+    TextTable table("Sweep: " + std::to_string(cells.size()) +
+                    " cells, " + spec.channel.name + " @ " +
+                    TextTable::num(spec.gpuFrequencyScale * 500.0, 0) +
+                    " MHz");
+    table.setHeader({"Design", "Benchmark", "MTP (ms)", "FPS",
+                     ">=90Hz", "KB/frame", "mJ/frame", "e1 (deg)"});
+    for (const auto &r : results) {
+        table.addRow({r.design, r.benchmark,
+                      TextTable::num(toMs(r.meanMtp()), 2),
+                      TextTable::num(r.meanFps(), 1),
+                      TextTable::percent(r.fpsCompliance()),
+                      TextTable::num(
+                          r.meanTransmittedBytes() / 1024.0, 0),
+                      TextTable::num(r.meanEnergy() * 1e3, 1),
+                      r.meanE1() > 0.0
+                          ? TextTable::num(r.meanE1(), 1)
+                          : std::string("-")});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -90,6 +163,8 @@ main(int argc, char **argv)
     std::string csv_path;
     std::string trace_path;
     std::string save_trace_path;
+    std::string sweep_mode;
+    std::size_t jobs = 0;
 
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -134,6 +209,10 @@ main(int argc, char **argv)
             trace_path = value();
         } else if (arg == "--save-trace") {
             save_trace_path = value();
+        } else if (arg == "--sweep") {
+            sweep_mode = value();
+        } else if (arg == "--jobs") {
+            jobs = static_cast<std::size_t>(std::stoul(value()));
         } else {
             usage();
             QVR_FATAL("unknown option '", arg, "'");
@@ -143,6 +222,15 @@ main(int argc, char **argv)
     const auto it = designs().find(design_name);
     if (it == designs().end())
         QVR_FATAL("unknown design '", design_name, "' (see --list)");
+
+    if (!sweep_mode.empty()) {
+        if (!csv_path.empty() || !trace_path.empty() ||
+            !save_trace_path.empty()) {
+            QVR_FATAL("--sweep is incompatible with --csv/--trace/"
+                      "--save-trace (one cell only)");
+        }
+        return runSweep(sweep_mode, design_name, spec, jobs);
+    }
 
     const auto workload =
         trace_path.empty() ? core::generateExperimentWorkload(spec)

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/log.hpp"
+#include "core/pixel_engine.hpp"
 
 namespace qvr::core
 {
@@ -50,13 +51,15 @@ psnrInDisc(const Image &a, const Image &b, double cx, double cy,
     std::uint64_t n = 0;
     const double r2 = radius * radius;
     for (std::int32_t y = 0; y < a.height(); y++) {
+        const Rgb *ra = a.rowSpan(y);
+        const Rgb *rb = b.rowSpan(y);
         for (std::int32_t x = 0; x < a.width(); x++) {
             const double dx = x + 0.5 - cx;
             const double dy = y + 0.5 - cy;
             const bool in = dx * dx + dy * dy <= r2;
             if (in != inside)
                 continue;
-            const Rgb d = a.at(x, y) - b.at(x, y);
+            const Rgb d = ra[x] - rb[x];
             mse += static_cast<double>(d.r) * d.r +
                    static_cast<double>(d.g) * d.g +
                    static_cast<double>(d.b) * d.b;
@@ -75,7 +78,7 @@ FoveatedRenderResult
 renderFoveated(const std::vector<RasterTriangle> &scene,
                std::int32_t width, std::int32_t height,
                const PixelPartition &partition, double s_middle,
-               double s_outer, Vec2 atw_shift)
+               double s_outer, Vec2 atw_shift, std::size_t threads)
 {
     QVR_REQUIRE(s_middle >= 1.0 && s_outer >= 1.0,
                 "subsample factors must be >= 1");
@@ -96,17 +99,15 @@ renderFoveated(const std::vector<RasterTriangle> &scene,
     in.sOuter = s_outer;
     in.partition = partition;
     in.atwShift = atw_shift;
-    out.composite = ucaUnified(in);
+
+    // The tiled engine is bit-identical to the scalar ucaUnified()
+    // at every thread count, so PSNR numbers are unaffected by it.
+    PixelEngine engine(threads);
+    out.composite = engine.ucaUnified(in);
 
     // Reference with the same reprojection applied, so the PSNR
     // isolates foveation error rather than the warp itself.
-    Image reference(width, height);
-    for (std::int32_t y = 0; y < height; y++) {
-        for (std::int32_t x = 0; x < width; x++) {
-            reference.at(x, y) = native.sampleBilinear(
-                x + 0.5 - atw_shift.x, y + 0.5 - atw_shift.y);
-        }
-    }
+    Image reference = engine.resampleShift(native, atw_shift);
 
     out.psnrOverall = psnr(out.composite, reference);
     out.psnrFovea =

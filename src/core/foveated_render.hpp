@@ -13,6 +13,7 @@
 #ifndef QVR_CORE_FOVEATED_RENDER_HPP
 #define QVR_CORE_FOVEATED_RENDER_HPP
 
+#include <cstddef>
 #include <vector>
 
 #include "core/raster.hpp"
@@ -38,18 +39,27 @@ double psnrInDisc(const Image &a, const Image &b, double cx,
 /**
  * Render @p scene both ways and fuse.
  *
+ * The fuse and the reference reprojection run through the tiled
+ * PixelEngine (core/pixel_engine.hpp), which is bit-identical to the
+ * scalar UCA loops at every thread count — results do not depend on
+ * @p threads.
+ *
  * @param width/height  native framebuffer size
  * @param partition     fovea/middle geometry in pixels
  * @param s_middle/s_outer  per-dimension subsample factors
  * @param atw_shift     reprojection applied in the unified pass
  *                      (also applied to the native reference so the
  *                      comparison isolates foveation error)
+ * @param threads       pixel-engine workers (0 = auto, 1 = inline;
+ *                      pass 1 when calling from inside a parallel
+ *                      sweep cell to avoid oversubscription)
  */
 FoveatedRenderResult
 renderFoveated(const std::vector<RasterTriangle> &scene,
                std::int32_t width, std::int32_t height,
                const PixelPartition &partition, double s_middle,
-               double s_outer, Vec2 atw_shift = Vec2{});
+               double s_outer, Vec2 atw_shift = Vec2{},
+               std::size_t threads = 0);
 
 }  // namespace qvr::core
 

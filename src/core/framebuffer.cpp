@@ -32,6 +32,22 @@ Image::at(std::int32_t x, std::int32_t y)
     return pixels_[static_cast<std::size_t>(y) * width_ + x];
 }
 
+Rgb *
+Image::rowSpan(std::int32_t y)
+{
+    QVR_REQUIRE(y >= 0 && y < height_,
+                "row ", y, " out of ", width_, "x", height_);
+    return pixels_.data() + static_cast<std::size_t>(y) * width_;
+}
+
+const Rgb *
+Image::rowSpan(std::int32_t y) const
+{
+    QVR_REQUIRE(y >= 0 && y < height_,
+                "row ", y, " out of ", width_, "x", height_);
+    return pixels_.data() + static_cast<std::size_t>(y) * width_;
+}
+
 const Rgb &
 Image::texel(std::int32_t x, std::int32_t y) const
 {

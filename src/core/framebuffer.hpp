@@ -53,6 +53,12 @@ class Image
     const Rgb &at(std::int32_t x, std::int32_t y) const;
     Rgb &at(std::int32_t x, std::int32_t y);
 
+    /** Contiguous pixel row: the row index is bounds-checked once,
+     *  pixels within the row are then indexed unchecked — hoists the
+     *  per-pixel QVR_REQUIRE of at() out of inner loops. */
+    Rgb *rowSpan(std::int32_t y);
+    const Rgb *rowSpan(std::int32_t y) const;
+
     /** Clamp-to-edge texel fetch. */
     const Rgb &texel(std::int32_t x, std::int32_t y) const;
 

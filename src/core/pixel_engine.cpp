@@ -1,0 +1,337 @@
+#include "core/pixel_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/log.hpp"
+#include "sim/parallel.hpp"
+
+namespace qvr::core
+{
+
+namespace
+{
+
+/** Same validation as the scalar reference paths in uca.cpp. */
+void
+requireValidInputs(const UcaFrameInputs &in)
+{
+    QVR_REQUIRE(in.fovea && in.middle && in.outer,
+                "UCA inputs must provide all three layers");
+    QVR_REQUIRE(in.sMiddle >= 1.0 && in.sOuter >= 1.0,
+                "subsample factors must be >= 1");
+    QVR_REQUIRE(in.partition.middleRadius >= in.partition.foveaRadius,
+                "e2 must be >= e1");
+}
+
+/**
+ * One output row of single-layer bilinear sampling with the
+ * row-invariant work hoisted: the vertical weight, the (clamped)
+ * source row pointers and — when the whole span's 2x2 footprints are
+ * interior — the horizontal edge clamps.  The per-pixel arithmetic
+ * is operation-for-operation Image::sampleBilinear evaluated at
+ * ((x + 0.5 - shift.x) / s, (y + 0.5 - shift.y) / s), so the sampled
+ * values are bit-identical to the scalar reference (division by
+ * s == 1.0 is exact, matching the undivided fovea-layer call).
+ *
+ * @p write is invoked as write(x, sample) for x in [x0, x1).
+ */
+template <typename Write>
+inline void
+forRowBilinear(const Image &img, double s, Vec2 shift, std::int32_t y,
+               std::int32_t x0, std::int32_t x1, Write &&write)
+{
+    const double sy = (y + 0.5 - shift.y) / s;
+    const double fy = sy - 0.5;
+    const auto y0 = static_cast<std::int32_t>(std::floor(fy));
+    const float wy = static_cast<float>(fy - y0);
+    const std::int32_t w = img.width();
+    const std::int32_t h = img.height();
+    const Rgb *row0 = img.rowSpan(clamp(y0, 0, h - 1));
+    const Rgb *row1 = img.rowSpan(clamp(y0 + 1, 0, h - 1));
+
+    // fx is increasing in x (s >= 1), and floor is monotone, so the
+    // first and last pixel bound every footprint in the span.
+    const double fx_first = (x0 + 0.5 - shift.x) / s - 0.5;
+    const double fx_last = ((x1 - 1) + 0.5 - shift.x) / s - 0.5;
+    const auto ix_first =
+        static_cast<std::int32_t>(std::floor(fx_first));
+    const auto ix_last =
+        static_cast<std::int32_t>(std::floor(fx_last));
+
+    if (ix_first >= 0 && ix_last + 1 <= w - 1) {
+        for (std::int32_t x = x0; x < x1; x++) {
+            const double fx = (x + 0.5 - shift.x) / s - 0.5;
+            const auto xi =
+                static_cast<std::int32_t>(std::floor(fx));
+            const float wx = static_cast<float>(fx - xi);
+            const Rgb &c00 = row0[xi];
+            const Rgb &c10 = row0[xi + 1];
+            const Rgb &c01 = row1[xi];
+            const Rgb &c11 = row1[xi + 1];
+            const Rgb top = c00 * (1.0f - wx) + c10 * wx;
+            const Rgb bot = c01 * (1.0f - wx) + c11 * wx;
+            write(x, top * (1.0f - wy) + bot * wy);
+        }
+    } else {
+        for (std::int32_t x = x0; x < x1; x++) {
+            const double fx = (x + 0.5 - shift.x) / s - 0.5;
+            const auto xi =
+                static_cast<std::int32_t>(std::floor(fx));
+            const float wx = static_cast<float>(fx - xi);
+            const std::int32_t xa = clamp(xi, 0, w - 1);
+            const std::int32_t xb = clamp(xi + 1, 0, w - 1);
+            const Rgb &c00 = row0[xa];
+            const Rgb &c10 = row0[xb];
+            const Rgb &c01 = row1[xa];
+            const Rgb &c11 = row1[xb];
+            const Rgb top = c00 * (1.0f - wx) + c10 * wx;
+            const Rgb bot = c01 * (1.0f - wx) + c11 * wx;
+            write(x, top * (1.0f - wy) + bot * wy);
+        }
+    }
+}
+
+/** Single-layer fast-path tile: the reference inner loop with the
+ *  one-hot weights substituted (add-to-zero and multiply-by-1.0f
+ *  kept, so the written bits match the blend path's). */
+void
+blitSingleLayerTile(Image &out, const Image &layer, double s,
+                    Vec2 shift, const RectI &tile)
+{
+    for (std::int32_t y = tile.y0; y < tile.y1; y++) {
+        Rgb *row = out.rowSpan(y);
+        forRowBilinear(layer, s, shift, y, tile.x0, tile.x1,
+                       [row](std::int32_t x, const Rgb &smp) {
+                           Rgb c;
+                           c = c + smp * 1.0f;
+                           row[x] = c;
+                       });
+    }
+}
+
+}  // namespace
+
+TileCoverage
+classifyCoverage(const PixelPartition &p, double sx0, double sy0,
+                 double sx1, double sy1)
+{
+    // Effective band width, exactly as layerWeights() computes it.
+    const double band =
+        std::min(p.blendBand,
+                 std::max(1.0, p.middleRadius - p.foveaRadius));
+    if (!(band >= 0.0))
+        return TileCoverage::Blend;  // degenerate/NaN: safe path
+
+    // Nearest and farthest point of the rectangle from the centre
+    // give conservative bounds on every pixel's sample radius.
+    const double nx = clamp(p.centerX, sx0, sx1);
+    const double ny = clamp(p.centerY, sy0, sy1);
+    const double rmin = std::hypot(nx - p.centerX, ny - p.centerY);
+    const double fx = (p.centerX - sx0 > sx1 - p.centerX) ? sx0 : sx1;
+    const double fy = (p.centerY - sy0 > sy1 - p.centerY) ? sy0 : sy1;
+    const double rmax = std::hypot(fx - p.centerX, fy - p.centerY);
+
+    // Guard band against std::hypot rounding (the per-pixel radius
+    // and these bounds are each within an ulp of exact): a tile gets
+    // a fast path only when it clears the threshold by more than the
+    // combined rounding; borderline tiles blend, which is always
+    // bit-correct, merely slower.
+    const double eps = 1e-9 + 1e-12 * rmax;
+
+    const double lo1 = p.foveaRadius - band / 2.0;
+    const double hi1 = p.foveaRadius + band / 2.0;
+    const double lo2 = p.middleRadius - band / 2.0;
+    const double hi2 = p.middleRadius + band / 2.0;
+
+    // smooth(r, lo, hi) is exactly 0 for r <= lo and exactly 1 for
+    // r >= hi, so these regions have exactly one-hot weights.
+    if (rmax + eps <= lo1)
+        return TileCoverage::Fovea;
+    if (rmin - eps >= hi2)
+        return TileCoverage::Outer;
+    if (rmin - eps >= hi1 && rmax + eps <= lo2)
+        return TileCoverage::Middle;
+    return TileCoverage::Blend;
+}
+
+PixelEngine::PixelEngine(std::size_t threads)
+    : threads_(threads == 0 ? sim::ThreadPool::defaultParallelism()
+                            : threads)
+{
+    if (threads_ > 1)
+        pool_ = std::make_unique<sim::ThreadPool>(threads_);
+}
+
+PixelEngine::~PixelEngine() = default;
+
+template <typename Fn>
+void
+PixelEngine::forEachTile(std::int32_t width, std::int32_t height,
+                         Fn &&fn)
+{
+    const std::int32_t tiles_x =
+        (width + kPixelTileSize - 1) / kPixelTileSize;
+    const std::int32_t tiles_y =
+        (height + kPixelTileSize - 1) / kPixelTileSize;
+    const auto n =
+        static_cast<std::size_t>(tiles_x) * tiles_y;
+
+    // Stable tile enumeration: tile t is the t-th tile in row-major
+    // order, whichever worker runs it.  Tiles write disjoint output
+    // rows spans, so the frame is identical for every assignment.
+    auto run_tile = [&](std::size_t t) {
+        const std::int32_t x0 =
+            static_cast<std::int32_t>(t % tiles_x) * kPixelTileSize;
+        const std::int32_t y0 =
+            static_cast<std::int32_t>(t / tiles_x) * kPixelTileSize;
+        const RectI tile{x0, y0,
+                         std::min(x0 + kPixelTileSize, width),
+                         std::min(y0 + kPixelTileSize, height)};
+        fn(t, tile);
+    };
+
+    if (!pool_) {
+        for (std::size_t t = 0; t < n; t++)
+            run_tile(t);
+        return;
+    }
+    sim::forEachParallel(*pool_, n, run_tile);
+}
+
+Image
+PixelEngine::composite(const UcaFrameInputs &in, Vec2 shift)
+{
+    const std::int32_t w = in.fovea->width();
+    const std::int32_t h = in.fovea->height();
+    Image out(w, h);
+
+    const std::int32_t tiles_x =
+        (w + kPixelTileSize - 1) / kPixelTileSize;
+    const std::int32_t tiles_y =
+        (h + kPixelTileSize - 1) / kPixelTileSize;
+    std::vector<TileCoverage> classes(
+        static_cast<std::size_t>(tiles_x) * tiles_y,
+        TileCoverage::Blend);
+
+    const PixelPartition &p = in.partition;
+    const double s_mid = in.sMiddle;
+    const double s_out = in.sOuter;
+
+    forEachTile(w, h, [&](std::size_t t, const RectI &tile) {
+        // Closed rectangle of the tile's pixel-centre sample
+        // coordinates (already reprojected by the shift).
+        const double sx0 = tile.x0 + 0.5 - shift.x;
+        const double sy0 = tile.y0 + 0.5 - shift.y;
+        const double sx1 = (tile.x1 - 1) + 0.5 - shift.x;
+        const double sy1 = (tile.y1 - 1) + 0.5 - shift.y;
+        const TileCoverage cls =
+            classifyCoverage(p, sx0, sy0, sx1, sy1);
+        classes[t] = cls;
+
+        // Fast paths do the SAME arithmetic as the blend path with
+        // the one-hot weights substituted: terms with weight exactly
+        // 0.0 are skipped (the reference skips them too, via the
+        // `> 0.0` guards) and the surviving weight is exactly 1.0f.
+        // No reassociation, so the output bits match the reference.
+        switch (cls) {
+        case TileCoverage::Fovea:
+            blitSingleLayerTile(out, *in.fovea, 1.0, shift, tile);
+            break;
+        case TileCoverage::Middle:
+            blitSingleLayerTile(out, *in.middle, s_mid, shift, tile);
+            break;
+        case TileCoverage::Outer:
+            blitSingleLayerTile(out, *in.outer, s_out, shift, tile);
+            break;
+        case TileCoverage::Blend:
+            for (std::int32_t y = tile.y0; y < tile.y1; y++) {
+                Rgb *row = out.rowSpan(y);
+                for (std::int32_t x = tile.x0; x < tile.x1; x++) {
+                    const double sx = x + 0.5 - shift.x;
+                    const double sy = y + 0.5 - shift.y;
+                    const double r = std::hypot(sx - p.centerX,
+                                                sy - p.centerY);
+                    const LayerWeights lw = layerWeights(p, r);
+                    Rgb c;
+                    if (lw.fovea > 0.0) {
+                        c = c + in.fovea->sampleBilinear(sx, sy) *
+                                    static_cast<float>(lw.fovea);
+                    }
+                    if (lw.middle > 0.0) {
+                        c = c + in.middle->sampleBilinear(
+                                    sx / s_mid, sy / s_mid) *
+                                    static_cast<float>(lw.middle);
+                    }
+                    if (lw.outer > 0.0) {
+                        c = c + in.outer->sampleBilinear(
+                                    sx / s_out, sy / s_out) *
+                                    static_cast<float>(lw.outer);
+                    }
+                    row[x] = c;
+                }
+            }
+            break;
+        }
+    });
+
+    stats_ = PixelEngineStats{};
+    stats_.tiles = static_cast<std::uint32_t>(classes.size());
+    for (TileCoverage cls : classes) {
+        switch (cls) {
+        case TileCoverage::Fovea:
+            stats_.foveaTiles++;
+            break;
+        case TileCoverage::Middle:
+            stats_.middleTiles++;
+            break;
+        case TileCoverage::Outer:
+            stats_.outerTiles++;
+            break;
+        case TileCoverage::Blend:
+            stats_.blendTiles++;
+            break;
+        }
+    }
+    return out;
+}
+
+Image
+PixelEngine::ucaUnified(const UcaFrameInputs &in)
+{
+    requireValidInputs(in);
+    return composite(in, in.atwShift);
+}
+
+Image
+PixelEngine::sequentialCompositeAtw(const UcaFrameInputs &in)
+{
+    requireValidInputs(in);
+    // Pass 1 (Eq. 3-left): composition at native resolution — the
+    // unshifted sample grid, so `x + 0.5 - 0.0` reproduces the
+    // reference's `x + 0.5` bit-for-bit.
+    const Image composed = composite(in, Vec2{0.0, 0.0});
+    // Pass 2 (Eq. 3-right): ATW resample of the composed frame.
+    return resampleShift(composed, in.atwShift);
+}
+
+Image
+PixelEngine::resampleShift(const Image &src, Vec2 shift)
+{
+    const std::int32_t w = src.width();
+    const std::int32_t h = src.height();
+    Image out(w, h);
+    forEachTile(w, h, [&](std::size_t, const RectI &tile) {
+        for (std::int32_t y = tile.y0; y < tile.y1; y++) {
+            Rgb *row = out.rowSpan(y);
+            forRowBilinear(src, 1.0, shift, y, tile.x0, tile.x1,
+                           [row](std::int32_t x, const Rgb &smp) {
+                               row[x] = smp;
+                           });
+        }
+    });
+    return out;
+}
+
+}  // namespace qvr::core

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tiled, thread-parallel pixel-pipeline engine.
+ *
+ * The scalar UCA loops in uca.cpp evaluate the radius, the smoothstep
+ * blend weights and up to three layer samples for EVERY output pixel,
+ * even deep inside the fovea where the weights are exactly (1, 0, 0).
+ * The paper's UCA hardware avoids precisely that: it walks the frame
+ * as 32x32 tiles, so layer membership becomes a per-tile decision and
+ * interior tiles run a cheap bilinear-only path (Section 4.2, 532
+ * cycles for a border tile vs 300 for an interior one).
+ *
+ * This engine is the software analogue.  The output frame is split
+ * into kPixelTileSize tiles; each tile is classified against the
+ * radial partition using conservative min/max bounds on the sample
+ * radius over the tile, and
+ *
+ *  - pure-fovea / pure-middle / pure-outer tiles dispatch to a
+ *    single-layer fast path that skips the radius, the weights and
+ *    the two zero-weight layer samples entirely;
+ *  - only tiles that (may) intersect a blend band run the full
+ *    trilinear path.
+ *
+ * Tiles fan across a qvr::sim::ThreadPool (sim::forEachParallel):
+ * every tile writes a disjoint region of the output and reads only
+ * immutable inputs, so the result is independent of the worker count
+ * and of the tile-to-thread assignment.
+ *
+ * Bit-exactness contract (inherited from the PR-1 determinism rule):
+ * for any input and any thread count the output is **bit-identical**
+ * to the scalar reference loops (ucaUnified / sequentialCompositeAtw).
+ * Fast paths only ever skip terms whose weight is exactly 0.0 and
+ * multiplications by exactly 1.0f — they never re-associate or
+ * re-order arithmetic.  The classifier is conservative: a tile is
+ * declared single-layer only when every pixel in it provably has
+ * weight exactly one for that layer (a small epsilon pushes
+ * borderline tiles onto the full path, which is always correct).
+ * tests/core/test_tiled_uca.cpp asserts maxAbsDiff == 0 against the
+ * references at 1/2/8 threads.
+ */
+
+#ifndef QVR_CORE_PIXEL_ENGINE_HPP
+#define QVR_CORE_PIXEL_ENGINE_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "core/uca.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace qvr::core
+{
+
+/** Tile granularity of the pixel engine (the paper's UCA tile). */
+constexpr std::int32_t kPixelTileSize = 32;
+
+/** Which layers the pixels of one tile can touch. */
+enum class TileCoverage
+{
+    Fovea,   ///< weights exactly (1, 0, 0) everywhere in the tile
+    Middle,  ///< weights exactly (0, 1, 0)
+    Outer,   ///< weights exactly (0, 0, 1)
+    Blend,   ///< may cross a blend band: full trilinear path
+};
+
+/**
+ * Conservative coverage of the closed sample-coordinate rectangle
+ * [sx0, sx1] x [sy0, sy1] (the positions at which the pixels of one
+ * tile sample the partition, i.e. already reprojected).  Returns a
+ * single-layer class only when layerWeights() is provably exactly
+ * one-hot for that layer at EVERY point of the rectangle; anything
+ * uncertain — including degenerate partitions — is Blend.
+ */
+TileCoverage classifyCoverage(const PixelPartition &p, double sx0,
+                              double sy0, double sx1, double sy1);
+
+/** Tile census of the last engine pass (classification outcome). */
+struct PixelEngineStats
+{
+    std::uint32_t tiles = 0;
+    std::uint32_t foveaTiles = 0;
+    std::uint32_t middleTiles = 0;
+    std::uint32_t outerTiles = 0;
+    std::uint32_t blendTiles = 0;
+
+    std::uint32_t
+    fastPathTiles() const
+    {
+        return foveaTiles + middleTiles + outerTiles;
+    }
+};
+
+/**
+ * The engine.  Owns its worker pool; one instance serves many frames
+ * (pool spin-up is paid once).  Not safe for concurrent use by
+ * multiple threads — one engine per caller, like a GPU queue.
+ */
+class PixelEngine
+{
+  public:
+    /**
+     * @param threads  worker count; 1 runs tiles inline on the
+     *                 calling thread (true serial mode, no pool), 0
+     *                 means sim::ThreadPool::defaultParallelism().
+     */
+    explicit PixelEngine(std::size_t threads = 0);
+    ~PixelEngine();
+
+    PixelEngine(const PixelEngine &) = delete;
+    PixelEngine &operator=(const PixelEngine &) = delete;
+
+    /** Effective worker count (1 when running inline). */
+    std::size_t threadCount() const { return threads_; }
+
+    /** Tiled ucaUnified (Eq. 4): bit-identical, tile-parallel. */
+    Image ucaUnified(const UcaFrameInputs &in);
+
+    /** Tiled sequentialCompositeAtw (Eq. 3): both passes tiled. */
+    Image sequentialCompositeAtw(const UcaFrameInputs &in);
+
+    /** Tile-parallel bilinear resample of @p src at (x,y) - shift —
+     *  pass 2 of the sequential path, also the reference-reprojection
+     *  loop of renderFoveated(). */
+    Image resampleShift(const Image &src, Vec2 shift);
+
+    /** Tile census of the most recent composition pass. */
+    const PixelEngineStats &lastStats() const { return stats_; }
+
+  private:
+    template <typename Fn>
+    void forEachTile(std::int32_t width, std::int32_t height, Fn &&fn);
+
+    Image composite(const UcaFrameInputs &in, Vec2 shift);
+
+    std::size_t threads_;
+    std::unique_ptr<sim::ThreadPool> pool_;  ///< null = inline
+    PixelEngineStats stats_;
+};
+
+}  // namespace qvr::core
+
+#endif  // QVR_CORE_PIXEL_ENGINE_HPP

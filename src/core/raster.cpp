@@ -44,8 +44,8 @@ void
 TileRasterizer::clear(const Rgb &color, float depth)
 {
     for (std::int32_t y = 0; y < height(); y++) {
-        for (std::int32_t x = 0; x < width(); x++)
-            color_.at(x, y) = color;
+        Rgb *row = color_.rowSpan(y);
+        std::fill(row, row + width(), color);
     }
     std::fill(depth_.begin(), depth_.end(), depth);
 }
@@ -145,6 +145,9 @@ TileRasterizer::rasterizeInTile(const RasterTriangle &t,
         isTopLeft(t.v0.x, t.v0.y, t.v1.x, t.v1.y) ? 0.0 : 1e-9;
 
     for (std::int32_t y = y0; y <= y1; y++) {
+        Rgb *crow = color_.rowSpan(y);
+        float *zrow = depth_.data() +
+                      static_cast<std::size_t>(y) * width();
         for (std::int32_t x = x0; x <= x1; x++) {
             const double px = x + 0.5;
             const double py = y + 0.5;
@@ -164,14 +167,13 @@ TileRasterizer::rasterizeInTile(const RasterTriangle &t,
             const float z = static_cast<float>(
                 b0 * t.v0.z + b1 * t.v1.z + b2 * t.v2.z);
 
-            float &zbuf =
-                depth_[static_cast<std::size_t>(y) * width() + x];
+            float &zbuf = zrow[x];
             if (z >= zbuf)
                 continue;
             zbuf = z;
             stats_.fragmentsShaded++;
 
-            color_.at(x, y) = Rgb{
+            crow[x] = Rgb{
                 static_cast<float>(b0 * t.v0.color.r +
                                    b1 * t.v1.color.r +
                                    b2 * t.v2.color.r),
@@ -201,8 +203,10 @@ psnr(const Image &a, const Image &b)
     const auto n =
         static_cast<double>(a.width()) * a.height() * 3.0;
     for (std::int32_t y = 0; y < a.height(); y++) {
+        const Rgb *ra = a.rowSpan(y);
+        const Rgb *rb = b.rowSpan(y);
         for (std::int32_t x = 0; x < a.width(); x++) {
-            const Rgb d = a.at(x, y) - b.at(x, y);
+            const Rgb d = ra[x] - rb[x];
             mse += static_cast<double>(d.r) * d.r +
                    static_cast<double>(d.g) * d.g +
                    static_cast<double>(d.b) * d.b;

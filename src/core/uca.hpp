@@ -69,6 +69,12 @@ LayerWeights layerWeights(const PixelPartition &p, double r);
  * Reference path (Eq. 3): foveated composition at native resolution,
  * THEN ATW as a separate bilinear resample.  Two passes, two
  * samplings — what the GPU kernels do.
+ *
+ * This and ucaUnified() are the deliberately simple scalar loops the
+ * equivalence tests are written against.  Production rendering goes
+ * through the tiled, thread-parallel PixelEngine
+ * (core/pixel_engine.hpp), which is bit-identical to these by
+ * contract and an order of magnitude faster.
  */
 Image sequentialCompositeAtw(const UcaFrameInputs &in);
 
@@ -76,6 +82,7 @@ Image sequentialCompositeAtw(const UcaFrameInputs &in);
  * Unified path (Eq. 4): one pass over output pixels; each samples
  * every contributing layer once at the reprojected coordinate
  * (bilinear within a layer + inter-layer blend = trilinear).
+ * Scalar reference — see PixelEngine for the fast tiled version.
  */
 Image ucaUnified(const UcaFrameInputs &in);
 

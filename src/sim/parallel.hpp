@@ -19,6 +19,8 @@
 #ifndef QVR_SIM_PARALLEL_HPP
 #define QVR_SIM_PARALLEL_HPP
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <exception>
 #include <type_traits>
@@ -64,6 +66,49 @@ runParallel(ThreadPool &pool, std::size_t n, Fn &&fn)
             std::rethrow_exception(e);
     }
     return out;
+}
+
+/**
+ * Fan fn(0..n-1) across @p pool for side effects only (no result
+ * collection).  One task per worker pulls indices from a shared
+ * atomic counter, so cheap and expensive indices balance across
+ * threads without per-index task overhead — the dispatch the tiled
+ * pixel engine (core/pixel_engine.hpp) uses for its tile sweep.
+ *
+ * Determinism contract mirrors runParallel(): fn(i) must write only
+ * state owned by index i (e.g. a disjoint output tile), in which case
+ * the aggregate result is identical to the serial loop for every
+ * worker count and every index-to-thread assignment.  If any
+ * invocation throws, the lowest-index exception is rethrown after all
+ * indices have finished.
+ */
+template <typename Fn>
+void
+forEachParallel(ThreadPool &pool, std::size_t n, Fn &&fn)
+{
+    if (n == 0)
+        return;
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(n);
+    const std::size_t tasks =
+        std::min(std::max<std::size_t>(pool.threadCount(), 1), n);
+    for (std::size_t t = 0; t < tasks; t++) {
+        pool.submit([&next, &errors, &fn, n] {
+            for (std::size_t i = next.fetch_add(1); i < n;
+                 i = next.fetch_add(1)) {
+                try {
+                    fn(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }
+        });
+    }
+    pool.wait();
+    for (const auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
 }
 
 /** Convenience overload: a one-shot pool with @p threads workers

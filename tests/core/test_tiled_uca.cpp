@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Tiled pixel-pipeline engine: bit-exact equality against the scalar
+ * UCA reference loops at several thread counts, on awkward canvases
+ * and fovea placements, plus the conservative-classifier property
+ * that a pure-layer tile really has one-hot weights everywhere.
+ *
+ * These tests carry the `tsan` CTest label: under
+ * -DQVR_SANITIZE=thread they vet the tile-parallel dispatch for data
+ * races (disjoint tile writes, shared immutable inputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/pixel_engine.hpp"
+
+namespace qvr::core
+{
+namespace
+{
+
+/** Procedural content with energy at several scales. */
+Image
+pattern(std::int32_t w, std::int32_t h, double phase)
+{
+    Image img(w, h);
+    for (std::int32_t y = 0; y < h; y++) {
+        Rgb *row = img.rowSpan(y);
+        for (std::int32_t x = 0; x < w; x++) {
+            const double fx = x + 0.5;
+            const double fy = y + 0.5;
+            row[x] = Rgb{
+                static_cast<float>(
+                    0.5 + 0.5 * std::sin(fx * 0.13 + phase)),
+                static_cast<float>(
+                    0.5 + 0.5 * std::cos(fy * 0.08 - phase)),
+                static_cast<float>(
+                    0.5 + 0.3 * std::sin((fx + fy) * 0.045))};
+        }
+    }
+    return img;
+}
+
+Image
+downsample(const Image &src, double s)
+{
+    const auto w =
+        std::max(1, static_cast<std::int32_t>(src.width() / s));
+    const auto h =
+        std::max(1, static_cast<std::int32_t>(src.height() / s));
+    Image out(w, h);
+    for (std::int32_t y = 0; y < h; y++) {
+        for (std::int32_t x = 0; x < w; x++) {
+            out.at(x, y) = src.sampleBilinear((x + 0.5) * s,
+                                              (y + 0.5) * s);
+        }
+    }
+    return out;
+}
+
+/** Owns the three layers so UcaFrameInputs' pointers stay valid. */
+struct Frame
+{
+    Image native;
+    Image middle;
+    Image outer;
+    UcaFrameInputs in;
+};
+
+Frame
+makeFrame(std::int32_t w, std::int32_t h, const PixelPartition &p,
+          Vec2 shift, double s_mid = 2.0, double s_out = 4.0)
+{
+    Frame f;
+    f.native = pattern(w, h, 0.3);
+    f.middle = downsample(f.native, s_mid);
+    f.outer = downsample(f.native, s_out);
+    f.in.fovea = &f.native;
+    f.in.middle = &f.middle;
+    f.in.outer = &f.outer;
+    f.in.sMiddle = s_mid;
+    f.in.sOuter = s_out;
+    f.in.partition = p;
+    f.in.atwShift = shift;
+    return f;
+}
+
+/** Assert tiled == scalar, bit-exact, at 1/2/8 workers. */
+void
+expectBitExact(const Frame &f)
+{
+    const Image ref_unified = ucaUnified(f.in);
+    const Image ref_sequential = sequentialCompositeAtw(f.in);
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        PixelEngine engine(threads);
+        const Image uni = engine.ucaUnified(f.in);
+        EXPECT_EQ(uni.maxAbsDiff(ref_unified), 0.0)
+            << "unified, threads=" << threads;
+        const Image seq = engine.sequentialCompositeAtw(f.in);
+        EXPECT_EQ(seq.maxAbsDiff(ref_sequential), 0.0)
+            << "sequential, threads=" << threads;
+    }
+}
+
+TEST(TiledUca, BitExactOnOddCanvas)
+{
+    PixelPartition p;
+    p.centerX = 255.5;
+    p.centerY = 254.5;
+    p.foveaRadius = 80.0;
+    p.middleRadius = 170.0;
+    p.blendBand = 16.0;
+    const Frame f = makeFrame(511, 509, p, Vec2{1.7, -2.3});
+
+    expectBitExact(f);
+
+    // The partition leaves room for every tile class: the census
+    // must show the fast paths actually ran (not all-Blend).
+    PixelEngine engine(2);
+    (void)engine.ucaUnified(f.in);
+    const PixelEngineStats &st = engine.lastStats();
+    EXPECT_EQ(st.tiles, 16u * 16u);  // ceil(511/32) x ceil(509/32)
+    EXPECT_GT(st.foveaTiles, 0u);
+    EXPECT_GT(st.middleTiles, 0u);
+    EXPECT_GT(st.outerTiles, 0u);
+    EXPECT_GT(st.blendTiles, 0u);
+    EXPECT_EQ(st.foveaTiles + st.middleTiles + st.outerTiles +
+                  st.blendTiles,
+              st.tiles);
+}
+
+TEST(TiledUca, BitExactWithFoveaCentreNearEdge)
+{
+    PixelPartition p;
+    p.centerX = 3.5;    // fovea disc mostly off-canvas (left)
+    p.centerY = 254.0;
+    p.foveaRadius = 60.0;
+    p.middleRadius = 140.0;
+    p.blendBand = 12.0;
+    expectBitExact(makeFrame(511, 509, p, Vec2{0.6, 1.9}));
+}
+
+TEST(TiledUca, BitExactWithFoveaCentreBeyondEdge)
+{
+    PixelPartition p;
+    p.centerX = -90.0;  // centre entirely outside the canvas
+    p.centerY = -40.0;
+    p.foveaRadius = 70.0;
+    p.middleRadius = 300.0;
+    p.blendBand = 20.0;
+    expectBitExact(makeFrame(511, 509, p, Vec2{-2.1, 0.4}));
+
+    PixelPartition q;
+    q.centerX = 640.0;  // beyond the far corner
+    q.centerY = 700.0;
+    q.foveaRadius = 120.0;
+    q.middleRadius = 420.0;
+    q.blendBand = 16.0;
+    expectBitExact(makeFrame(511, 509, q, Vec2{3.3, -1.1}));
+}
+
+TEST(TiledUca, BitExactWithBandStraddlingTileBoundaries)
+{
+    // Rings at exact multiples of the 32-pixel tile size, centre on
+    // a tile corner: the blend band cuts straight through tile
+    // boundaries, the classifier's worst case.
+    PixelPartition p;
+    p.centerX = 256.0;
+    p.centerY = 256.0;
+    p.foveaRadius = 96.0;
+    p.middleRadius = 160.0;
+    p.blendBand = 32.0;
+    expectBitExact(makeFrame(511, 509, p, Vec2{0.0, 0.0}));
+    expectBitExact(makeFrame(511, 509, p, Vec2{2.5, -3.5}));
+}
+
+TEST(TiledUca, BitExactOnTinyAndNonSquareCanvases)
+{
+    PixelPartition p;
+    p.centerX = 10.0;
+    p.centerY = 12.0;
+    p.foveaRadius = 8.0;
+    p.middleRadius = 20.0;
+    p.blendBand = 4.0;
+    expectBitExact(makeFrame(31, 17, p, Vec2{0.8, -0.2}));
+    expectBitExact(makeFrame(33, 97, p, Vec2{0.0, 0.0}));
+}
+
+TEST(TiledUca, ResampleShiftMatchesScalarLoop)
+{
+    const Image src = pattern(211, 173, 1.1);
+    const Vec2 shift{1.2, -0.8};
+    Image ref(src.width(), src.height());
+    for (std::int32_t y = 0; y < src.height(); y++) {
+        for (std::int32_t x = 0; x < src.width(); x++) {
+            ref.at(x, y) = src.sampleBilinear(x + 0.5 - shift.x,
+                                              y + 0.5 - shift.y);
+        }
+    }
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        PixelEngine engine(threads);
+        const Image out = engine.resampleShift(src, shift);
+        EXPECT_EQ(out.maxAbsDiff(ref), 0.0)
+            << "threads=" << threads;
+    }
+}
+
+TEST(TiledUcaProperty, PureTileWeightsAreOneHotEverywhere)
+{
+    // The classifier's soundness condition: whenever it declares a
+    // tile pure-X, layerWeights must be EXACTLY one-hot for X at the
+    // tile's four corners and centre (the corners realise the
+    // maximal radius, distance being convex; full interior coverage
+    // is what the bit-exactness tests above establish).
+    Rng rng(20260805);
+    std::uint32_t fast = 0;
+    for (int iter = 0; iter < 4000; iter++) {
+        PixelPartition p;
+        p.centerX = rng.uniform(-600.0, 1100.0);
+        p.centerY = rng.uniform(-600.0, 1100.0);
+        p.foveaRadius = rng.uniform(0.0, 300.0);
+        p.middleRadius = p.foveaRadius + rng.uniform(0.0, 300.0);
+        p.blendBand = rng.uniform(0.0, 64.0);
+
+        const double x0 =
+            static_cast<double>(rng.uniformInt(-8, 30)) *
+            kPixelTileSize + 0.5;
+        const double y0 =
+            static_cast<double>(rng.uniformInt(-8, 30)) *
+            kPixelTileSize + 0.5;
+        const double x1 = x0 + (kPixelTileSize - 1);
+        const double y1 = y0 + (kPixelTileSize - 1);
+
+        const TileCoverage cls = classifyCoverage(p, x0, y0, x1, y1);
+        if (cls == TileCoverage::Blend)
+            continue;
+        fast++;
+
+        const double pts[5][2] = {{x0, y0},
+                                  {x1, y0},
+                                  {x0, y1},
+                                  {x1, y1},
+                                  {(x0 + x1) / 2.0, (y0 + y1) / 2.0}};
+        for (const auto &pt : pts) {
+            const double r = std::hypot(pt[0] - p.centerX,
+                                        pt[1] - p.centerY);
+            const LayerWeights w = layerWeights(p, r);
+            const double expect_fovea =
+                cls == TileCoverage::Fovea ? 1.0 : 0.0;
+            const double expect_middle =
+                cls == TileCoverage::Middle ? 1.0 : 0.0;
+            const double expect_outer =
+                cls == TileCoverage::Outer ? 1.0 : 0.0;
+            ASSERT_EQ(w.fovea, expect_fovea)
+                << "iter " << iter << " r=" << r;
+            ASSERT_EQ(w.middle, expect_middle)
+                << "iter " << iter << " r=" << r;
+            ASSERT_EQ(w.outer, expect_outer)
+                << "iter " << iter << " r=" << r;
+        }
+    }
+    // The sweep must actually exercise the fast classes.
+    EXPECT_GT(fast, 100u);
+}
+
+TEST(TiledUcaProperty, ClassifierAgreesWithTimingClassifier)
+{
+    // classifyTile (timing model) and classifyCoverage (functional
+    // engine) partition differently — Border vs Blend include the
+    // half-open vs sample-centre distinction — but a functional
+    // fast-path tile must never be one the timing model calls
+    // Border-free in the OTHER layer group: a pure-fovea tile can't
+    // be PeripheryInterior and vice versa.
+    Rng rng(7);
+    for (int iter = 0; iter < 2000; iter++) {
+        PixelPartition p;
+        p.centerX = rng.uniform(-200.0, 800.0);
+        p.centerY = rng.uniform(-200.0, 800.0);
+        p.foveaRadius = rng.uniform(1.0, 250.0);
+        p.middleRadius = p.foveaRadius + rng.uniform(1.0, 250.0);
+        p.blendBand = rng.uniform(1.0, 48.0);
+
+        const auto tx =
+            static_cast<std::int32_t>(rng.uniformInt(0, 20));
+        const auto ty =
+            static_cast<std::int32_t>(rng.uniformInt(0, 20));
+        const std::int32_t px0 = tx * kPixelTileSize;
+        const std::int32_t py0 = ty * kPixelTileSize;
+
+        const TileCoverage cov = classifyCoverage(
+            p, px0 + 0.5, py0 + 0.5,
+            px0 + kPixelTileSize - 0.5, py0 + kPixelTileSize - 0.5);
+        const TileClass cls =
+            classifyTile(p, px0, py0, kPixelTileSize);
+
+        if (cov == TileCoverage::Fovea) {
+            ASSERT_NE(cls, TileClass::PeripheryInterior) << iter;
+        }
+        if (cov == TileCoverage::Middle ||
+            cov == TileCoverage::Outer) {
+            ASSERT_NE(cls, TileClass::FoveaInterior) << iter;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace qvr::core

@@ -1,0 +1,157 @@
+#include "core/degradation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace qvr::core
+{
+
+const char *
+degradationStateName(DegradationState s)
+{
+    switch (s) {
+      case DegradationState::Healthy: return "Healthy";
+      case DegradationState::Degraded: return "Degraded";
+      case DegradationState::LocalOnly: return "LocalOnly";
+    }
+    return "?";
+}
+
+void
+DegradationConfig::validate() const
+{
+    QVR_REQUIRE(missesToDegrade > 0, "missesToDegrade must be >= 1");
+    QVR_REQUIRE(missesToLocalOnly >= missesToDegrade,
+                "local-only threshold below degrade threshold");
+    QVR_REQUIRE(recoveryFrames > 0, "recoveryFrames must be >= 1");
+    QVR_REQUIRE(probesToExit > 0, "probesToExit must be >= 1");
+    QVR_REQUIRE(probeInterval > 0, "probeInterval must be >= 1");
+    QVR_REQUIRE(qualityStep > 0.0 && qualityStep <= 1.0,
+                "qualityStep outside (0,1]");
+    QVR_REQUIRE(resolutionStep > 0.0 && resolutionStep <= 1.0,
+                "resolutionStep outside (0,1]");
+    QVR_REQUIRE(localPeripheryScale > 0.0 && localPeripheryScale <= 1.0,
+                "localPeripheryScale outside (0,1]");
+    QVR_REQUIRE(stallToDeclareDown >= 0.0,
+                "negative stall threshold");
+    QVR_REQUIRE(throughputCollapse >= 0.0 && throughputCollapse < 1.0,
+                "throughputCollapse outside [0,1)");
+}
+
+DegradationController::DegradationController(
+    const DegradationConfig &cfg)
+    : cfg_(cfg)
+{
+    cfg.validate();
+}
+
+DegradationDecision
+DegradationController::decide() const
+{
+    DegradationDecision d;
+    d.state = state_;
+    d.level = level_;
+    d.qualityFactor = std::pow(cfg_.qualityStep,
+                               static_cast<double>(level_));
+    d.resolutionScale = std::pow(cfg_.resolutionStep,
+                                 static_cast<double>(level_));
+    d.dropOuterLayer = cfg_.maxLevel > 0 && level_ >= cfg_.maxLevel;
+    d.clampLocalWork =
+        state_ != DegradationState::Healthy || missStreak_ > 0;
+    if (state_ == DegradationState::LocalOnly) {
+        // Probe cadence: frame 0 after entry is always local (the
+        // link just died); every probeInterval-th frame re-tests the
+        // remote path at the deepest ladder rung.
+        d.probe =
+            (framesInLocalOnly_ + 1) % cfg_.probeInterval == 0;
+        d.localOnly = !d.probe;
+    }
+    return d;
+}
+
+void
+DegradationController::enterLocalOnly()
+{
+    state_ = DegradationState::LocalOnly;
+    level_ = cfg_.maxLevel;
+    missStreak_ = 0;
+    sinceDowngrade_ = 0;
+    consecutiveGood_ = 0;
+    goodProbes_ = 0;
+    framesInLocalOnly_ = 0;
+    counters_.localOnlyEntries++;
+}
+
+void
+DegradationController::observe(const FrameHealth &health)
+{
+    if (state_ == DegradationState::LocalOnly) {
+        framesInLocalOnly_++;
+        if (!health.remoteAttempted)
+            return;  // pure local frame: no link information
+        counters_.probes++;
+        if (health.remoteMiss || health.transferLost ||
+            health.linkStall > 0.0) {
+            goodProbes_ = 0;  // link still down; stay local
+            return;
+        }
+        if (++goodProbes_ >= cfg_.probesToExit) {
+            // Ramp back through the Degraded ladder, not straight to
+            // Healthy — the hysteresis that prevents oscillation.
+            state_ = DegradationState::Degraded;
+            level_ = cfg_.maxLevel;
+            goodProbes_ = 0;
+            consecutiveGood_ = 0;
+            missStreak_ = 0;
+            sinceDowngrade_ = 0;
+            counters_.localOnlyExits++;
+        }
+        return;
+    }
+
+    // An outage-scale stall or a collapsed ACK estimate means the
+    // link is down NOW: no point walking the miss-count ramp.
+    const bool link_down =
+        health.linkStall >= cfg_.stallToDeclareDown ||
+        health.ackFraction < cfg_.throughputCollapse;
+    if (link_down) {
+        enterLocalOnly();
+        return;
+    }
+
+    const bool bad = health.remoteMiss || health.transferLost ||
+                     health.linkStall > 0.0;
+    if (bad) {
+        missStreak_++;
+        sinceDowngrade_++;
+        consecutiveGood_ = 0;
+        if (missStreak_ >= cfg_.missesToLocalOnly) {
+            enterLocalOnly();
+        } else if (sinceDowngrade_ >= cfg_.missesToDegrade) {
+            if (level_ < cfg_.maxLevel) {
+                level_++;
+                counters_.downgrades++;
+            }
+            state_ = DegradationState::Degraded;
+            // Each further run of misses steps one more level.
+            sinceDowngrade_ = 0;
+        }
+        return;
+    }
+
+    missStreak_ = 0;
+    sinceDowngrade_ = 0;
+    if (level_ == 0)
+        return;
+    if (++consecutiveGood_ >= cfg_.recoveryFrames) {
+        consecutiveGood_ = 0;
+        level_--;
+        counters_.upgrades++;
+        if (level_ == 0)
+            state_ = DegradationState::Healthy;
+    }
+}
+
+}  // namespace qvr::core

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Graceful-degradation controller for the collaborative pipeline.
+ *
+ * The reprojection-deadline fallback (Section 4.2) keeps single late
+ * frames from stalling the display, but it is an incidental defense:
+ * under a sustained fault (outage window, loss burst, straggling
+ * server) it re-displays ever-staler periphery while the link queue
+ * grows.  The DegradationController makes degradation deliberate — a
+ * per-frame state machine that steps the periphery down an ABR-style
+ * ladder while the remote branch keeps missing, collapses the
+ * collaborative split to an on-device low-resolution periphery when
+ * the link is effectively down, and ramps back up with hysteresis so
+ * recovery does not oscillate between quality levels.
+ *
+ * States:
+ *  - Healthy: full-quality collaborative rendering;
+ *  - Degraded(level): periphery streamed at reduced encode quality and
+ *    resolution; at the deepest level the outer layer is dropped and
+ *    reconstructed from the middle layer (layer-count downgrade);
+ *  - LocalOnly: no remote fetch at all — the periphery is rendered
+ *    on-device at a fraction of native resolution; every Nth frame
+ *    probes the remote path to detect recovery.
+ *
+ * Transitions are driven by per-frame FrameHealth observations
+ * (remote-deadline misses, exhausted transfer retries, outage stalls,
+ * ACK-throughput collapse) and gated by consecutive-frame thresholds
+ * in both directions, the recovery side longer than the failure side.
+ */
+
+#ifndef QVR_CORE_DEGRADATION_HPP
+#define QVR_CORE_DEGRADATION_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace qvr::core
+{
+
+/** Controller macro-state. */
+enum class DegradationState
+{
+    Healthy,    ///< full collaborative quality
+    Degraded,   ///< periphery stepped down the ABR ladder
+    LocalOnly,  ///< link declared down; periphery rendered on-device
+};
+
+const char *degradationStateName(DegradationState s);
+
+/** Controller thresholds and ladder shape. */
+struct DegradationConfig
+{
+    bool enabled = false;
+
+    /** Consecutive remote misses before stepping one level down. */
+    std::uint32_t missesToDegrade = 2;
+    /** Consecutive remote misses before declaring the link down. */
+    std::uint32_t missesToLocalOnly = 6;
+    /** Consecutive healthy remote frames before stepping one level
+     *  back up (hysteresis: recovery is slower than failure). */
+    std::uint32_t recoveryFrames = 8;
+    /** Consecutive successful probes before leaving LocalOnly. */
+    std::uint32_t probesToExit = 2;
+    /** While LocalOnly, probe the remote path every Nth frame. */
+    std::uint32_t probeInterval = 4;
+
+    /** Deepest ladder level. */
+    std::uint32_t maxLevel = 3;
+    /** Periphery encode-quality multiplier per level. */
+    double qualityStep = 0.8;
+    /** Periphery linear-resolution multiplier per level. */
+    double resolutionStep = 0.85;
+
+    /** Linear resolution of the on-device periphery in LocalOnly. */
+    double localPeripheryScale = 0.25;
+
+    /** A transfer stalled at least this long (outage window) declares
+     *  the link down immediately, skipping the miss-count ramp. */
+    Seconds stallToDeclareDown = 0.050;
+    /** ACK throughput below this fraction of the derated nominal
+     *  also declares the link down. */
+    double throughputCollapse = 0.15;
+
+    void validate() const;
+};
+
+/** What the pipeline observed for one frame. */
+struct FrameHealth
+{
+    /** False when the frame never touched the remote path (LocalOnly
+     *  non-probe frames) — such frames carry no link information. */
+    bool remoteAttempted = true;
+    /** The remote branch missed: reprojected, fetch skipped, or the
+     *  periphery arrived unusable. */
+    bool remoteMiss = false;
+    /** A layer exhausted its retry budget. */
+    bool transferLost = false;
+    /** Outage stall observed on the link this frame. */
+    Seconds linkStall = 0.0;
+    /** ackThroughput / (nominal x protocol efficiency). */
+    double ackFraction = 1.0;
+};
+
+/** What the pipeline should do for the upcoming frame. */
+struct DegradationDecision
+{
+    DegradationState state = DegradationState::Healthy;
+    std::uint32_t level = 0;
+    /** Multiplier on the periphery encode quality (<= 1). */
+    double qualityFactor = 1.0;
+    /** Multiplier on the periphery linear resolution (<= 1). */
+    double resolutionScale = 1.0;
+    /** Drop the outer layer; UCA reconstructs it from the middle
+     *  layer (deepest ladder rung). */
+    bool dropOuterLayer = false;
+    /** Skip the remote fetch entirely; render the periphery
+     *  on-device at localPeripheryScale. */
+    bool localOnly = false;
+    /** This LocalOnly frame should probe the remote path. */
+    bool probe = false;
+    /** Cap local (fovea) work at the policy's initial eccentricity:
+     *  raised as soon as a miss streak starts, before the ladder
+     *  engages, so the workload controller cannot chase a faulty
+     *  link by shifting work onto the mobile GPU. */
+    bool clampLocalWork = false;
+};
+
+/** Counters for PipelineResult/bench reporting. */
+struct DegradationCounters
+{
+    std::uint64_t downgrades = 0;       ///< ladder steps down
+    std::uint64_t upgrades = 0;         ///< ladder steps up
+    std::uint64_t localOnlyEntries = 0; ///< link declared down
+    std::uint64_t localOnlyExits = 0;   ///< link recovered
+    std::uint64_t probes = 0;           ///< remote probes sent
+};
+
+/** The per-frame state machine. */
+class DegradationController
+{
+  public:
+    explicit DegradationController(const DegradationConfig &cfg);
+
+    const DegradationConfig &config() const { return cfg_; }
+
+    /** Decision for the upcoming frame (pure; no state advance). */
+    DegradationDecision decide() const;
+
+    /** Feed the completed frame's health back; advances the state. */
+    void observe(const FrameHealth &health);
+
+    DegradationState state() const { return state_; }
+    std::uint32_t level() const { return level_; }
+    const DegradationCounters &counters() const { return counters_; }
+
+  private:
+    void enterLocalOnly();
+
+    DegradationConfig cfg_;
+    DegradationState state_ = DegradationState::Healthy;
+    std::uint32_t level_ = 0;
+    /** Uninterrupted remote misses (drives the LocalOnly cliff). */
+    std::uint32_t missStreak_ = 0;
+    /** Misses since the last ladder step (drives per-level steps). */
+    std::uint32_t sinceDowngrade_ = 0;
+    std::uint32_t consecutiveGood_ = 0;
+    std::uint32_t goodProbes_ = 0;
+    std::uint32_t framesInLocalOnly_ = 0;
+    DegradationCounters counters_;
+};
+
+}  // namespace qvr::core
+
+#endif  // QVR_CORE_DEGRADATION_HPP

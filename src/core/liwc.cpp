@@ -249,6 +249,12 @@ Liwc::update(const LiwcDecision &decision, const LiwcFeedback &feedback)
                                    feedback.peripheryPixels);
 }
 
+void
+Liwc::overrideE1(double e1)
+{
+    e1_ = geometry_->clampE1(e1);
+}
+
 double
 Liwc::gradientAt(std::uint32_t motion_index, int delta_tag) const
 {

@@ -174,6 +174,13 @@ class Liwc
     void update(const LiwcDecision &decision,
                 const LiwcFeedback &feedback);
 
+    /** Externally pin the eccentricity state (degradation clamp):
+     *  the next selection steps from this value instead of the
+     *  controller's own — without it the internal setpoint keeps
+     *  integrating against a frozen predictor during a fault and
+     *  recovery starts from a ballooned e1. */
+    void overrideE1(double e1);
+
     double currentE1() const { return e1_; }
     const LatencyPredictor &predictor() const { return predictor_; }
 

@@ -112,6 +112,26 @@ PipelineResult::fpsCompliance() const
     });
 }
 
+FaultCounters
+PipelineResult::faultCounters() const
+{
+    FaultCounters c;
+    for (const FrameStats &s : frames) {
+        if (s.reprojected)
+            c.reprojectedFrames++;
+        if (s.localFallback)
+            c.localFallbackFrames++;
+        if (s.degradationLevel > 0)
+            c.degradedFrames++;
+        c.linkRetries += s.linkRetries;
+        c.lostLayers += s.lostLayers;
+        c.maxDegradationLevel =
+            std::max(c.maxDegradationLevel, s.degradationLevel);
+        c.totalLinkStall += s.linkStall;
+    }
+    return c;
+}
+
 Pipeline::Pipeline(const PipelineConfig &cfg)
     : geometry_(cfg.display(), cfg.mar),
       oracle_(geometry_),
@@ -123,6 +143,11 @@ Pipeline::Pipeline(const PipelineConfig &cfg)
       stream_(channel_, codec_),
       cfg_(cfg)
 {
+    stream_.setRetryPolicy(cfg_.retryPolicy);
+    if (!cfg_.faults.empty()) {
+        channel_.setFaultSchedule(cfg_.faults);
+        server_.setFaultSchedule(cfg_.faults);
+    }
 }
 
 void

@@ -26,7 +26,9 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "core/degradation.hpp"
 #include "core/liwc.hpp"
+#include "fault/schedule.hpp"
 #include "core/uca.hpp"
 #include "foveation/layers.hpp"
 #include "gpu/postprocess.hpp"
@@ -72,6 +74,17 @@ struct PipelineConfig
 
     /** Uplink time for pose/control messages to the server. */
     Seconds uplinkLatency = 1.0e-3;
+
+    /**
+     * Fault-injection timeline applied to the downlink channel and
+     * the remote server (empty = fault-free).  The schedule is purely
+     * a function of its construction inputs, so a seeded run replays
+     * identically at any thread count.
+     */
+    fault::FaultSchedule faults;
+
+    /** Bounded retry-with-backoff for lost layer transfers. */
+    net::RetryPolicy retryPolicy;
 
     std::uint64_t seed = 1;
 
@@ -120,6 +133,32 @@ struct FrameStats
     /** Periphery encode-quality scalar applied this frame (1.0 =
      *  nominal bitrate; <1 trades periphery bitrate for latency). */
     double peripheryQuality = 1.0;
+
+    /** DegradationController ladder level applied this frame (0 =
+     *  full quality). */
+    std::uint32_t degradationLevel = 0;
+    /** The collaborative split was collapsed: periphery rendered
+     *  on-device at low resolution (link declared down). */
+    bool localFallback = false;
+    /** Retransmission attempts for this frame's layer transfers. */
+    std::uint32_t linkRetries = 0;
+    /** Layers whose retry budget ran out (periphery unusable). */
+    std::uint32_t lostLayers = 0;
+    /** Time this frame's transfers sat stalled behind an outage. */
+    Seconds linkStall = 0.0;
+};
+
+/** Aggregate fault/recovery accounting over a whole run (computed
+ *  over every frame — no warm-up skip, unlike the mean* helpers). */
+struct FaultCounters
+{
+    std::uint64_t reprojectedFrames = 0;
+    std::uint64_t localFallbackFrames = 0;
+    std::uint64_t degradedFrames = 0;  ///< degradationLevel > 0
+    std::uint64_t linkRetries = 0;
+    std::uint64_t lostLayers = 0;
+    std::uint32_t maxDegradationLevel = 0;
+    Seconds totalLinkStall = 0.0;
 };
 
 /** Whole-run result with aggregate helpers. */
@@ -140,6 +179,9 @@ struct PipelineResult
     double meanEnergy() const;       ///< joules per frame
     double meanGpuBusy() const;
     double fpsCompliance() const;    ///< fraction of frames >= 90 Hz
+
+    /** Fault/recovery event totals (all frames, no warm-up skip). */
+    FaultCounters faultCounters() const;
 
   private:
     template <typename F>

@@ -47,6 +47,15 @@ FoveatedPolicy::qvr()
     return p;
 }
 
+FoveatedPolicy
+FoveatedPolicy::resilient()
+{
+    FoveatedPolicy p = qvr();
+    p.adaptiveQuality = true;
+    p.degradation.enabled = true;
+    return p;
+}
+
 FoveatedPipeline::FoveatedPipeline(const PipelineConfig &cfg,
                                    const FoveatedPolicy &policy)
     : Pipeline(cfg), policy_(policy), uca_(cfg.ucaConfig),
@@ -70,6 +79,8 @@ FoveatedPipeline::FoveatedPipeline(const PipelineConfig &cfg,
                       policy_.initialE1,
                       cfg.benchmark.centerConcentration);
     }
+    if (policy_.degradation.enabled)
+        degradation_.emplace(policy_.degradation);
 }
 
 std::string
@@ -80,7 +91,9 @@ FoveatedPipeline::name() const
       case EccentricityPolicy::Fixed:
         return uca_on ? "FFR+UCA" : "FFR";
       case EccentricityPolicy::Liwc:
-        return uca_on ? "Q-VR" : "DFR";
+        if (uca_on)
+            return policy_.degradation.enabled ? "Q-VR-R" : "Q-VR";
+        return "DFR";
       case EccentricityPolicy::SoftwareHistory:
         return uca_on ? "SW-QVR+UCA" : "SW-QVR";
     }
@@ -128,6 +141,17 @@ FoveatedPipeline::simulateFrame(const scene::FrameWorkload &frame,
 {
     FrameStats s;
 
+    // Degradation decision for this frame (identity when disabled:
+    // level 0, factors 1.0, no local fallback).  Probe frames inside
+    // LocalOnly come out with localOnly=false and take the normal
+    // remote path; a failed probe just reprojects.
+    DegradationDecision deg;
+    if (degradation_)
+        deg = degradation_->decide();
+    const bool local_fallback = deg.localOnly;
+    s.degradationLevel = deg.level;
+    s.localFallback = local_fallback;
+
     Seconds control = cfg().controlLogicTime;
     if (policy_.eccentricity == EccentricityPolicy::SoftwareHistory)
         control += policy_.swControlOverhead;
@@ -135,7 +159,18 @@ FoveatedPipeline::simulateFrame(const scene::FrameWorkload &frame,
 
     const Vec2 gaze{frame.motionSeen.gaze.x, frame.motionSeen.gaze.y};
     LiwcDecision decision;
-    const double e1 = chooseE1(frame, gaze, decision);
+    double e1 = chooseE1(frame, gaze, decision);
+    if (degradation_ && deg.clampLocalWork) {
+        // Under fault pressure the ladder sheds remote latency by
+        // cutting periphery bitrate; cap the fovea so LIWC cannot
+        // chase the faulty link by ballooning local work past the
+        // mobile GPU's budget (the two controllers must not fight),
+        // and pin LIWC's internal setpoint to the clamp so recovery
+        // ramps up from here rather than down from a runaway value.
+        e1 = std::min(e1, geometry_.clampE1(policy_.initialE1));
+        if (liwc_)
+            liwc_->overrideE1(e1);
+    }
     const auto &resolved = oracle_.resolve(e1, gaze);
     s.e1 = resolved.partition.e1;
     s.e2 = resolved.partition.e2;
@@ -169,66 +204,116 @@ FoveatedPipeline::simulateFrame(const scene::FrameWorkload &frame,
     // fetch entirely: the client keeps displaying from the resident
     // (stale) layers and lets the link drain.
     const bool skip_fetch =
-        policy_.reprojectionDeadline > 0.0 && havePrevLayers_ &&
+        !local_fallback && policy_.reprojectionDeadline > 0.0 &&
+        havePrevLayers_ &&
         stream_.linkNextFree() >
             issue_time + policy_.reprojectionDeadline;
 
     // ---- Remote branch: periphery layers on the server, streamed
-    //      as one stream per layer per eye (Section 3.2). ----------
-    gpu::RenderJob remote_job;
-    remote_job.triangles = static_cast<std::uint64_t>(
-        static_cast<double>(frame.totalTriangles()) * 2.0 *
-        (1.0 - fovea_work));
-    remote_job.shadedPixels = resolved.pixels.peripheryPixels() * 2.0;
-    remote_job.batches = cfg().benchmark.numBatches * 2;
-    remote_job.shadingCost = cfg().benchmark.shadingCost;
-    s.tRemoteRender = server_.renderSeconds(remote_job);
-
+    //      as one stream per layer per eye (Section 3.2).  In the
+    //      LocalOnly fallback the whole branch is skipped and the
+    //      periphery renders on-device below. ----------------------
     const double complexity = clamp(
         static_cast<double>(frame.totalTriangles()) /
             static_cast<double>(cfg().benchmark.meanTriangles),
         0.7, 1.4);
 
+    // ABR ladder: linear-resolution downgrade of the streamed
+    // periphery (pixel counts scale quadratically).  Guarded so the
+    // level-0 path multiplies by nothing and stays bit-exact.
+    double res_area = 1.0;
+    if (deg.resolutionScale != 1.0)
+        res_area = deg.resolutionScale * deg.resolutionScale;
+
     net::StreamResult streamed;
     double periphery_pixels_stereo = 0.0;
-    if (!skip_fetch) {
-        const Seconds render_done = serverBusy_.serve(
-            cpu_done + cfg().uplinkLatency, s.tRemoteRender);
+    if (!local_fallback) {
+        gpu::RenderJob remote_job;
+        remote_job.triangles = static_cast<std::uint64_t>(
+            static_cast<double>(frame.totalTriangles()) * 2.0 *
+            (1.0 - fovea_work));
+        remote_job.shadedPixels =
+            resolved.pixels.peripheryPixels() * 2.0;
+        if (res_area != 1.0)
+            remote_job.shadedPixels *= res_area;
+        remote_job.batches = cfg().benchmark.numBatches * 2;
+        remote_job.shadingCost = cfg().benchmark.shadingCost;
+        s.tRemoteRender = server_.renderSeconds(
+            remote_job, cpu_done + cfg().uplinkLatency);
 
-        // Section 2.3/3.2: remote rendering, encoding and
-        // transmission are chunk-pipelined within the frame —
-        // streaming starts once the first slices of a layer are
-        // rendered, so only a fraction of the render time sits
-        // ahead of the transfer.
-        const Seconds stream_start =
-            render_done - 0.7 * s.tRemoteRender;
+        if (!skip_fetch) {
+            const Seconds render_done = serverBusy_.serve(
+                cpu_done + cfg().uplinkLatency, s.tRemoteRender);
 
-        std::vector<net::LayerPayload> payloads;
-        const double quality =
-            policy_.adaptiveQuality ? peripheryQuality_ : 1.0;
-        for (int eye = 0; eye < 2; eye++) {
-            net::LayerPayload middle;
-            middle.pixels = resolved.pixels.middlePixels;
-            middle.compressed = codec_.compressedSize(
-                middle.pixels, complexity * quality,
-                resolved.pixels.middleFactor);
-            middle.renderReady =
-                stream_start + 0.3 * codec_.encodeTime(middle.pixels);
-            payloads.push_back(middle);
+            // Section 2.3/3.2: remote rendering, encoding and
+            // transmission are chunk-pipelined within the frame —
+            // streaming starts once the first slices of a layer are
+            // rendered, so only a fraction of the render time sits
+            // ahead of the transfer.
+            const Seconds stream_start =
+                render_done - 0.7 * s.tRemoteRender;
 
-            net::LayerPayload outer;
-            outer.pixels = resolved.pixels.outerPixels;
-            outer.compressed = codec_.compressedSize(
-                outer.pixels, complexity * quality,
-                resolved.pixels.outerFactor);
-            outer.renderReady =
-                stream_start + 0.3 * codec_.encodeTime(outer.pixels);
-            payloads.push_back(outer);
+            std::vector<net::LayerPayload> payloads;
+            double quality =
+                policy_.adaptiveQuality ? peripheryQuality_ : 1.0;
+            if (deg.qualityFactor != 1.0)
+                quality *= deg.qualityFactor;
+            for (int eye = 0; eye < 2; eye++) {
+                net::LayerPayload middle;
+                middle.pixels = resolved.pixels.middlePixels;
+                if (res_area != 1.0)
+                    middle.pixels *= res_area;
+                middle.compressed = codec_.compressedSize(
+                    middle.pixels, complexity * quality,
+                    resolved.pixels.middleFactor);
+                middle.renderReady =
+                    stream_start +
+                    0.3 * codec_.encodeTime(middle.pixels);
+                payloads.push_back(middle);
 
-            periphery_pixels_stereo += middle.pixels + outer.pixels;
+                periphery_pixels_stereo += middle.pixels;
+                if (deg.dropOuterLayer)
+                    continue;  // deepest rung: UCA extrapolates the
+                               // outer ring from the middle layer
+                net::LayerPayload outer;
+                outer.pixels = resolved.pixels.outerPixels;
+                if (res_area != 1.0)
+                    outer.pixels *= res_area;
+                outer.compressed = codec_.compressedSize(
+                    outer.pixels, complexity * quality,
+                    resolved.pixels.outerFactor);
+                outer.renderReady =
+                    stream_start +
+                    0.3 * codec_.encodeTime(outer.pixels);
+                payloads.push_back(outer);
+
+                periphery_pixels_stereo += outer.pixels;
+            }
+            streamed = stream_.streamFrame(std::move(payloads));
+            s.tDecode =
+                codec_.decodeTime(periphery_pixels_stereo / 2.0);
         }
-        streamed = stream_.streamFrame(std::move(payloads));
-        s.tDecode = codec_.decodeTime(periphery_pixels_stereo / 2.0);
+    }
+
+    // ---- LocalOnly fallback: the collaborative split collapses and
+    //      the periphery renders on-device at a fraction of native
+    //      resolution (coarser LOD cuts geometry too). -------------
+    Seconds local_periphery_done = 0.0;
+    Seconds t_local_periphery = 0.0;
+    if (local_fallback) {
+        const double lp = policy_.degradation.localPeripheryScale;
+        gpu::RenderJob fallback_job;
+        fallback_job.triangles = static_cast<std::uint64_t>(
+            static_cast<double>(frame.totalTriangles()) * 2.0 *
+            (1.0 - fovea_work) * lp);
+        fallback_job.shadedPixels =
+            resolved.pixels.peripheryPixels() * 2.0 * lp * lp;
+        fallback_job.batches = cfg().benchmark.numBatches;
+        fallback_job.shadingCost = cfg().benchmark.shadingCost;
+        fallback_job.frequencyScale = cfg().gpuFrequencyScale;
+        t_local_periphery = gpuModel_.renderSeconds(fallback_job);
+        local_periphery_done =
+            gpu_.serve(local_done, t_local_periphery);
     }
 
     s.transmittedBytes = streamed.totalBytes;
@@ -278,12 +363,29 @@ FoveatedPipeline::simulateFrame(const scene::FrameWorkload &frame,
         pp.foveaRadius = resolved.partition.e1 * ppd;
         pp.middleRadius = resolved.partition.e2 * ppd;
 
-        Seconds periphery_ready = streamed.allDecoded;
-        const Seconds deadline =
-            issue_time + policy_.reprojectionDeadline;
-        if (skip_fetch ||
-            (policy_.reprojectionDeadline > 0.0 && havePrevLayers_ &&
-             streamed.allDecoded > deadline)) {
+        Seconds periphery_ready =
+            local_fallback ? local_periphery_done
+                           : streamed.allDecoded;
+        Seconds deadline = issue_time + policy_.reprojectionDeadline;
+        if (degradation_ && havePrevLayers_) {
+            // Hardened pacing, display side: waiting on periphery
+            // that lands more than one budget after the previous
+            // display would blow the vsync cadence — reproject
+            // instead (and let the controller read it as a miss).
+            deadline = std::min(
+                deadline,
+                lastFrameDone_ + vr_requirements::kFrameBudget);
+        }
+        // A layer that exhausted its retry budget never arrived
+        // intact: the resident (stale) layers are the only usable
+        // periphery, exactly like a deadline miss.
+        const bool unusable =
+            streamed.lostLayers > 0 && havePrevLayers_ &&
+            policy_.reprojectionDeadline > 0.0;
+        if (!local_fallback &&
+            shouldReproject(skip_fetch, unusable, streamed.allDecoded,
+                            deadline, policy_.reprojectionDeadline,
+                            havePrevLayers_)) {
             // Dropped-frame fill-in (Section 4.2): the resident
             // layers in DRAM are reprojected to the new pose instead
             // of stalling on the late transfer.  Staleness: when the
@@ -324,7 +426,7 @@ FoveatedPipeline::simulateFrame(const scene::FrameWorkload &frame,
 
     s.displayTime = done + cfg().displayLatency;
     s.mtpLatency = cfg().sensorLatency + (s.displayTime - issue_time);
-    s.gpuBusy = s.tLocalRender + gpu_post;
+    s.gpuBusy = s.tLocalRender + gpu_post + t_local_periphery;
     s.renderedResolutionFraction =
         geometry_.linearResolutionFraction(resolved.partition);
     lastFrameDone_ = done;
@@ -338,8 +440,14 @@ FoveatedPipeline::simulateFrame(const scene::FrameWorkload &frame,
                   vr_requirements::kFrameBudget}),
         liwc_on, uca_on);
 
-    // ---- Controller feedback (needs a fresh remote measurement). --
-    if (liwc_on && !skip_fetch) {
+    // ---- Controller feedback (needs a fresh, unfaulted remote
+    //      measurement: an outage stall, a lost transfer, or a frame
+    //      whose e1 was clamped by the degradation ladder would
+    //      poison the latency table with samples that do not match
+    //      the decision LIWC actually made). ----------------------
+    if (liwc_on && !skip_fetch && !local_fallback &&
+        streamed.lostLayers == 0 && streamed.stallTime == 0.0 &&
+        (!degradation_ || !deg.clampLocalWork)) {
         LiwcFeedback fb;
         fb.measuredLocal = s.tLocalRender;
         fb.measuredRemote = s.tRemoteBranch;
@@ -355,7 +463,7 @@ FoveatedPipeline::simulateFrame(const scene::FrameWorkload &frame,
     // knob): multiplicative decrease under branch overrun, additive
     // recovery with headroom.
     s.peripheryQuality = peripheryQuality_;
-    if (policy_.adaptiveQuality && !skip_fetch) {
+    if (policy_.adaptiveQuality && !skip_fetch && !local_fallback) {
         const Seconds budget = vr_requirements::kFrameBudget;
         if (s.tRemoteBranch > policy_.qualityPressure * budget) {
             peripheryQuality_ =
@@ -366,6 +474,23 @@ FoveatedPipeline::simulateFrame(const scene::FrameWorkload &frame,
                 clamp(peripheryQuality_ + 0.02, policy_.minQuality,
                       policy_.maxQuality);
         }
+    }
+
+    // ---- Fault accounting + degradation feedback. -----------------
+    s.linkRetries = streamed.retries;
+    s.lostLayers = streamed.lostLayers;
+    s.linkStall = streamed.stallTime;
+    if (degradation_) {
+        FrameHealth health;
+        health.remoteAttempted = !local_fallback;
+        health.remoteMiss = s.reprojected || streamed.lostLayers > 0;
+        health.transferLost = streamed.lostLayers > 0;
+        health.linkStall = streamed.stallTime;
+        const double derated = cfg().channelConfig.nominalDownlink *
+                               cfg().channelConfig.protocolEfficiency;
+        health.ackFraction =
+            derated > 0.0 ? channel_.ackThroughput() / derated : 1.0;
+        degradation_->observe(health);
     }
 
     return s;
@@ -381,6 +506,15 @@ FoveatedPipeline::bottleneckFree() const
         // layers while the link drains.
         link_gate = std::min(
             link_gate, lastFrameDone_ + policy_.reprojectionDeadline);
+        if (degradation_) {
+            // Hardened pacing: the degradation controller guarantees
+            // displayable content for every vsync (reprojection,
+            // ABR-downgraded stream, or local fallback), so the link
+            // may never push issue past one frame budget.
+            link_gate =
+                std::min(link_gate, lastFrameDone_ +
+                                        vr_requirements::kFrameBudget);
+        }
     }
     Seconds free = std::max({gpu_.nextFree(), link_gate,
                              serverBusy_.nextFree()});

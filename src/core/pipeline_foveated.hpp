@@ -81,12 +81,43 @@ struct FoveatedPolicy
      *  quality; below 80% of it, quality recovers. */
     double qualityPressure = 1.2;
 
+    /**
+     * Graceful-degradation state machine (off by default so the
+     * paper-reproduction design points are untouched): ABR-style
+     * periphery downgrade under remote misses, local-only fallback
+     * when the link is down, hysteretic recovery.
+     */
+    DegradationConfig degradation;
+
     /** Canonical design points. */
     static FoveatedPolicy ffr();
     static FoveatedPolicy dfr();
     static FoveatedPolicy swQvr();
     static FoveatedPolicy qvr();
+
+    /** Q-VR hardened for faulty links: reprojection fallback plus
+     *  adaptive quality plus the degradation controller. */
+    static FoveatedPolicy resilient();
 };
+
+/**
+ * Section 4.2 fill-in decision, extracted pure so the edge cases are
+ * exactly testable: reproject when the fetch was skipped, the
+ * periphery arrived unusable (retry budget exhausted), or it decodes
+ * strictly after the deadline.  The comparison is strict — a layer
+ * set decoded exactly at the deadline still composes fresh — and the
+ * timing fallback needs a resident previous layer set and an armed
+ * (> 0) deadline.
+ */
+inline bool
+shouldReproject(bool skip_fetch, bool unusable, Seconds all_decoded,
+                Seconds deadline, Seconds reprojection_deadline,
+                bool have_prev_layers)
+{
+    return skip_fetch || unusable ||
+           (reprojection_deadline > 0.0 && have_prev_layers &&
+            all_decoded > deadline);
+}
 
 /** The collaborative foveated pipeline. */
 class FoveatedPipeline : public Pipeline
@@ -106,6 +137,21 @@ class FoveatedPipeline : public Pipeline
     /** Frames reconstructed by the UCA fallback so far. */
     std::uint64_t reprojectedFrames() const { return reprojected_; }
 
+    /** Age (frames) of the resident layer set being reprojected:
+     *  0 when the last frame composed fresh, pinned to the pipeline
+     *  depth (2) when a late arrival still refreshed the resident
+     *  set, incrementing while fetches are skipped outright. */
+    std::uint32_t staleReprojectionFrames() const
+    {
+        return staleFrames_;
+    }
+
+    /** Degradation controller (engaged iff policy enables it). */
+    const std::optional<DegradationController> &degradation() const
+    {
+        return degradation_;
+    }
+
   protected:
     FrameStats simulateFrame(const scene::FrameWorkload &frame,
                              Seconds issue_time) override;
@@ -117,6 +163,7 @@ class FoveatedPipeline : public Pipeline
 
     FoveatedPolicy policy_;
     std::optional<Liwc> liwc_;
+    std::optional<DegradationController> degradation_;
     UcaTimingModel uca_;
     double e1_;
     /** Completion of the previous frame; the software controller

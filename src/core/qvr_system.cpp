@@ -16,6 +16,7 @@ designName(DesignPoint design)
       case DesignPoint::Dfr: return "DFR";
       case DesignPoint::SwQvr: return "SW-QVR";
       case DesignPoint::Qvr: return "Q-VR";
+      case DesignPoint::Resilient: return "Q-VR-R";
     }
     return "?";
 }
@@ -42,6 +43,9 @@ makePipeline(DesignPoint design, const PipelineConfig &cfg)
       case DesignPoint::Qvr:
         return std::make_unique<FoveatedPipeline>(
             cfg, FoveatedPolicy::qvr());
+      case DesignPoint::Resilient:
+        return std::make_unique<FoveatedPipeline>(
+            cfg, FoveatedPolicy::resilient());
     }
     QVR_PANIC("unhandled design point");
 }
@@ -55,6 +59,8 @@ ExperimentSpec::toConfig() const
     cfg.powerConfig.radio = power::RadioProfile::forNetwork(channel.name);
     cfg.gpuFrequencyScale = gpuFrequencyScale;
     cfg.seed = seed;
+    cfg.faults = faults;
+    cfg.retryPolicy = retryPolicy;
     return cfg;
 }
 

@@ -26,16 +26,17 @@
 namespace qvr::core
 {
 
-/** Every design point of Section 6. */
+/** Every design point of Section 6, plus the hardened variant. */
 enum class DesignPoint
 {
-    Local,    ///< Baseline: traditional local rendering
-    Remote,   ///< remote-only rendering
-    Static,   ///< static collaborative rendering
-    Ffr,      ///< fixed collaborative foveated rendering
-    Dfr,      ///< LIWC only
-    SwQvr,    ///< pure-software Q-VR
-    Qvr,      ///< full Q-VR (LIWC + UCA)
+    Local,     ///< Baseline: traditional local rendering
+    Remote,    ///< remote-only rendering
+    Static,    ///< static collaborative rendering
+    Ffr,       ///< fixed collaborative foveated rendering
+    Dfr,       ///< LIWC only
+    SwQvr,     ///< pure-software Q-VR
+    Qvr,       ///< full Q-VR (LIWC + UCA)
+    Resilient, ///< Q-VR + degradation controller (fault studies)
 };
 
 /** Display name matching the paper's figures. */
@@ -53,6 +54,11 @@ struct ExperimentSpec
     double gpuFrequencyScale = 1.0;   ///< 1.0/0.8/0.6 = 500/400/300 MHz
     std::size_t numFrames = 300;
     std::uint64_t seed = 1;
+
+    /** Fault timeline for the cell (empty = fault-free). */
+    fault::FaultSchedule faults;
+    /** Retry budget for lost layer transfers. */
+    net::RetryPolicy retryPolicy;
 
     /** Resolve to a full PipelineConfig. */
     PipelineConfig toConfig() const;

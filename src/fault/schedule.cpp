@@ -1,0 +1,291 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/geometry.hpp"
+#include "common/log.hpp"
+
+namespace qvr::fault
+{
+
+GilbertElliott::GilbertElliott(const GilbertElliottConfig &cfg)
+    : cfg_(cfg)
+{
+    QVR_REQUIRE(cfg.pGoodToBad >= 0.0 && cfg.pGoodToBad <= 1.0,
+                "pGoodToBad outside [0,1]");
+    QVR_REQUIRE(cfg.pBadToGood > 0.0 && cfg.pBadToGood <= 1.0,
+                "pBadToGood outside (0,1] (Bad must be escapable)");
+    QVR_REQUIRE(cfg.lossGood >= 0.0 && cfg.lossGood < 1.0,
+                "lossGood outside [0,1)");
+    QVR_REQUIRE(cfg.lossBad >= 0.0 && cfg.lossBad < 1.0,
+                "lossBad outside [0,1)");
+    QVR_REQUIRE(cfg.bandwidthFactorBad > 0.0 &&
+                    cfg.bandwidthFactorBad <= 1.0,
+                "bandwidthFactorBad outside (0,1]");
+    QVR_REQUIRE(cfg.transferDropBad >= 0.0 && cfg.transferDropBad < 1.0,
+                "transferDropBad outside [0,1)");
+}
+
+bool
+GilbertElliott::step(Rng &rng)
+{
+    bad_ = bad_ ? !rng.chance(cfg_.pBadToGood)
+                : rng.chance(cfg_.pGoodToBad);
+    return bad_;
+}
+
+void
+FaultSchedule::addOutage(Seconds start, Seconds duration)
+{
+    QVR_REQUIRE(start >= 0.0, "outage start before t=0");
+    QVR_REQUIRE(duration > 0.0, "outage needs a positive duration");
+    outages_.push_back(OutageWindow{start, duration});
+}
+
+void
+FaultSchedule::addLinkDegradation(const LinkDegradationWindow &w)
+{
+    QVR_REQUIRE(w.start >= 0.0, "degradation start before t=0");
+    QVR_REQUIRE(w.duration > 0.0,
+                "degradation needs a positive duration");
+    QVR_REQUIRE(w.bandwidthFactor > 0.0 && w.bandwidthFactor <= 1.0,
+                "bandwidth factor outside (0,1]");
+    QVR_REQUIRE(w.extraLoss >= 0.0 && w.extraLoss < 1.0,
+                "extra loss outside [0,1)");
+    link_.push_back(w);
+}
+
+void
+FaultSchedule::addServerFault(const ServerFaultWindow &w)
+{
+    QVR_REQUIRE(w.start >= 0.0, "server fault start before t=0");
+    QVR_REQUIRE(w.duration > 0.0,
+                "server fault needs a positive duration");
+    QVR_REQUIRE(w.stragglerFactor >= 1.0, "straggler factor < 1");
+    server_.push_back(w);
+}
+
+void
+FaultSchedule::setGilbertElliott(const GilbertElliottConfig &cfg)
+{
+    GilbertElliott validate(cfg);  // runs the parameter checks
+    (void)validate;
+    ge_ = cfg;
+}
+
+bool
+FaultSchedule::empty() const
+{
+    return outages_.empty() && link_.empty() && server_.empty();
+}
+
+LinkState
+FaultSchedule::linkStateAt(Seconds t) const
+{
+    LinkState s;
+    for (const auto &w : outages_) {
+        if (w.contains(t)) {
+            s.outage = true;
+            s.outageEnd = std::max(s.outageEnd, w.end());
+        }
+    }
+    for (const auto &w : link_) {
+        if (!w.contains(t))
+            continue;
+        if (w.bursty) {
+            s.bursty = true;
+        } else {
+            s.bandwidthFactor *= w.bandwidthFactor;
+            s.extraLoss += w.extraLoss;
+        }
+    }
+    s.extraLoss = clamp(s.extraLoss, 0.0, 0.95);
+    return s;
+}
+
+ServerState
+FaultSchedule::serverStateAt(Seconds t) const
+{
+    ServerState s;
+    for (const auto &w : server_) {
+        if (!w.contains(t))
+            continue;
+        s.stragglerFactor = std::max(s.stragglerFactor,
+                                     w.stragglerFactor);
+        s.failedChiplets = std::max(s.failedChiplets, w.failedChiplets);
+    }
+    return s;
+}
+
+Seconds
+FaultSchedule::outageEndAfter(Seconds t) const
+{
+    // Chained windows: leaving one outage may land inside another
+    // (storm scenarios script them back to back), so iterate until
+    // the time is outage-free.
+    Seconds cur = t;
+    bool moved = true;
+    while (moved) {
+        moved = false;
+        for (const auto &w : outages_) {
+            if (w.contains(cur)) {
+                cur = w.end();
+                moved = true;
+            }
+        }
+    }
+    return cur;
+}
+
+namespace
+{
+
+template <typename W>
+void
+minMaxTimes(const std::vector<W> &ws, Seconds &first, Seconds &last,
+            bool &any)
+{
+    for (const auto &w : ws) {
+        if (!any || w.start < first)
+            first = w.start;
+        if (!any || w.end() > last)
+            last = w.end();
+        any = true;
+    }
+}
+
+}  // namespace
+
+Seconds
+FaultSchedule::firstFaultTime() const
+{
+    Seconds first = 0.0, last = 0.0;
+    bool any = false;
+    minMaxTimes(outages_, first, last, any);
+    minMaxTimes(link_, first, last, any);
+    minMaxTimes(server_, first, last, any);
+    return any ? first : 0.0;
+}
+
+Seconds
+FaultSchedule::lastFaultTime() const
+{
+    Seconds first = 0.0, last = 0.0;
+    bool any = false;
+    minMaxTimes(outages_, first, last, any);
+    minMaxTimes(link_, first, last, any);
+    minMaxTimes(server_, first, last, any);
+    return any ? last : 0.0;
+}
+
+FaultSchedule
+makeBurstyScenario(std::uint64_t seed, Seconds horizon)
+{
+    QVR_REQUIRE(horizon > 0.0, "scenario horizon must be positive");
+    FaultSchedule s;
+    GilbertElliottConfig ge;
+    ge.pGoodToBad = 0.08;
+    ge.pBadToGood = 0.25;
+    ge.lossBad = 0.10;
+    ge.bandwidthFactorBad = 0.5;
+    ge.transferDropBad = 0.2;
+    s.setGilbertElliott(ge);
+
+    // Interference arrives in episodes: alternate clear gaps and GE
+    // windows until the horizon is covered.
+    Rng rng(seed, 0xb425);
+    Seconds t = horizon * 0.1;
+    while (t < horizon) {
+        const Seconds burst = rng.uniform(0.2, 0.8);
+        LinkDegradationWindow w;
+        w.start = t;
+        w.duration = std::min(burst, horizon - t);
+        w.bursty = true;
+        if (w.duration > 0.0)
+            s.addLinkDegradation(w);
+        t += burst + rng.uniform(0.3, 1.0);
+    }
+    return s;
+}
+
+FaultSchedule
+makeOutageStormScenario(std::uint64_t seed, Seconds horizon)
+{
+    QVR_REQUIRE(horizon > 0.0, "scenario horizon must be positive");
+    FaultSchedule s;
+    Rng rng(seed, 0x07a6e);
+    Seconds t = horizon * 0.15;
+    while (t < horizon * 0.9) {
+        const Seconds dur = rng.uniform(0.1, 0.5);
+        s.addOutage(t, dur);
+        t += dur + rng.uniform(0.4, 1.2);
+    }
+    return s;
+}
+
+FaultSchedule
+makeStragglerScenario(std::uint64_t seed, Seconds horizon)
+{
+    QVR_REQUIRE(horizon > 0.0, "scenario horizon must be positive");
+    FaultSchedule s;
+    Rng rng(seed, 0x5e77e7);
+    Seconds t = horizon * 0.1;
+    while (t < horizon * 0.9) {
+        ServerFaultWindow w;
+        w.start = t;
+        w.duration = rng.uniform(0.3, 0.9);
+        w.stragglerFactor = rng.uniform(2.0, 4.0);
+        // Some episodes also take chiplets offline entirely.
+        w.failedChiplets = rng.chance(0.4)
+                               ? static_cast<std::uint32_t>(
+                                     rng.uniformInt(1, 4))
+                               : 0;
+        if (w.start + w.duration > horizon)
+            w.duration = horizon - w.start;
+        if (w.duration > 0.0)
+            s.addServerFault(w);
+        t += w.duration + rng.uniform(0.3, 0.8);
+    }
+    return s;
+}
+
+FaultSchedule
+makeWorstCaseSchedule(Seconds outage_start)
+{
+    QVR_REQUIRE(outage_start >= 0.0, "outage start before t=0");
+    FaultSchedule s;
+    // 500 ms hard outage...
+    s.addOutage(outage_start, 0.500);
+    // ...inside a longer 10% bursty-loss episode that starts before
+    // and outlasts it, so recovery happens on a still-lossy link.
+    GilbertElliottConfig ge;
+    ge.pGoodToBad = 0.10;
+    ge.pBadToGood = 0.30;
+    ge.lossBad = 0.10;
+    ge.bandwidthFactorBad = 0.5;
+    ge.transferDropBad = 0.25;
+    s.setGilbertElliott(ge);
+    LinkDegradationWindow w;
+    w.start = std::max(0.0, outage_start - 0.2);
+    w.duration = (outage_start - w.start) + 0.500 + 0.7;
+    w.bursty = true;
+    s.addLinkDegradation(w);
+    return s;
+}
+
+std::vector<Scenario>
+standardSuite(std::uint64_t seed, Seconds horizon)
+{
+    std::vector<Scenario> suite;
+    suite.push_back({"clean", FaultSchedule{}});
+    suite.push_back({"bursty", makeBurstyScenario(seed, horizon)});
+    suite.push_back(
+        {"outage-storm", makeOutageStormScenario(seed, horizon)});
+    suite.push_back(
+        {"straggler", makeStragglerScenario(seed, horizon)});
+    suite.push_back(
+        {"worst-case", makeWorstCaseSchedule(horizon * 0.35)});
+    return suite;
+}
+
+}  // namespace qvr::fault

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Deterministic fault-injection schedules for the collaborative
+ * pipeline.
+ *
+ * Q-VR's premise is a real wireless downlink (Section 4.1 monitors
+ * ACK packets precisely because links misbehave), and real links fail
+ * in *bursts* — interference windows, coverage dips, hard outages —
+ * not as i.i.d. per-packet coin flips.  A FaultSchedule is a scripted
+ * timeline of such windows, either written by hand (tests, the
+ * worst-case acceptance scenario) or generated from a seed by the
+ * stochastic scenario builders (bench_resilience's suites).  The
+ * schedule itself is immutable during a run and purely a function of
+ * its construction inputs, so every consumer (net::Channel,
+ * remote::RemoteServer) stays bit-exact across repeated runs and
+ * thread counts.
+ *
+ * Three fault families:
+ *  - outage windows: the link is dead; transfers issued inside the
+ *    window stall until it closes;
+ *  - link degradation windows: bandwidth collapse and/or extra loss,
+ *    optionally driven by a Gilbert-Elliott two-state burst process
+ *    (good/bad channel with geometric dwell times) instead of a flat
+ *    loss rate;
+ *  - server fault windows: a straggling chiplet (slowdown factor) or
+ *    outright chiplet failures (capacity loss) on the remote MCM GPU.
+ */
+
+#ifndef QVR_FAULT_SCHEDULE_HPP
+#define QVR_FAULT_SCHEDULE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace qvr::fault
+{
+
+/**
+ * Gilbert-Elliott burst-loss parameters.  The chain advances one step
+ * per transfer: from Good it enters Bad with pGoodToBad, from Bad it
+ * recovers with pBadToGood, giving geometric burst lengths of mean
+ * 1/pBadToGood transfers — the bursty regime the MEC-VR literature
+ * optimises for, as opposed to i.i.d. loss.
+ */
+struct GilbertElliottConfig
+{
+    double pGoodToBad = 0.05;
+    double pBadToGood = 0.25;
+    /** Packet-loss probability while Good / Bad. */
+    double lossGood = 0.0;
+    double lossBad = 0.10;
+    /** Goodput multiplier while Bad (fading collapses rate too). */
+    double bandwidthFactorBad = 0.5;
+    /** Probability that a whole transfer is lost (needs retransmit by
+     *  the stream layer) while Bad. */
+    double transferDropBad = 0.25;
+};
+
+/** Two-state burst process over transfers (state lives in Channel). */
+class GilbertElliott
+{
+  public:
+    explicit GilbertElliott(const GilbertElliottConfig &cfg);
+
+    /** Advance one transfer; @return true when the channel is Bad. */
+    bool step(Rng &rng);
+
+    bool bad() const { return bad_; }
+    const GilbertElliottConfig &config() const { return cfg_; }
+    void reset() { bad_ = false; }
+
+  private:
+    GilbertElliottConfig cfg_;
+    bool bad_ = false;
+};
+
+/** Hard outage: the link is unusable in [start, start+duration). */
+struct OutageWindow
+{
+    Seconds start = 0.0;
+    Seconds duration = 0.0;
+
+    Seconds end() const { return start + duration; }
+    bool contains(Seconds t) const { return t >= start && t < end(); }
+};
+
+/** Soft link degradation in [start, start+duration). */
+struct LinkDegradationWindow
+{
+    Seconds start = 0.0;
+    Seconds duration = 0.0;
+    /** Goodput multiplier (coverage dip / contention), <= 1. */
+    double bandwidthFactor = 1.0;
+    /** Added to the configured packet-loss rate. */
+    double extraLoss = 0.0;
+    /** Drive loss/bandwidth through the Gilbert-Elliott chain
+     *  instead of the flat extraLoss/bandwidthFactor. */
+    bool bursty = false;
+
+    Seconds end() const { return start + duration; }
+    bool contains(Seconds t) const { return t >= start && t < end(); }
+};
+
+/** Remote-server fault in [start, start+duration). */
+struct ServerFaultWindow
+{
+    Seconds start = 0.0;
+    Seconds duration = 0.0;
+    /** The slowest chiplet runs this much slower (straggler). */
+    double stragglerFactor = 1.0;
+    /** Chiplets offline during the window (capacity loss). */
+    std::uint32_t failedChiplets = 0;
+
+    Seconds end() const { return start + duration; }
+    bool contains(Seconds t) const { return t >= start && t < end(); }
+};
+
+/** Effective link condition at one instant. */
+struct LinkState
+{
+    bool outage = false;
+    Seconds outageEnd = 0.0;       ///< valid when outage
+    double bandwidthFactor = 1.0;  ///< product over active windows
+    double extraLoss = 0.0;        ///< sum over active windows
+    bool bursty = false;           ///< any active GE window
+};
+
+/** Effective server condition at one instant. */
+struct ServerState
+{
+    double stragglerFactor = 1.0;      ///< max over active windows
+    std::uint32_t failedChiplets = 0;  ///< max over active windows
+};
+
+/**
+ * Immutable-after-setup fault timeline.  Windows may overlap; queries
+ * combine them (outages union, bandwidth factors multiply, extra loss
+ * adds and clamps, server slowdowns take the worst).
+ */
+class FaultSchedule
+{
+  public:
+    FaultSchedule() = default;
+
+    /** Append a hard outage window. */
+    void addOutage(Seconds start, Seconds duration);
+    /** Append a soft link-degradation window. */
+    void addLinkDegradation(const LinkDegradationWindow &w);
+    /** Append a server fault window. */
+    void addServerFault(const ServerFaultWindow &w);
+
+    /** Gilbert-Elliott parameters used by bursty windows. */
+    void setGilbertElliott(const GilbertElliottConfig &cfg);
+    const GilbertElliottConfig &gilbertElliott() const { return ge_; }
+
+    bool empty() const;
+
+    /** Link condition for a transfer starting at @p t. */
+    LinkState linkStateAt(Seconds t) const;
+
+    /** Server condition for a render starting at @p t. */
+    ServerState serverStateAt(Seconds t) const;
+
+    /** When @p t falls inside an outage, the latest end among the
+     *  outage windows covering it; otherwise @p t unchanged. */
+    Seconds outageEndAfter(Seconds t) const;
+
+    /** Earliest start / latest end over every window (0/0 if empty);
+     *  bench_resilience uses this to place its recovery probe. */
+    Seconds firstFaultTime() const;
+    Seconds lastFaultTime() const;
+
+    const std::vector<OutageWindow> &outages() const { return outages_; }
+    const std::vector<LinkDegradationWindow> &linkDegradations() const
+    {
+        return link_;
+    }
+    const std::vector<ServerFaultWindow> &serverFaults() const
+    {
+        return server_;
+    }
+
+  private:
+    std::vector<OutageWindow> outages_;
+    std::vector<LinkDegradationWindow> link_;
+    std::vector<ServerFaultWindow> server_;
+    GilbertElliottConfig ge_;
+};
+
+/** A named schedule, as bench_resilience sweeps them. */
+struct Scenario
+{
+    std::string name;
+    FaultSchedule schedule;
+};
+
+/**
+ * Stochastic scenario generators.  Each expands a seed into a
+ * concrete scripted timeline over [0, horizon) — the randomness is
+ * consumed here, once, so two runs (or two thread counts) replaying
+ * the same scenario see byte-identical fault timing.
+ */
+
+/** Interference bursts: GE windows covering ~half the horizon. */
+FaultSchedule makeBurstyScenario(std::uint64_t seed, Seconds horizon);
+
+/** Repeated hard outages (100-500 ms) with recovery gaps. */
+FaultSchedule makeOutageStormScenario(std::uint64_t seed,
+                                      Seconds horizon);
+
+/** Server-side straggler + chiplet-failure windows. */
+FaultSchedule makeStragglerScenario(std::uint64_t seed,
+                                    Seconds horizon);
+
+/**
+ * The scripted worst case of the acceptance criteria: a 500 ms hard
+ * outage at @p outage_start overlapped by a 10% bursty-loss window
+ * stretching well past it.
+ */
+FaultSchedule makeWorstCaseSchedule(Seconds outage_start);
+
+/** The standard suite: clean / bursty / outage storm / straggler /
+ *  worst case, in that order. */
+std::vector<Scenario> standardSuite(std::uint64_t seed,
+                                    Seconds horizon);
+
+}  // namespace qvr::fault
+
+#endif  // QVR_FAULT_SCHEDULE_HPP

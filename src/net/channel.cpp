@@ -39,17 +39,32 @@ ChannelConfig::early5g()
     return c;
 }
 
-Channel::Channel(const ChannelConfig &cfg, Rng rng)
-    : cfg_(cfg), rng_(rng), ackEstimate_(0.25)
+void
+ChannelConfig::validate() const
 {
-    QVR_REQUIRE(cfg.nominalDownlink > 0.0, "zero downlink bandwidth");
-    QVR_REQUIRE(cfg.protocolEfficiency > 0.0 &&
-                    cfg.protocolEfficiency <= 1.0,
+    QVR_REQUIRE(nominalDownlink > 0.0, "zero downlink bandwidth");
+    QVR_REQUIRE(protocolEfficiency > 0.0 && protocolEfficiency <= 1.0,
                 "protocol efficiency outside (0,1]");
+    QVR_REQUIRE(baseLatency >= 0.0, "negative base latency");
+    QVR_REQUIRE(packetLoss >= 0.0 && packetLoss < 1.0,
+                "loss rate outside [0,1)");
+    QVR_REQUIRE(packetBytes > 0, "zero packet size");
+    QVR_REQUIRE(std::isfinite(snrDb), "non-finite SNR");
 }
 
+Channel::Channel(const ChannelConfig &cfg, Rng rng)
+    : cfg_(cfg), rng_(rng), ackEstimate_(0.25),
+      ge_(fault::GilbertElliottConfig{})
+{
+    cfg.validate();
+}
+
+/** Shared transfer arithmetic; @p bw_factor scales goodput and
+ *  @p loss is the effective packet-loss rate for this transfer.
+ *  With bw_factor == 1 and loss == cfg.packetLoss this is bit-exact
+ *  with the fault-free model. */
 TransferResult
-Channel::transfer(Bytes payload)
+Channel::shapedTransfer(Bytes payload, double bw_factor, double loss)
 {
     // SNR -> relative rate jitter.  For AWGN, capacity per Hz is
     // log2(1 + snr); a noise perturbation dP around the signal power
@@ -62,29 +77,77 @@ Channel::transfer(Bytes payload)
 
     TransferResult r;
     r.goodput = cfg_.nominalDownlink * cfg_.protocolEfficiency * noise;
+    if (bw_factor != 1.0)
+        r.goodput *= bw_factor;
 
     // Loss -> retransmissions: goodput divides by the delivery
     // probability and each lost packet costs a recovery RTT tail
     // (capped: selective repeat recovers many losses in one RTT).
-    if (cfg_.packetLoss > 0.0) {
-        const double delivery =
-            clamp(1.0 - cfg_.packetLoss, 0.05, 1.0);
+    if (loss > 0.0) {
+        const double delivery = clamp(1.0 - loss, 0.05, 1.0);
         r.goodput *= delivery;
         const double packets = std::max(
             1.0, static_cast<double>(payload) /
                      static_cast<double>(cfg_.packetBytes));
         const double expected_loss_events =
-            std::min(3.0, packets * cfg_.packetLoss);
+            std::min(3.0, packets * loss);
         r.duration += expected_loss_events * 2.0 * cfg_.baseLatency;
     }
 
     const double bits = static_cast<double>(payload) * 8.0;
     r.duration += cfg_.baseLatency + bits / r.goodput;
+    return r;
+}
+
+TransferResult
+Channel::transfer(Bytes payload)
+{
+    TransferResult r = shapedTransfer(payload, 1.0, cfg_.packetLoss);
 
     if (pendingOutage_ > 0.0) {
+        r.stall = pendingOutage_;
         r.duration += pendingOutage_;
         pendingOutage_ = 0.0;
     }
+
+    ackEstimate_.add(r.goodput);
+    goodputStats_.add(r.goodput);
+    return r;
+}
+
+TransferResult
+Channel::transferAt(Bytes payload, Seconds start)
+{
+    const fault::LinkState state = faults_.linkStateAt(start);
+
+    double bw_factor = state.bandwidthFactor;
+    double loss = cfg_.packetLoss + state.extraLoss;
+    bool drop = false;
+    if (state.bursty) {
+        const auto &ge = faults_.gilbertElliott();
+        if (ge_.step(rng_)) {
+            bw_factor *= ge.bandwidthFactorBad;
+            loss += ge.lossBad;
+            drop = rng_.chance(ge.transferDropBad);
+        } else {
+            loss += ge.lossGood;
+        }
+    }
+
+    TransferResult r =
+        shapedTransfer(payload, bw_factor, clamp(loss, 0.0, 0.95));
+
+    // Window outage: a transfer issued inside an outage stalls until
+    // the covering window(s) end, then serialises normally.
+    if (state.outage)
+        r.stall = faults_.outageEndAfter(start) - start;
+    // Legacy one-shot outage: consumed by this transfer on top.
+    if (pendingOutage_ > 0.0) {
+        r.stall += pendingOutage_;
+        pendingOutage_ = 0.0;
+    }
+    r.duration += r.stall;
+    r.lost = drop;
 
     ackEstimate_.add(r.goodput);
     goodputStats_.add(r.goodput);
@@ -103,6 +166,19 @@ Channel::injectOutage(Seconds duration)
 {
     QVR_REQUIRE(duration >= 0.0, "negative outage duration");
     pendingOutage_ += duration;
+}
+
+void
+Channel::injectOutageWindow(Seconds start, Seconds duration)
+{
+    faults_.addOutage(start, duration);
+}
+
+void
+Channel::setFaultSchedule(const fault::FaultSchedule &schedule)
+{
+    faults_ = schedule;
+    ge_ = fault::GilbertElliott(schedule.gilbertElliott());
 }
 
 void

@@ -10,6 +10,15 @@
  * and expose the ACK-derived throughput estimate that LIWC monitors
  * (Section 4.1: "monitor the network's ACK packets for assessing the
  * remote latencies").
+ *
+ * Fault injection: the channel consumes a fault::FaultSchedule.  A
+ * transfer issued at time t sees the schedule's link state at t —
+ * hard-outage windows stall it until the window closes, degradation
+ * windows collapse bandwidth / add loss, and bursty windows drive a
+ * Gilbert-Elliott two-state chain that can also mark the whole
+ * transfer as lost (the stream layer retries those).  With an empty
+ * schedule the arithmetic and RNG draw order are identical to the
+ * fault-free model, so seeded runs stay bit-exact.
  */
 
 #ifndef QVR_NET_CHANNEL_HPP
@@ -20,6 +29,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "fault/schedule.hpp"
 
 namespace qvr::net
 {
@@ -44,6 +54,10 @@ struct ChannelConfig
     /** MTU used for loss accounting. */
     Bytes packetBytes = 1400;
 
+    /** Panic on physically impossible values (negative latency, loss
+     *  outside [0,1), zero MTU, non-positive bandwidth). */
+    void validate() const;
+
     /** Table 2 presets. */
     static ChannelConfig wifi();
     static ChannelConfig lte4g();
@@ -55,6 +69,12 @@ struct TransferResult
 {
     Seconds duration = 0.0;       ///< base latency + serialisation
     BitsPerSecond goodput = 0.0;  ///< achieved rate for this transfer
+    /** Time spent stalled behind an outage window (included in
+     *  duration). */
+    Seconds stall = 0.0;
+    /** The transfer was dropped wholesale (Gilbert-Elliott Bad
+     *  state); the payload did NOT arrive — the caller must retry. */
+    bool lost = false;
 };
 
 /**
@@ -69,8 +89,21 @@ class Channel
 
     const ChannelConfig &config() const { return cfg_; }
 
-    /** Simulate transferring @p payload bytes downlink. */
+    /**
+     * Simulate transferring @p payload bytes downlink, issued at
+     * unspecified time: fault windows do not apply (legacy one-shot
+     * outages injected with injectOutage() do).
+     */
     TransferResult transfer(Bytes payload);
+
+    /**
+     * Simulate transferring @p payload bytes downlink for a transfer
+     * that starts at absolute sim time @p start.  Consults the fault
+     * schedule: an active outage window stalls the transfer until the
+     * window closes; degradation/bursty windows shape goodput, loss,
+     * and whole-transfer drops.
+     */
+    TransferResult transferAt(Bytes payload, Seconds start);
 
     /**
      * Change the link's nominal downlink mid-session (coverage
@@ -84,12 +117,25 @@ class Channel
     void setPacketLoss(double loss);
 
     /**
-     * Inject a hard outage: transfers issued while the outage is
-     * pending stall for @p duration before the link recovers.  Used
-     * by the failure-injection tests and the reprojection-fallback
-     * demo.  One-shot: consumed by the next transfer.
+     * Legacy one-shot outage: the entire @p duration is added to the
+     * next transfer, whenever it is issued.  Superseded by
+     * injectOutageWindow(), which models the outage as a time window;
+     * kept for callers with no notion of sim time.
      */
     void injectOutage(Seconds duration);
+
+    /**
+     * Inject a hard outage as a time window: every transfer issued
+     * (via transferAt) inside [start, start+duration) stalls until
+     * the window closes; transfers before or after are untouched.
+     */
+    void injectOutageWindow(Seconds start, Seconds duration);
+
+    /** Attach a fault schedule (copied); replaces any previous one
+     *  and resets the Gilbert-Elliott burst state. */
+    void setFaultSchedule(const fault::FaultSchedule &schedule);
+
+    const fault::FaultSchedule &faultSchedule() const { return faults_; }
 
     /**
      * Throughput as observable from ACK timing (EWMA over completed
@@ -102,11 +148,16 @@ class Channel
     const RunningStat &goodputStats() const { return goodputStats_; }
 
   private:
+    TransferResult shapedTransfer(Bytes payload, double bw_factor,
+                                  double loss);
+
     ChannelConfig cfg_;
     Rng rng_;
     Ewma ackEstimate_;
     RunningStat goodputStats_;
     Seconds pendingOutage_ = 0.0;
+    fault::FaultSchedule faults_;
+    fault::GilbertElliott ge_;
 };
 
 }  // namespace qvr::net

@@ -7,10 +7,24 @@
 namespace qvr::net
 {
 
+void
+RetryPolicy::validate() const
+{
+    QVR_REQUIRE(backoffBase >= 0.0, "negative retry backoff");
+    QVR_REQUIRE(backoffFactor >= 1.0, "backoff factor < 1");
+}
+
 StreamSession::StreamSession(Channel &channel, const VideoCodec &codec,
                              std::uint32_t decodeUnits)
     : channel_(&channel), codec_(&codec), decoders_(decodeUnits)
 {
+}
+
+void
+StreamSession::setRetryPolicy(const RetryPolicy &policy)
+{
+    policy.validate();
+    retry_ = policy;
 }
 
 StreamResult
@@ -28,21 +42,45 @@ StreamSession::streamFrame(std::vector<LayerPayload> layers)
               });
 
     for (const auto &layer : layers) {
-        const TransferResult xfer = channel_->transfer(layer.compressed);
-        // Serialisation occupies the link for the payload time; the
-        // propagation floor does not.
-        const Seconds serialise =
-            xfer.duration - channel_->config().baseLatency;
-        const Seconds sent =
-            link_.serve(layer.renderReady, serialise);
-        const Seconds arrived = sent + channel_->config().baseLatency;
-        const Seconds decoded =
-            decoders_.serve(arrived, codec_->decodeTime(layer.pixels));
+        Seconds ready = layer.renderReady;
+        Seconds backoff = retry_.backoffBase;
+        std::uint32_t attempt = 0;
+        for (;;) {
+            // The transfer physically starts once the serial link
+            // frees up; fault windows are evaluated at that instant.
+            const Seconds start = std::max(ready, link_.nextFree());
+            const TransferResult xfer =
+                channel_->transferAt(layer.compressed, start);
+            // Serialisation (and any outage stall) occupies the link;
+            // the propagation floor does not.
+            const Seconds serialise =
+                xfer.duration - channel_->config().baseLatency;
+            const Seconds sent = link_.serve(ready, serialise);
+            result.networkTime += serialise;
+            result.stallTime += xfer.stall;
 
-        result.perLayerArrival.push_back(arrived);
-        result.allDecoded = std::max(result.allDecoded, decoded);
-        result.networkTime += serialise;
-        result.totalBytes += layer.compressed;
+            if (xfer.lost && attempt < retry_.maxRetries) {
+                // Loss detected one propagation delay after the tail;
+                // resend after the (exponential) backoff.
+                attempt++;
+                result.retries++;
+                ready = sent + channel_->config().baseLatency + backoff;
+                backoff *= retry_.backoffFactor;
+                continue;
+            }
+
+            if (xfer.lost)
+                result.lostLayers++;
+            const Seconds arrived =
+                sent + channel_->config().baseLatency;
+            const Seconds decoded = decoders_.serve(
+                arrived, codec_->decodeTime(layer.pixels));
+
+            result.perLayerArrival.push_back(arrived);
+            result.allDecoded = std::max(result.allDecoded, decoded);
+            result.totalBytes += layer.compressed;
+            break;
+        }
     }
     return result;
 }

@@ -9,6 +9,14 @@
  * streams help by letting early-finished layers start their transfer
  * (and their decode) before late layers render — pipeline overlap,
  * not bandwidth multiplication.
+ *
+ * Resilience: transfers are issued time-aware (Channel::transferAt),
+ * so outage windows stall them realistically, and whole-transfer
+ * losses (Gilbert-Elliott Bad bursts) are retried with bounded
+ * exponential backoff.  A layer whose retry budget runs out is
+ * counted lost; its final (corrupted/partial) delivery still times
+ * out the link but the DegradationController treats the frame as a
+ * remote miss.
  */
 
 #ifndef QVR_NET_STREAM_HPP
@@ -32,6 +40,19 @@ struct LayerPayload
     Bytes compressed = 0;        ///< encoded size
 };
 
+/** Bounded retry-with-backoff for lost transfers. */
+struct RetryPolicy
+{
+    /** Retransmission attempts per layer after the first (0 = off). */
+    std::uint32_t maxRetries = 2;
+    /** Backoff before the first retry. */
+    Seconds backoffBase = 2e-3;
+    /** Multiplier applied per further retry. */
+    double backoffFactor = 2.0;
+
+    void validate() const;
+};
+
 /** Result of streaming one frame's payload set. */
 struct StreamResult
 {
@@ -39,6 +60,15 @@ struct StreamResult
     Seconds networkTime = 0.0;   ///< pure serialisation time (sum)
     Bytes totalBytes = 0;
     std::vector<Seconds> perLayerArrival;
+
+    /** Retransmission attempts this frame (lost transfers redone). */
+    std::uint32_t retries = 0;
+    /** Layers that exhausted the retry budget and never arrived
+     *  intact — the frame's periphery is unusable. */
+    std::uint32_t lostLayers = 0;
+    /** Total time transfers sat stalled behind outage windows —
+     *  the link-down signal the DegradationController watches. */
+    Seconds stallTime = 0.0;
 };
 
 /**
@@ -60,6 +90,10 @@ class StreamSession
 
     Channel &channel() { return *channel_; }
 
+    /** Replace the retry policy (validated). */
+    void setRetryPolicy(const RetryPolicy &policy);
+    const RetryPolicy &retryPolicy() const { return retry_; }
+
     /** Earliest time the downlink can accept another transfer (used
      *  by pipelines to pace frame issue off the network bottleneck). */
     Seconds linkNextFree() const { return link_.nextFree(); }
@@ -69,6 +103,7 @@ class StreamSession
     const VideoCodec *codec_;
     sim::BusyResource link_;
     sim::MultiServerResource decoders_;
+    RetryPolicy retry_;
 };
 
 }  // namespace qvr::net

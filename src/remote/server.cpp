@@ -1,24 +1,34 @@
 #include "remote/server.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace qvr::remote
 {
 
+void
+ServerConfig::validate() const
+{
+    QVR_REQUIRE(chiplets > 0, "server needs at least one chiplet");
+    QVR_REQUIRE(loadImbalance >= 1.0, "imbalance factor < 1");
+    QVR_REQUIRE(syncOverhead >= 0.0, "negative sync overhead");
+}
+
 RemoteServer::RemoteServer(const ServerConfig &cfg)
     : cfg_(cfg), chipletModel_(cfg.chiplet)
 {
-    QVR_REQUIRE(cfg.chiplets > 0, "server needs at least one chiplet");
-    QVR_REQUIRE(cfg.loadImbalance >= 1.0, "imbalance factor < 1");
+    cfg.validate();
 }
 
 Seconds
-RemoteServer::renderSeconds(const gpu::RenderJob &job) const
+RemoteServer::renderWith(const gpu::RenderJob &job, double chiplets,
+                         double straggler) const
 {
     // Screen-space split: each chiplet gets 1/n of the pixels and
     // (because triangles straddle tile boundaries) slightly more than
     // 1/n of the triangles; the imbalance factor covers both effects.
-    const double n = static_cast<double>(cfg_.chiplets);
+    const double n = chiplets;
     gpu::RenderJob share = job;
     share.triangles = static_cast<std::uint64_t>(
         static_cast<double>(job.triangles) / n * cfg_.loadImbalance);
@@ -26,7 +36,36 @@ RemoteServer::renderSeconds(const gpu::RenderJob &job) const
     // The command stream is broadcast, not split.
     share.batches = job.batches;
 
-    return chipletModel_.renderSeconds(share) + cfg_.syncOverhead;
+    return chipletModel_.renderSeconds(share) * straggler +
+           cfg_.syncOverhead;
+}
+
+Seconds
+RemoteServer::renderSeconds(const gpu::RenderJob &job) const
+{
+    return renderWith(job, static_cast<double>(cfg_.chiplets), 1.0);
+}
+
+Seconds
+RemoteServer::renderSeconds(const gpu::RenderJob &job,
+                            Seconds when) const
+{
+    const fault::ServerState state = faults_.serverStateAt(when);
+    if (state.stragglerFactor == 1.0 && state.failedChiplets == 0)
+        return renderSeconds(job);
+    // At least one chiplet keeps rendering even in the worst window.
+    const std::uint32_t alive = cfg_.chiplets > state.failedChiplets
+                                    ? cfg_.chiplets -
+                                          state.failedChiplets
+                                    : 1;
+    return renderWith(job, static_cast<double>(alive),
+                      state.stragglerFactor);
+}
+
+void
+RemoteServer::setFaultSchedule(const fault::FaultSchedule &schedule)
+{
+    faults_ = schedule;
 }
 
 double

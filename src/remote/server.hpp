@@ -11,6 +11,7 @@
 #define QVR_REMOTE_SERVER_HPP
 
 #include "common/types.hpp"
+#include "fault/schedule.hpp"
 #include "gpu/timing.hpp"
 
 namespace qvr::remote
@@ -28,6 +29,10 @@ struct ServerConfig
     double loadImbalance = 1.10;
     /** Inter-chiplet synchronisation/NUMA overhead per frame. */
     Seconds syncOverhead = 150e-6;
+
+    /** Panic on impossible values (zero chiplets, imbalance < 1,
+     *  negative sync overhead). */
+    void validate() const;
 
     static gpu::GpuConfig
     desktopChiplet()
@@ -57,13 +62,31 @@ class RemoteServer
     /** Wall-clock time to render @p job across the chiplets. */
     Seconds renderSeconds(const gpu::RenderJob &job) const;
 
+    /**
+     * Wall-clock render time for a job starting at sim time @p when,
+     * consulting the fault schedule: an active straggler window slows
+     * the critical-path chiplet by its factor, and failed chiplets
+     * shrink the screen-space split (their share is redistributed).
+     * With no schedule (or outside every window) this matches
+     * renderSeconds(job) exactly.
+     */
+    Seconds renderSeconds(const gpu::RenderJob &job, Seconds when) const;
+
+    /** Attach a fault schedule (copied); only its server-fault
+     *  windows are consulted here. */
+    void setFaultSchedule(const fault::FaultSchedule &schedule);
+
     /** Aggregate triangle throughput (for capacity sanity checks). */
     double triangleThroughput(double shading_cost,
                               double pixels_per_tri) const;
 
   private:
+    Seconds renderWith(const gpu::RenderJob &job, double chiplets,
+                       double straggler) const;
+
     ServerConfig cfg_;
     gpu::MobileGpuModel chipletModel_;
+    fault::FaultSchedule faults_;
 };
 
 }  // namespace qvr::remote

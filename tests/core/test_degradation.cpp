@@ -1,0 +1,268 @@
+/**
+ * @file
+ * DegradationController: ladder transitions, the LocalOnly cliff and
+ * its probe cadence, hysteretic recovery, the clamp signal, and
+ * configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/degradation.hpp"
+
+namespace qvr::core
+{
+namespace
+{
+
+DegradationConfig
+enabled()
+{
+    DegradationConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+
+FrameHealth
+good()
+{
+    return FrameHealth{};
+}
+
+FrameHealth
+miss()
+{
+    FrameHealth h;
+    h.remoteMiss = true;
+    return h;
+}
+
+void
+feed(DegradationController &c, const FrameHealth &h, std::uint32_t n)
+{
+    for (std::uint32_t i = 0; i < n; i++)
+        c.observe(h);
+}
+
+TEST(Degradation, HealthyDecisionIsIdentity)
+{
+    DegradationController c(enabled());
+    const DegradationDecision d = c.decide();
+    EXPECT_EQ(d.state, DegradationState::Healthy);
+    EXPECT_EQ(d.level, 0u);
+    EXPECT_DOUBLE_EQ(d.qualityFactor, 1.0);
+    EXPECT_DOUBLE_EQ(d.resolutionScale, 1.0);
+    EXPECT_FALSE(d.dropOuterLayer);
+    EXPECT_FALSE(d.localOnly);
+    EXPECT_FALSE(d.probe);
+    EXPECT_FALSE(d.clampLocalWork);
+}
+
+TEST(Degradation, ConsecutiveMissesStepTheLadder)
+{
+    const DegradationConfig cfg = enabled();
+    DegradationController c(cfg);
+    feed(c, miss(), cfg.missesToDegrade);
+    EXPECT_EQ(c.state(), DegradationState::Degraded);
+    EXPECT_EQ(c.level(), 1u);
+
+    const DegradationDecision d = c.decide();
+    EXPECT_DOUBLE_EQ(d.qualityFactor, cfg.qualityStep);
+    EXPECT_DOUBLE_EQ(d.resolutionScale, cfg.resolutionStep);
+    EXPECT_FALSE(d.dropOuterLayer);
+
+    // Each further run of missesToDegrade misses steps once more.
+    feed(c, miss(), cfg.missesToDegrade);
+    EXPECT_EQ(c.level(), 2u);
+}
+
+TEST(Degradation, DeepestRungDropsTheOuterLayer)
+{
+    DegradationConfig cfg = enabled();
+    cfg.missesToLocalOnly = 100;  // keep the cliff out of the way
+    DegradationController c(cfg);
+    feed(c, miss(), cfg.missesToDegrade * cfg.maxLevel);
+    EXPECT_EQ(c.level(), cfg.maxLevel);
+    EXPECT_TRUE(c.decide().dropOuterLayer);
+    EXPECT_DOUBLE_EQ(
+        c.decide().qualityFactor,
+        std::pow(cfg.qualityStep, static_cast<double>(cfg.maxLevel)));
+
+    // The ladder saturates at maxLevel.
+    feed(c, miss(), cfg.missesToDegrade);
+    EXPECT_EQ(c.level(), cfg.maxLevel);
+}
+
+TEST(Degradation, SingleMissRaisesTheClampBeforeTheLadder)
+{
+    DegradationController c(enabled());
+    c.observe(miss());
+    EXPECT_EQ(c.state(), DegradationState::Healthy);
+    EXPECT_TRUE(c.decide().clampLocalWork);  // pressure, pre-ladder
+    c.observe(good());
+    EXPECT_FALSE(c.decide().clampLocalWork);
+}
+
+TEST(Degradation, MissStreakReachesLocalOnlyCliff)
+{
+    const DegradationConfig cfg = enabled();
+    DegradationController c(cfg);
+    feed(c, miss(), cfg.missesToLocalOnly);
+    EXPECT_EQ(c.state(), DegradationState::LocalOnly);
+    EXPECT_EQ(c.level(), cfg.maxLevel);
+    EXPECT_EQ(c.counters().localOnlyEntries, 1u);
+    EXPECT_TRUE(c.decide().clampLocalWork);
+}
+
+TEST(Degradation, InterruptedStreakDoesNotReachTheCliff)
+{
+    const DegradationConfig cfg = enabled();
+    DegradationController c(cfg);
+    feed(c, miss(), cfg.missesToLocalOnly - 1);
+    c.observe(good());
+    feed(c, miss(), cfg.missesToLocalOnly - 1);
+    EXPECT_NE(c.state(), DegradationState::LocalOnly);
+}
+
+TEST(Degradation, OutageStallDeclaresLinkDownImmediately)
+{
+    const DegradationConfig cfg = enabled();
+    DegradationController c(cfg);
+    FrameHealth h;
+    h.linkStall = cfg.stallToDeclareDown;
+    c.observe(h);
+    EXPECT_EQ(c.state(), DegradationState::LocalOnly);
+}
+
+TEST(Degradation, ThroughputCollapseDeclaresLinkDown)
+{
+    const DegradationConfig cfg = enabled();
+    DegradationController c(cfg);
+    FrameHealth h;
+    h.ackFraction = cfg.throughputCollapse * 0.5;
+    c.observe(h);
+    EXPECT_EQ(c.state(), DegradationState::LocalOnly);
+}
+
+TEST(Degradation, LocalOnlyProbesOnTheConfiguredCadence)
+{
+    DegradationConfig cfg = enabled();
+    cfg.probeInterval = 4;
+    DegradationController c(cfg);
+    FrameHealth down;
+    down.linkStall = 1.0;
+    c.observe(down);
+    ASSERT_EQ(c.state(), DegradationState::LocalOnly);
+
+    std::uint32_t probes = 0;
+    for (int i = 0; i < 8; i++) {
+        const DegradationDecision d = c.decide();
+        EXPECT_NE(d.probe, d.localOnly);  // probe frames go remote
+        if (d.probe) {
+            probes++;
+            // Probe fails: link still down.
+            FrameHealth h;
+            h.remoteMiss = true;
+            c.observe(h);
+        } else {
+            FrameHealth h;
+            h.remoteAttempted = false;
+            c.observe(h);
+        }
+    }
+    EXPECT_EQ(probes, 2u);  // every 4th frame
+    EXPECT_EQ(c.counters().probes, 2u);
+    // Failed probes keep it local.
+    EXPECT_EQ(c.state(), DegradationState::LocalOnly);
+}
+
+TEST(Degradation, GoodProbesExitToDeepestDegraded)
+{
+    DegradationConfig cfg = enabled();
+    cfg.probeInterval = 2;
+    cfg.probesToExit = 2;
+    DegradationController c(cfg);
+    FrameHealth down;
+    down.linkStall = 1.0;
+    c.observe(down);
+
+    while (c.state() == DegradationState::LocalOnly) {
+        const DegradationDecision d = c.decide();
+        FrameHealth h;
+        h.remoteAttempted = d.probe;
+        c.observe(h);
+    }
+    // Hysteresis: exit lands on the deepest Degraded rung, not
+    // straight back to Healthy.
+    EXPECT_EQ(c.state(), DegradationState::Degraded);
+    EXPECT_EQ(c.level(), cfg.maxLevel);
+    EXPECT_EQ(c.counters().localOnlyExits, 1u);
+}
+
+TEST(Degradation, RecoveryRampsOneLevelPerWindow)
+{
+    const DegradationConfig cfg = enabled();
+    DegradationController c(cfg);
+    feed(c, miss(), cfg.missesToDegrade * 2);
+    ASSERT_EQ(c.level(), 2u);
+
+    feed(c, good(), cfg.recoveryFrames);
+    EXPECT_EQ(c.level(), 1u);
+    EXPECT_EQ(c.state(), DegradationState::Degraded);
+    feed(c, good(), cfg.recoveryFrames);
+    EXPECT_EQ(c.level(), 0u);
+    EXPECT_EQ(c.state(), DegradationState::Healthy);
+    EXPECT_EQ(c.counters().upgrades, 2u);
+}
+
+TEST(Degradation, MissResetsTheRecoveryWindow)
+{
+    const DegradationConfig cfg = enabled();
+    DegradationController c(cfg);
+    feed(c, miss(), cfg.missesToDegrade);
+    ASSERT_EQ(c.level(), 1u);
+
+    feed(c, good(), cfg.recoveryFrames - 1);
+    c.observe(miss());  // interrupts the good run
+    feed(c, good(), cfg.recoveryFrames - 1);
+    EXPECT_EQ(c.level(), 1u);  // neither window completed
+}
+
+TEST(DegradationDeath, RejectsEachBadThreshold)
+{
+    auto with = [](auto mutate) {
+        DegradationConfig cfg;
+        mutate(cfg);
+        return cfg;
+    };
+    using C = DegradationConfig;
+    EXPECT_DEATH(
+        with([](C &c) { c.missesToDegrade = 0; }).validate(),
+        "missesToDegrade");
+    EXPECT_DEATH(
+        with([](C &c) { c.missesToLocalOnly = 1; }).validate(),
+        "local-only threshold");
+    EXPECT_DEATH(with([](C &c) { c.recoveryFrames = 0; }).validate(),
+                 "recoveryFrames");
+    EXPECT_DEATH(with([](C &c) { c.probesToExit = 0; }).validate(),
+                 "probesToExit");
+    EXPECT_DEATH(with([](C &c) { c.probeInterval = 0; }).validate(),
+                 "probeInterval");
+    EXPECT_DEATH(with([](C &c) { c.qualityStep = 0.0; }).validate(),
+                 "qualityStep");
+    EXPECT_DEATH(with([](C &c) { c.resolutionStep = 1.5; }).validate(),
+                 "resolutionStep");
+    EXPECT_DEATH(
+        with([](C &c) { c.localPeripheryScale = 0.0; }).validate(),
+        "localPeripheryScale");
+    EXPECT_DEATH(
+        with([](C &c) { c.stallToDeclareDown = -1.0; }).validate(),
+        "stall threshold");
+    EXPECT_DEATH(
+        with([](C &c) { c.throughputCollapse = 1.0; }).validate(),
+        "throughputCollapse");
+}
+
+}  // namespace
+}  // namespace qvr::core

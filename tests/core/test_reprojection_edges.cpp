@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Reprojection-deadline edge cases (Section 4.2 fill-in): exact
+ * deadline equality, the disabled (deadline == 0) path, the first
+ * frame with no resident layers, and the staleness clamp when a late
+ * arrival still refreshes the resident set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline_foveated.hpp"
+#include "core/qvr_system.hpp"
+
+namespace qvr::core
+{
+namespace
+{
+
+ExperimentSpec
+spec(std::size_t frames = 200)
+{
+    ExperimentSpec s;
+    s.benchmark = "HL2-H";
+    s.numFrames = frames;
+    return s;
+}
+
+TEST(ReprojectionDecision, ExactDeadlineArrivalComposesFresh)
+{
+    const Seconds deadline = 0.030;
+    // Strictly after: reproject.
+    EXPECT_TRUE(shouldReproject(false, false, 0.030000001, deadline,
+                                0.022, true));
+    // Exactly at the deadline: the layers are usable — compose fresh.
+    EXPECT_FALSE(
+        shouldReproject(false, false, 0.030, deadline, 0.022, true));
+    EXPECT_FALSE(
+        shouldReproject(false, false, 0.029, deadline, 0.022, true));
+}
+
+TEST(ReprojectionDecision, ZeroDeadlineDisablesTheTimingFallback)
+{
+    // Arbitrarily late arrival, fallback disarmed: never reproject.
+    EXPECT_FALSE(
+        shouldReproject(false, false, 10.0, 0.030, 0.0, true));
+}
+
+TEST(ReprojectionDecision, NoResidentLayersNothingToReprojectFrom)
+{
+    EXPECT_FALSE(
+        shouldReproject(false, false, 10.0, 0.030, 0.022, false));
+}
+
+TEST(ReprojectionDecision, SkipAndUnusableBypassTiming)
+{
+    // A skipped fetch or an unusable (retry-exhausted) periphery
+    // reprojects regardless of arrival time.
+    EXPECT_TRUE(shouldReproject(true, false, 0.0, 1.0, 0.022, true));
+    EXPECT_TRUE(shouldReproject(false, true, 0.0, 1.0, 0.022, true));
+}
+
+TEST(ReprojectionEdges, FirstFrameNeverReprojects)
+{
+    // A hard outage covering t=0 makes the very first frame's
+    // periphery hopelessly late — but there is no resident layer set
+    // yet, so it must wait it out rather than reproject.
+    ExperimentSpec s = spec(50);
+    s.faults.addOutage(0.0, 0.200);
+    const auto workload = generateExperimentWorkload(s);
+    FoveatedPipeline qvr(s.toConfig(), FoveatedPolicy::qvr());
+    const PipelineResult r = qvr.run(workload);
+
+    EXPECT_FALSE(r.frames[0].reprojected);
+    EXPECT_GT(r.frames[0].linkStall, 0.0);
+    EXPECT_GT(r.frames[0].tRemoteBranch,
+              FoveatedPolicy::qvr().reprojectionDeadline);
+}
+
+TEST(ReprojectionEdges, LateArrivalClampsStalenessToPipelineDepth)
+{
+    const auto workload = generateExperimentWorkload(spec());
+    FoveatedPipeline qvr(spec().toConfig(), FoveatedPolicy::qvr());
+
+    bool saw_first_miss = false;
+    bool in_run = false;
+    std::uint32_t prev_stale = 0;
+    for (const auto &frame : workload) {
+        if (frame.index == 100)
+            qvr.channel().injectOutage(0.200);
+        const FrameStats st = qvr.step(frame);
+        if (st.reprojected) {
+            if (!in_run) {
+                // The outage-delayed transfer still arrived: the
+                // resident set is one pipeline depth (2 frames) old,
+                // not older.
+                EXPECT_EQ(qvr.staleReprojectionFrames(), 2u);
+                saw_first_miss = true;
+            } else {
+                // Skipped fetches age the resident set one frame at
+                // a time.
+                EXPECT_GE(qvr.staleReprojectionFrames(), prev_stale);
+            }
+            in_run = true;
+            prev_stale = qvr.staleReprojectionFrames();
+        } else {
+            EXPECT_EQ(qvr.staleReprojectionFrames(), 0u);
+            in_run = false;
+            prev_stale = 0;
+        }
+    }
+    EXPECT_TRUE(saw_first_miss);
+}
+
+TEST(ReprojectionEdges, BackToBackLateArrivalsStayClamped)
+{
+    // Two isolated late arrivals separated by clean frames: each
+    // resets staleness to the pipeline depth (no accumulation across
+    // recovered gaps).
+    const auto workload = generateExperimentWorkload(spec(300));
+    FoveatedPipeline qvr(spec(300).toConfig(), FoveatedPolicy::qvr());
+
+    std::vector<std::uint32_t> first_stales;
+    bool in_run = false;
+    for (const auto &frame : workload) {
+        if (frame.index == 100 || frame.index == 200)
+            qvr.channel().injectOutage(0.150);
+        const FrameStats st = qvr.step(frame);
+        if (st.reprojected && !in_run)
+            first_stales.push_back(qvr.staleReprojectionFrames());
+        in_run = st.reprojected;
+    }
+    ASSERT_GE(first_stales.size(), 2u);
+    for (const std::uint32_t s : first_stales)
+        EXPECT_EQ(s, 2u);
+}
+
+}  // namespace
+}  // namespace qvr::core

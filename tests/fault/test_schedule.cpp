@@ -1,0 +1,321 @@
+/**
+ * @file
+ * FaultSchedule: window semantics, state combination over overlapping
+ * windows, Gilbert-Elliott burst process, scenario generators'
+ * determinism, and parameter validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/schedule.hpp"
+
+namespace qvr::fault
+{
+namespace
+{
+
+TEST(FaultWindows, ContainsIsHalfOpen)
+{
+    const OutageWindow w{1.0, 0.5};
+    EXPECT_FALSE(w.contains(0.999));
+    EXPECT_TRUE(w.contains(1.0));
+    EXPECT_TRUE(w.contains(1.499));
+    EXPECT_FALSE(w.contains(1.5));  // [start, end)
+    EXPECT_DOUBLE_EQ(w.end(), 1.5);
+}
+
+TEST(FaultSchedule, EmptyByDefault)
+{
+    FaultSchedule s;
+    EXPECT_TRUE(s.empty());
+    const LinkState l = s.linkStateAt(1.0);
+    EXPECT_FALSE(l.outage);
+    EXPECT_DOUBLE_EQ(l.bandwidthFactor, 1.0);
+    EXPECT_DOUBLE_EQ(l.extraLoss, 0.0);
+    EXPECT_FALSE(l.bursty);
+    const ServerState sv = s.serverStateAt(1.0);
+    EXPECT_DOUBLE_EQ(sv.stragglerFactor, 1.0);
+    EXPECT_EQ(sv.failedChiplets, 0u);
+    EXPECT_DOUBLE_EQ(s.outageEndAfter(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.firstFaultTime(), 0.0);
+    EXPECT_DOUBLE_EQ(s.lastFaultTime(), 0.0);
+}
+
+TEST(FaultSchedule, OutageStateAndEnd)
+{
+    FaultSchedule s;
+    s.addOutage(1.0, 0.5);
+    EXPECT_FALSE(s.linkStateAt(0.9).outage);
+    EXPECT_TRUE(s.linkStateAt(1.2).outage);
+    EXPECT_DOUBLE_EQ(s.linkStateAt(1.2).outageEnd, 1.5);
+    EXPECT_FALSE(s.linkStateAt(1.5).outage);
+    EXPECT_DOUBLE_EQ(s.outageEndAfter(1.2), 1.5);
+    EXPECT_DOUBLE_EQ(s.outageEndAfter(0.9), 0.9);
+}
+
+TEST(FaultSchedule, ChainedOutagesResolveToFinalEnd)
+{
+    // Leaving the first window lands inside the second: the stall
+    // must carry through to the last window's close.
+    FaultSchedule s;
+    s.addOutage(1.0, 0.5);
+    s.addOutage(1.4, 0.5);
+    EXPECT_DOUBLE_EQ(s.outageEndAfter(1.1), 1.9);
+}
+
+TEST(FaultSchedule, OverlappingDegradationsCombine)
+{
+    FaultSchedule s;
+    LinkDegradationWindow a;
+    a.start = 0.0;
+    a.duration = 2.0;
+    a.bandwidthFactor = 0.5;
+    a.extraLoss = 0.10;
+    s.addLinkDegradation(a);
+    LinkDegradationWindow b;
+    b.start = 1.0;
+    b.duration = 2.0;
+    b.bandwidthFactor = 0.4;
+    b.extraLoss = 0.20;
+    s.addLinkDegradation(b);
+
+    // Only a active.
+    EXPECT_DOUBLE_EQ(s.linkStateAt(0.5).bandwidthFactor, 0.5);
+    EXPECT_DOUBLE_EQ(s.linkStateAt(0.5).extraLoss, 0.10);
+    // Overlap: factors multiply, loss adds.
+    EXPECT_DOUBLE_EQ(s.linkStateAt(1.5).bandwidthFactor, 0.2);
+    EXPECT_NEAR(s.linkStateAt(1.5).extraLoss, 0.30, 1e-12);
+    // Only b active.
+    EXPECT_DOUBLE_EQ(s.linkStateAt(2.5).bandwidthFactor, 0.4);
+}
+
+TEST(FaultSchedule, ExtraLossClampsBelowOne)
+{
+    FaultSchedule s;
+    for (int i = 0; i < 3; i++) {
+        LinkDegradationWindow w;
+        w.start = 0.0;
+        w.duration = 1.0;
+        w.extraLoss = 0.5;
+        s.addLinkDegradation(w);
+    }
+    EXPECT_LE(s.linkStateAt(0.5).extraLoss, 0.95);
+}
+
+TEST(FaultSchedule, BurstyWindowFlagsWithoutFlatShaping)
+{
+    FaultSchedule s;
+    LinkDegradationWindow w;
+    w.start = 0.0;
+    w.duration = 1.0;
+    w.bursty = true;
+    s.addLinkDegradation(w);
+    const LinkState l = s.linkStateAt(0.5);
+    EXPECT_TRUE(l.bursty);
+    // GE drives the shaping; the flat path stays neutral.
+    EXPECT_DOUBLE_EQ(l.bandwidthFactor, 1.0);
+    EXPECT_DOUBLE_EQ(l.extraLoss, 0.0);
+    EXPECT_FALSE(s.linkStateAt(1.5).bursty);
+}
+
+TEST(FaultSchedule, ServerWindowsTakeTheWorst)
+{
+    FaultSchedule s;
+    ServerFaultWindow a;
+    a.start = 0.0;
+    a.duration = 2.0;
+    a.stragglerFactor = 2.0;
+    a.failedChiplets = 1;
+    s.addServerFault(a);
+    ServerFaultWindow b;
+    b.start = 1.0;
+    b.duration = 2.0;
+    b.stragglerFactor = 3.0;
+    s.addServerFault(b);
+
+    EXPECT_DOUBLE_EQ(s.serverStateAt(1.5).stragglerFactor, 3.0);
+    EXPECT_EQ(s.serverStateAt(1.5).failedChiplets, 1u);
+    EXPECT_DOUBLE_EQ(s.serverStateAt(2.5).stragglerFactor, 3.0);
+    EXPECT_EQ(s.serverStateAt(2.5).failedChiplets, 0u);
+}
+
+TEST(FaultSchedule, FirstAndLastSpanAllFamilies)
+{
+    FaultSchedule s;
+    s.addOutage(2.0, 0.5);
+    LinkDegradationWindow w;
+    w.start = 1.0;
+    w.duration = 0.5;
+    w.bandwidthFactor = 0.5;
+    s.addLinkDegradation(w);
+    ServerFaultWindow sv;
+    sv.start = 3.0;
+    sv.duration = 1.0;
+    sv.stragglerFactor = 2.0;
+    s.addServerFault(sv);
+    EXPECT_DOUBLE_EQ(s.firstFaultTime(), 1.0);
+    EXPECT_DOUBLE_EQ(s.lastFaultTime(), 4.0);
+}
+
+TEST(GilbertElliottChain, ForcedTransitionsAlternate)
+{
+    GilbertElliottConfig cfg;
+    cfg.pGoodToBad = 1.0;
+    cfg.pBadToGood = 1.0;
+    GilbertElliott ge(cfg);
+    Rng rng(1);
+    EXPECT_FALSE(ge.bad());
+    EXPECT_TRUE(ge.step(rng));   // Good -> Bad, certainly
+    EXPECT_FALSE(ge.step(rng));  // Bad -> Good, certainly
+    EXPECT_TRUE(ge.step(rng));
+    ge.reset();
+    EXPECT_FALSE(ge.bad());
+}
+
+TEST(GilbertElliottChain, DeterministicForFixedSeed)
+{
+    GilbertElliottConfig cfg;  // defaults: stochastic
+    GilbertElliott a(cfg), b(cfg);
+    Rng ra(9, 77), rb(9, 77);
+    for (int i = 0; i < 500; i++)
+        EXPECT_EQ(a.step(ra), b.step(rb));
+}
+
+TEST(GilbertElliottChain, BurstLengthsFollowDwellParameter)
+{
+    GilbertElliottConfig cfg;
+    cfg.pGoodToBad = 0.05;
+    cfg.pBadToGood = 0.25;  // mean burst: 4 transfers
+    GilbertElliott ge(cfg);
+    Rng rng(123);
+    int bursts = 0, bad_steps = 0;
+    bool prev_bad = false;
+    for (int i = 0; i < 200000; i++) {
+        const bool bad = ge.step(rng);
+        if (bad) {
+            bad_steps++;
+            if (!prev_bad)
+                bursts++;
+        }
+        prev_bad = bad;
+    }
+    ASSERT_GT(bursts, 0);
+    const double mean_burst =
+        static_cast<double>(bad_steps) / bursts;
+    EXPECT_NEAR(mean_burst, 1.0 / cfg.pBadToGood, 0.3);
+}
+
+TEST(Scenarios, GeneratorsAreSeedDeterministic)
+{
+    for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+        const FaultSchedule a = makeBurstyScenario(seed, 5.0);
+        const FaultSchedule b = makeBurstyScenario(seed, 5.0);
+        ASSERT_EQ(a.linkDegradations().size(),
+                  b.linkDegradations().size());
+        for (std::size_t i = 0; i < a.linkDegradations().size(); i++) {
+            EXPECT_DOUBLE_EQ(a.linkDegradations()[i].start,
+                             b.linkDegradations()[i].start);
+            EXPECT_DOUBLE_EQ(a.linkDegradations()[i].duration,
+                             b.linkDegradations()[i].duration);
+        }
+        const FaultSchedule c = makeOutageStormScenario(seed, 5.0);
+        const FaultSchedule d = makeOutageStormScenario(seed, 5.0);
+        ASSERT_EQ(c.outages().size(), d.outages().size());
+        for (std::size_t i = 0; i < c.outages().size(); i++)
+            EXPECT_DOUBLE_EQ(c.outages()[i].start,
+                             d.outages()[i].start);
+    }
+}
+
+TEST(Scenarios, DifferentSeedsDiffer)
+{
+    const FaultSchedule a = makeOutageStormScenario(1, 5.0);
+    const FaultSchedule b = makeOutageStormScenario(2, 5.0);
+    ASSERT_FALSE(a.outages().empty());
+    ASSERT_FALSE(b.outages().empty());
+    // The first window's start is scripted (horizon-relative); the
+    // seed drives the durations and the rest of the storm.
+    EXPECT_NE(a.outages()[0].duration, b.outages()[0].duration);
+}
+
+TEST(Scenarios, WindowsStayInsideHorizon)
+{
+    const Seconds horizon = 4.0;
+    for (const auto &sc : standardSuite(7, horizon)) {
+        for (const auto &w : sc.schedule.linkDegradations())
+            EXPECT_LE(w.end(), horizon + 1.3)  // worst case stretches
+                << sc.name;                    // past its outage
+        for (const auto &w : sc.schedule.serverFaults())
+            EXPECT_LE(w.end(), horizon) << sc.name;
+    }
+}
+
+TEST(Scenarios, WorstCaseShapeMatchesAcceptanceCriteria)
+{
+    const FaultSchedule s = makeWorstCaseSchedule(1.0);
+    ASSERT_EQ(s.outages().size(), 1u);
+    EXPECT_DOUBLE_EQ(s.outages()[0].start, 1.0);
+    EXPECT_DOUBLE_EQ(s.outages()[0].duration, 0.500);
+    ASSERT_EQ(s.linkDegradations().size(), 1u);
+    const auto &w = s.linkDegradations()[0];
+    EXPECT_TRUE(w.bursty);
+    // The loss episode starts before the outage and outlasts it.
+    EXPECT_LT(w.start, 1.0);
+    EXPECT_GT(w.end(), 1.5);
+    EXPECT_DOUBLE_EQ(s.gilbertElliott().lossBad, 0.10);
+}
+
+TEST(Scenarios, StandardSuiteOrder)
+{
+    const auto suite = standardSuite(7, 3.0);
+    ASSERT_EQ(suite.size(), 5u);
+    EXPECT_EQ(suite[0].name, "clean");
+    EXPECT_TRUE(suite[0].schedule.empty());
+    EXPECT_EQ(suite[1].name, "bursty");
+    EXPECT_EQ(suite[2].name, "outage-storm");
+    EXPECT_EQ(suite[3].name, "straggler");
+    EXPECT_EQ(suite[4].name, "worst-case");
+}
+
+TEST(FaultScheduleDeath, RejectsBadWindows)
+{
+    FaultSchedule s;
+    EXPECT_DEATH(s.addOutage(-1.0, 0.5), "before t=0");
+    EXPECT_DEATH(s.addOutage(1.0, 0.0), "positive duration");
+
+    LinkDegradationWindow w;
+    w.start = 0.0;
+    w.duration = 1.0;
+    w.bandwidthFactor = 0.0;
+    EXPECT_DEATH(s.addLinkDegradation(w), "bandwidth factor");
+    w.bandwidthFactor = 1.0;
+    w.extraLoss = 1.0;
+    EXPECT_DEATH(s.addLinkDegradation(w), "extra loss");
+
+    ServerFaultWindow sv;
+    sv.start = 0.0;
+    sv.duration = 1.0;
+    sv.stragglerFactor = 0.5;
+    EXPECT_DEATH(s.addServerFault(sv), "straggler factor");
+}
+
+TEST(FaultScheduleDeath, RejectsBadGilbertElliott)
+{
+    GilbertElliottConfig stuck;
+    stuck.pBadToGood = 0.0;  // Bad would be absorbing
+    EXPECT_DEATH(GilbertElliott{stuck}, "escapable");
+
+    FaultSchedule s;
+    GilbertElliottConfig lossy;
+    lossy.lossBad = 1.0;
+    EXPECT_DEATH(s.setGilbertElliott(lossy), "lossBad");
+}
+
+TEST(ScenariosDeath, RejectsNonPositiveHorizon)
+{
+    EXPECT_DEATH(makeBurstyScenario(1, 0.0), "horizon");
+    EXPECT_DEATH(makeWorstCaseSchedule(-1.0), "before t=0");
+}
+
+}  // namespace
+}  // namespace qvr::fault

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The resilience suite through the parallel experiment runner:
+ * every fault scenario x {Q-VR, Q-VR-R} cell must be byte-identical
+ * at 1, 2 and 8 worker threads — fault injection and the degradation
+ * controller add no nondeterminism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/qvr_system.hpp"
+#include "fault/schedule.hpp"
+#include "sim/parallel.hpp"
+
+namespace qvr
+{
+namespace
+{
+
+/** Hexfloat leaves no rounding: equal strings mean equal bits. */
+std::string
+digest(const core::PipelineResult &r)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    for (const auto &f : r.frames) {
+        os << f.mtpLatency << ';' << f.displayTime << ';'
+           << f.frameInterval << ';' << f.transmittedBytes << ';'
+           << f.e1 << ';' << f.reprojected << ';'
+           << f.degradationLevel << ';' << f.localFallback << ';'
+           << f.linkRetries << ';' << f.lostLayers << ';'
+           << f.linkStall << '\n';
+    }
+    return os.str();
+}
+
+TEST(ResilienceDeterminism, SuiteIsBitExactAcrossThreadCounts)
+{
+    constexpr std::size_t kFrames = 120;
+    constexpr Seconds kHorizon = 1.3;  // inside the 120-frame run
+
+    struct Cell
+    {
+        std::string scenario;
+        core::DesignPoint design;
+        fault::FaultSchedule schedule;
+    };
+    std::vector<Cell> cells;
+    for (const auto &sc : fault::standardSuite(7, kHorizon))
+        for (const auto d :
+             {core::DesignPoint::Qvr, core::DesignPoint::Resilient})
+            cells.push_back({sc.name, d, sc.schedule});
+
+    auto runCell = [&](std::size_t i) {
+        core::ExperimentSpec spec;
+        spec.benchmark = "Doom3-H";
+        spec.numFrames = kFrames;
+        spec.seed = 7;
+        spec.faults = cells[i].schedule;
+        return core::runExperiment(cells[i].design, spec);
+    };
+
+    std::vector<std::vector<std::string>> digests;
+    for (const std::size_t jobs : {1u, 2u, 8u}) {
+        const auto results =
+            sim::runParallel(cells.size(), runCell, jobs);
+        std::vector<std::string> d;
+        for (const auto &r : results)
+            d.push_back(digest(r));
+        digests.push_back(std::move(d));
+    }
+
+    for (std::size_t j = 1; j < digests.size(); j++) {
+        for (std::size_t i = 0; i < cells.size(); i++) {
+            SCOPED_TRACE(cells[i].scenario + " / " +
+                         core::designName(cells[i].design));
+            EXPECT_EQ(digests[0][i], digests[j][i]);
+        }
+    }
+
+    // Sanity: the faulted Q-VR-R cells actually exercised the
+    // degradation machinery (otherwise this test proves nothing).
+    const auto serial = sim::runParallel(cells.size(), runCell, 1);
+    std::uint64_t degraded = 0;
+    for (std::size_t i = 0; i < cells.size(); i++) {
+        if (cells[i].design == core::DesignPoint::Resilient &&
+            !cells[i].schedule.empty())
+            degraded += serial[i].faultCounters().degradedFrames;
+    }
+    EXPECT_GT(degraded, 0u);
+}
+
+TEST(ResilienceDeterminism, RepeatedRunsAreBitExact)
+{
+    core::ExperimentSpec spec;
+    spec.benchmark = "Doom3-H";
+    spec.numFrames = 150;
+    spec.seed = 11;
+    spec.faults = fault::makeWorstCaseSchedule(0.5);
+
+    const auto a =
+        core::runExperiment(core::DesignPoint::Resilient, spec);
+    const auto b =
+        core::runExperiment(core::DesignPoint::Resilient, spec);
+    EXPECT_EQ(digest(a), digest(b));
+}
+
+}  // namespace
+}  // namespace qvr

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/stats.hpp"
 #include "net/channel.hpp"
 
@@ -109,6 +111,116 @@ TEST(Channel, GoodputNeverCollapses)
         EXPECT_GE(ch.transfer(fromKiB(10)).goodput,
                   cfg.nominalDownlink * cfg.protocolEfficiency * 0.3);
     }
+}
+
+TEST(Channel, EmptyScheduleTransferAtMatchesTransferBitExactly)
+{
+    // transferAt with no fault schedule must reproduce the fault-free
+    // arithmetic and RNG draw order exactly.
+    Channel a(ChannelConfig::wifi(), Rng(11));
+    Channel b(ChannelConfig::wifi(), Rng(11));
+    for (int i = 0; i < 300; i++) {
+        const TransferResult ra = a.transfer(fromKiB(100 + i));
+        const TransferResult rb =
+            b.transferAt(fromKiB(100 + i), 0.011 * i);
+        EXPECT_EQ(ra.duration, rb.duration);
+        EXPECT_EQ(ra.goodput, rb.goodput);
+        EXPECT_EQ(rb.stall, 0.0);
+        EXPECT_FALSE(rb.lost);
+    }
+}
+
+TEST(Channel, OutageWindowStallsOnlyTransfersInsideIt)
+{
+    ChannelConfig cfg = ChannelConfig::wifi();
+    cfg.snrDb = 300.0;  // deterministic timing
+    Channel ch(cfg, Rng(12));
+    ch.injectOutageWindow(1.0, 0.5);
+
+    // Before the window: untouched.
+    EXPECT_EQ(ch.transferAt(fromKiB(100), 0.9).stall, 0.0);
+    // Inside: stalled until the window closes.
+    EXPECT_DOUBLE_EQ(ch.transferAt(fromKiB(100), 1.0).stall, 0.5);
+    EXPECT_DOUBLE_EQ(ch.transferAt(fromKiB(100), 1.2).stall, 0.3);
+    const TransferResult in = ch.transferAt(fromKiB(100), 1.2);
+    EXPECT_GT(in.duration, 0.3);  // stall included in duration
+    // After: untouched — unlike the legacy one-shot outage, the
+    // window does NOT accumulate into later transfers.
+    EXPECT_EQ(ch.transferAt(fromKiB(100), 1.5).stall, 0.0);
+    EXPECT_EQ(ch.transferAt(fromKiB(100), 9.0).stall, 0.0);
+}
+
+TEST(Channel, LegacyOutageHitsNextTransferOnceWheneverIssued)
+{
+    ChannelConfig cfg = ChannelConfig::wifi();
+    cfg.snrDb = 300.0;
+    Channel ch(cfg, Rng(13));
+    ch.injectOutage(0.2);
+    // The whole duration lands on the next transfer, regardless of
+    // its issue time...
+    EXPECT_DOUBLE_EQ(ch.transferAt(fromKiB(100), 99.0).stall, 0.2);
+    // ...and is consumed by it.
+    EXPECT_EQ(ch.transferAt(fromKiB(100), 99.1).stall, 0.0);
+
+    ch.injectOutage(0.1);
+    ch.injectOutage(0.1);  // outages accumulate until consumed
+    EXPECT_DOUBLE_EQ(ch.transfer(fromKiB(100)).stall, 0.2);
+}
+
+TEST(Channel, BurstyWindowCanDropWholeTransfers)
+{
+    ChannelConfig cfg = ChannelConfig::wifi();
+    Channel ch(cfg, Rng(14));
+    fault::FaultSchedule sched;
+    fault::GilbertElliottConfig ge;
+    ge.pGoodToBad = 1.0;  // always Bad
+    ge.pBadToGood = 1e-9;
+    ge.transferDropBad = 0.999;  // ~certain (validation caps at <1)
+    sched.setGilbertElliott(ge);
+    fault::LinkDegradationWindow w;
+    w.start = 0.0;
+    w.duration = 100.0;
+    w.bursty = true;
+    sched.addLinkDegradation(w);
+    ch.setFaultSchedule(sched);
+
+    for (int i = 0; i < 20; i++)
+        EXPECT_TRUE(ch.transferAt(fromKiB(100), 1.0).lost);
+    // Outside the window the chain is not consulted.
+    EXPECT_FALSE(ch.transferAt(fromKiB(100), 200.0).lost);
+}
+
+TEST(ChannelConfigDeath, RejectsEachImpossibleValue)
+{
+    auto with = [](auto mutate) {
+        ChannelConfig cfg = ChannelConfig::wifi();
+        mutate(cfg);
+        return cfg;
+    };
+    using C = ChannelConfig;
+    EXPECT_DEATH(
+        with([](C &c) { c.nominalDownlink = 0.0; }).validate(),
+        "downlink");
+    EXPECT_DEATH(
+        with([](C &c) { c.protocolEfficiency = 0.0; }).validate(),
+        "efficiency");
+    EXPECT_DEATH(
+        with([](C &c) { c.protocolEfficiency = 1.2; }).validate(),
+        "efficiency");
+    EXPECT_DEATH(with([](C &c) { c.baseLatency = -1e-3; }).validate(),
+                 "latency");
+    EXPECT_DEATH(with([](C &c) { c.packetLoss = 1.0; }).validate(),
+                 "loss");
+    EXPECT_DEATH(with([](C &c) { c.packetLoss = -0.1; }).validate(),
+                 "loss");
+    EXPECT_DEATH(with([](C &c) { c.packetBytes = 0; }).validate(),
+                 "packet size");
+    EXPECT_DEATH(
+        with([](C &c) { c.snrDb = std::nan(""); }).validate(), "SNR");
+    // The constructor runs the same checks.
+    ChannelConfig bad = ChannelConfig::wifi();
+    bad.nominalDownlink = -1.0;
+    EXPECT_DEATH(Channel{bad}, "downlink");
 }
 
 }  // namespace

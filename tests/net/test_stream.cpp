@@ -130,5 +130,106 @@ TEST(StreamSession, BackToBackFramesQueueOnLink)
     EXPECT_GT(f2.allDecoded, f1.allDecoded + 0.02);
 }
 
+TEST(StreamSession, LostTransfersRetryWithBackoff)
+{
+    Channel ch(quiet(), Rng(7));
+    fault::FaultSchedule sched;
+    fault::GilbertElliottConfig ge;
+    ge.pGoodToBad = 1.0;  // permanently Bad
+    ge.pBadToGood = 1e-9;
+    ge.transferDropBad = 0.999;  // ~every transfer lost
+    sched.setGilbertElliott(ge);
+    fault::LinkDegradationWindow w;
+    w.duration = 100.0;
+    w.bursty = true;
+    sched.addLinkDegradation(w);
+    ch.setFaultSchedule(sched);
+
+    VideoCodec codec;
+    StreamSession s(ch, codec);
+    RetryPolicy policy;
+    policy.maxRetries = 3;
+    s.setRetryPolicy(policy);
+
+    LayerPayload p;
+    p.pixels = 1e5;
+    p.compressed = fromKiB(100);
+    const StreamResult r = s.streamFrame({p});
+    // Budget exhausted: all retries spent, the layer counted lost,
+    // but the attempt still produced a timeline (no hang).
+    EXPECT_EQ(r.retries, policy.maxRetries);
+    EXPECT_EQ(r.lostLayers, 1u);
+    EXPECT_GT(r.allDecoded, 0.0);
+
+    // Zero budget: no retries, immediate loss.
+    Channel ch0(quiet(), Rng(7));
+    ch0.setFaultSchedule(sched);
+    StreamSession s0(ch0, codec);
+    RetryPolicy none;
+    none.maxRetries = 0;
+    s0.setRetryPolicy(none);
+    const StreamResult r0 = s0.streamFrame({p});
+    EXPECT_EQ(r0.retries, 0u);
+    EXPECT_EQ(r0.lostLayers, 1u);
+}
+
+TEST(StreamSession, RetryTimelineIsSeedDeterministic)
+{
+    fault::FaultSchedule sched;
+    fault::LinkDegradationWindow w;
+    w.duration = 100.0;
+    w.bursty = true;  // default GE: stochastic drops
+    sched.addLinkDegradation(w);
+
+    VideoCodec codec;
+    auto run = [&] {
+        Channel ch(ChannelConfig::wifi(), Rng(21, 5));
+        ch.setFaultSchedule(sched);
+        StreamSession s(ch, codec);
+        StreamResult total;
+        for (int f = 0; f < 100; f++) {
+            LayerPayload p;
+            p.renderReady = 0.011 * f;
+            p.pixels = 1e5;
+            p.compressed = fromKiB(120);
+            const StreamResult r = s.streamFrame({p, p});
+            total.retries += r.retries;
+            total.lostLayers += r.lostLayers;
+            total.allDecoded = r.allDecoded;
+        }
+        return total;
+    };
+    const StreamResult a = run();
+    const StreamResult b = run();
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.lostLayers, b.lostLayers);
+    EXPECT_EQ(a.allDecoded, b.allDecoded);  // bitwise
+    EXPECT_GT(a.retries, 0u);  // the scenario actually exercised loss
+}
+
+TEST(StreamSession, OutageStallSurfacesInStallTime)
+{
+    Channel ch(quiet(), Rng(8));
+    ch.injectOutageWindow(0.0, 0.3);
+    VideoCodec codec;
+    StreamSession s(ch, codec);
+    LayerPayload p;
+    p.pixels = 1e5;
+    p.compressed = fromKiB(10);
+    const StreamResult r = s.streamFrame({p});
+    EXPECT_DOUBLE_EQ(r.stallTime, 0.3);
+    EXPECT_GT(r.allDecoded, 0.3);
+}
+
+TEST(RetryPolicyDeath, RejectsImpossibleBackoff)
+{
+    RetryPolicy negative;
+    negative.backoffBase = -1e-3;
+    EXPECT_DEATH(negative.validate(), "backoff");
+    RetryPolicy shrinking;
+    shrinking.backoffFactor = 0.5;
+    EXPECT_DEATH(shrinking.validate(), "factor");
+}
+
 }  // namespace
 }  // namespace qvr::net

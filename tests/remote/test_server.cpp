@@ -88,11 +88,59 @@ TEST(RemoteServer, TriangleThroughputScalesWithChiplets)
     EXPECT_NEAR(r4, r1 * 4.0, r1 * 0.01);
 }
 
+TEST(RemoteServer, StragglerWindowSlowsOnlyCoveredRenders)
+{
+    RemoteServer server;
+    fault::FaultSchedule sched;
+    fault::ServerFaultWindow w;
+    w.start = 1.0;
+    w.duration = 0.5;
+    w.stragglerFactor = 3.0;
+    sched.addServerFault(w);
+    server.setFaultSchedule(sched);
+
+    const gpu::RenderJob j = heavyJob();
+    const Seconds clean = server.renderSeconds(j);
+    // Outside the window (and with no schedule at all): identical.
+    EXPECT_EQ(server.renderSeconds(j, 0.5), clean);
+    EXPECT_EQ(server.renderSeconds(j, 1.5), clean);
+    // Inside: the critical-path chiplet runs 3x slower.
+    EXPECT_GT(server.renderSeconds(j, 1.2), clean * 1.5);
+}
+
+TEST(RemoteServer, FailedChipletsShrinkTheSplit)
+{
+    RemoteServer server;
+    fault::FaultSchedule sched;
+    fault::ServerFaultWindow w;
+    w.start = 0.0;
+    w.duration = 1.0;
+    w.failedChiplets = 4;  // half the default 8 offline
+    sched.addServerFault(w);
+    server.setFaultSchedule(sched);
+
+    const gpu::RenderJob j = heavyJob();
+    const Seconds degraded = server.renderSeconds(j, 0.5);
+    const Seconds clean = server.renderSeconds(j);
+    EXPECT_GT(degraded, clean * 1.3);
+    EXPECT_LT(degraded, clean * 4.0);  // capacity loss, not collapse
+}
+
 TEST(RemoteServerDeath, ZeroChipletsPanics)
 {
     ServerConfig cfg;
     cfg.chiplets = 0;
     EXPECT_DEATH(RemoteServer{cfg}, "at least one chiplet");
+}
+
+TEST(RemoteServerDeath, RejectsEachImpossibleConfig)
+{
+    ServerConfig imbalance;
+    imbalance.loadImbalance = 0.9;
+    EXPECT_DEATH(imbalance.validate(), "imbalance");
+    ServerConfig sync;
+    sync.syncOverhead = -1e-6;
+    EXPECT_DEATH(sync.validate(), "sync overhead");
 }
 
 }  // namespace

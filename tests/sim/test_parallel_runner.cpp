@@ -64,6 +64,11 @@ expectBitIdentical(const core::FrameStats &a, const core::FrameStats &b)
     EXPECT_EQ(a.reprojected, b.reprojected);
     EXPECT_EQ(bits(a.reprojectionErrorDeg), bits(b.reprojectionErrorDeg));
     EXPECT_EQ(bits(a.peripheryQuality), bits(b.peripheryQuality));
+    EXPECT_EQ(a.degradationLevel, b.degradationLevel);
+    EXPECT_EQ(a.localFallback, b.localFallback);
+    EXPECT_EQ(a.linkRetries, b.linkRetries);
+    EXPECT_EQ(a.lostLayers, b.lostLayers);
+    EXPECT_EQ(bits(a.linkStall), bits(b.linkStall));
 }
 
 void
@@ -87,7 +92,8 @@ pipelineGrid()
     for (auto d : {core::DesignPoint::Local, core::DesignPoint::Remote,
                    core::DesignPoint::Static, core::DesignPoint::Ffr,
                    core::DesignPoint::Dfr, core::DesignPoint::SwQvr,
-                   core::DesignPoint::Qvr}) {
+                   core::DesignPoint::Qvr,
+                   core::DesignPoint::Resilient}) {
         grid.emplace_back(d, "Doom3-H");
         grid.emplace_back(d, "GRID");
     }

@@ -71,6 +71,7 @@ designs()
         {"DFR", core::DesignPoint::Dfr},
         {"SW-QVR", core::DesignPoint::SwQvr},
         {"Q-VR", core::DesignPoint::Qvr},
+        {"Q-VR-R", core::DesignPoint::Resilient},
     };
     return m;
 }

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Fleet-capacity benchmark: how many 90 Hz users one chiplet pool
+ * sustains under each serving policy, at equal hardware.
+ *
+ * The multiuser bench showed the default session is egress-bound; this
+ * bench pins a pool-bound operating point (4 chiplets, 2 per request,
+ * 2 Gbps egress) so the *scheduling* policy decides capacity, and
+ * sweeps the qvr::serve stack: FIFO (the pre-serve baseline), EDF and
+ * SJF orderings, deadline-aware admission control, cross-user
+ * batching, and 2-shard fleets under both balancers.
+ *
+ * Self-verifying acceptance criteria (exit 1 on violation):
+ *  1. EDF + admission sustains strictly more 90 Hz users than FIFO
+ *     (at least FIFO capacity + 1) on identical silicon;
+ *  2. admission control's contract holds: across every admission-
+ *     enabled session this bench runs, zero admitted requests miss
+ *     their render deadline;
+ *  3. the policy grid is bit-exact across 1/2/8 worker threads and
+ *     across repeated runs.
+ *
+ * Output: TextTables on stdout and BENCH_fleet_capacity.json (path
+ * overridable with --json <path>); --quick shrinks the run for the
+ * CI smoke check (`perf` CTest label).
+ */
+
+#include "bench_util.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "collab/session.hpp"
+
+namespace
+{
+
+using namespace qvr;
+
+struct PolicyCell
+{
+    std::string name;
+    serve::SchedulerPolicy policy = serve::SchedulerPolicy::Fifo;
+    bool admission = false;
+    bool batching = false;
+    std::uint32_t shards = 1;
+    serve::BalancerPolicy balancer =
+        serve::BalancerPolicy::JoinShortestQueue;
+};
+
+/** Pool-bound operating point: the chiplet pool (2 concurrent
+ *  renders), not the egress pipe, is the scarce resource. */
+collab::SessionConfig
+makeConfig(const PolicyCell &cell, std::size_t users,
+           std::size_t frames)
+{
+    collab::SessionConfig cfg;
+    cfg.benchmark = "HL2-H";
+    cfg.design = collab::SessionDesign::Served;
+    cfg.users = users;
+    cfg.numFrames = frames;
+    cfg.totalChiplets = 4;
+    cfg.chipletsPerRequest = 2;
+    cfg.serverEgress = fromMbps(2000.0);
+    cfg.serving.scheduler.policy = cell.policy;
+    cfg.serving.admission.enabled = cell.admission;
+    cfg.serving.batching.enabled = cell.batching;
+    cfg.serving.shards = cell.shards;
+    cfg.serving.balancer = cell.balancer;
+    return cfg;
+}
+
+/** Byte-faithful digest of a session (hexfloat: no rounding). */
+std::string
+digest(const collab::SessionResult &r)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    for (const auto &u : r.perUser) {
+        for (const auto &f : u.frames) {
+            os << f.displayTime << ';' << f.mtpLatency << ';'
+               << f.frameInterval << ';' << f.transmittedBytes << ';'
+               << f.serveQueueWait << ';' << f.serveAdmitted << ';'
+               << f.serveDeadlineMet << ';' << f.degradationLevel
+               << ';' << f.localFallback << '\n';
+        }
+    }
+    os << r.serveCounters.submitted << ';' << r.serveCounters.admitted
+       << ';' << r.serveCounters.shed << ';'
+       << r.serveCounters.downgraded << ';'
+       << r.serveCounters.deadlineMisses << ';'
+       << r.serveCounters.batches << ';'
+       << r.serveCounters.batchedRequests << '\n';
+    return os.str();
+}
+
+struct CapacityOutcome
+{
+    std::size_t capacity = 0;       ///< users sustained at 90 Hz
+    bool hitLimit = false;          ///< capacity == search limit
+    std::uint64_t admMisses = 0;    ///< admission-enabled misses
+    std::uint64_t sessions = 0;
+};
+
+/** Step-1 capacity search: largest n with worst-user FPS >= 90. */
+CapacityOutcome
+findCapacity(const PolicyCell &cell, std::size_t frames,
+             std::size_t limit)
+{
+    CapacityOutcome out;
+    for (std::size_t n = 1; n <= limit; n++) {
+        const collab::SessionResult r =
+            collab::runSession(makeConfig(cell, n, frames));
+        out.sessions++;
+        if (cell.admission)
+            out.admMisses += r.serveCounters.deadlineMisses;
+        if (r.worstUserFps() >= 90.0)
+            out.capacity = n;
+        else
+            break;
+    }
+    out.hitLimit = out.capacity == limit;
+    return out;
+}
+
+/** Worst per-user p99 queue wait across the session, seconds. */
+Seconds
+worstP99Wait(const collab::SessionResult &r)
+{
+    Seconds worst = 0.0;
+    for (const auto &slo : r.perUserSlo)
+        worst = std::max(worst, slo.p99QueueWait);
+    return worst;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace qvr;
+    using namespace qvr::bench;
+
+    bool quick = false;
+    std::string json_path = "BENCH_fleet_capacity.json";
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::cerr << "usage: bench_fleet_capacity [--quick]"
+                         " [--json <path>]\n";
+            return 2;
+        }
+    }
+
+    printHeader("fleet capacity — serving policies at equal silicon");
+
+    const std::size_t frames = quick ? 120 : 240;
+    const std::size_t limit = quick ? 16 : 20;
+    const std::size_t detail_users = 10;
+
+    const std::vector<PolicyCell> cells = {
+        {"fifo", serve::SchedulerPolicy::Fifo, false, false},
+        {"edf", serve::SchedulerPolicy::Edf, false, false},
+        {"sjf", serve::SchedulerPolicy::Sjf, false, false},
+        {"edf+adm", serve::SchedulerPolicy::Edf, true, false},
+        {"edf+adm+batch", serve::SchedulerPolicy::Edf, true, true},
+        {"edf+adm 2xJSQ", serve::SchedulerPolicy::Edf, true, false, 2,
+         serve::BalancerPolicy::JoinShortestQueue},
+        {"edf+adm 2xHash", serve::SchedulerPolicy::Edf, true, false, 2,
+         serve::BalancerPolicy::HashUser},
+    };
+
+    // Capacity sweeps are independent per policy; fan them out.
+    const auto capacities =
+        sim::runParallel(cells.size(), [&](std::size_t i) {
+            return findCapacity(cells[i], frames, limit);
+        });
+
+    // Fixed-load detail grid — also the determinism witness: rerun
+    // it at 1/2/8 worker threads and demand identical bytes.
+    const auto runDetail = [&](std::size_t threads) {
+        return sim::runParallel(
+            cells.size(),
+            [&](std::size_t i) {
+                return collab::runSession(
+                    makeConfig(cells[i], detail_users, frames));
+            },
+            threads);
+    };
+    const auto detail = runDetail(0);
+    bool bit_exact = true;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        const auto rerun = runDetail(threads);
+        for (std::size_t i = 0; i < cells.size(); i++) {
+            if (digest(detail[i]) != digest(rerun[i])) {
+                std::cerr << "FAIL: cell '" << cells[i].name
+                          << "' is not bit-exact at " << threads
+                          << " worker threads\n";
+                bit_exact = false;
+            }
+        }
+    }
+
+    TextTable cap_table(
+        "90 Hz user capacity per serving policy (4 chiplets, 2 per "
+        "request, 2 Gbps egress, " +
+        std::to_string(frames) + " frames)");
+    cap_table.setHeader(
+        {"policy", "shards", "balancer", "capacity @90"});
+    for (std::size_t i = 0; i < cells.size(); i++) {
+        cap_table.addRow(
+            {cells[i].name, std::to_string(cells[i].shards),
+             serve::balancerPolicyName(cells[i].balancer),
+             std::to_string(capacities[i].capacity) +
+                 (capacities[i].hitLimit ? "+" : "")});
+    }
+    cap_table.print(std::cout);
+
+    TextTable det_table("Serving telemetry at " +
+                        std::to_string(detail_users) + " users");
+    det_table.setHeader({"policy", "worst FPS", "MTP ms", "p99 wait ms",
+                         "shed", "downgr", "batched", "misses",
+                         "pool util"});
+    std::uint64_t adm_misses = 0;
+    for (std::size_t i = 0; i < cells.size(); i++) {
+        const collab::SessionResult &r = detail[i];
+        if (cells[i].admission)
+            adm_misses += r.serveCounters.deadlineMisses;
+        det_table.addRow(
+            {cells[i].name, TextTable::num(r.worstUserFps(), 1),
+             TextTable::num(toMs(r.meanMtp()), 1),
+             TextTable::num(toMs(worstP99Wait(r)), 2),
+             std::to_string(r.serveCounters.shed),
+             std::to_string(r.serveCounters.downgraded),
+             std::to_string(r.serveCounters.batchedRequests),
+             std::to_string(r.serveCounters.deadlineMisses),
+             TextTable::percent(r.serverUtilisation)});
+    }
+    det_table.print(std::cout);
+
+    // Acceptance 1: EDF + admission beats the FIFO baseline by at
+    // least one user on identical hardware.
+    bool ok = true;
+    const std::size_t cap_fifo = capacities[0].capacity;
+    const std::size_t cap_edf_adm = capacities[3].capacity;
+    if (cap_edf_adm < cap_fifo + 1) {
+        std::cerr << "FAIL: edf+adm capacity (" << cap_edf_adm
+                  << ") does not beat fifo (" << cap_fifo << ")\n";
+        ok = false;
+    }
+
+    // Acceptance 2: zero admitted-request deadline misses in every
+    // admission-enabled session this bench ran.
+    for (std::size_t i = 0; i < cells.size(); i++)
+        if (cells[i].admission)
+            adm_misses += capacities[i].admMisses;
+    if (adm_misses != 0) {
+        std::cerr << "FAIL: " << adm_misses
+                  << " admitted requests missed their deadline under"
+                     " admission control\n";
+        ok = false;
+    }
+
+    // Acceptance 3: thread-count invariance (checked above).
+    if (!bit_exact)
+        ok = false;
+
+    std::cout << "\nReading: past the pool's throughput, FIFO/EDF"
+                 " backlogs snowball — completions drift later every"
+                 " round and the whole session sinks below 90 Hz."
+                 "  Admission control sheds or downgrades exactly the"
+                 " requests that cannot make their deadline, so the"
+                 " pool never builds a backlog and capacity moves up"
+                 " to the next bottleneck; contention-gated batching"
+                 " buys back sync overhead on top.  Splitting the same"
+                 " silicon into two shards costs statistical"
+                 " multiplexing: JSQ keeps sheds low but loses"
+                 " capacity, while affinity hashing holds FPS by"
+                 " shedding far more aggressively on whichever shard"
+                 " the hash overloads.\n";
+
+    std::ofstream os(json_path);
+    if (!os) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+    }
+    os << "{\n  \"bench\": \"fleet_capacity\",\n"
+       << "  \"frames\": " << frames << ",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"search_limit\": " << limit << ",\n"
+       << "  \"bit_exact_across_threads\": "
+       << (bit_exact ? "true" : "false") << ",\n"
+       << "  \"admitted_deadline_misses\": " << adm_misses << ",\n"
+       << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); i++) {
+        const collab::SessionResult &r = detail[i];
+        os << "    {\"policy\": \"" << cells[i].name
+           << "\", \"shards\": " << cells[i].shards
+           << ", \"capacity_90hz\": " << capacities[i].capacity
+           << ", \"hit_limit\": "
+           << (capacities[i].hitLimit ? "true" : "false")
+           << ", \"detail_users\": " << detail_users
+           << ", \"worst_fps\": " << r.worstUserFps()
+           << ", \"mean_mtp_ms\": " << toMs(r.meanMtp())
+           << ", \"p99_wait_ms\": "
+           << toMs(worstP99Wait(r))
+           << ", \"shed\": " << r.serveCounters.shed
+           << ", \"downgraded\": " << r.serveCounters.downgraded
+           << ", \"batched_requests\": "
+           << r.serveCounters.batchedRequests
+           << ", \"deadline_misses\": "
+           << r.serveCounters.deadlineMisses
+           << ", \"pool_utilisation\": " << r.serverUtilisation
+           << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+    return ok ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 
 #include "common/log.hpp"
@@ -266,7 +267,284 @@ simulateStaticFrame(Shared &sh, UserState &u,
     return s;
 }
 
+/** Per-user state carried from a Served round's phase A (local work
+ *  and request creation) to phase C (completion). */
+struct ServedPending
+{
+    FrameStats s;
+    Vec2 gaze;
+    foveation::PartitionOracle::Resolved resolved;
+    core::LiwcDecision decision;
+    gpu::RenderJob remoteJob;
+    serve::RenderRequest request;
+    Seconds cpuDone = 0.0;
+    Seconds localDone = 0.0;
+};
+
+/**
+ * Served phase A: everything up to and including the render request —
+ * identical to the Qvr frame's front half, except the periphery job
+ * becomes a RenderRequest for the serving stack instead of a direct
+ * call-order grab of the shared pool.
+ */
+ServedPending
+prepareServedFrame(Shared &sh, serve::Fleet &fleet, UserState &u,
+                   std::size_t user_index,
+                   const scene::FrameWorkload &frame)
+{
+    const auto &bench = scene::findBenchmark(sh.cfg->benchmark);
+    ServedPending p;
+    FrameStats &s = p.s;
+    s.index = frame.index;
+    p.cpuDone = u.cpu.serve(u.issue, kControlLogic);
+
+    p.gaze = Vec2{frame.motionSeen.gaze.x, frame.motionSeen.gaze.y};
+    p.decision = u.liwc->selectEccentricity(
+        frame.motionDelta, frame.totalTriangles() * 2, p.gaze);
+    p.resolved = sh.oracle.resolve(p.decision.e1, p.gaze);
+    s.e1 = p.resolved.partition.e1;
+    s.e2 = p.resolved.partition.e2;
+
+    const double area =
+        sh.geometry.foveaAreaFraction(p.resolved.partition.e1,
+                                      p.gaze);
+    const double work = std::pow(std::max(1e-9, area),
+                                 1.0 / bench.centerConcentration);
+
+    gpu::RenderJob local;
+    local.triangles = static_cast<std::uint64_t>(
+        static_cast<double>(frame.totalTriangles()) * 2.0 * work);
+    local.shadedPixels = p.resolved.pixels.foveaPixels * 2.0;
+    local.batches = std::max<std::uint32_t>(
+        1,
+        static_cast<std::uint32_t>(bench.numBatches * work * 2.0));
+    local.shadingCost = bench.shadingCost;
+    s.tLocalRender = sh.gpuModel.renderSeconds(local);
+    s.localTriangles = local.triangles;
+    p.localDone = u.gpu.serve(p.cpuDone, s.tLocalRender);
+
+    p.remoteJob.triangles = static_cast<std::uint64_t>(
+        static_cast<double>(frame.totalTriangles()) * 2.0 *
+        (1.0 - work));
+    p.remoteJob.shadedPixels =
+        p.resolved.pixels.peripheryPixels() * 2.0;
+    p.remoteJob.batches = bench.numBatches * 2;
+    p.remoteJob.shadingCost = bench.shadingCost;
+    s.tRemoteRender = fleet.requestRenderSeconds(p.remoteJob);
+
+    serve::RenderRequest &r = p.request;
+    r.seq = fleet.nextSeq();
+    r.user = static_cast<std::uint32_t>(user_index);
+    r.frame = frame.index;
+    r.arrival = p.cpuDone + kUplink;
+    r.deadline = r.arrival + sh.cfg->renderDeadline;
+    r.service = s.tRemoteRender;
+    r.triangles = p.remoteJob.triangles;
+    r.batchKey = 0;  // one benchmark per session: all coalescible
+    return p;
+}
+
+/**
+ * Served phase C: turn the scheduler's outcome into photons.
+ * Admitted requests stream their (possibly downgraded) layers from
+ * the dispatch times; shed requests render the periphery on-device
+ * at shedPeripheryScale — the degradation ladder's LocalOnly cost
+ * model — serialised after the fovea on the same mobile GPU.
+ */
+FrameStats
+finishServedFrame(Shared &sh, UserState &u, ServedPending &p,
+                  const serve::ServeOutcome &o)
+{
+    FrameStats &s = p.s;
+    s.serveQueueWait = o.queueWait;
+    s.serveAdmitted = o.admitted;
+    s.serveDeadlineMet = o.deadlineMet;
+    s.degradationLevel = o.level;
+
+    Seconds all_decoded = 0.0;
+    double periphery_pixels = 0.0;
+    if (o.admitted) {
+        const Seconds stream_start = o.completion - 0.7 * o.service;
+        const double rs2 = o.resolutionScale * o.resolutionScale;
+        for (int eye = 0; eye < 2; eye++) {
+            for (int layer = 0; layer < 2; layer++) {
+                const double pixels =
+                    (layer == 0 ? p.resolved.pixels.middlePixels
+                                : p.resolved.pixels.outerPixels) *
+                    rs2;
+                const double factor =
+                    layer == 0 ? p.resolved.pixels.middleFactor
+                               : p.resolved.pixels.outerFactor;
+                const Bytes bytes = sh.codec.compressedSize(
+                    pixels, o.qualityFactor, factor);
+                const Seconds ready =
+                    stream_start + 0.3 * sh.codec.encodeTime(pixels);
+                const Seconds decoded =
+                    shipAndDecode(sh, u, ready, bytes, pixels);
+                all_decoded = std::max(all_decoded, decoded);
+                s.transmittedBytes += bytes;
+                s.tNetwork += static_cast<double>(bytes) * 8.0 /
+                              u.channel->ackThroughput();
+                periphery_pixels += pixels;
+            }
+        }
+        s.peripheryQuality = o.qualityFactor;
+        s.gpuBusy = s.tLocalRender;
+        s.renderedResolutionFraction =
+            sh.geometry.linearResolutionFraction(
+                p.resolved.partition) *
+            o.resolutionScale;
+    } else {
+        const double lp = sh.cfg->shedPeripheryScale;
+        gpu::RenderJob fallback = p.remoteJob;
+        fallback.triangles = static_cast<std::uint64_t>(
+            static_cast<double>(p.remoteJob.triangles) * lp);
+        fallback.shadedPixels = p.remoteJob.shadedPixels * lp * lp;
+        const Seconds t_fallback =
+            sh.gpuModel.renderSeconds(fallback);
+        all_decoded = u.gpu.serve(p.localDone, t_fallback);
+        s.localFallback = true;
+        s.gpuBusy = s.tLocalRender + t_fallback;
+        s.renderedResolutionFraction =
+            sh.geometry.linearResolutionFraction(
+                p.resolved.partition) *
+            lp;
+    }
+    s.tRemoteBranch = std::max(0.0, all_decoded - p.cpuDone);
+
+    const auto &display = sh.geometry.display();
+    core::PixelPartition pp;
+    const double ppd = display.pixelsPerDegree();
+    pp.centerX = display.width / 2.0 + p.gaze.x * ppd;
+    pp.centerY = display.height / 2.0 + p.gaze.y * ppd;
+    pp.foveaRadius = p.resolved.partition.e1 * ppd;
+    pp.middleRadius = p.resolved.partition.e2 * ppd;
+    const core::UcaTimingResult eye0 = u.uca.processFrame(
+        display.width, display.height, pp, p.localDone, all_decoded);
+    const core::UcaTimingResult eye1 = u.uca.processFrame(
+        display.width, display.height, pp, p.localDone, all_decoded);
+    const Seconds done = std::max(eye0.done, eye1.done);
+    s.tComposition = (eye0.busy + eye1.busy) / 2.0;
+
+    s.displayTime = done + kDisplay;
+    s.mtpLatency = kSensor + (s.displayTime - u.issue);
+
+    if (o.admitted) {
+        // Shed frames carry no remote measurement, so the LIWC
+        // controller only learns from admitted ones.
+        core::LiwcFeedback fb;
+        fb.measuredLocal = s.tLocalRender;
+        fb.measuredRemote = s.tRemoteBranch;
+        fb.renderedTriangles = s.localTriangles;
+        fb.peripheryPixels = periphery_pixels;
+        fb.peripheryBytes = s.transmittedBytes;
+        fb.ackThroughput = u.channel->ackThroughput();
+        u.liwc->update(p.decision, fb);
+    }
+    return s;
+}
+
+/** Shared per-frame bookkeeping tail: interval, SLO flags, issue
+ *  clock (the exact statements every design has always run). */
+void
+commitFrame(Shared &sh, UserState &u, FrameStats s)
+{
+    s.frameInterval = u.hasLastDisplay ? s.displayTime - u.lastDisplay
+                                       : s.displayTime;
+    u.lastDisplay = s.displayTime;
+    u.hasLastDisplay = true;
+    s.meetsFrameRate =
+        s.frameInterval <= vr_requirements::kFrameBudget + 1e-9;
+    s.meetsMtp =
+        s.mtpLatency <= vr_requirements::kMaxMotionToPhoton + 1e-9;
+    u.result.frames.push_back(s);
+
+    u.issue = std::max({u.issue + 0.2e-3, u.gpu.nextFree(),
+                        u.lastMile.nextFree(), sh.egress.nextFree()});
+}
+
+/** Nearest-rank percentile over admitted-frame queue waits. */
+UserSloStats
+computeUserSlo(const PipelineResult &pu)
+{
+    UserSloStats slo;
+    std::vector<Seconds> waits;
+    std::uint64_t late = 0;
+    for (const FrameStats &f : pu.frames) {
+        if (!f.serveAdmitted) {
+            slo.shedFrames++;
+            continue;
+        }
+        waits.push_back(f.serveQueueWait);
+        if (f.degradationLevel > 0)
+            slo.downgradedFrames++;
+        if (!f.serveDeadlineMet)
+            late++;
+    }
+    if (!pu.frames.empty())
+        slo.deadlineMissRate =
+            static_cast<double>(late) /
+            static_cast<double>(pu.frames.size());
+    if (!waits.empty()) {
+        std::sort(waits.begin(), waits.end());
+        const auto rank = [&waits](double q) {
+            const std::size_t n = waits.size();
+            std::size_t i = static_cast<std::size_t>(
+                std::ceil(q * static_cast<double>(n)));
+            if (i == 0)
+                i = 1;
+            if (i > n)
+                i = n;
+            return waits[i - 1];
+        };
+        slo.p50QueueWait = rank(0.50);
+        slo.p99QueueWait = rank(0.99);
+    }
+    return slo;
+}
+
 }  // namespace
+
+void
+SessionConfig::validate() const
+{
+    QVR_REQUIRE(users >= 1, "session needs at least one user");
+    QVR_REQUIRE(numFrames >= 1, "session needs at least one frame");
+    QVR_REQUIRE(totalChiplets >= 1,
+                "session needs at least one chiplet");
+    QVR_REQUIRE(chipletsPerRequest >= 1,
+                "chiplets per request must be at least one");
+    QVR_REQUIRE(chipletsPerRequest <= totalChiplets,
+                "a request cannot span more chiplets than the pool");
+    QVR_REQUIRE(serverEgress > 0.0, "server egress must be positive");
+    QVR_REQUIRE(design == SessionDesign::Static ||
+                    design == SessionDesign::Qvr ||
+                    design == SessionDesign::Served,
+                "unsupported session design");
+    if (design == SessionDesign::Served) {
+        QVR_REQUIRE(renderDeadline > 0.0,
+                    "render deadline must be positive");
+        QVR_REQUIRE(shedPeripheryScale > 0.0 &&
+                        shedPeripheryScale <= 1.0,
+                    "shed periphery scale outside (0, 1]");
+        QVR_REQUIRE(serving.shards >= 1,
+                    "fleet needs at least one shard");
+        serving.admission.validate();
+        serving.batching.validate();
+    }
+}
+
+std::vector<std::size_t>
+issueOrder(const std::vector<Seconds> &issue)
+{
+    std::vector<std::size_t> order(issue.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&issue](std::size_t a, std::size_t b) {
+                  return issue[a] < issue[b];
+              });
+    return order;
+}
 
 double
 SessionResult::meanFps() const
@@ -319,10 +597,7 @@ SessionResult::aggregateBytesPerFrame() const
 SessionResult
 runSession(const SessionConfig &cfg)
 {
-    QVR_REQUIRE(cfg.users >= 1, "session needs at least one user");
-    QVR_REQUIRE(cfg.design == SessionDesign::Qvr ||
-                    cfg.design == SessionDesign::Static,
-                "unsupported session design");
+    cfg.validate();
 
     core::ExperimentSpec spec;
     spec.benchmark = cfg.benchmark;
@@ -336,6 +611,24 @@ runSession(const SessionConfig &cfg)
     Shared shared(cfg, pc, request_cfg);
     const auto &bench = scene::findBenchmark(cfg.benchmark);
 
+    // Served: stand up the serving stack.  Slot count 0 derives
+    // equal hardware from the session's chiplet fields, split across
+    // the shards; every shard's per-request hardware share matches
+    // the bare pool's so designs compare at identical silicon.
+    std::unique_ptr<serve::Fleet> fleet;
+    if (cfg.design == SessionDesign::Served) {
+        serve::FleetConfig fc = cfg.serving;
+        fc.server.chiplets = cfg.chipletsPerRequest;
+        fc.batching.syncOverhead = fc.server.syncOverhead;
+        if (fc.scheduler.slots == 0) {
+            const std::uint32_t pool_slots = std::max<std::uint32_t>(
+                1, cfg.totalChiplets / cfg.chipletsPerRequest);
+            fc.scheduler.slots =
+                std::max<std::uint32_t>(1, pool_slots / fc.shards);
+        }
+        fleet = std::make_unique<serve::Fleet>(fc);
+    }
+
     std::vector<UserState> users(cfg.users);
     for (std::size_t i = 0; i < cfg.users; i++) {
         core::ExperimentSpec user_spec = spec;
@@ -344,7 +637,7 @@ runSession(const SessionConfig &cfg)
             core::generateExperimentWorkload(user_spec);
         users[i].channel = std::make_unique<net::Channel>(
             cfg.lastMile, Rng(cfg.seed + i, 0xbeef + i));
-        if (cfg.design == SessionDesign::Qvr) {
+        if (cfg.design != SessionDesign::Static) {
             const double pixels_per_tri =
                 static_cast<double>(bench.pixelsPerEye()) /
                 static_cast<double>(bench.meanTriangles);
@@ -357,9 +650,10 @@ runSession(const SessionConfig &cfg)
                 pc.codecConfig.baseBitsPerPixel, 5.0,
                 bench.centerConcentration);
         }
-        users[i].result.design = cfg.design == SessionDesign::Qvr
-                                     ? "Q-VR"
-                                     : "Static";
+        users[i].result.design =
+            cfg.design == SessionDesign::Qvr      ? "Q-VR"
+            : cfg.design == SessionDesign::Served ? "Served"
+                                                  : "Static";
         users[i].result.benchmark = cfg.benchmark;
     }
 
@@ -371,12 +665,39 @@ runSession(const SessionConfig &cfg)
     // distorts causality and punishes everyone; genuine priority
     // needs preemption inside the shared resources.)
     for (std::size_t round = 0; round < cfg.numFrames; round++) {
-        std::vector<std::size_t> order(cfg.users);
-        std::iota(order.begin(), order.end(), 0u);
-        std::sort(order.begin(), order.end(),
-                  [&users](std::size_t a, std::size_t b) {
-                      return users[a].issue < users[b].issue;
-                  });
+        std::vector<Seconds> issues(cfg.users);
+        for (std::size_t i = 0; i < cfg.users; i++)
+            issues[i] = users[i].issue;
+        const std::vector<std::size_t> order = issueOrder(issues);
+
+        if (cfg.design == SessionDesign::Served) {
+            // Phase A: local work + request creation in issue order;
+            // phase B: one fleet scheduling tick over the round's
+            // requests (this is what lets EDF/SJF reorder across
+            // users and the composer coalesce them); phase C:
+            // completion, in the same order.
+            std::vector<ServedPending> pending;
+            pending.reserve(cfg.users);
+            std::vector<serve::RenderRequest> reqs;
+            reqs.reserve(cfg.users);
+            for (std::size_t ui : order) {
+                UserState &u = users[ui];
+                const auto &frame = u.workload[u.nextFrame++];
+                pending.push_back(prepareServedFrame(
+                    shared, *fleet, u, ui, frame));
+                reqs.push_back(pending.back().request);
+            }
+            const std::vector<serve::ServeOutcome> outcomes =
+                fleet->submitTick(reqs);
+            for (std::size_t k = 0; k < order.size(); k++) {
+                UserState &u = users[order[k]];
+                commitFrame(shared, u,
+                            finishServedFrame(shared, u, pending[k],
+                                              outcomes[k]));
+            }
+            continue;
+        }
+
         for (std::size_t ui : order) {
             UserState &u = users[ui];
             const auto &frame = u.workload[u.nextFrame++];
@@ -384,22 +705,7 @@ runSession(const SessionConfig &cfg)
                 cfg.design == SessionDesign::Qvr
                     ? simulateQvrFrame(shared, u, frame)
                     : simulateStaticFrame(shared, u, frame);
-
-            s.frameInterval = u.hasLastDisplay
-                                  ? s.displayTime - u.lastDisplay
-                                  : s.displayTime;
-            u.lastDisplay = s.displayTime;
-            u.hasLastDisplay = true;
-            s.meetsFrameRate =
-                s.frameInterval <=
-                vr_requirements::kFrameBudget + 1e-9;
-            s.meetsMtp = s.mtpLatency <=
-                         vr_requirements::kMaxMotionToPhoton + 1e-9;
-            u.result.frames.push_back(s);
-
-            u.issue = std::max(
-                {u.issue + 0.2e-3, u.gpu.nextFree(),
-                 u.lastMile.nextFree(), shared.egress.nextFree()});
+            commitFrame(shared, u, s);
         }
     }
 
@@ -417,6 +723,23 @@ runSession(const SessionConfig &cfg)
             shared.serverPool.busyTime() /
             (horizon *
              static_cast<double>(shared.serverPool.servers()));
+    }
+    if (fleet) {
+        result.serveCounters = fleet->counters();
+        const double slots =
+            static_cast<double>(fleet->slotsPerShard());
+        result.shardUtilisation.assign(fleet->shards(), 0.0);
+        if (horizon > 0.0) {
+            for (std::size_t s = 0; s < fleet->shards(); s++)
+                result.shardUtilisation[s] =
+                    fleet->shardBusyTime(s) / (horizon * slots);
+            result.serverUtilisation =
+                fleet->busyTime() /
+                (horizon * slots *
+                 static_cast<double>(fleet->shards()));
+        }
+        for (const auto &pu : result.perUser)
+            result.perUserSlo.push_back(computeUserSlo(pu));
     }
     return result;
 }

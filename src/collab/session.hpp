@@ -14,6 +14,11 @@
  * per-user transmitted-data reduction translates directly into user
  * capacity; the static design saturates the egress pipe almost
  * immediately.
+ *
+ * SessionDesign::Served swaps the bare call-order chiplet pool for
+ * the qvr::serve stack (deadline-aware scheduling, admission
+ * control, cross-user batching, fleet sharding) — the serving-policy
+ * question bench_fleet_capacity sweeps.
  */
 
 #ifndef QVR_COLLAB_SESSION_HPP
@@ -24,6 +29,7 @@
 
 #include "core/pipeline.hpp"
 #include "core/qvr_system.hpp"
+#include "serve/fleet.hpp"
 
 namespace qvr::collab
 {
@@ -33,6 +39,7 @@ enum class SessionDesign
 {
     Static,  ///< interactive-local / background-remote, prefetched
     Qvr,     ///< collaborative foveated with LIWC + UCA
+    Served,  ///< Qvr with the qvr::serve edge-serving stack
 };
 
 
@@ -57,6 +64,40 @@ struct SessionConfig
 
     std::size_t numFrames = 300;
     std::uint64_t seed = 1;
+
+    /** Serving stack used by SessionDesign::Served.  A scheduler
+     *  slot count of 0 derives pool/chipletsPerRequest/shards from
+     *  the chiplet fields above (equal hardware at any shard
+     *  count). */
+    serve::FleetConfig serving;
+
+    /** Served: render-completion deadline, measured from a request's
+     *  arrival at the server — finishing later leaves too little of
+     *  the MTP budget for shipping, decode and composition. */
+    Seconds renderDeadline = 6e-3;
+
+    /** Served: linear resolution of the on-device periphery when a
+     *  request is shed (the degradation ladder's LocalOnly scale). */
+    double shedPeripheryScale = 0.25;
+
+    /** Panic on impossible values (runSession calls this). */
+    void validate() const;
+};
+
+/** Per-user serving SLO summary (Served design only). */
+struct UserSloStats
+{
+    /** Median queue wait of admitted requests (seconds). */
+    Seconds p50QueueWait = 0.0;
+    /** 99th-percentile queue wait of admitted requests (seconds). */
+    Seconds p99QueueWait = 0.0;
+    /** Admitted-but-late requests over all frames (zero whenever
+     *  admission control is enabled — its contract). */
+    double deadlineMissRate = 0.0;
+    /** Frames whose periphery request was shed. */
+    std::uint64_t shedFrames = 0;
+    /** Frames admitted at a reduced quality rung. */
+    std::uint64_t downgradedFrames = 0;
 };
 
 /** Aggregate outcome of a session. */
@@ -79,7 +120,22 @@ struct SessionResult
     double egressUtilisation = 0.0;
     /** Shared chiplet-pool utilisation over the run. */
     double serverUtilisation = 0.0;
+
+    /** Serving telemetry (all zero unless design == Served). */
+    serve::FleetCounters serveCounters;
+    /** Per-shard chiplet-slot utilisation over the run. */
+    std::vector<double> shardUtilisation;
+    /** Per-user SLO summaries, indexed like perUser. */
+    std::vector<UserSloStats> perUserSlo;
 };
+
+/**
+ * Round scheduling order: user indices sorted by issue clock with
+ * std::sort and `<` on Seconds — the exact comparator runSession has
+ * always used, exposed so tests can pin it (strict weak ordering,
+ * byte-identical schedule across repeated runs).
+ */
+std::vector<std::size_t> issueOrder(const std::vector<Seconds> &issue);
 
 /** Run a session end to end (deterministic in config.seed). */
 SessionResult runSession(const SessionConfig &cfg);

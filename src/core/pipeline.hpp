@@ -146,6 +146,14 @@ struct FrameStats
     std::uint32_t lostLayers = 0;
     /** Time this frame's transfers sat stalled behind an outage. */
     Seconds linkStall = 0.0;
+
+    /** Serving-stack telemetry (SessionDesign::Served only).  Queue
+     *  wait of this frame's periphery request behind other users. */
+    Seconds serveQueueWait = 0.0;
+    /** False when the request was shed to the on-device fallback. */
+    bool serveAdmitted = true;
+    /** Whether the (admitted) render met its completion deadline. */
+    bool serveDeadlineMet = true;
 };
 
 /** Aggregate fault/recovery accounting over a whole run (computed

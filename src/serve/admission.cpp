@@ -1,0 +1,72 @@
+#include "serve/admission.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace qvr::serve
+{
+
+void
+AdmissionConfig::validate() const
+{
+    QVR_REQUIRE(qualityStep > 0.0 && qualityStep <= 1.0,
+                "quality step outside (0, 1]");
+    QVR_REQUIRE(resolutionStep > 0.0 && resolutionStep <= 1.0,
+                "resolution step outside (0, 1]");
+    QVR_REQUIRE(fixedOverhead >= 0.0, "negative fixed overhead");
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig &cfg)
+    : cfg_(cfg)
+{
+    cfg.validate();
+}
+
+Seconds
+AdmissionController::serviceAtLevel(Seconds full_service,
+                                    std::uint32_t level) const
+{
+    if (level == 0)
+        return full_service;
+    const double pixel_scale = std::pow(
+        cfg_.resolutionStep * cfg_.resolutionStep,
+        static_cast<double>(level));
+    const Seconds scalable =
+        full_service > cfg_.fixedOverhead
+            ? full_service - cfg_.fixedOverhead
+            : 0.0;
+    return std::min(full_service,
+                    cfg_.fixedOverhead + scalable * pixel_scale);
+}
+
+AdmissionDecision
+AdmissionController::decide(const RenderRequest &r,
+                            Seconds earliest_start) const
+{
+    AdmissionDecision d;
+    d.service = r.service;
+    if (!cfg_.enabled)
+        return d;
+
+    for (std::uint32_t level = 0; level <= cfg_.maxLevel; level++) {
+        const Seconds service = serviceAtLevel(r.service, level);
+        if (earliest_start + service <= r.deadline) {
+            d.level = level;
+            d.service = service;
+            d.qualityFactor = std::pow(
+                cfg_.qualityStep, static_cast<double>(level));
+            d.resolutionScale = std::pow(
+                cfg_.resolutionStep, static_cast<double>(level));
+            return d;
+        }
+    }
+    // Even the deepest rung misses: shed, the client renders its
+    // periphery locally instead of receiving it late.
+    d.admit = false;
+    d.level = cfg_.maxLevel;
+    d.service = 0.0;
+    return d;
+}
+
+}  // namespace qvr::serve

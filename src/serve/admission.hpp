@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deadline-aware admission control for periphery renders.
+ *
+ * When the chiplet pool is saturated, serving every request at full
+ * quality makes *every* user late — the failure mode the paper's MTP
+ * budget cannot absorb.  The admission controller instead walks each
+ * request down the same quality ladder the DegradationController uses
+ * (encode-quality and linear-resolution multipliers per rung): it
+ * picks the shallowest rung whose predicted completion still meets
+ * the request's deadline, and sheds the request entirely when even
+ * the deepest rung misses — the client then renders its periphery
+ * on-device at a fraction of native resolution, exactly like the
+ * degradation ladder's LocalOnly fallback.
+ *
+ * The controller is pure: the decision is a function of the request
+ * and the earliest start time the scheduler can offer, so admitted
+ * requests *never* miss their deadline by construction (the
+ * fleet-capacity bench asserts this).
+ */
+
+#ifndef QVR_SERVE_ADMISSION_HPP
+#define QVR_SERVE_ADMISSION_HPP
+
+#include <cstdint>
+
+#include "serve/request.hpp"
+
+namespace qvr::serve
+{
+
+/** Ladder shape and shed behaviour (mirrors DegradationConfig). */
+struct AdmissionConfig
+{
+    bool enabled = false;
+
+    /** Deepest quality rung before shedding. */
+    std::uint32_t maxLevel = 3;
+    /** Periphery encode-quality multiplier per rung. */
+    double qualityStep = 0.8;
+    /** Periphery linear-resolution multiplier per rung (service
+     *  scales with shaded pixels, i.e. with this squared). */
+    double resolutionStep = 0.85;
+    /** Part of the service time a downgrade cannot shrink (chiplet
+     *  sync / command-stream overhead). */
+    Seconds fixedOverhead = 150e-6;
+
+    void validate() const;
+};
+
+/** What admission decided for one request. */
+struct AdmissionDecision
+{
+    bool admit = true;
+    std::uint32_t level = 0;
+    double qualityFactor = 1.0;
+    double resolutionScale = 1.0;
+    /** Service at the chosen rung (== request service at rung 0). */
+    Seconds service = 0.0;
+};
+
+/** Pure deadline-aware ladder walk. */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(const AdmissionConfig &cfg);
+
+    const AdmissionConfig &config() const { return cfg_; }
+
+    /**
+     * Decide the rung for @p r given the earliest start the scheduler
+     * can offer.  Disabled controllers always admit at rung 0 (the
+     * request may then miss — the scheduler records that).
+     */
+    AdmissionDecision decide(const RenderRequest &r,
+                             Seconds earliest_start) const;
+
+    /** Service time of @p full_service downgraded to @p level: the
+     *  pixel-proportional part shrinks with resolutionStep^2 per
+     *  rung, the fixed overhead does not. */
+    Seconds serviceAtLevel(Seconds full_service,
+                           std::uint32_t level) const;
+
+  private:
+    AdmissionConfig cfg_;
+};
+
+}  // namespace qvr::serve
+
+#endif  // QVR_SERVE_ADMISSION_HPP

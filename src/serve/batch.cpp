@@ -1,0 +1,78 @@
+#include "serve/batch.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace qvr::serve
+{
+
+void
+BatchConfig::validate() const
+{
+    QVR_REQUIRE(maxBatch >= 1, "batch limit must be at least one");
+    QVR_REQUIRE(syncOverhead >= 0.0, "negative sync overhead");
+}
+
+BatchComposer::BatchComposer(const BatchConfig &cfg) : cfg_(cfg)
+{
+    cfg.validate();
+}
+
+Batch
+BatchComposer::open(std::size_t index, const RenderRequest &r,
+                    std::uint32_t level, Seconds service) const
+{
+    Batch b;
+    b.members.push_back(index);
+    b.services.push_back(service);
+    b.level = level;
+    b.key = r.batchKey;
+    b.arrival = r.arrival;
+    b.service = service;
+    b.minDeadline = r.deadline;
+    return b;
+}
+
+Seconds
+BatchComposer::mergedService(const Batch &b, Seconds service) const
+{
+    // Each solo service includes one sync overhead; the coalesced
+    // dispatch pays it once.  Never let the amortisation make a
+    // member's contribution negative.
+    return b.service + std::max(0.0, service - cfg_.syncOverhead);
+}
+
+bool
+BatchComposer::canJoin(const Batch &b, const RenderRequest &r,
+                       std::uint32_t level, Seconds service,
+                       Seconds slot_free,
+                       Seconds solo_completion) const
+{
+    if (!cfg_.enabled)
+        return false;
+    if (b.members.size() >= cfg_.maxBatch)
+        return false;
+    if (b.key != r.batchKey || b.level != level)
+        return false;
+    const Seconds arrival = std::max(b.arrival, r.arrival);
+    const Seconds completion =
+        std::max(arrival, slot_free) + mergedService(b, service);
+    if (completion > solo_completion)
+        return false;  // joining would be slower than going alone
+    const Seconds deadline = std::min(b.minDeadline, r.deadline);
+    return completion <= deadline;
+}
+
+void
+BatchComposer::join(Batch &b, std::size_t index,
+                    const RenderRequest &r, Seconds service) const
+{
+    b.service = mergedService(b, service);
+    b.members.push_back(index);
+    b.services.push_back(service);
+    b.arrival = std::max(b.arrival, r.arrival);
+    b.minDeadline = std::min(b.minDeadline, r.deadline);
+}
+
+}  // namespace qvr::serve

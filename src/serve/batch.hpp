@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Cross-user batch composition for periphery renders.
+ *
+ * Every chiplet dispatch pays a fixed synchronisation/NUMA overhead
+ * (remote::ServerConfig::syncOverhead) on top of the pixel work.
+ * When several users of the same benchmark scene request periphery
+ * layers in the same scheduling tick, the composer coalesces them
+ * into one dispatch: the batch renders the union of the layers and
+ * pays the sync overhead once, so a batch of k saves (k-1) sync
+ * overheads of chiplet time.
+ *
+ * The cost is latency coupling — every member completes when the
+ * batch completes — so the composer is deadline-aware: a request
+ * joins an open batch only if the merged completion still meets
+ * every member's deadline (admission's zero-miss contract survives
+ * batching).
+ */
+
+#ifndef QVR_SERVE_BATCH_HPP
+#define QVR_SERVE_BATCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace qvr::serve
+{
+
+/** Composition limits. */
+struct BatchConfig
+{
+    bool enabled = false;
+    /** Most requests one dispatch may coalesce. */
+    std::uint32_t maxBatch = 4;
+    /** Per-dispatch cost amortised by coalescing; should equal the
+     *  server's syncOverhead so the saving matches the hardware
+     *  model. */
+    Seconds syncOverhead = 150e-6;
+
+    void validate() const;
+};
+
+/** An open (not yet dispatched) coalesced render. */
+struct Batch
+{
+    /** Tick-local indices of the member requests. */
+    std::vector<std::size_t> members;
+    /** Each member's own (downgraded) solo service; the client's
+     *  stream-overlap model needs the per-member share. */
+    std::vector<Seconds> services;
+    /** Quality rung shared by every member. */
+    std::uint32_t level = 0;
+    /** Content key shared by every member. */
+    std::uint32_t key = 0;
+    /** Latest member arrival: the dispatch cannot start earlier. */
+    Seconds arrival = 0.0;
+    /** Amortised total service of the dispatch. */
+    Seconds service = 0.0;
+    /** Tightest member deadline. */
+    Seconds minDeadline = kNoDeadline;
+};
+
+/** Greedy, deadline-aware run coalescing. */
+class BatchComposer
+{
+  public:
+    explicit BatchComposer(const BatchConfig &cfg);
+
+    const BatchConfig &config() const { return cfg_; }
+
+    /** Start a batch from one admitted request. */
+    Batch open(std::size_t index, const RenderRequest &r,
+               std::uint32_t level, Seconds service) const;
+
+    /**
+     * May @p r (admitted at @p level with downgraded @p service)
+     * join @p b, given the slot the batch would dispatch on frees at
+     * @p slot_free and the completion @p solo_completion the request
+     * would get dispatched alone after the batch commits?  True only
+     * when the batch has room, the content key and rung match, the
+     * merged completion meets every member deadline, AND joining does
+     * not finish @p r later than going solo — so coalescing kicks in
+     * exactly under slot contention, where amortising the sync
+     * overhead pays, and never at light load, where it would only
+     * add latency.
+     */
+    bool canJoin(const Batch &b, const RenderRequest &r,
+                 std::uint32_t level, Seconds service,
+                 Seconds slot_free, Seconds solo_completion) const;
+
+    /** Merge @p r into @p b (caller checked canJoin). */
+    void join(Batch &b, std::size_t index, const RenderRequest &r,
+              Seconds service) const;
+
+    /** Amortised service of @p b extended by one member of
+     *  @p service: the member's own sync overhead is saved. */
+    Seconds mergedService(const Batch &b, Seconds service) const;
+
+  private:
+    BatchConfig cfg_;
+};
+
+}  // namespace qvr::serve
+
+#endif  // QVR_SERVE_BATCH_HPP

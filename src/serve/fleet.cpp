@@ -1,0 +1,159 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace qvr::serve
+{
+
+namespace
+{
+
+/** splitmix64 finaliser: the rendezvous-hash mixing function. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void
+FleetConfig::validate() const
+{
+    QVR_REQUIRE(shards >= 1, "fleet needs at least one shard");
+    scheduler.validate();
+    admission.validate();
+    batching.validate();
+    server.validate();
+}
+
+Fleet::Fleet(const FleetConfig &cfg) : cfg_(cfg)
+{
+    cfg.validate();
+    shards_.reserve(cfg.shards);
+    for (std::uint32_t i = 0; i < cfg.shards; i++) {
+        shards_.push_back(Shard{
+            remote::RemoteServer(cfg.server),
+            ChipletScheduler(cfg.scheduler, cfg.admission,
+                             cfg.batching)});
+    }
+}
+
+Seconds
+Fleet::requestRenderSeconds(const gpu::RenderJob &job) const
+{
+    return shards_.front().server.renderSeconds(job);
+}
+
+std::uint32_t
+Fleet::shardForUser(std::uint32_t user) const
+{
+    // Rendezvous hashing: every (user, shard) pair gets a stable
+    // weight; the user goes to the highest.  Adding or removing a
+    // shard only moves the users whose maximum moved.
+    std::uint32_t best = 0;
+    std::uint64_t best_weight = 0;
+    for (std::uint32_t s = 0;
+         s < static_cast<std::uint32_t>(shards_.size()); s++) {
+        const std::uint64_t w = mix64(
+            (static_cast<std::uint64_t>(user) << 32) | s);
+        if (s == 0 || w > best_weight) {
+            best = s;
+            best_weight = w;
+        }
+    }
+    return best;
+}
+
+std::vector<ServeOutcome>
+Fleet::submitTick(const std::vector<RenderRequest> &reqs)
+{
+    const std::size_t n_shards = shards_.size();
+    std::vector<std::vector<RenderRequest>> per(n_shards);
+    std::vector<std::vector<std::size_t>> origin(n_shards);
+    std::vector<Seconds> pending(n_shards, 0.0);
+
+    for (std::size_t i = 0; i < reqs.size(); i++) {
+        const RenderRequest &r = reqs[i];
+        std::uint32_t s;
+        if (cfg_.balancer == BalancerPolicy::HashUser) {
+            s = shardForUser(r.user);
+        } else {
+            // Predicted backlog = committed slot work still pending
+            // at this request's arrival plus what this tick already
+            // assigned here; lowest shard id breaks ties.
+            s = 0;
+            Seconds best = shards_[0].scheduler.backlog(r.arrival) +
+                           pending[0];
+            for (std::uint32_t c = 1; c < n_shards; c++) {
+                const Seconds load =
+                    shards_[c].scheduler.backlog(r.arrival) +
+                    pending[c];
+                if (load < best) {
+                    best = load;
+                    s = c;
+                }
+            }
+        }
+        per[s].push_back(r);
+        origin[s].push_back(i);
+        pending[s] += r.service;
+    }
+
+    std::vector<ServeOutcome> out(reqs.size());
+    for (std::size_t s = 0; s < n_shards; s++) {
+        if (per[s].empty())
+            continue;
+        const TickReport rep =
+            shards_[s].scheduler.scheduleTick(per[s]);
+        counters_.batches += rep.batches;
+        counters_.batchedRequests += rep.batchedRequests;
+        for (std::size_t j = 0; j < per[s].size(); j++) {
+            ServeOutcome o = rep.outcomes[j];
+            o.shard = static_cast<std::uint32_t>(s);
+            out[origin[s][j]] = o;
+        }
+    }
+
+    counters_.submitted += reqs.size();
+    for (const ServeOutcome &o : out) {
+        if (!o.admitted) {
+            counters_.shed++;
+            continue;
+        }
+        counters_.admitted++;
+        if (o.level > 0)
+            counters_.downgraded++;
+        if (!o.deadlineMet)
+            counters_.deadlineMisses++;
+    }
+    return out;
+}
+
+Seconds
+Fleet::shardBusyTime(std::size_t i) const
+{
+    return shards_[i].scheduler.busyTime();
+}
+
+Seconds
+Fleet::busyTime() const
+{
+    Seconds sum = 0.0;
+    for (const Shard &s : shards_)
+        sum += s.scheduler.busyTime();
+    return sum;
+}
+
+std::size_t
+Fleet::slotsPerShard() const
+{
+    return shards_.front().scheduler.slots();
+}
+
+}  // namespace qvr::serve

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Fleet sharding: N remote-server shards behind a load balancer.
+ *
+ * One chiplet pool saturates; the ROADMAP's north star does not.
+ * The Fleet scales the serving stack horizontally: each shard is a
+ * RemoteServer (the hardware model for one request's chiplet share)
+ * plus its own deadline-aware ChipletScheduler, and a balancer maps
+ * requests onto shards:
+ *
+ *  - JoinShortestQueue: least predicted backlog (committed slot work
+ *    plus this tick's tentative assignments), lowest shard id on
+ *    ties — the throughput-optimal choice for homogeneous shards;
+ *  - HashUser: rendezvous (highest-random-weight) hash of the user
+ *    id — stateless, stable when the shard count changes, and keeps
+ *    each user's frames on one shard (cache/session affinity).
+ *
+ * The fleet is deterministic: no RNG, no wall clock — outcomes are a
+ * pure function of the request stream, so sessions replay bit-exact
+ * at any worker-thread count.
+ */
+
+#ifndef QVR_SERVE_FLEET_HPP
+#define QVR_SERVE_FLEET_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "remote/server.hpp"
+#include "serve/scheduler.hpp"
+
+namespace qvr::serve
+{
+
+/** Whole-fleet description. */
+struct FleetConfig
+{
+    std::uint32_t shards = 1;
+    BalancerPolicy balancer = BalancerPolicy::JoinShortestQueue;
+    /** Per-shard queueing discipline and slot pool. */
+    SchedulerConfig scheduler;
+    AdmissionConfig admission;
+    BatchConfig batching;
+    /** Hardware of one request's chiplet share (every shard is
+     *  homogeneous; chiplets = chiplets-per-request). */
+    remote::ServerConfig server;
+
+    void validate() const;
+};
+
+/** Whole-run serving telemetry. */
+struct FleetCounters
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t downgraded = 0;       ///< admitted at rung > 0
+    std::uint64_t deadlineMisses = 0;   ///< admitted but late
+    std::uint64_t batches = 0;          ///< coalesced dispatches
+    std::uint64_t batchedRequests = 0;  ///< members of those
+};
+
+/** N shards behind a deterministic balancer. */
+class Fleet
+{
+  public:
+    explicit Fleet(const FleetConfig &cfg);
+
+    const FleetConfig &config() const { return cfg_; }
+
+    /** Next submission sequence number (the FIFO/tie-break key). */
+    std::uint64_t nextSeq() { return seq_++; }
+
+    /** Full-quality render service of @p job on one shard's chiplet
+     *  share (shards are homogeneous). */
+    Seconds requestRenderSeconds(const gpu::RenderJob &job) const;
+
+    /**
+     * Serve one scheduling tick: assign every request to a shard,
+     * run each shard's dispatch walk, and return outcomes in input
+     * order (ServeOutcome::shard records the placement).
+     */
+    std::vector<ServeOutcome>
+    submitTick(const std::vector<RenderRequest> &reqs);
+
+    std::size_t shards() const { return shards_.size(); }
+    const FleetCounters &counters() const { return counters_; }
+
+    /** Chiplet-slot busy seconds of shard @p i. */
+    Seconds shardBusyTime(std::size_t i) const;
+    /** Sum of slot busy seconds across the fleet. */
+    Seconds busyTime() const;
+    /** Slots per shard (for utilisation accounting). */
+    std::size_t slotsPerShard() const;
+
+    /** The shard HashUser maps @p user to (exposed for tests). */
+    std::uint32_t shardForUser(std::uint32_t user) const;
+
+  private:
+    struct Shard
+    {
+        remote::RemoteServer server;
+        ChipletScheduler scheduler;
+    };
+
+    FleetConfig cfg_;
+    std::vector<Shard> shards_;
+    FleetCounters counters_;
+    std::uint64_t seq_ = 0;
+};
+
+}  // namespace qvr::serve
+
+#endif  // QVR_SERVE_FLEET_HPP

@@ -1,0 +1,89 @@
+#include "serve/queue.hpp"
+
+#include "common/log.hpp"
+
+namespace qvr::serve
+{
+
+const char *
+schedulerPolicyName(SchedulerPolicy p)
+{
+    switch (p) {
+    case SchedulerPolicy::Fifo:
+        return "FIFO";
+    case SchedulerPolicy::Edf:
+        return "EDF";
+    case SchedulerPolicy::Sjf:
+        return "SJF";
+    }
+    QVR_PANIC("unknown scheduler policy");
+}
+
+const char *
+balancerPolicyName(BalancerPolicy p)
+{
+    switch (p) {
+    case BalancerPolicy::JoinShortestQueue:
+        return "JSQ";
+    case BalancerPolicy::HashUser:
+        return "hash-user";
+    }
+    QVR_PANIC("unknown balancer policy");
+}
+
+bool
+requestBefore(SchedulerPolicy policy, const RenderRequest &a,
+              const RenderRequest &b)
+{
+    switch (policy) {
+    case SchedulerPolicy::Fifo:
+        return a.seq < b.seq;
+    case SchedulerPolicy::Edf:
+        if (a.deadline != b.deadline)
+            return a.deadline < b.deadline;
+        return a.seq < b.seq;
+    case SchedulerPolicy::Sjf:
+        if (a.service != b.service)
+            return a.service < b.service;
+        return a.seq < b.seq;
+    }
+    QVR_PANIC("unknown scheduler policy");
+}
+
+RequestQueue::RequestQueue(SchedulerPolicy policy) : policy_(policy) {}
+
+void
+RequestQueue::push(const RenderRequest &r)
+{
+    pending_.push_back(r);
+}
+
+std::size_t
+RequestQueue::minIndex() const
+{
+    QVR_REQUIRE(!pending_.empty(), "pop/peek on an empty queue");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending_.size(); i++) {
+        if (requestBefore(policy_, pending_[i], pending_[best]))
+            best = i;
+    }
+    return best;
+}
+
+const RenderRequest &
+RequestQueue::peek() const
+{
+    return pending_[minIndex()];
+}
+
+RenderRequest
+RequestQueue::pop()
+{
+    const std::size_t i = minIndex();
+    const RenderRequest r = pending_[i];
+    pending_.erase(pending_.begin() +
+                   static_cast<std::ptrdiff_t>(i));
+    return r;
+}
+
+}  // namespace qvr::serve

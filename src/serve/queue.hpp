@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic policy-ordered request queue.
+ *
+ * A tiny priority queue over RenderRequests whose ordering is the
+ * scheduler policy (FIFO / EDF / SJF) with the submission sequence
+ * number as the universal tie-break.  Implemented as a linear
+ * min-scan over a vector: queue depth is one scheduling tick's worth
+ * of requests (at most the user count), so asymptotics lose to
+ * determinism and simplicity here — unlike std::priority_queue the
+ * pop order is fully specified, which the serve determinism suite
+ * pins.
+ */
+
+#ifndef QVR_SERVE_QUEUE_HPP
+#define QVR_SERVE_QUEUE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace qvr::serve
+{
+
+/** Policy-ordered queue with specified (testable) pop order. */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(SchedulerPolicy policy);
+
+    SchedulerPolicy policy() const { return policy_; }
+
+    void push(const RenderRequest &r);
+
+    bool empty() const { return pending_.empty(); }
+    std::size_t size() const { return pending_.size(); }
+
+    /** Next request in policy order, without removing it. */
+    const RenderRequest &peek() const;
+
+    /** Remove and return the next request in policy order. */
+    RenderRequest pop();
+
+  private:
+    std::size_t minIndex() const;
+
+    SchedulerPolicy policy_;
+    std::vector<RenderRequest> pending_;
+};
+
+}  // namespace qvr::serve
+
+#endif  // QVR_SERVE_QUEUE_HPP

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Request vocabulary of the edge-serving subsystem.
+ *
+ * The collaborative pipeline models the shared edge server as a bare
+ * call-order resource pool; qvr::serve replaces that with a real
+ * serving stack: every periphery render becomes a RenderRequest with
+ * an arrival time, an absolute completion deadline and an Eq. 2-style
+ * size estimate, and the stack answers with a ServeOutcome — when the
+ * render started and finished, at what quality rung, on which shard,
+ * or that the request was shed to the client's local fallback.
+ *
+ * Everything here is plain data: the scheduler, admission controller,
+ * batch composer and fleet are pure functions of the request stream,
+ * so a seeded session replays bit-exactly at any thread count.
+ */
+
+#ifndef QVR_SERVE_REQUEST_HPP
+#define QVR_SERVE_REQUEST_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace qvr::serve
+{
+
+/** Queue-ordering policy of the chiplet scheduler. */
+enum class SchedulerPolicy
+{
+    Fifo,  ///< submission order (the pre-serve baseline semantics)
+    Edf,   ///< earliest absolute deadline first
+    Sjf,   ///< shortest predicted service first (Eq. 2 triangle
+           ///< estimate feeds the prediction)
+};
+
+const char *schedulerPolicyName(SchedulerPolicy p);
+
+/** How the fleet balancer maps requests onto shards. */
+enum class BalancerPolicy
+{
+    JoinShortestQueue,  ///< least predicted backlog, lowest id on ties
+    HashUser,           ///< rendezvous hash of the user id (stable
+                        ///< under shard-count changes)
+};
+
+const char *balancerPolicyName(BalancerPolicy p);
+
+/** One periphery render submitted to the serving stack. */
+struct RenderRequest
+{
+    /** Submission order; the FIFO key and every policy's tie-break,
+     *  which is what makes the queue deterministic. */
+    std::uint64_t seq = 0;
+    std::uint32_t user = 0;
+    FrameIndex frame = 0;
+
+    /** When the request reaches the server (uplink included). */
+    Seconds arrival = 0.0;
+    /** Absolute render-completion bound: finishing later leaves the
+     *  client too little time to ship, decode and compose inside its
+     *  motion-to-photon budget. */
+    Seconds deadline = kNoDeadline;
+    /** Full-quality render service time on one chiplet share. */
+    Seconds service = 0.0;
+    /** Triangle count observed at render setup — the hardware-level
+     *  intermediate the Eq. 2 latency predictor sorts SJF on. */
+    std::uint64_t triangles = 0;
+    /** Only requests rendering the same content shape may coalesce
+     *  into one chiplet dispatch (same benchmark scene). */
+    std::uint32_t batchKey = 0;
+};
+
+/**
+ * Policy-order comparator: does @p a dispatch before @p b?  A strict
+ * weak ordering for every policy — ties fall through to the seq
+ * number, which is unique per request.
+ */
+bool requestBefore(SchedulerPolicy policy, const RenderRequest &a,
+                   const RenderRequest &b);
+
+/** What the stack decided and measured for one request. */
+struct ServeOutcome
+{
+    /** False when the request was shed: nothing rendered remotely,
+     *  the client falls back to an on-device low-res periphery. */
+    bool admitted = true;
+    /** Quality rung the admission controller applied (0 = full). */
+    std::uint32_t level = 0;
+    /** Periphery encode-quality multiplier at that rung (<= 1). */
+    double qualityFactor = 1.0;
+    /** Periphery linear-resolution multiplier at that rung (<= 1). */
+    double resolutionScale = 1.0;
+    /** Service actually dispatched (downgrade shrinks it). */
+    Seconds service = 0.0;
+    Seconds start = 0.0;
+    Seconds completion = 0.0;
+    /** start - arrival: time spent queued behind other users. */
+    Seconds queueWait = 0.0;
+    /** completion <= deadline (always true for admitted requests
+     *  when admission control is on — that is its contract). */
+    bool deadlineMet = true;
+    /** Shard that served (or would have served) the request. */
+    std::uint32_t shard = 0;
+    /** Requests sharing this dispatch (1 = not coalesced). */
+    std::uint32_t batchSize = 1;
+};
+
+}  // namespace qvr::serve
+
+#endif  // QVR_SERVE_REQUEST_HPP

@@ -1,0 +1,213 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/log.hpp"
+
+namespace qvr::serve
+{
+
+void
+SchedulerConfig::validate() const
+{
+    QVR_REQUIRE(slots >= 1, "scheduler needs at least one slot");
+}
+
+ChipletScheduler::ChipletScheduler(const SchedulerConfig &cfg,
+                                   const AdmissionConfig &admission,
+                                   const BatchConfig &batching)
+    : cfg_(cfg), admission_(admission), composer_(batching)
+{
+    cfg.validate();
+    slotFree_.assign(cfg.slots, 0.0);
+}
+
+Seconds
+ChipletScheduler::nextFree() const
+{
+    return *std::min_element(slotFree_.begin(), slotFree_.end());
+}
+
+Seconds
+ChipletScheduler::backlog(Seconds now) const
+{
+    Seconds sum = 0.0;
+    for (const Seconds f : slotFree_)
+        sum += std::max(0.0, f - now);
+    return sum;
+}
+
+void
+ChipletScheduler::reset()
+{
+    std::fill(slotFree_.begin(), slotFree_.end(), 0.0);
+    busy_ = 0.0;
+}
+
+std::size_t
+ChipletScheduler::earliestSlot() const
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < slotFree_.size(); i++) {
+        if (slotFree_[i] < slotFree_[best])
+            best = i;
+    }
+    return best;
+}
+
+Seconds
+ChipletScheduler::freeAfterCommit(const Batch &b) const
+{
+    std::vector<Seconds> f = slotFree_;
+    const std::size_t s = earliestSlot();
+    f[s] = std::max(b.arrival, f[s]) + b.service;
+    return *std::min_element(f.begin(), f.end());
+}
+
+void
+ChipletScheduler::dispatchSolo(std::size_t index,
+                               const RenderRequest &r,
+                               const AdmissionDecision &dec,
+                               TickReport &rep)
+{
+    const std::size_t s = earliestSlot();
+    const Seconds start = std::max(r.arrival, slotFree_[s]);
+    const Seconds completion = start + dec.service;
+    slotFree_[s] = completion;
+    busy_ += dec.service;
+
+    ServeOutcome &o = rep.outcomes[index];
+    o.admitted = true;
+    o.level = dec.level;
+    o.qualityFactor = dec.qualityFactor;
+    o.resolutionScale = dec.resolutionScale;
+    o.service = dec.service;
+    o.start = start;
+    o.completion = completion;
+    o.queueWait = start - r.arrival;
+    o.deadlineMet = completion <= r.deadline;
+    o.batchSize = 1;
+}
+
+void
+ChipletScheduler::commitBatch(const Batch &b,
+                              const std::vector<RenderRequest> &reqs,
+                              TickReport &rep)
+{
+    const std::size_t s = earliestSlot();
+    const Seconds start = std::max(b.arrival, slotFree_[s]);
+    const Seconds completion = start + b.service;
+    slotFree_[s] = completion;
+    busy_ += b.service;
+
+    const double qf = std::pow(admission_.config().qualityStep,
+                               static_cast<double>(b.level));
+    const double rs = std::pow(admission_.config().resolutionStep,
+                               static_cast<double>(b.level));
+    for (std::size_t m = 0; m < b.members.size(); m++) {
+        const std::size_t index = b.members[m];
+        const RenderRequest &r = reqs[index];
+        ServeOutcome &o = rep.outcomes[index];
+        o.admitted = true;
+        o.level = b.level;
+        o.qualityFactor = b.level > 0 ? qf : 1.0;
+        o.resolutionScale = b.level > 0 ? rs : 1.0;
+        o.service = b.services[m];
+        o.start = start;
+        o.completion = completion;
+        o.queueWait = start - r.arrival;
+        o.deadlineMet = completion <= r.deadline;
+        o.batchSize = static_cast<std::uint32_t>(b.members.size());
+    }
+    if (b.members.size() > 1) {
+        rep.batches++;
+        rep.batchedRequests += b.members.size();
+    }
+}
+
+TickReport
+ChipletScheduler::scheduleTick(const std::vector<RenderRequest> &reqs)
+{
+    TickReport rep;
+    rep.outcomes.assign(reqs.size(), ServeOutcome{});
+
+    RequestQueue q(cfg_.policy);
+    std::map<std::uint64_t, std::size_t> position;
+    for (std::size_t i = 0; i < reqs.size(); i++) {
+        QVR_REQUIRE(position.emplace(reqs[i].seq, i).second,
+                    "duplicate request seq within one tick");
+        q.push(reqs[i]);
+    }
+
+    const auto shed = [&rep](std::size_t index,
+                             const AdmissionDecision &dec) {
+        ServeOutcome &o = rep.outcomes[index];
+        o.admitted = false;
+        o.level = dec.level;
+        o.service = 0.0;
+        o.deadlineMet = true;  // nothing was promised
+    };
+
+    bool have_open = false;
+    Batch open;
+    while (!q.empty()) {
+        const RenderRequest r = q.pop();
+        const std::size_t index = position.at(r.seq);
+
+        if (have_open) {
+            // Admission preview assuming the open batch commits
+            // first — which is exactly what happens if r does not
+            // join it, so the predicted start equals the dispatch
+            // start and admitted requests cannot miss.  (For a shed
+            // the preview start is a lower bound: the batch can only
+            // grow, so shedding stays conservative.)
+            const Seconds start0 =
+                std::max(r.arrival, freeAfterCommit(open));
+            const AdmissionDecision dec =
+                admission_.decide(r, start0);
+            if (!dec.admit) {
+                shed(index, dec);
+                continue;  // the batch stays open for later joins
+            }
+            if (dec.level == open.level &&
+                composer_.canJoin(open, r, dec.level, dec.service,
+                                  slotFree_[earliestSlot()],
+                                  start0 + dec.service)) {
+                composer_.join(open, index, r, dec.service);
+                continue;
+            }
+            commitBatch(open, reqs, rep);
+            have_open = false;
+            if (composer_.config().enabled) {
+                open = composer_.open(index, r, dec.level,
+                                      dec.service);
+                have_open = true;
+            } else {
+                dispatchSolo(index, r, dec, rep);
+            }
+        } else {
+            const Seconds start0 =
+                std::max(r.arrival, slotFree_[earliestSlot()]);
+            const AdmissionDecision dec =
+                admission_.decide(r, start0);
+            if (!dec.admit) {
+                shed(index, dec);
+                continue;
+            }
+            if (composer_.config().enabled) {
+                open = composer_.open(index, r, dec.level,
+                                      dec.service);
+                have_open = true;
+            } else {
+                dispatchSolo(index, r, dec, rep);
+            }
+        }
+    }
+    if (have_open)
+        commitBatch(open, reqs, rep);
+    return rep;
+}
+
+}  // namespace qvr::serve

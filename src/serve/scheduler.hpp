@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deadline-aware chiplet scheduler: one shard's dispatch engine.
+ *
+ * The scheduler owns a pool of chiplet *slots* (pool size divided by
+ * chiplets-per-request: how many renders the shard runs at once) and
+ * serves one scheduling tick at a time — a tick is one round of the
+ * collaborative session, i.e. every user's next periphery request.
+ * Within a tick it:
+ *
+ *  1. orders the requests by the configured policy (FIFO baseline,
+ *     EDF, or SJF on the Eq. 2 triangle-count service estimate),
+ *  2. runs each request through admission control against the exact
+ *     start time the slot pool can offer (so admitted requests never
+ *     miss their deadline — the prediction *is* the dispatch),
+ *  3. greedily coalesces policy-adjacent requests admitted at the
+ *     same quality rung into one dispatch via the batch composer,
+ *  4. commits dispatches to the earliest-free slot (lowest index on
+ *     ties) and reports per-request outcomes in input order.
+ *
+ * Everything is sequential and seed-free, so a session replays
+ * bit-exactly at any worker-thread count.
+ */
+
+#ifndef QVR_SERVE_SCHEDULER_HPP
+#define QVR_SERVE_SCHEDULER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/batch.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+namespace qvr::serve
+{
+
+/** One shard's queueing discipline and slot pool. */
+struct SchedulerConfig
+{
+    SchedulerPolicy policy = SchedulerPolicy::Fifo;
+    /** Concurrent renders (chiplet pool / chiplets per request).
+     *  0 means "derive from the session's chiplet fields". */
+    std::uint32_t slots = 0;
+
+    void validate() const;
+};
+
+/** Outcomes plus tick-level batching telemetry. */
+struct TickReport
+{
+    /** Per-request outcomes, in the order requests were passed. */
+    std::vector<ServeOutcome> outcomes;
+    /** Coalesced dispatches (2+ members) this tick. */
+    std::uint64_t batches = 0;
+    /** Requests that rode in a coalesced dispatch this tick. */
+    std::uint64_t batchedRequests = 0;
+};
+
+/** One shard's deterministic dispatch engine. */
+class ChipletScheduler
+{
+  public:
+    ChipletScheduler(const SchedulerConfig &cfg,
+                     const AdmissionConfig &admission,
+                     const BatchConfig &batching);
+
+    const SchedulerConfig &config() const { return cfg_; }
+
+    /** Schedule one tick's requests (seq numbers must be unique). */
+    TickReport scheduleTick(const std::vector<RenderRequest> &reqs);
+
+    /** Earliest time any slot is free. */
+    Seconds nextFree() const;
+
+    /** Committed work still pending at @p now across all slots —
+     *  the join-shortest-queue balancer's load signal. */
+    Seconds backlog(Seconds now) const;
+
+    /** Total chiplet-slot busy seconds accumulated so far. */
+    Seconds busyTime() const { return busy_; }
+
+    std::size_t slots() const { return slotFree_.size(); }
+
+    void reset();
+
+  private:
+    std::size_t earliestSlot() const;
+    /** Earliest free time if the open batch were committed first. */
+    Seconds freeAfterCommit(const Batch &b) const;
+    void dispatchSolo(std::size_t index, const RenderRequest &r,
+                      const AdmissionDecision &dec, TickReport &rep);
+    void commitBatch(const Batch &b,
+                     const std::vector<RenderRequest> &reqs,
+                     TickReport &rep);
+
+    SchedulerConfig cfg_;
+    AdmissionController admission_;
+    BatchComposer composer_;
+    std::vector<Seconds> slotFree_;
+    Seconds busy_ = 0.0;
+};
+
+}  // namespace qvr::serve
+
+#endif  // QVR_SERVE_SCHEDULER_HPP

@@ -134,5 +134,166 @@ TEST(CollabSessionDeath, ZeroUsersIsFatal)
     EXPECT_DEATH(runSession(cfg), "at least one user");
 }
 
+TEST(CollabSessionDeath, ValidateRejectsEachBadField)
+{
+    {
+        SessionConfig cfg = base(1);
+        cfg.numFrames = 0;
+        EXPECT_DEATH(runSession(cfg), "at least one frame");
+    }
+    {
+        SessionConfig cfg = base(1);
+        cfg.totalChiplets = 0;
+        EXPECT_DEATH(runSession(cfg), "at least one chiplet");
+    }
+    {
+        // The formerly latent division by zero in the pool sizing:
+        // now a diagnosable panic instead of undefined behaviour.
+        SessionConfig cfg = base(1);
+        cfg.chipletsPerRequest = 0;
+        EXPECT_DEATH(runSession(cfg),
+                     "chiplets per request must be at least one");
+    }
+    {
+        SessionConfig cfg = base(1);
+        cfg.chipletsPerRequest = cfg.totalChiplets + 1;
+        EXPECT_DEATH(runSession(cfg),
+                     "cannot span more chiplets than the pool");
+    }
+    {
+        SessionConfig cfg = base(1);
+        cfg.serverEgress = 0.0;
+        EXPECT_DEATH(runSession(cfg),
+                     "server egress must be positive");
+    }
+}
+
+TEST(CollabSessionDeath, ValidateRejectsBadServingFields)
+{
+    {
+        SessionConfig cfg = base(1, SessionDesign::Served);
+        cfg.renderDeadline = 0.0;
+        EXPECT_DEATH(runSession(cfg),
+                     "render deadline must be positive");
+    }
+    {
+        SessionConfig cfg = base(1, SessionDesign::Served);
+        cfg.shedPeripheryScale = 0.0;
+        EXPECT_DEATH(runSession(cfg),
+                     "shed periphery scale outside");
+    }
+    {
+        SessionConfig cfg = base(1, SessionDesign::Served);
+        cfg.serving.shards = 0;
+        EXPECT_DEATH(runSession(cfg), "at least one shard");
+    }
+    {
+        SessionConfig cfg = base(1, SessionDesign::Served);
+        cfg.serving.admission.qualityStep = 2.0;
+        EXPECT_DEATH(runSession(cfg), "quality step outside");
+    }
+}
+
+TEST(CollabSession, IssueOrderIsStrictWeakAndSorted)
+{
+    // The round scheduler sorts by issue clock with plain less-than
+    // and NO tie-break — pinned here: the output is a permutation
+    // whose keys are non-decreasing.
+    const std::vector<Seconds> issue = {5.0, 1.0, 3.0, 1.0,
+                                        4.0, 2.0, 3.0};
+    const auto order = issueOrder(issue);
+    ASSERT_EQ(order.size(), issue.size());
+    std::vector<bool> seen(issue.size(), false);
+    for (const std::size_t i : order) {
+        ASSERT_LT(i, issue.size());
+        EXPECT_FALSE(seen[i]);  // a permutation: no index twice
+        seen[i] = true;
+    }
+    for (std::size_t k = 1; k < order.size(); k++)
+        EXPECT_LE(issue[order[k - 1]], issue[order[k]]);
+}
+
+TEST(CollabSession, IssueOrderIsByteIdenticalAcrossRuns)
+{
+    // Equal keys leave the comparator indifferent; the schedule must
+    // still be the same bytes on every call (std::sort is
+    // deterministic for a fixed input, and nothing else — RNG, time,
+    // addresses — may leak into the order).
+    const std::vector<Seconds> issue = {2.0, 2.0, 2.0, 1.0, 1.0,
+                                        3.0, 2.0, 1.0, 2.0};
+    const auto first = issueOrder(issue);
+    for (int rep = 0; rep < 32; rep++)
+        EXPECT_EQ(issueOrder(issue), first);
+}
+
+TEST(CollabSession, ServedRunsAndReportsSlo)
+{
+    SessionConfig cfg = base(4, SessionDesign::Served);
+    cfg.serving.admission.enabled = true;
+    const SessionResult r = runSession(cfg);
+    ASSERT_EQ(r.perUser.size(), 4u);
+    ASSERT_EQ(r.perUserSlo.size(), 4u);
+    ASSERT_EQ(r.shardUtilisation.size(), 1u);
+    EXPECT_EQ(r.perUser[0].design, "Served");
+    EXPECT_GT(r.meanFps(), 60.0);
+    EXPECT_EQ(r.serveCounters.submitted,
+              4u * static_cast<std::uint64_t>(cfg.numFrames));
+    EXPECT_EQ(r.serveCounters.admitted + r.serveCounters.shed,
+              r.serveCounters.submitted);
+    // Admission contract: nothing admitted may miss.
+    EXPECT_EQ(r.serveCounters.deadlineMisses, 0u);
+    for (const auto &slo : r.perUserSlo) {
+        EXPECT_GE(slo.p99QueueWait, slo.p50QueueWait);
+        EXPECT_DOUBLE_EQ(slo.deadlineMissRate, 0.0);
+    }
+}
+
+TEST(CollabSession, ServedUnderLoadShedsInsteadOfStalling)
+{
+    // Pool-bound operating point, oversubscribed: FIFO without
+    // admission sinks below 90 Hz, admission holds the frame rate by
+    // degrading quality.
+    SessionConfig cfg = base(12, SessionDesign::Served);
+    cfg.totalChiplets = 4;
+    cfg.chipletsPerRequest = 2;
+    cfg.serverEgress = fromMbps(2000.0);
+    cfg.serving.scheduler.policy = serve::SchedulerPolicy::Edf;
+
+    SessionConfig adm_cfg = cfg;
+    adm_cfg.serving.admission.enabled = true;
+
+    const SessionResult fifo = runSession(cfg);
+    const SessionResult adm = runSession(adm_cfg);
+    EXPECT_GT(adm.worstUserFps(), fifo.worstUserFps());
+    EXPECT_GT(adm.serveCounters.shed + adm.serveCounters.downgraded,
+              0u);
+    EXPECT_EQ(adm.serveCounters.deadlineMisses, 0u);
+    EXPECT_GT(fifo.serveCounters.deadlineMisses, 0u);
+}
+
+TEST(CollabSession, QvrResultsUnaffectedByServingConfig)
+{
+    // The serving stack must be dead code for the Qvr design: byte-
+    // compatible results whatever the serving knobs say.
+    SessionConfig plain = base(3, SessionDesign::Qvr);
+    SessionConfig tweaked = plain;
+    tweaked.serving.shards = 4;
+    tweaked.serving.admission.enabled = true;
+    tweaked.serving.batching.enabled = true;
+    tweaked.renderDeadline = 1e-3;
+    const SessionResult a = runSession(plain);
+    const SessionResult b = runSession(tweaked);
+    for (std::size_t i = 0; i < a.perUser.size(); i++) {
+        ASSERT_EQ(a.perUser[i].frames.size(),
+                  b.perUser[i].frames.size());
+        for (std::size_t f = 0; f < a.perUser[i].frames.size(); f++) {
+            EXPECT_DOUBLE_EQ(a.perUser[i].frames[f].displayTime,
+                             b.perUser[i].frames[f].displayTime);
+            EXPECT_DOUBLE_EQ(a.perUser[i].frames[f].mtpLatency,
+                             b.perUser[i].frames[f].mtpLatency);
+        }
+    }
+}
+
 }  // namespace
 }  // namespace qvr::collab

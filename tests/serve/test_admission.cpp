@@ -1,0 +1,224 @@
+/**
+ * @file
+ * AdmissionController ladder walk and BatchComposer coalescing rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "serve/admission.hpp"
+#include "serve/batch.hpp"
+
+namespace qvr::serve
+{
+namespace
+{
+
+RenderRequest
+make(Seconds arrival, Seconds deadline, Seconds service)
+{
+    RenderRequest r;
+    r.arrival = arrival;
+    r.deadline = deadline;
+    r.service = service;
+    return r;
+}
+
+AdmissionConfig
+enabledConfig()
+{
+    AdmissionConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+
+TEST(Admission, DisabledAlwaysAdmitsAtFullQuality)
+{
+    AdmissionController adm(AdmissionConfig{});
+    // Hopeless deadline, still admitted at rung 0.
+    const AdmissionDecision d =
+        adm.decide(make(0.0, 0.001, 1.0), 5.0);
+    EXPECT_TRUE(d.admit);
+    EXPECT_EQ(d.level, 0u);
+    EXPECT_DOUBLE_EQ(d.service, 1.0);
+    EXPECT_DOUBLE_EQ(d.qualityFactor, 1.0);
+}
+
+TEST(Admission, ComfortableDeadlineStaysFullQuality)
+{
+    AdmissionController adm(enabledConfig());
+    const AdmissionDecision d =
+        adm.decide(make(0.0, 10.0, 1.0), 0.0);
+    EXPECT_TRUE(d.admit);
+    EXPECT_EQ(d.level, 0u);
+    EXPECT_DOUBLE_EQ(d.service, 1.0);
+    EXPECT_DOUBLE_EQ(d.resolutionScale, 1.0);
+}
+
+TEST(Admission, TightDeadlinePicksShallowestFeasibleRung)
+{
+    AdmissionController adm(enabledConfig());
+    // Rung 1 shrinks a 1 s service to ~fixed + 0.85^2 of the rest;
+    // choose a deadline only rung 1 can meet.
+    const Seconds rung1 = adm.serviceAtLevel(1.0, 1);
+    ASSERT_LT(rung1, 1.0);
+    const AdmissionDecision d = adm.decide(
+        make(0.0, (1.0 + rung1) / 2.0, 1.0), 0.0);
+    EXPECT_TRUE(d.admit);
+    EXPECT_EQ(d.level, 1u);
+    EXPECT_DOUBLE_EQ(d.service, rung1);
+    EXPECT_DOUBLE_EQ(d.qualityFactor, 0.8);
+    EXPECT_DOUBLE_EQ(d.resolutionScale, 0.85);
+    // The contract: predicted completion meets the deadline.
+    EXPECT_LE(0.0 + d.service, (1.0 + rung1) / 2.0);
+}
+
+TEST(Admission, HopelessDeadlineSheds)
+{
+    AdmissionController adm(enabledConfig());
+    const AdmissionDecision d =
+        adm.decide(make(0.0, 0.0001, 1.0), 0.0);
+    EXPECT_FALSE(d.admit);
+    EXPECT_EQ(d.level, adm.config().maxLevel);
+    EXPECT_DOUBLE_EQ(d.service, 0.0);
+}
+
+TEST(Admission, LateStartCausesTheShed)
+{
+    AdmissionController adm(enabledConfig());
+    const RenderRequest r = make(0.0, 1.0, 0.5);
+    EXPECT_TRUE(adm.decide(r, 0.0).admit);
+    EXPECT_FALSE(adm.decide(r, 0.999).admit);
+}
+
+TEST(Admission, ServiceLadderIsMonotoneWithFixedFloor)
+{
+    AdmissionController adm(enabledConfig());
+    Seconds prev = adm.serviceAtLevel(1e-3, 0);
+    EXPECT_DOUBLE_EQ(prev, 1e-3);
+    for (std::uint32_t level = 1; level <= 6; level++) {
+        const Seconds s = adm.serviceAtLevel(1e-3, level);
+        EXPECT_LE(s, prev);
+        EXPECT_GE(s, adm.config().fixedOverhead);
+        prev = s;
+    }
+    // Service below the fixed floor is never inflated.
+    EXPECT_DOUBLE_EQ(adm.serviceAtLevel(1e-5, 3), 1e-5);
+}
+
+TEST(Admission, NoDeadlineAlwaysAdmitsFullQuality)
+{
+    AdmissionController adm(enabledConfig());
+    const AdmissionDecision d =
+        adm.decide(make(0.0, kNoDeadline, 1.0), 1e9);
+    EXPECT_TRUE(d.admit);
+    EXPECT_EQ(d.level, 0u);
+}
+
+TEST(AdmissionDeath, BadLadderStepsPanic)
+{
+    AdmissionConfig bad;
+    bad.qualityStep = 0.0;
+    EXPECT_DEATH(AdmissionController{bad},
+                 "quality step outside");
+    AdmissionConfig bad2;
+    bad2.resolutionStep = 1.5;
+    EXPECT_DEATH(AdmissionController{bad2},
+                 "resolution step outside");
+}
+
+BatchConfig
+batchOn()
+{
+    BatchConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+
+TEST(BatchComposer, MergedServiceAmortisesOneSyncOverhead)
+{
+    BatchComposer bc(batchOn());
+    RenderRequest a = make(0.0, 1.0, 10e-3);
+    a.batchKey = 7;
+    const Batch b = bc.open(0, a, 0, 10e-3);
+    EXPECT_DOUBLE_EQ(bc.mergedService(b, 5e-3),
+                     10e-3 + 5e-3 - bc.config().syncOverhead);
+    // A member smaller than the overhead cannot go negative.
+    EXPECT_DOUBLE_EQ(bc.mergedService(b, 0.5 * 150e-6), 10e-3);
+}
+
+TEST(BatchComposer, RejectsKeyLevelAndCapacityMismatch)
+{
+    BatchConfig cfg = batchOn();
+    cfg.maxBatch = 2;
+    BatchComposer bc(cfg);
+    RenderRequest a = make(0.0, 1.0, 10e-3);
+    a.batchKey = 1;
+    Batch b = bc.open(0, a, 1, 10e-3);
+
+    RenderRequest other_key = make(0.0, 1.0, 10e-3);
+    other_key.batchKey = 2;
+    // Joining would be faster than a solo dispatch at 0.5 — key
+    // still forbids it.
+    EXPECT_FALSE(bc.canJoin(b, other_key, 1, 10e-3, 0.0, 0.5));
+
+    RenderRequest same = make(0.0, 1.0, 10e-3);
+    same.batchKey = 1;
+    EXPECT_FALSE(bc.canJoin(b, same, 0, 10e-3, 0.0, 0.5));  // level
+    EXPECT_TRUE(bc.canJoin(b, same, 1, 10e-3, 0.0, 0.5));
+    bc.join(b, 1, same, 10e-3);
+    EXPECT_FALSE(bc.canJoin(b, same, 1, 10e-3, 0.0, 0.5));  // full
+}
+
+TEST(BatchComposer, NoHarmGateRejectsJoinsAtLightLoad)
+{
+    BatchComposer bc(batchOn());
+    RenderRequest a = make(0.0, 1.0, 10e-3);
+    const Batch b = bc.open(0, a, 0, 10e-3);
+    RenderRequest r = make(0.0, 1.0, 10e-3);
+    // An idle second slot would finish r at 10 ms solo; joining
+    // serialises it behind the batch (~20 ms) — rejected.
+    EXPECT_FALSE(bc.canJoin(b, r, 0, 10e-3, 0.0, 10e-3));
+    // Under contention the solo alternative starts late (slot busy
+    // until 15 ms -> solo completion 25 ms); joining finishes at
+    // ~19.85 ms and wins.
+    EXPECT_TRUE(bc.canJoin(b, r, 0, 10e-3, 0.0, 25e-3));
+}
+
+TEST(BatchComposer, DeadlineGuardBoundsTheBatch)
+{
+    BatchComposer bc(batchOn());
+    RenderRequest a = make(0.0, 15e-3, 10e-3);
+    const Batch b = bc.open(0, a, 0, 10e-3);
+    RenderRequest r = make(0.0, 1.0, 10e-3);
+    // Merged completion ~19.85 ms violates member a's 15 ms deadline
+    // even though r itself would tolerate it.
+    EXPECT_FALSE(bc.canJoin(b, r, 0, 10e-3, 0.0, 1.0));
+}
+
+TEST(BatchComposer, JoinTracksArrivalDeadlineAndServices)
+{
+    BatchComposer bc(batchOn());
+    RenderRequest a = make(1e-3, 20e-3, 10e-3);
+    Batch b = bc.open(4, a, 0, 10e-3);
+    RenderRequest r = make(2e-3, 15e-3, 5e-3);
+    bc.join(b, 9, r, 5e-3);
+    EXPECT_EQ(b.members, (std::vector<std::size_t>{4, 9}));
+    EXPECT_DOUBLE_EQ(b.arrival, 2e-3);       // latest member
+    EXPECT_DOUBLE_EQ(b.minDeadline, 15e-3);  // tightest member
+    ASSERT_EQ(b.services.size(), 2u);
+    EXPECT_DOUBLE_EQ(b.services[1], 5e-3);
+    EXPECT_DOUBLE_EQ(b.service,
+                     10e-3 + 5e-3 - bc.config().syncOverhead);
+}
+
+TEST(BatchComposerDeath, ZeroCapacityPanics)
+{
+    BatchConfig bad;
+    bad.maxBatch = 0;
+    EXPECT_DEATH(BatchComposer{bad}, "batch limit");
+}
+
+}  // namespace
+}  // namespace qvr::serve

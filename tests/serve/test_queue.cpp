@@ -1,0 +1,130 @@
+/**
+ * @file
+ * RequestQueue: policy pop order is fully specified, requestBefore is
+ * a strict weak ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "serve/queue.hpp"
+
+namespace qvr::serve
+{
+namespace
+{
+
+RenderRequest
+make(std::uint64_t seq, Seconds arrival, Seconds deadline,
+     Seconds service)
+{
+    RenderRequest r;
+    r.seq = seq;
+    r.arrival = arrival;
+    r.deadline = deadline;
+    r.service = service;
+    return r;
+}
+
+std::vector<std::uint64_t>
+drain(RequestQueue &q)
+{
+    std::vector<std::uint64_t> seqs;
+    while (!q.empty())
+        seqs.push_back(q.pop().seq);
+    return seqs;
+}
+
+TEST(RequestQueue, FifoPopsInSeqOrderRegardlessOfPushOrder)
+{
+    RequestQueue q(SchedulerPolicy::Fifo);
+    q.push(make(2, 0.0, 1.0, 0.5));
+    q.push(make(0, 9.0, 0.1, 0.9));
+    q.push(make(1, 4.0, 0.5, 0.1));
+    EXPECT_EQ(drain(q), (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(RequestQueue, EdfPopsEarliestDeadlineFirst)
+{
+    RequestQueue q(SchedulerPolicy::Edf);
+    q.push(make(0, 0.0, 3.0, 0.5));
+    q.push(make(1, 0.0, 1.0, 0.5));
+    q.push(make(2, 0.0, 2.0, 0.5));
+    EXPECT_EQ(drain(q), (std::vector<std::uint64_t>{1, 2, 0}));
+}
+
+TEST(RequestQueue, SjfPopsShortestServiceFirst)
+{
+    RequestQueue q(SchedulerPolicy::Sjf);
+    q.push(make(0, 0.0, 1.0, 0.9));
+    q.push(make(1, 0.0, 1.0, 0.1));
+    q.push(make(2, 0.0, 1.0, 0.5));
+    EXPECT_EQ(drain(q), (std::vector<std::uint64_t>{1, 2, 0}));
+}
+
+TEST(RequestQueue, TiesFallThroughToSeq)
+{
+    RequestQueue edf(SchedulerPolicy::Edf);
+    edf.push(make(5, 0.0, 1.0, 0.5));
+    edf.push(make(3, 0.0, 1.0, 0.5));
+    edf.push(make(4, 0.0, 1.0, 0.5));
+    EXPECT_EQ(drain(edf), (std::vector<std::uint64_t>{3, 4, 5}));
+
+    RequestQueue sjf(SchedulerPolicy::Sjf);
+    sjf.push(make(9, 0.0, 2.0, 0.5));
+    sjf.push(make(7, 0.0, 1.0, 0.5));
+    EXPECT_EQ(drain(sjf), (std::vector<std::uint64_t>{7, 9}));
+}
+
+TEST(RequestQueue, PeekMatchesPop)
+{
+    RequestQueue q(SchedulerPolicy::Edf);
+    q.push(make(0, 0.0, 3.0, 0.5));
+    q.push(make(1, 0.0, 1.0, 0.5));
+    EXPECT_EQ(q.peek().seq, 1u);
+    EXPECT_EQ(q.pop().seq, 1u);
+    EXPECT_EQ(q.peek().seq, 0u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(RequestQueue, RequestBeforeIsStrictWeakOrdering)
+{
+    // Includes duplicate deadlines/services so the seq tie-break is
+    // exercised; seq is unique, so equivalence classes are singletons
+    // and the ordering must be a strict total order on this set.
+    const std::vector<RenderRequest> rs = {
+        make(0, 0.0, 1.0, 0.5), make(1, 0.0, 1.0, 0.5),
+        make(2, 1.0, 0.5, 0.1), make(3, 2.0, 0.5, 0.9),
+        make(4, 0.5, 2.0, 0.1),
+    };
+    for (const auto policy :
+         {SchedulerPolicy::Fifo, SchedulerPolicy::Edf,
+          SchedulerPolicy::Sjf}) {
+        for (const auto &a : rs) {
+            EXPECT_FALSE(requestBefore(policy, a, a));  // irreflexive
+            for (const auto &b : rs) {
+                if (a.seq == b.seq)
+                    continue;
+                // asymmetric + total (unique seq => no equivalence)
+                EXPECT_NE(requestBefore(policy, a, b),
+                          requestBefore(policy, b, a));
+                for (const auto &c : rs) {  // transitive
+                    if (requestBefore(policy, a, b) &&
+                        requestBefore(policy, b, c)) {
+                        EXPECT_TRUE(requestBefore(policy, a, c));
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(RequestQueueDeath, PopOnEmptyPanics)
+{
+    RequestQueue q(SchedulerPolicy::Fifo);
+    EXPECT_DEATH(q.pop(), "empty");
+}
+
+}  // namespace
+}  // namespace qvr::serve

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * ChipletScheduler dispatch walk and Fleet balancing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "serve/fleet.hpp"
+#include "serve/scheduler.hpp"
+
+namespace qvr::serve
+{
+namespace
+{
+
+RenderRequest
+make(std::uint64_t seq, Seconds arrival, Seconds deadline,
+     Seconds service, std::uint32_t user = 0)
+{
+    RenderRequest r;
+    r.seq = seq;
+    r.user = user;
+    r.arrival = arrival;
+    r.deadline = deadline;
+    r.service = service;
+    return r;
+}
+
+ChipletScheduler
+makeScheduler(SchedulerPolicy policy, std::uint32_t slots,
+              bool admission = false, bool batching = false)
+{
+    SchedulerConfig cfg;
+    cfg.policy = policy;
+    cfg.slots = slots;
+    AdmissionConfig adm;
+    adm.enabled = admission;
+    BatchConfig bat;
+    bat.enabled = batching;
+    return ChipletScheduler(cfg, adm, bat);
+}
+
+TEST(ChipletScheduler, FifoSingleSlotSerialisesInSeqOrder)
+{
+    ChipletScheduler s = makeScheduler(SchedulerPolicy::Fifo, 1);
+    const TickReport rep = s.scheduleTick({
+        make(0, 0.0, 1.0, 0.2),
+        make(1, 0.0, 1.0, 0.2),
+        make(2, 0.0, 1.0, 0.2),
+    });
+    ASSERT_EQ(rep.outcomes.size(), 3u);
+    EXPECT_DOUBLE_EQ(rep.outcomes[0].completion, 0.2);
+    EXPECT_DOUBLE_EQ(rep.outcomes[1].completion, 0.4);
+    EXPECT_DOUBLE_EQ(rep.outcomes[2].completion, 0.6);
+    EXPECT_DOUBLE_EQ(rep.outcomes[2].queueWait, 0.4);
+    EXPECT_DOUBLE_EQ(s.busyTime(), 0.6);
+    EXPECT_DOUBLE_EQ(s.nextFree(), 0.6);
+}
+
+TEST(ChipletScheduler, TwoSlotsRunConcurrently)
+{
+    ChipletScheduler s = makeScheduler(SchedulerPolicy::Fifo, 2);
+    const TickReport rep = s.scheduleTick({
+        make(0, 0.0, 1.0, 0.2),
+        make(1, 0.0, 1.0, 0.2),
+        make(2, 0.0, 1.0, 0.2),
+    });
+    EXPECT_DOUBLE_EQ(rep.outcomes[0].completion, 0.2);
+    EXPECT_DOUBLE_EQ(rep.outcomes[1].completion, 0.2);
+    EXPECT_DOUBLE_EQ(rep.outcomes[2].completion, 0.4);
+    // Slot A free at 0.4, slot B at 0.2: pending work by wall clock.
+    EXPECT_DOUBLE_EQ(s.backlog(0.0), 0.6);
+    EXPECT_DOUBLE_EQ(s.backlog(0.2), 0.2);
+}
+
+TEST(ChipletScheduler, EdfDispatchesTightDeadlineFirst)
+{
+    ChipletScheduler s = makeScheduler(SchedulerPolicy::Edf, 1);
+    // Later-submitted request has the tighter deadline.
+    const TickReport rep = s.scheduleTick({
+        make(0, 0.0, 9.0, 0.2),
+        make(1, 0.0, 0.3, 0.2),
+    });
+    EXPECT_DOUBLE_EQ(rep.outcomes[1].completion, 0.2);
+    EXPECT_TRUE(rep.outcomes[1].deadlineMet);
+    EXPECT_DOUBLE_EQ(rep.outcomes[0].completion, 0.4);
+}
+
+TEST(ChipletScheduler, FifoRecordsMissesHonestly)
+{
+    ChipletScheduler s = makeScheduler(SchedulerPolicy::Fifo, 1);
+    const TickReport rep = s.scheduleTick({
+        make(0, 0.0, 9.0, 0.2),
+        make(1, 0.0, 0.3, 0.2),
+    });
+    EXPECT_TRUE(rep.outcomes[0].deadlineMet);
+    EXPECT_FALSE(rep.outcomes[1].deadlineMet);  // 0.4 > 0.3
+    EXPECT_TRUE(rep.outcomes[1].admitted);
+}
+
+TEST(ChipletScheduler, AdmittedRequestsNeverMissAcrossTicks)
+{
+    // The admission contract: whatever the load pattern, an admitted
+    // outcome's completion meets its deadline.
+    ChipletScheduler s =
+        makeScheduler(SchedulerPolicy::Edf, 2, /*admission=*/true);
+    std::uint64_t seq = 0;
+    std::size_t admitted = 0, shed = 0;
+    for (int tick = 0; tick < 50; tick++) {
+        std::vector<RenderRequest> reqs;
+        const Seconds base = tick * 2e-3;  // oversubscribed ticks
+        for (int i = 0; i < 8; i++) {
+            reqs.push_back(make(seq, base + i * 1e-4,
+                                base + i * 1e-4 + 4e-3, 1.5e-3));
+            seq++;
+        }
+        const TickReport rep = s.scheduleTick(reqs);
+        for (std::size_t i = 0; i < reqs.size(); i++) {
+            const ServeOutcome &o = rep.outcomes[i];
+            if (!o.admitted) {
+                shed++;
+                continue;
+            }
+            admitted++;
+            EXPECT_TRUE(o.deadlineMet);
+            EXPECT_LE(o.completion, reqs[i].deadline);
+            EXPECT_GE(o.start, reqs[i].arrival);
+            EXPECT_DOUBLE_EQ(o.queueWait, o.start - reqs[i].arrival);
+        }
+    }
+    // The load is genuinely oversubscribed: both outcomes occur.
+    EXPECT_GT(admitted, 0u);
+    EXPECT_GT(shed, 0u);
+}
+
+TEST(ChipletScheduler, ContentionTriggersBatching)
+{
+    // One slot, admission + batching on: policy-adjacent requests at
+    // the same rung coalesce when joining beats going solo.
+    ChipletScheduler s = makeScheduler(SchedulerPolicy::Fifo, 1,
+                                       /*admission=*/true,
+                                       /*batching=*/true);
+    const TickReport rep = s.scheduleTick({
+        make(0, 0.0, 50e-3, 10e-3),
+        make(1, 0.0, 50e-3, 10e-3),
+        make(2, 0.0, 50e-3, 10e-3),
+    });
+    EXPECT_GT(rep.batches, 0u);
+    EXPECT_GT(rep.batchedRequests, 0u);
+    // Batch members share one completion and report their size.
+    std::size_t in_batch = 0;
+    for (const ServeOutcome &o : rep.outcomes)
+        if (o.batchSize > 1)
+            in_batch++;
+    EXPECT_EQ(in_batch, rep.batchedRequests);
+}
+
+TEST(ChipletSchedulerDeath, DuplicateSeqPanics)
+{
+    ChipletScheduler s = makeScheduler(SchedulerPolicy::Fifo, 1);
+    EXPECT_DEATH(s.scheduleTick({make(3, 0.0, 1.0, 0.1),
+                                 make(3, 0.0, 1.0, 0.1)}),
+                 "duplicate request seq");
+}
+
+TEST(ChipletSchedulerDeath, ZeroSlotsPanics)
+{
+    SchedulerConfig cfg;
+    cfg.slots = 0;
+    EXPECT_DEATH(
+        ChipletScheduler(cfg, AdmissionConfig{}, BatchConfig{}),
+        "at least one slot");
+}
+
+FleetConfig
+fleetConfig(std::uint32_t shards, BalancerPolicy balancer,
+            std::uint32_t slots_per_shard = 1)
+{
+    FleetConfig cfg;
+    cfg.shards = shards;
+    cfg.balancer = balancer;
+    cfg.scheduler.slots = slots_per_shard;
+    return cfg;
+}
+
+TEST(Fleet, JsqSpreadsConcurrentLoad)
+{
+    Fleet fleet(
+        fleetConfig(2, BalancerPolicy::JoinShortestQueue));
+    const auto outcomes = fleet.submitTick({
+        make(0, 0.0, 1.0, 0.2),
+        make(1, 0.0, 1.0, 0.2),
+    });
+    // Two simultaneous requests land on different shards and finish
+    // concurrently.
+    EXPECT_NE(outcomes[0].shard, outcomes[1].shard);
+    EXPECT_DOUBLE_EQ(outcomes[0].completion, 0.2);
+    EXPECT_DOUBLE_EQ(outcomes[1].completion, 0.2);
+    EXPECT_DOUBLE_EQ(fleet.busyTime(), 0.4);
+    EXPECT_GT(fleet.shardBusyTime(0), 0.0);
+    EXPECT_GT(fleet.shardBusyTime(1), 0.0);
+}
+
+TEST(Fleet, HashUserIsStablePerUserAndMatchesOutcomes)
+{
+    Fleet fleet(fleetConfig(4, BalancerPolicy::HashUser));
+    std::set<std::uint32_t> used;
+    for (std::uint32_t user = 0; user < 32; user++) {
+        const std::uint32_t s = fleet.shardForUser(user);
+        EXPECT_EQ(s, fleet.shardForUser(user));  // stable
+        EXPECT_LT(s, 4u);
+        used.insert(s);
+    }
+    EXPECT_GT(used.size(), 1u);  // the hash actually spreads users
+
+    const auto outcomes = fleet.submitTick({
+        make(0, 0.0, 1.0, 0.1, /*user=*/5),
+        make(1, 0.0, 1.0, 0.1, /*user=*/6),
+        make(2, 0.1, 1.0, 0.1, /*user=*/5),
+    });
+    EXPECT_EQ(outcomes[0].shard, fleet.shardForUser(5));
+    EXPECT_EQ(outcomes[1].shard, fleet.shardForUser(6));
+    EXPECT_EQ(outcomes[2].shard, outcomes[0].shard);
+}
+
+TEST(Fleet, CountersAddUp)
+{
+    FleetConfig cfg =
+        fleetConfig(1, BalancerPolicy::JoinShortestQueue);
+    cfg.admission.enabled = true;
+    Fleet fleet(cfg);
+    // Oversubscribe one slot so some requests shed.
+    std::vector<RenderRequest> reqs;
+    for (std::uint64_t i = 0; i < 6; i++)
+        reqs.push_back(make(i, 0.0, 5e-3, 2e-3));
+    fleet.submitTick(reqs);
+    const FleetCounters &c = fleet.counters();
+    EXPECT_EQ(c.submitted, 6u);
+    EXPECT_EQ(c.admitted + c.shed, c.submitted);
+    EXPECT_GT(c.shed, 0u);
+    EXPECT_EQ(c.deadlineMisses, 0u);  // admission contract
+}
+
+TEST(Fleet, SequenceNumbersAreUnique)
+{
+    Fleet fleet(
+        fleetConfig(2, BalancerPolicy::JoinShortestQueue));
+    std::set<std::uint64_t> seqs;
+    for (int i = 0; i < 10; i++)
+        EXPECT_TRUE(seqs.insert(fleet.nextSeq()).second);
+}
+
+TEST(FleetDeath, ZeroShardsPanics)
+{
+    FleetConfig cfg =
+        fleetConfig(1, BalancerPolicy::JoinShortestQueue);
+    cfg.shards = 0;
+    EXPECT_DEATH(Fleet{cfg}, "at least one shard");
+}
+
+}  // namespace
+}  // namespace qvr::serve

@@ -52,6 +52,39 @@ TEST(BusyResource, ZeroServiceIsFine)
     EXPECT_DOUBLE_EQ(r.serve(3.0, 0.0), 3.0);
 }
 
+TEST(BusyResource, FifoIsCallOrderNotArrivalOrder)
+{
+    // The serving stack leans on this: serve() is FIFO in *call*
+    // order, so a later call with an earlier arrival still queues
+    // behind work already accepted.
+    BusyResource r;
+    r.serve(5.0, 2.0);  // busy 5..7
+    EXPECT_DOUBLE_EQ(r.serve(0.0, 1.0), 8.0);  // arrived first, waits
+}
+
+TEST(BusyResource, NextFreeIsMonotoneAcrossServes)
+{
+    BusyResource r;
+    Seconds prev = r.nextFree();
+    const double arrivals[] = {0.0, 0.5, 10.0, 3.0, 11.0};
+    for (const double a : arrivals) {
+        r.serve(a, 0.25);
+        EXPECT_GE(r.nextFree(), prev);
+        prev = r.nextFree();
+    }
+}
+
+TEST(BusyResource, BusyTimeCountsServiceOnly)
+{
+    // Neither queueing delay nor idle gaps count toward busyTime —
+    // utilisation derived from it measures work, not waiting.
+    BusyResource r;
+    r.serve(0.0, 2.0);   // service 2
+    r.serve(1.0, 1.0);   // waits 1s, service 1
+    r.serve(50.0, 3.0);  // 47s idle gap, service 3
+    EXPECT_DOUBLE_EQ(r.busyTime(), 6.0);
+}
+
 TEST(MultiServerResource, ParallelismUpToServerCount)
 {
     MultiServerResource r(2);

@@ -17,6 +17,7 @@
  * grid order and bit-identical for every worker count.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "collab/session.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "core/qvr_system.hpp"
@@ -52,8 +54,10 @@ usage()
         "  --csv PATH        dump the per-frame series as CSV\n"
         "  --trace PATH      replay a recorded workload trace\n"
         "  --save-trace PATH record the workload trace\n"
-        "  --sweep MODE      designs | benchmarks | grid: run the\n"
-        "                    whole cell grid in parallel\n"
+        "  --sweep MODE      designs | benchmarks | grid | fleet:\n"
+        "                    run the whole cell grid in parallel\n"
+        "                    (fleet = serving policies x user counts\n"
+        "                    on the edge-serving session model)\n"
         "  --jobs N          sweep worker threads (default: QVR_JOBS\n"
         "                    env var, else the core count)\n"
         "  --list            list designs and benchmarks\n"
@@ -91,6 +95,9 @@ list()
     std::printf("\n");
 }
 
+int runFleetSweep(const core::ExperimentSpec &spec,
+                  std::size_t jobs);
+
 /** --sweep: run a cell grid through the parallel runner and print a
  *  comparison table, one row per cell in grid order. */
 int
@@ -103,6 +110,8 @@ runSweep(const std::string &mode, const std::string &design_name,
         std::string benchmark;
     };
     std::vector<SweepCell> cells;
+    if (mode == "fleet")
+        return runFleetSweep(spec, jobs);
     if (mode == "designs" || mode == "grid") {
         for (const auto &[name, d] : designs()) {
             (void)d;
@@ -118,7 +127,7 @@ runSweep(const std::string &mode, const std::string &design_name,
             cells.push_back({design_name, b.name});
     } else {
         QVR_FATAL("unknown --sweep mode '", mode,
-                  "' (designs | benchmarks | grid)");
+                  "' (designs | benchmarks | grid | fleet)");
     }
 
     const auto results = sim::runParallel(
@@ -148,6 +157,81 @@ runSweep(const std::string &mode, const std::string &design_name,
                       r.meanE1() > 0.0
                           ? TextTable::num(r.meanE1(), 1)
                           : std::string("-")});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+/** --sweep fleet: serving-policy x user-count cells on the Served
+ *  session model, through the same parallel runner. */
+int
+runFleetSweep(const core::ExperimentSpec &spec, std::size_t jobs)
+{
+    struct FleetCell
+    {
+        std::string label;
+        serve::SchedulerPolicy policy;
+        bool admission;
+        bool batching;
+        std::size_t users;
+    };
+    struct PolicyRow
+    {
+        std::string label;
+        serve::SchedulerPolicy policy;
+        bool admission;
+        bool batching;
+    };
+    const std::vector<PolicyRow> policies = {
+        {"fifo", serve::SchedulerPolicy::Fifo, false, false},
+        {"edf", serve::SchedulerPolicy::Edf, false, false},
+        {"edf+adm", serve::SchedulerPolicy::Edf, true, false},
+        {"edf+adm+batch", serve::SchedulerPolicy::Edf, true, true},
+    };
+    std::vector<FleetCell> cells;
+    for (const auto &p : policies) {
+        for (const std::size_t users : {4u, 8u, 12u}) {
+            cells.push_back(
+                {p.label, p.policy, p.admission, p.batching, users});
+        }
+    }
+
+    const auto results = sim::runParallel(
+        cells.size(),
+        [&cells, &spec](std::size_t i) {
+            collab::SessionConfig cfg;
+            cfg.design = collab::SessionDesign::Served;
+            cfg.benchmark = spec.benchmark;
+            cfg.numFrames = spec.numFrames;
+            cfg.users = cells[i].users;
+            cfg.totalChiplets = 4;
+            cfg.chipletsPerRequest = 2;
+            cfg.serverEgress = fromMbps(2000.0);
+            cfg.serving.scheduler.policy = cells[i].policy;
+            cfg.serving.admission.enabled = cells[i].admission;
+            cfg.serving.batching.enabled = cells[i].batching;
+            return collab::runSession(cfg);
+        },
+        jobs);
+
+    TextTable table("Fleet sweep: " + std::to_string(cells.size()) +
+                    " cells on " + spec.benchmark + ", " +
+                    std::to_string(spec.numFrames) + " frames");
+    table.setHeader({"Policy", "Users", "Worst FPS", ">=90Hz",
+                     "p99 wait (ms)", "Shed", "Batched", "Misses"});
+    for (std::size_t i = 0; i < cells.size(); i++) {
+        const collab::SessionResult &r = results[i];
+        Seconds p99 = 0.0;
+        for (const auto &slo : r.perUserSlo)
+            p99 = std::max(p99, slo.p99QueueWait);
+        table.addRow(
+            {cells[i].label, std::to_string(cells[i].users),
+             TextTable::num(r.worstUserFps(), 1),
+             TextTable::percent(r.fpsCompliance()),
+             TextTable::num(toMs(p99), 2),
+             std::to_string(r.serveCounters.shed),
+             std::to_string(r.serveCounters.batchedRequests),
+             std::to_string(r.serveCounters.deadlineMisses)});
     }
     table.print(std::cout);
     return 0;

@@ -19,6 +19,18 @@
  *  3. the policy grid is bit-exact across 1/2/8 worker threads and
  *     across repeated runs.
  *
+ * `--large` switches to the scale mode enabled by the event-driven
+ * session engine (SessionEngine::Event + aggregate telemetry): an
+ * oracle gate pins the event engine bit-identical to the lockstep
+ * loop at small N, then a user-count sweep climbs to 10,000 users on
+ * one shard, the whole grid replayed at 1/2/8 worker threads and
+ * required byte-identical.  From the sweep it calibrates a capacity
+ * model — per-shard admitted throughput mu and per-user demand
+ * lambda — that must predict the largest cell's admitted count
+ * within 10%, and extrapolates the shard count needed for 100k and
+ * 1M users.  Writes BENCH_fleet_capacity_large.json; exit 1 on any
+ * violation.  `--large --quick` is the downscaled CI smoke.
+ *
  * Output: TextTables on stdout and BENCH_fleet_capacity.json (path
  * overridable with --json <path>); --quick shrinks the run for the
  * CI smoke check (`perf` CTest label).
@@ -26,6 +38,8 @@
 
 #include "bench_util.hpp"
 
+#include <chrono>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -134,6 +148,345 @@ worstP99Wait(const collab::SessionResult &r)
     return worst;
 }
 
+// ------------------------------------------------------------------
+// --large: event-engine scale sweep + calibrated capacity model.
+// ------------------------------------------------------------------
+
+/** The --large operating point: EDF + admission on one shard (the
+ *  per-shard capacity is what the model calibrates), pool-bound as
+ *  above.  Engine and telemetry vary per phase. */
+collab::SessionConfig
+largeConfig(std::size_t users, std::size_t frames,
+            collab::SessionEngine engine, bool aggregate)
+{
+    collab::SessionConfig cfg;
+    cfg.benchmark = "HL2-H";
+    cfg.design = collab::SessionDesign::Served;
+    cfg.engine = engine;
+    cfg.aggregateTelemetry = aggregate;
+    cfg.users = users;
+    cfg.numFrames = frames;
+    cfg.totalChiplets = 4;
+    cfg.chipletsPerRequest = 2;
+    cfg.serverEgress = fromMbps(2000.0);
+    cfg.serving.scheduler.policy = serve::SchedulerPolicy::Edf;
+    cfg.serving.admission.enabled = true;
+    return cfg;
+}
+
+/** Byte-faithful digest of an aggregate-telemetry session. */
+std::string
+aggregateDigest(const collab::SessionResult &r)
+{
+    const collab::SessionAggregate &a = r.aggregate;
+    std::ostringstream os;
+    os << std::hexfloat << a.users << ';' << a.framesPerUser << ';'
+       << a.meanFps << ';' << a.worstUserFps << ';' << a.meanMtp
+       << ';' << a.fpsCompliance << ';' << a.bytesPerFrame << ';'
+       << a.horizon << ';' << a.p50QueueWait << ';' << a.p99QueueWait
+       << ';' << a.deadlineMissRate << ';' << a.shedFrames << ';'
+       << a.downgradedFrames << ';' << r.serveCounters.submitted
+       << ';' << r.serveCounters.admitted << ';'
+       << r.serveCounters.shed << ';' << r.serveCounters.downgraded
+       << ';' << r.serveCounters.deadlineMisses << ';'
+       << r.egressUtilisation << ';' << r.serverUtilisation;
+    for (const double u : r.shardUtilisation)
+        os << ';' << u;
+    return os.str();
+}
+
+/**
+ * Oracle gate: before trusting the event engine at 10k users, pin it
+ * bit-identical to the lockstep loop at a size the lockstep engine
+ * can afford — full telemetry digests must match byte for byte, and
+ * the aggregate-telemetry summaries must equal the full-telemetry
+ * accessors bitwise.
+ */
+bool
+runOracleGate(std::size_t frames)
+{
+    bool ok = true;
+    const std::size_t users = 6;
+
+    const collab::SessionResult lockstep = collab::runSession(
+        largeConfig(users, frames, collab::SessionEngine::Lockstep,
+                    /*aggregate=*/false));
+    const collab::SessionResult event = collab::runSession(
+        largeConfig(users, frames, collab::SessionEngine::Event,
+                    /*aggregate=*/false));
+    if (digest(lockstep) != digest(event)) {
+        std::cerr << "FAIL: event engine diverges from the lockstep"
+                     " oracle at " << users << " users\n";
+        ok = false;
+    }
+
+    const collab::SessionResult agg = collab::runSession(
+        largeConfig(users, frames, collab::SessionEngine::Event,
+                    /*aggregate=*/true));
+    const bool summaries_equal =
+        agg.meanFps() == event.meanFps() &&
+        agg.worstUserFps() == event.worstUserFps() &&
+        agg.meanMtp() == event.meanMtp() &&
+        agg.fpsCompliance() == event.fpsCompliance() &&
+        agg.aggregateBytesPerFrame() ==
+            event.aggregateBytesPerFrame() &&
+        agg.serveCounters.admitted == event.serveCounters.admitted &&
+        agg.serveCounters.shed == event.serveCounters.shed;
+    if (!summaries_equal) {
+        std::cerr << "FAIL: aggregate telemetry diverges from the"
+                     " full-telemetry accessors\n";
+        ok = false;
+    }
+    std::cout << "oracle gate: event==lockstep "
+              << (ok ? "OK" : "FAILED") << " (" << users << " users, "
+              << frames << " frames, full + aggregate telemetry)\n";
+    return ok;
+}
+
+/** One sweep cell's outcome (aggregate session + wall time). */
+struct LargeCell
+{
+    collab::SessionResult result;
+    double wallSeconds = 0.0;
+};
+
+/** The calibrated capacity model (requests/second of sim time). */
+struct CapacityModel
+{
+    double muPerShard = 0.0;     ///< admitted throughput per shard
+    double lambdaPerUser = 0.0;  ///< per-user submit rate
+    double predictedAdmitted = 0.0;  ///< for the largest cell
+    double relativeError = 0.0;
+
+    /** Shards needed to admit every request from @p users users. */
+    std::uint64_t shardsFor(double users) const
+    {
+        return static_cast<std::uint64_t>(
+            std::ceil(users * lambdaPerUser / muPerShard));
+    }
+};
+
+int
+runLarge(bool quick, const std::string &json_path)
+{
+    bench::printHeader(
+        "fleet capacity --large — event-engine scale sweep");
+
+    const std::size_t frames = quick ? 24 : 48;
+    const std::vector<std::size_t> grid =
+        quick ? std::vector<std::size_t>{40, 120, 400}
+              : std::vector<std::size_t>{100, 300, 1000, 3000, 10000};
+    const std::size_t scale_target = quick ? 400 : 10000;
+
+    bool ok = runOracleGate(quick ? 24 : 40);
+
+    // The sweep runs three times — at 1, 2 and 8 worker threads —
+    // and every cell must digest byte-identically: with ~10k
+    // single-threaded event queues fanned out across workers,
+    // bit-exactness is the proof that no shared mutable state leaks
+    // between sessions.  The 1-thread pass is the reporting
+    // baseline.
+    const auto sweep = [&grid, frames](std::size_t threads) {
+        return sim::runParallel(
+            grid.size(),
+            [&grid, frames](std::size_t i) {
+                using clock = std::chrono::steady_clock;
+                LargeCell cell;
+                const auto t0 = clock::now();
+                cell.result = collab::runSession(largeConfig(
+                    grid[i], frames, collab::SessionEngine::Event,
+                    /*aggregate=*/true));
+                cell.wallSeconds = std::chrono::duration<double>(
+                                       clock::now() - t0)
+                                       .count();
+                return cell;
+            },
+            threads);
+    };
+
+    const std::vector<LargeCell> baseline = sweep(1);
+    bool bit_exact = true;
+    for (const std::size_t threads : {2u, 8u}) {
+        const std::vector<LargeCell> rerun = sweep(threads);
+        for (std::size_t i = 0; i < grid.size(); i++) {
+            if (aggregateDigest(baseline[i].result) !=
+                aggregateDigest(rerun[i].result)) {
+                std::cerr << "FAIL: " << grid[i]
+                          << "-user cell is not bit-exact at "
+                          << threads << " worker threads\n";
+                bit_exact = false;
+            }
+        }
+    }
+    if (!bit_exact)
+        ok = false;
+
+    // Largest cell must actually reach the scale the mode claims.
+    if (grid.back() < scale_target) {
+        std::cerr << "FAIL: sweep tops out at " << grid.back()
+                  << " users (target " << scale_target << ")\n";
+        ok = false;
+    }
+
+    // Admission contract holds at every scale.
+    std::uint64_t adm_misses = 0;
+    for (const LargeCell &c : baseline)
+        adm_misses += c.result.serveCounters.deadlineMisses;
+    if (adm_misses != 0) {
+        std::cerr << "FAIL: " << adm_misses
+                  << " admitted requests missed their deadline\n";
+        ok = false;
+    }
+
+    // Calibrate the capacity model.  Every cell saturates the pool
+    // (2 concurrent renders vs >=40 users), so admitted/horizon is
+    // the shard's service throughput mu; submitted/(users*horizon)
+    // is the per-user demand lambda (shed frames fall back to local
+    // rendering, so users keep issuing at full rate regardless of
+    // saturation).  mu creeps up with saturation depth — a deeper
+    // backlog makes admission downgrade more aggressively, shrinking
+    // the mean admitted service time — so it is calibrated
+    // regime-matched: on the two largest cells BELOW the target,
+    // which it must then predict.
+    CapacityModel model;
+    {
+        std::vector<double> mu_rates;
+        double lambda_sum = 0.0;
+        for (std::size_t i = 0; i < grid.size(); i++) {
+            const auto &r = baseline[i].result;
+            const double horizon = r.aggregate.horizon;
+            lambda_sum +=
+                static_cast<double>(r.serveCounters.submitted) /
+                (static_cast<double>(grid[i]) * horizon);
+            if (i + 1 < grid.size())
+                mu_rates.push_back(
+                    static_cast<double>(r.serveCounters.admitted) /
+                    horizon);
+        }
+        const std::size_t calib = std::min<std::size_t>(
+            2, mu_rates.size());
+        for (std::size_t k = mu_rates.size() - calib;
+             k < mu_rates.size(); k++)
+            model.muPerShard += mu_rates[k];
+        model.muPerShard /= static_cast<double>(calib);
+        model.lambdaPerUser =
+            lambda_sum / static_cast<double>(grid.size());
+
+        const auto &last = baseline.back().result;
+        model.predictedAdmitted =
+            model.muPerShard * last.aggregate.horizon;
+        model.relativeError =
+            std::abs(model.predictedAdmitted -
+                     static_cast<double>(
+                         last.serveCounters.admitted)) /
+            static_cast<double>(last.serveCounters.admitted);
+    }
+    if (!(model.relativeError <= 0.10)) {
+        std::cerr << "FAIL: capacity model misses the " << grid.back()
+                  << "-user cell by "
+                  << TextTable::percent(model.relativeError) << "\n";
+        ok = false;
+    }
+
+    TextTable sweep_table(
+        "Event-engine scale sweep (EDF + admission, 1 shard, " +
+        std::to_string(frames) + " frames/user)");
+    sweep_table.setHeader({"users", "wall s", "sim fr/s", "mean FPS",
+                           "worst FPS", "shed", "adm/s", "p99 wait ms",
+                           "pool util"});
+    for (std::size_t i = 0; i < grid.size(); i++) {
+        const auto &r = baseline[i].result;
+        const double sim_frames = static_cast<double>(grid[i]) *
+                                  static_cast<double>(frames);
+        sweep_table.addRow(
+            {std::to_string(grid[i]),
+             TextTable::num(baseline[i].wallSeconds, 1),
+             TextTable::num(sim_frames / baseline[i].wallSeconds, 0),
+             TextTable::num(r.meanFps(), 1),
+             TextTable::num(r.worstUserFps(), 1),
+             std::to_string(r.serveCounters.shed),
+             TextTable::num(
+                 static_cast<double>(r.serveCounters.admitted) /
+                     r.aggregate.horizon,
+                 0),
+             TextTable::num(toMs(r.aggregate.p99QueueWait), 2),
+             TextTable::percent(r.serverUtilisation)});
+    }
+    sweep_table.print(std::cout);
+
+    TextTable model_table("Calibrated capacity model (per shard)");
+    model_table.setHeader({"quantity", "value"});
+    model_table.addRow({"mu (admitted req/s/shard)",
+                        TextTable::num(model.muPerShard, 1)});
+    model_table.addRow({"lambda (req/s/user)",
+                        TextTable::num(model.lambdaPerUser, 1)});
+    model_table.addRow(
+        {"predicted admitted @" + std::to_string(grid.back()),
+         TextTable::num(model.predictedAdmitted, 0)});
+    model_table.addRow(
+        {"actual admitted @" + std::to_string(grid.back()),
+         std::to_string(
+             baseline.back().result.serveCounters.admitted)});
+    model_table.addRow({"relative error",
+                        TextTable::percent(model.relativeError)});
+    model_table.addRow({"shards to admit 100k users",
+                        std::to_string(model.shardsFor(1e5))});
+    model_table.addRow({"shards to admit 1M users",
+                        std::to_string(model.shardsFor(1e6))});
+    model_table.print(std::cout);
+
+    std::cout << "\nReading: one pool-bound shard admits a fixed"
+                 " mu requests/s no matter how many users contend"
+                 " for it — demand above that is shed to local"
+                 " fallback, which is why worst-user FPS stays near"
+                 " 90 Hz even at 10k users while the admitted share"
+                 " collapses.  Serving a planet-scale fleet is"
+                 " therefore a sharding problem: users*lambda/mu"
+                 " shards, with the event engine making the 10k-user"
+                 " calibration runs tractable (O(users) memory,"
+                 " O(log pending) scheduling).\n";
+
+    std::ofstream os(json_path);
+    if (!os) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+    }
+    os << "{\n  \"bench\": \"fleet_capacity_large\",\n"
+       << "  \"frames\": " << frames << ",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"scale_target_users\": " << scale_target << ",\n"
+       << "  \"bit_exact_across_threads\": "
+       << (bit_exact ? "true" : "false") << ",\n"
+       << "  \"admitted_deadline_misses\": " << adm_misses << ",\n"
+       << "  \"model\": {\"mu_per_shard\": " << model.muPerShard
+       << ", \"lambda_per_user\": " << model.lambdaPerUser
+       << ", \"predicted_admitted\": " << model.predictedAdmitted
+       << ", \"relative_error\": " << model.relativeError
+       << ", \"shards_100k\": " << model.shardsFor(1e5)
+       << ", \"shards_1m\": " << model.shardsFor(1e6) << "},\n"
+       << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < grid.size(); i++) {
+        const auto &r = baseline[i].result;
+        os << "    {\"users\": " << grid[i]
+           << ", \"wall_seconds\": " << baseline[i].wallSeconds
+           << ", \"mean_fps\": " << r.meanFps()
+           << ", \"worst_fps\": " << r.worstUserFps()
+           << ", \"fps_compliance\": " << r.fpsCompliance()
+           << ", \"horizon_s\": " << r.aggregate.horizon
+           << ", \"submitted\": " << r.serveCounters.submitted
+           << ", \"admitted\": " << r.serveCounters.admitted
+           << ", \"shed\": " << r.serveCounters.shed
+           << ", \"downgraded\": " << r.serveCounters.downgraded
+           << ", \"p99_wait_ms\": "
+           << toMs(r.aggregate.p99QueueWait)
+           << ", \"pool_utilisation\": " << r.serverUtilisation
+           << "}" << (i + 1 < grid.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+    return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int
@@ -143,19 +496,28 @@ main(int argc, char **argv)
     using namespace qvr::bench;
 
     bool quick = false;
-    std::string json_path = "BENCH_fleet_capacity.json";
+    bool large = false;
+    std::string json_path;
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
         if (arg == "--quick") {
             quick = true;
+        } else if (arg == "--large") {
+            large = true;
         } else if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
         } else {
             std::cerr << "usage: bench_fleet_capacity [--quick]"
-                         " [--json <path>]\n";
+                         " [--large] [--json <path>]\n";
             return 2;
         }
     }
+    if (json_path.empty())
+        json_path = large ? "BENCH_fleet_capacity_large.json"
+                          : "BENCH_fleet_capacity.json";
+
+    if (large)
+        return runLarge(quick, json_path);
 
     printHeader("fleet capacity — serving policies at equal silicon");
 

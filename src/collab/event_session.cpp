@@ -1,0 +1,150 @@
+#include "collab/event_session.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "collab/session_model.hpp"
+#include "common/log.hpp"
+#include "sim/event_queue.hpp"
+
+namespace qvr::collab
+{
+
+namespace
+{
+
+/**
+ * Stage priorities at an equal timestamp: a round's dispatch barrier
+ * runs before completions, completions before the next round's
+ * issues.  Within one priority the kernel's seq tie-break preserves
+ * scheduling order, which the engine exploits to complete a round's
+ * users in issue order (the shared egress timeline is call-order
+ * FIFO, so this order is semantic, not cosmetic).
+ */
+constexpr sim::Priority kDispatch = 0;
+constexpr sim::Priority kComplete = 1;
+constexpr sim::Priority kIssue = 2;
+
+/** One Served session run as per-user state machines on the event
+ *  kernel.  See event_session.hpp for the equivalence contract. */
+class EventEngine
+{
+  public:
+    explicit EventEngine(const SessionConfig &cfg)
+        : cfg_(cfg),
+          setup_(model::makeSetup(cfg, /*streaming=*/true,
+                                  cfg.aggregateTelemetry)),
+          pending_(cfg.users), arrivedIssue_(cfg.users)
+    {
+        QVR_REQUIRE(setup_.fleet != nullptr,
+                    "event engine requires the Served design");
+    }
+
+    SessionResult run()
+    {
+        // Sense stage: every user's first issue event at its issue
+        // clock (all zero at t = 0; the kernel's seq tie-break makes
+        // the firing order user-index order, which is immaterial —
+        // phase A touches only private state).
+        for (std::size_t ui = 0; ui < setup_.users.size(); ui++)
+            scheduleIssue(ui);
+        queue_.run();
+        QVR_REQUIRE(round_ == cfg_.numFrames,
+                    "event session drained early: round ", round_,
+                    " of ", cfg_.numFrames);
+        return cfg_.aggregateTelemetry
+                   ? model::finaliseAggregate(cfg_, setup_)
+                   : model::finaliseFull(cfg_, setup_);
+    }
+
+  private:
+    void scheduleIssue(std::size_t ui)
+    {
+        // A user's issue clock can lag the round barrier (its
+        // resources freed early); the clamp only moves the EVENT
+        // time, not the model time — phase A reads u.issue from
+        // state, so the computed frame is unchanged.
+        model::UserState &u = setup_.users[ui];
+        queue_.schedule(std::max(u.issue, queue_.now()),
+                        [this, ui] { onIssue(ui); }, kIssue);
+    }
+
+    void onIssue(std::size_t ui)
+    {
+        model::UserState &u = setup_.users[ui];
+        arrivedIssue_[ui] = u.issue;
+        pending_[ui] = model::prepareServedFrame(
+            *setup_.shared, *setup_.fleet, u, ui, u.fetchFrame());
+        arrived_++;
+        if (arrived_ == setup_.users.size()) {
+            // Round cohort complete: dispatch barrier at this
+            // instant, ahead of any equal-time issue events.
+            queue_.schedule(queue_.now(), [this] { onDispatch(); },
+                            kDispatch);
+        }
+    }
+
+    void onDispatch()
+    {
+        // Phase B: submission seq numbers, the request batch and the
+        // fleet tick all in issue order — the exact inputs the
+        // lockstep engine hands the serving stack.
+        const std::vector<std::size_t> order =
+            issueOrder(arrivedIssue_);
+        std::vector<serve::RenderRequest> reqs;
+        reqs.reserve(order.size());
+        for (std::size_t ui : order) {
+            pending_[ui].request.seq = setup_.fleet->nextSeq();
+            reqs.push_back(pending_[ui].request);
+        }
+        const std::vector<serve::ServeOutcome> outcomes =
+            setup_.fleet->submitTick(reqs);
+
+        // Phase C as events: equal time and priority, scheduled in
+        // issue order, so the kernel's seq tie-break fires them in
+        // issue order.
+        for (std::size_t k = 0; k < order.size(); k++) {
+            const std::size_t ui = order[k];
+            const serve::ServeOutcome o = outcomes[k];
+            queue_.schedule(queue_.now(),
+                            [this, ui, o] { onComplete(ui, o); },
+                            kComplete);
+        }
+        arrived_ = 0;
+        round_++;
+    }
+
+    void onComplete(std::size_t ui, const serve::ServeOutcome &o)
+    {
+        model::UserState &u = setup_.users[ui];
+        model::commitFrame(
+            *setup_.shared, u,
+            model::finishServedFrame(*setup_.shared, u, pending_[ui],
+                                     o));
+        if (u.nextFrame < cfg_.numFrames)
+            scheduleIssue(ui);
+    }
+
+    const SessionConfig &cfg_;
+    model::SessionSetup setup_;
+    sim::EventQueue queue_;
+
+    /** Round collector, indexed by user. */
+    std::vector<model::ServedPending> pending_;
+    std::vector<Seconds> arrivedIssue_;
+    std::size_t arrived_ = 0;
+    std::size_t round_ = 0;
+};
+
+}  // namespace
+
+SessionResult
+runEventSession(const SessionConfig &cfg)
+{
+    cfg.validate();
+    QVR_REQUIRE(cfg.engine == SessionEngine::Event,
+                "runEventSession called with the lockstep engine");
+    return EventEngine(cfg).run();
+}
+
+}  // namespace qvr::collab

@@ -1,509 +1,15 @@
 #include "collab/session.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <memory>
+#include <limits>
 #include <numeric>
 
+#include "collab/event_session.hpp"
+#include "collab/session_model.hpp"
 #include "common/log.hpp"
 
 namespace qvr::collab
 {
-
-namespace
-{
-
-using core::FrameStats;
-using core::PipelineResult;
-
-/** Everything one user owns privately. */
-struct UserState
-{
-    std::vector<scene::FrameWorkload> workload;
-    std::unique_ptr<core::Liwc> liwc;       // Qvr design only
-    sim::BusyResource cpu;
-    sim::BusyResource gpu;
-    sim::BusyResource lastMile;
-    sim::MultiServerResource decoders{2};
-    std::unique_ptr<net::Channel> channel;
-    core::UcaTimingModel uca;
-    Seconds issue = 0.0;
-    Seconds lastDisplay = 0.0;
-    bool hasLastDisplay = false;
-    std::size_t nextFrame = 0;
-    /** Static design: completion times of in-flight prefetches. */
-    std::vector<Seconds> prefetchReady;
-    PipelineResult result;
-};
-
-/** Shared infrastructure + immutable models. */
-struct Shared
-{
-    const SessionConfig *cfg;
-    foveation::LayerGeometry geometry;
-    foveation::PartitionOracle oracle;
-    gpu::MobileGpuModel gpuModel;
-    remote::RemoteServer requestServer;  // one request's chiplet share
-    net::VideoCodec codec;
-    gpu::postprocess::PostprocessCosts postCosts;
-    sim::MultiServerResource serverPool;
-    sim::BusyResource egress;
-
-    Shared(const SessionConfig &c, const core::PipelineConfig &pc,
-           const remote::ServerConfig &request_cfg)
-        : cfg(&c), geometry(pc.display(), pc.mar), oracle(geometry),
-          gpuModel(pc.gpuConfig, pc.gpuCost),
-          requestServer(request_cfg), codec(pc.codecConfig),
-          postCosts(pc.postCosts),
-          serverPool(std::max<std::uint32_t>(
-              1, c.totalChiplets / c.chipletsPerRequest)),
-          egress()
-    {
-    }
-};
-
-constexpr Seconds kControlLogic = 0.8e-3;
-constexpr Seconds kUplink = 1.0e-3;
-constexpr Seconds kSensor = 2e-3;
-constexpr Seconds kDisplay = 5e-3;
-
-/** Ship one payload: shared egress, then the user's last mile. */
-Seconds
-shipAndDecode(Shared &sh, UserState &u, Seconds ready, Bytes bytes,
-              double pixels)
-{
-    const double egress_serialise =
-        static_cast<double>(bytes) * 8.0 / sh.cfg->serverEgress;
-    const Seconds left_edge = sh.egress.serve(ready, egress_serialise);
-
-    const net::TransferResult xfer = u.channel->transfer(bytes);
-    const Seconds serialise =
-        xfer.duration - u.channel->config().baseLatency;
-    const Seconds sent = u.lastMile.serve(left_edge, serialise);
-    const Seconds arrived =
-        sent + u.channel->config().baseLatency;
-    return u.decoders.serve(arrived, sh.codec.decodeTime(pixels));
-}
-
-FrameStats
-simulateQvrFrame(Shared &sh, UserState &u,
-                 const scene::FrameWorkload &frame)
-{
-    const auto &bench =
-        scene::findBenchmark(sh.cfg->benchmark);
-    FrameStats s;
-    s.index = frame.index;
-    const Seconds cpu_done = u.cpu.serve(u.issue, kControlLogic);
-
-    const Vec2 gaze{frame.motionSeen.gaze.x, frame.motionSeen.gaze.y};
-    const core::LiwcDecision decision = u.liwc->selectEccentricity(
-        frame.motionDelta, frame.totalTriangles() * 2, gaze);
-    const auto &resolved = sh.oracle.resolve(decision.e1, gaze);
-    s.e1 = resolved.partition.e1;
-    s.e2 = resolved.partition.e2;
-
-    const double area =
-        sh.geometry.foveaAreaFraction(resolved.partition.e1, gaze);
-    const double work =
-        std::pow(std::max(1e-9, area),
-                 1.0 / bench.centerConcentration);
-
-    gpu::RenderJob local;
-    local.triangles = static_cast<std::uint64_t>(
-        static_cast<double>(frame.totalTriangles()) * 2.0 * work);
-    local.shadedPixels = resolved.pixels.foveaPixels * 2.0;
-    local.batches = std::max<std::uint32_t>(
-        1,
-        static_cast<std::uint32_t>(bench.numBatches * work * 2.0));
-    local.shadingCost = bench.shadingCost;
-    s.tLocalRender = sh.gpuModel.renderSeconds(local);
-    s.localTriangles = local.triangles;
-    const Seconds local_done = u.gpu.serve(cpu_done, s.tLocalRender);
-
-    // Server render on the shared chiplet pool.
-    gpu::RenderJob remote_job;
-    remote_job.triangles = static_cast<std::uint64_t>(
-        static_cast<double>(frame.totalTriangles()) * 2.0 *
-        (1.0 - work));
-    remote_job.shadedPixels = resolved.pixels.peripheryPixels() * 2.0;
-    remote_job.batches = bench.numBatches * 2;
-    remote_job.shadingCost = bench.shadingCost;
-    s.tRemoteRender = sh.requestServer.renderSeconds(remote_job);
-    const Seconds render_done = sh.serverPool.serve(
-        cpu_done + kUplink, s.tRemoteRender);
-    const Seconds stream_start = render_done - 0.7 * s.tRemoteRender;
-
-    Seconds all_decoded = 0.0;
-    double periphery_pixels = 0.0;
-    for (int eye = 0; eye < 2; eye++) {
-        for (int layer = 0; layer < 2; layer++) {
-            const double pixels =
-                layer == 0 ? resolved.pixels.middlePixels
-                           : resolved.pixels.outerPixels;
-            const double factor =
-                layer == 0 ? resolved.pixels.middleFactor
-                           : resolved.pixels.outerFactor;
-            const Bytes bytes =
-                sh.codec.compressedSize(pixels, 1.0, factor);
-            const Seconds ready =
-                stream_start + 0.3 * sh.codec.encodeTime(pixels);
-            const Seconds decoded =
-                shipAndDecode(sh, u, ready, bytes, pixels);
-            all_decoded = std::max(all_decoded, decoded);
-            s.transmittedBytes += bytes;
-            s.tNetwork +=
-                static_cast<double>(bytes) * 8.0 /
-                u.channel->ackThroughput();
-            periphery_pixels += pixels;
-        }
-    }
-    s.tRemoteBranch = std::max(0.0, all_decoded - cpu_done);
-
-    const auto &display = sh.geometry.display();
-    core::PixelPartition pp;
-    const double ppd = display.pixelsPerDegree();
-    pp.centerX = display.width / 2.0 + gaze.x * ppd;
-    pp.centerY = display.height / 2.0 + gaze.y * ppd;
-    pp.foveaRadius = resolved.partition.e1 * ppd;
-    pp.middleRadius = resolved.partition.e2 * ppd;
-    const core::UcaTimingResult eye0 = u.uca.processFrame(
-        display.width, display.height, pp, local_done, all_decoded);
-    const core::UcaTimingResult eye1 = u.uca.processFrame(
-        display.width, display.height, pp, local_done, all_decoded);
-    const Seconds done = std::max(eye0.done, eye1.done);
-    s.tComposition = (eye0.busy + eye1.busy) / 2.0;
-
-    s.displayTime = done + kDisplay;
-    s.mtpLatency = kSensor + (s.displayTime - u.issue);
-    s.gpuBusy = s.tLocalRender;
-    s.renderedResolutionFraction =
-        sh.geometry.linearResolutionFraction(resolved.partition);
-
-    core::LiwcFeedback fb;
-    fb.measuredLocal = s.tLocalRender;
-    fb.measuredRemote = s.tRemoteBranch;
-    fb.renderedTriangles = local.triangles;
-    fb.peripheryPixels = periphery_pixels;
-    fb.peripheryBytes = s.transmittedBytes;
-    fb.ackThroughput = u.channel->ackThroughput();
-    u.liwc->update(decision, fb);
-    return s;
-}
-
-FrameStats
-simulateStaticFrame(Shared &sh, UserState &u,
-                    const scene::FrameWorkload &frame)
-{
-    const auto &bench = scene::findBenchmark(sh.cfg->benchmark);
-    FrameStats s;
-    s.index = frame.index;
-    const Seconds cpu_done = u.cpu.serve(u.issue, kControlLogic);
-
-    // Local: the interactive objects.
-    gpu::RenderJob local;
-    local.triangles = frame.interactiveTriangles() * 2;
-    double coverage = 0.0;
-    for (const auto &b : frame.batches) {
-        if (b.interactive)
-            coverage += b.screenCoverage;
-    }
-    coverage = clamp(coverage, 0.01, 0.6);
-    local.shadedPixels =
-        static_cast<double>(bench.pixelsPerEye()) * 2.0 * coverage;
-    local.batches = 8;
-    local.shadingCost = bench.shadingCost;
-    s.tLocalRender =
-        sh.gpuModel.renderSeconds(local) *
-        (1.0 + sh.postCosts.contentionInflation);
-    const Seconds local_done = u.gpu.serve(cpu_done, s.tLocalRender);
-
-    // Remote: full background + depth, prefetched one frame ahead.
-    const double bg_pixels =
-        static_cast<double>(bench.pixelsPerEye()) * 2.0;
-    gpu::RenderJob bg;
-    bg.triangles =
-        (frame.totalTriangles() - frame.interactiveTriangles()) * 2;
-    bg.shadedPixels = bg_pixels;
-    bg.batches = bench.numBatches * 2;
-    bg.shadingCost = bench.shadingCost;
-    s.tRemoteRender = sh.requestServer.renderSeconds(bg);
-    const Seconds render_done = sh.serverPool.serve(
-        cpu_done + kUplink, s.tRemoteRender);
-
-    const Bytes bytes = sh.codec.compressedSize(bg_pixels, 1.0, 1.0,
-                                                /*with_depth=*/true);
-    const Seconds decoded = shipAndDecode(
-        sh, u, render_done + 0.3 * sh.codec.encodeTime(bg_pixels),
-        bytes, bg_pixels);
-    s.transmittedBytes = bytes;
-    s.tNetwork = static_cast<double>(bytes) * 8.0 /
-                 u.channel->ackThroughput();
-
-    // Prefetch pipelining: this fetch serves the NEXT frame; the
-    // current frame composites the previous fetch.
-    Seconds bg_ready = cpu_done;
-    u.prefetchReady.push_back(decoded);
-    if (u.prefetchReady.size() > 1) {
-        bg_ready = u.prefetchReady.front();
-        u.prefetchReady.erase(u.prefetchReady.begin());
-    } else {
-        bg_ready = decoded;  // cold start: wait for the first fetch
-    }
-    s.tRemoteBranch = std::max(0.0, bg_ready - cpu_done);
-
-    s.tComposition = gpu::postprocess::depthCompositionTime(
-        sh.gpuModel, bg_pixels, sh.postCosts);
-    s.tAtw = gpu::postprocess::atwTime(sh.gpuModel, bg_pixels,
-                                       sh.postCosts);
-    const Seconds comp_start = std::max(local_done, bg_ready) +
-                               0.6 * (s.tComposition + s.tAtw);
-    const Seconds done =
-        u.gpu.serve(comp_start, s.tComposition + s.tAtw);
-
-    s.displayTime = done + kDisplay;
-    s.mtpLatency = kSensor + (s.displayTime - u.issue);
-    s.gpuBusy = s.tLocalRender + s.tComposition + s.tAtw;
-    s.renderedResolutionFraction = 1.0;
-    return s;
-}
-
-/** Per-user state carried from a Served round's phase A (local work
- *  and request creation) to phase C (completion). */
-struct ServedPending
-{
-    FrameStats s;
-    Vec2 gaze;
-    foveation::PartitionOracle::Resolved resolved;
-    core::LiwcDecision decision;
-    gpu::RenderJob remoteJob;
-    serve::RenderRequest request;
-    Seconds cpuDone = 0.0;
-    Seconds localDone = 0.0;
-};
-
-/**
- * Served phase A: everything up to and including the render request —
- * identical to the Qvr frame's front half, except the periphery job
- * becomes a RenderRequest for the serving stack instead of a direct
- * call-order grab of the shared pool.
- */
-ServedPending
-prepareServedFrame(Shared &sh, serve::Fleet &fleet, UserState &u,
-                   std::size_t user_index,
-                   const scene::FrameWorkload &frame)
-{
-    const auto &bench = scene::findBenchmark(sh.cfg->benchmark);
-    ServedPending p;
-    FrameStats &s = p.s;
-    s.index = frame.index;
-    p.cpuDone = u.cpu.serve(u.issue, kControlLogic);
-
-    p.gaze = Vec2{frame.motionSeen.gaze.x, frame.motionSeen.gaze.y};
-    p.decision = u.liwc->selectEccentricity(
-        frame.motionDelta, frame.totalTriangles() * 2, p.gaze);
-    p.resolved = sh.oracle.resolve(p.decision.e1, p.gaze);
-    s.e1 = p.resolved.partition.e1;
-    s.e2 = p.resolved.partition.e2;
-
-    const double area =
-        sh.geometry.foveaAreaFraction(p.resolved.partition.e1,
-                                      p.gaze);
-    const double work = std::pow(std::max(1e-9, area),
-                                 1.0 / bench.centerConcentration);
-
-    gpu::RenderJob local;
-    local.triangles = static_cast<std::uint64_t>(
-        static_cast<double>(frame.totalTriangles()) * 2.0 * work);
-    local.shadedPixels = p.resolved.pixels.foveaPixels * 2.0;
-    local.batches = std::max<std::uint32_t>(
-        1,
-        static_cast<std::uint32_t>(bench.numBatches * work * 2.0));
-    local.shadingCost = bench.shadingCost;
-    s.tLocalRender = sh.gpuModel.renderSeconds(local);
-    s.localTriangles = local.triangles;
-    p.localDone = u.gpu.serve(p.cpuDone, s.tLocalRender);
-
-    p.remoteJob.triangles = static_cast<std::uint64_t>(
-        static_cast<double>(frame.totalTriangles()) * 2.0 *
-        (1.0 - work));
-    p.remoteJob.shadedPixels =
-        p.resolved.pixels.peripheryPixels() * 2.0;
-    p.remoteJob.batches = bench.numBatches * 2;
-    p.remoteJob.shadingCost = bench.shadingCost;
-    s.tRemoteRender = fleet.requestRenderSeconds(p.remoteJob);
-
-    serve::RenderRequest &r = p.request;
-    r.seq = fleet.nextSeq();
-    r.user = static_cast<std::uint32_t>(user_index);
-    r.frame = frame.index;
-    r.arrival = p.cpuDone + kUplink;
-    r.deadline = r.arrival + sh.cfg->renderDeadline;
-    r.service = s.tRemoteRender;
-    r.triangles = p.remoteJob.triangles;
-    r.batchKey = 0;  // one benchmark per session: all coalescible
-    return p;
-}
-
-/**
- * Served phase C: turn the scheduler's outcome into photons.
- * Admitted requests stream their (possibly downgraded) layers from
- * the dispatch times; shed requests render the periphery on-device
- * at shedPeripheryScale — the degradation ladder's LocalOnly cost
- * model — serialised after the fovea on the same mobile GPU.
- */
-FrameStats
-finishServedFrame(Shared &sh, UserState &u, ServedPending &p,
-                  const serve::ServeOutcome &o)
-{
-    FrameStats &s = p.s;
-    s.serveQueueWait = o.queueWait;
-    s.serveAdmitted = o.admitted;
-    s.serveDeadlineMet = o.deadlineMet;
-    s.degradationLevel = o.level;
-
-    Seconds all_decoded = 0.0;
-    double periphery_pixels = 0.0;
-    if (o.admitted) {
-        const Seconds stream_start = o.completion - 0.7 * o.service;
-        const double rs2 = o.resolutionScale * o.resolutionScale;
-        for (int eye = 0; eye < 2; eye++) {
-            for (int layer = 0; layer < 2; layer++) {
-                const double pixels =
-                    (layer == 0 ? p.resolved.pixels.middlePixels
-                                : p.resolved.pixels.outerPixels) *
-                    rs2;
-                const double factor =
-                    layer == 0 ? p.resolved.pixels.middleFactor
-                               : p.resolved.pixels.outerFactor;
-                const Bytes bytes = sh.codec.compressedSize(
-                    pixels, o.qualityFactor, factor);
-                const Seconds ready =
-                    stream_start + 0.3 * sh.codec.encodeTime(pixels);
-                const Seconds decoded =
-                    shipAndDecode(sh, u, ready, bytes, pixels);
-                all_decoded = std::max(all_decoded, decoded);
-                s.transmittedBytes += bytes;
-                s.tNetwork += static_cast<double>(bytes) * 8.0 /
-                              u.channel->ackThroughput();
-                periphery_pixels += pixels;
-            }
-        }
-        s.peripheryQuality = o.qualityFactor;
-        s.gpuBusy = s.tLocalRender;
-        s.renderedResolutionFraction =
-            sh.geometry.linearResolutionFraction(
-                p.resolved.partition) *
-            o.resolutionScale;
-    } else {
-        const double lp = sh.cfg->shedPeripheryScale;
-        gpu::RenderJob fallback = p.remoteJob;
-        fallback.triangles = static_cast<std::uint64_t>(
-            static_cast<double>(p.remoteJob.triangles) * lp);
-        fallback.shadedPixels = p.remoteJob.shadedPixels * lp * lp;
-        const Seconds t_fallback =
-            sh.gpuModel.renderSeconds(fallback);
-        all_decoded = u.gpu.serve(p.localDone, t_fallback);
-        s.localFallback = true;
-        s.gpuBusy = s.tLocalRender + t_fallback;
-        s.renderedResolutionFraction =
-            sh.geometry.linearResolutionFraction(
-                p.resolved.partition) *
-            lp;
-    }
-    s.tRemoteBranch = std::max(0.0, all_decoded - p.cpuDone);
-
-    const auto &display = sh.geometry.display();
-    core::PixelPartition pp;
-    const double ppd = display.pixelsPerDegree();
-    pp.centerX = display.width / 2.0 + p.gaze.x * ppd;
-    pp.centerY = display.height / 2.0 + p.gaze.y * ppd;
-    pp.foveaRadius = p.resolved.partition.e1 * ppd;
-    pp.middleRadius = p.resolved.partition.e2 * ppd;
-    const core::UcaTimingResult eye0 = u.uca.processFrame(
-        display.width, display.height, pp, p.localDone, all_decoded);
-    const core::UcaTimingResult eye1 = u.uca.processFrame(
-        display.width, display.height, pp, p.localDone, all_decoded);
-    const Seconds done = std::max(eye0.done, eye1.done);
-    s.tComposition = (eye0.busy + eye1.busy) / 2.0;
-
-    s.displayTime = done + kDisplay;
-    s.mtpLatency = kSensor + (s.displayTime - u.issue);
-
-    if (o.admitted) {
-        // Shed frames carry no remote measurement, so the LIWC
-        // controller only learns from admitted ones.
-        core::LiwcFeedback fb;
-        fb.measuredLocal = s.tLocalRender;
-        fb.measuredRemote = s.tRemoteBranch;
-        fb.renderedTriangles = s.localTriangles;
-        fb.peripheryPixels = periphery_pixels;
-        fb.peripheryBytes = s.transmittedBytes;
-        fb.ackThroughput = u.channel->ackThroughput();
-        u.liwc->update(p.decision, fb);
-    }
-    return s;
-}
-
-/** Shared per-frame bookkeeping tail: interval, SLO flags, issue
- *  clock (the exact statements every design has always run). */
-void
-commitFrame(Shared &sh, UserState &u, FrameStats s)
-{
-    s.frameInterval = u.hasLastDisplay ? s.displayTime - u.lastDisplay
-                                       : s.displayTime;
-    u.lastDisplay = s.displayTime;
-    u.hasLastDisplay = true;
-    s.meetsFrameRate =
-        s.frameInterval <= vr_requirements::kFrameBudget + 1e-9;
-    s.meetsMtp =
-        s.mtpLatency <= vr_requirements::kMaxMotionToPhoton + 1e-9;
-    u.result.frames.push_back(s);
-
-    u.issue = std::max({u.issue + 0.2e-3, u.gpu.nextFree(),
-                        u.lastMile.nextFree(), sh.egress.nextFree()});
-}
-
-/** Nearest-rank percentile over admitted-frame queue waits. */
-UserSloStats
-computeUserSlo(const PipelineResult &pu)
-{
-    UserSloStats slo;
-    std::vector<Seconds> waits;
-    std::uint64_t late = 0;
-    for (const FrameStats &f : pu.frames) {
-        if (!f.serveAdmitted) {
-            slo.shedFrames++;
-            continue;
-        }
-        waits.push_back(f.serveQueueWait);
-        if (f.degradationLevel > 0)
-            slo.downgradedFrames++;
-        if (!f.serveDeadlineMet)
-            late++;
-    }
-    if (!pu.frames.empty())
-        slo.deadlineMissRate =
-            static_cast<double>(late) /
-            static_cast<double>(pu.frames.size());
-    if (!waits.empty()) {
-        std::sort(waits.begin(), waits.end());
-        const auto rank = [&waits](double q) {
-            const std::size_t n = waits.size();
-            std::size_t i = static_cast<std::size_t>(
-                std::ceil(q * static_cast<double>(n)));
-            if (i == 0)
-                i = 1;
-            if (i > n)
-                i = n;
-            return waits[i - 1];
-        };
-        slo.p50QueueWait = rank(0.50);
-        slo.p99QueueWait = rank(0.99);
-    }
-    return slo;
-}
-
-}  // namespace
 
 void
 SessionConfig::validate() const
@@ -532,6 +38,18 @@ SessionConfig::validate() const
         serving.admission.validate();
         serving.batching.validate();
     }
+    QVR_REQUIRE(engine == SessionEngine::Lockstep ||
+                    design == SessionDesign::Served,
+                "the event engine only runs the Served design");
+    QVR_REQUIRE(!aggregateTelemetry ||
+                    engine == SessionEngine::Event,
+                "aggregate telemetry requires the event engine");
+    // The LIWC SRAM indexing needs motion-bits + 5 = 15 bits, so the
+    // override can only deepen the table.
+    QVR_REQUIRE(liwcTableDepthLog2 == 0 ||
+                    (liwcTableDepthLog2 >= 15 &&
+                     liwcTableDepthLog2 <= 20),
+                "LIWC table depth override outside [15, 20]");
 }
 
 std::vector<std::size_t>
@@ -549,6 +67,8 @@ issueOrder(const std::vector<Seconds> &issue)
 double
 SessionResult::meanFps() const
 {
+    if (aggregate.enabled)
+        return aggregate.meanFps;
     double sum = 0.0;
     for (const auto &u : perUser)
         sum += u.meanFps();
@@ -559,6 +79,8 @@ SessionResult::meanFps() const
 double
 SessionResult::worstUserFps() const
 {
+    if (aggregate.enabled)
+        return aggregate.worstUserFps;
     double worst = std::numeric_limits<double>::infinity();
     for (const auto &u : perUser)
         worst = std::min(worst, u.meanFps());
@@ -568,6 +90,8 @@ SessionResult::worstUserFps() const
 double
 SessionResult::meanMtp() const
 {
+    if (aggregate.enabled)
+        return aggregate.meanMtp;
     double sum = 0.0;
     for (const auto &u : perUser)
         sum += u.meanMtp();
@@ -578,6 +102,8 @@ SessionResult::meanMtp() const
 double
 SessionResult::fpsCompliance() const
 {
+    if (aggregate.enabled)
+        return aggregate.fpsCompliance;
     double sum = 0.0;
     for (const auto &u : perUser)
         sum += u.fpsCompliance();
@@ -588,6 +114,8 @@ SessionResult::fpsCompliance() const
 double
 SessionResult::aggregateBytesPerFrame() const
 {
+    if (aggregate.enabled)
+        return aggregate.bytesPerFrame;
     double sum = 0.0;
     for (const auto &u : perUser)
         sum += u.meanTransmittedBytes();
@@ -598,64 +126,14 @@ SessionResult
 runSession(const SessionConfig &cfg)
 {
     cfg.validate();
+    if (cfg.engine == SessionEngine::Event)
+        return runEventSession(cfg);
 
-    core::ExperimentSpec spec;
-    spec.benchmark = cfg.benchmark;
-    spec.channel = cfg.lastMile;
-    spec.numFrames = cfg.numFrames;
-    const core::PipelineConfig pc = spec.toConfig();
-
-    remote::ServerConfig request_cfg = remote::ServerConfig{};
-    request_cfg.chiplets = cfg.chipletsPerRequest;
-
-    Shared shared(cfg, pc, request_cfg);
-    const auto &bench = scene::findBenchmark(cfg.benchmark);
-
-    // Served: stand up the serving stack.  Slot count 0 derives
-    // equal hardware from the session's chiplet fields, split across
-    // the shards; every shard's per-request hardware share matches
-    // the bare pool's so designs compare at identical silicon.
-    std::unique_ptr<serve::Fleet> fleet;
-    if (cfg.design == SessionDesign::Served) {
-        serve::FleetConfig fc = cfg.serving;
-        fc.server.chiplets = cfg.chipletsPerRequest;
-        fc.batching.syncOverhead = fc.server.syncOverhead;
-        if (fc.scheduler.slots == 0) {
-            const std::uint32_t pool_slots = std::max<std::uint32_t>(
-                1, cfg.totalChiplets / cfg.chipletsPerRequest);
-            fc.scheduler.slots =
-                std::max<std::uint32_t>(1, pool_slots / fc.shards);
-        }
-        fleet = std::make_unique<serve::Fleet>(fc);
-    }
-
-    std::vector<UserState> users(cfg.users);
-    for (std::size_t i = 0; i < cfg.users; i++) {
-        core::ExperimentSpec user_spec = spec;
-        user_spec.seed = cfg.seed + i * 101;
-        users[i].workload =
-            core::generateExperimentWorkload(user_spec);
-        users[i].channel = std::make_unique<net::Channel>(
-            cfg.lastMile, Rng(cfg.seed + i, 0xbeef + i));
-        if (cfg.design != SessionDesign::Static) {
-            const double pixels_per_tri =
-                static_cast<double>(bench.pixelsPerEye()) /
-                static_cast<double>(bench.meanTriangles);
-            users[i].liwc = std::make_unique<core::Liwc>(
-                pc.liwcConfig, shared.geometry,
-                shared.gpuModel.triangleThroughput(
-                    bench.shadingCost, pixels_per_tri),
-                cfg.lastMile.nominalDownlink *
-                    cfg.lastMile.protocolEfficiency,
-                pc.codecConfig.baseBitsPerPixel, 5.0,
-                bench.centerConcentration);
-        }
-        users[i].result.design =
-            cfg.design == SessionDesign::Qvr      ? "Q-VR"
-            : cfg.design == SessionDesign::Served ? "Served"
-                                                  : "Static";
-        users[i].result.benchmark = cfg.benchmark;
-    }
+    model::SessionSetup su = model::makeSetup(
+        cfg, /*streaming=*/false, /*aggregate=*/false);
+    model::Shared &shared = *su.shared;
+    std::vector<model::UserState> &users = su.users;
+    serve::Fleet *fleet = su.fleet.get();
 
     // Round-based simulation: each round serves every user's next
     // frame in issue-clock order, keeping the shared timelines
@@ -671,77 +149,47 @@ runSession(const SessionConfig &cfg)
         const std::vector<std::size_t> order = issueOrder(issues);
 
         if (cfg.design == SessionDesign::Served) {
-            // Phase A: local work + request creation in issue order;
-            // phase B: one fleet scheduling tick over the round's
-            // requests (this is what lets EDF/SJF reorder across
-            // users and the composer coalesce them); phase C:
+            // Phase A: local work + request creation in issue order
+            // (the dispatch order, so submission seq numbers are
+            // assigned here); phase B: one fleet scheduling tick over
+            // the round's requests (this is what lets EDF/SJF reorder
+            // across users and the composer coalesce them); phase C:
             // completion, in the same order.
-            std::vector<ServedPending> pending;
+            std::vector<model::ServedPending> pending;
             pending.reserve(cfg.users);
             std::vector<serve::RenderRequest> reqs;
             reqs.reserve(cfg.users);
             for (std::size_t ui : order) {
-                UserState &u = users[ui];
-                const auto &frame = u.workload[u.nextFrame++];
-                pending.push_back(prepareServedFrame(
-                    shared, *fleet, u, ui, frame));
+                model::UserState &u = users[ui];
+                pending.push_back(model::prepareServedFrame(
+                    shared, *fleet, u, ui, u.fetchFrame()));
+                pending.back().request.seq = fleet->nextSeq();
                 reqs.push_back(pending.back().request);
             }
             const std::vector<serve::ServeOutcome> outcomes =
                 fleet->submitTick(reqs);
             for (std::size_t k = 0; k < order.size(); k++) {
-                UserState &u = users[order[k]];
-                commitFrame(shared, u,
-                            finishServedFrame(shared, u, pending[k],
-                                              outcomes[k]));
+                model::UserState &u = users[order[k]];
+                model::commitFrame(
+                    shared, u,
+                    model::finishServedFrame(shared, u, pending[k],
+                                             outcomes[k]));
             }
             continue;
         }
 
         for (std::size_t ui : order) {
-            UserState &u = users[ui];
-            const auto &frame = u.workload[u.nextFrame++];
-            FrameStats s =
+            model::UserState &u = users[ui];
+            const auto &frame = u.fetchFrame();
+            core::FrameStats s =
                 cfg.design == SessionDesign::Qvr
-                    ? simulateQvrFrame(shared, u, frame)
-                    : simulateStaticFrame(shared, u, frame);
-            commitFrame(shared, u, s);
+                    ? model::simulateQvrFrame(shared, u, frame)
+                    : model::simulateStaticFrame(shared, u, frame);
+            model::commitFrame(shared, u, s);
         }
     }
 
-    SessionResult result;
-    result.config = cfg;
-    Seconds horizon = 0.0;
-    for (auto &u : users) {
-        horizon = std::max(horizon, u.lastDisplay);
-        result.perUser.push_back(std::move(u.result));
-    }
-    if (horizon > 0.0) {
-        result.egressUtilisation =
-            shared.egress.busyTime() / horizon;
-        result.serverUtilisation =
-            shared.serverPool.busyTime() /
-            (horizon *
-             static_cast<double>(shared.serverPool.servers()));
-    }
-    if (fleet) {
-        result.serveCounters = fleet->counters();
-        const double slots =
-            static_cast<double>(fleet->slotsPerShard());
-        result.shardUtilisation.assign(fleet->shards(), 0.0);
-        if (horizon > 0.0) {
-            for (std::size_t s = 0; s < fleet->shards(); s++)
-                result.shardUtilisation[s] =
-                    fleet->shardBusyTime(s) / (horizon * slots);
-            result.serverUtilisation =
-                fleet->busyTime() /
-                (horizon * slots *
-                 static_cast<double>(fleet->shards()));
-        }
-        for (const auto &pu : result.perUser)
-            result.perUserSlo.push_back(computeUserSlo(pu));
-    }
-    return result;
+    return model::finaliseFull(cfg, su);
 }
 
 std::size_t

@@ -42,6 +42,24 @@ enum class SessionDesign
     Served,  ///< Qvr with the qvr::serve edge-serving stack
 };
 
+/**
+ * How the session is executed.  Both engines run the same timing
+ * models (collab/session_model.hpp) and produce bit-identical
+ * results; they differ in orchestration and memory footprint.
+ */
+enum class SessionEngine
+{
+    /** Round loop materialising every user's workload up front — the
+     *  original engine, kept as the bit-exact oracle. */
+    Lockstep,
+    /** Per-user state machines (sense → issue → dispatch → complete →
+     *  compose) scheduled on sim::EventQueue with the deterministic
+     *  (time, priority, seq) tie-break; workloads stream frame by
+     *  frame, so memory is O(users), not O(users × frames).  Served
+     *  design only. */
+    Event,
+};
+
 
 /** Shared-infrastructure session description. */
 struct SessionConfig
@@ -80,6 +98,28 @@ struct SessionConfig
      *  request is shed (the degradation ladder's LocalOnly scale). */
     double shedPeripheryScale = 0.25;
 
+    /** Execution engine (Event requires design == Served). */
+    SessionEngine engine = SessionEngine::Lockstep;
+
+    /**
+     * Event engine only: accumulate per-user running sums instead of
+     * storing every FrameStats, shrinking a 10k-user sweep's result
+     * from gigabytes to kilobytes.  SessionResult::perUser stays
+     * empty; the summary accessors read SessionResult::aggregate,
+     * whose numbers are bit-identical to what the full-telemetry
+     * helpers would have computed.
+     */
+    bool aggregateTelemetry = false;
+
+    /**
+     * Override of LiwcConfig::tableDepthLog2 (0 = keep the model's
+     * default of 15, i.e. 64 KB of fp16 per user).  The motion-tag
+     * indexing needs 15 bits, so only deepening is legal ([15, 20]);
+     * 64 KB/user is also the dominant per-user memory cost of a
+     * fleet sweep — 10k users ≈ 640 MB of simulated SRAM.
+     */
+    std::uint32_t liwcTableDepthLog2 = 0;
+
     /** Panic on impossible values (runSession calls this). */
     void validate() const;
 };
@@ -100,11 +140,47 @@ struct UserSloStats
     std::uint64_t downgradedFrames = 0;
 };
 
+/**
+ * Streaming telemetry summary (SessionConfig::aggregateTelemetry).
+ * Every number equals what the full-telemetry accessors would have
+ * computed from SessionResult::perUser — accumulated in frame order
+ * with the same warm-up skip, so the equality is bitwise.
+ */
+struct SessionAggregate
+{
+    bool enabled = false;
+    std::size_t users = 0;
+    std::size_t framesPerUser = 0;
+
+    double meanFps = 0.0;
+    double worstUserFps = 0.0;
+    double meanMtp = 0.0;
+    double fpsCompliance = 0.0;
+    double bytesPerFrame = 0.0;
+
+    /** Simulated-time horizon of the run (latest display across
+     *  users, seconds) — turns the serve counters into rates, which
+     *  is what the capacity model in bench_fleet_capacity --large
+     *  calibrates against. */
+    Seconds horizon = 0.0;
+
+    /** Fleet-wide nearest-rank percentiles over every admitted
+     *  request's queue wait (pooled across users). */
+    Seconds p50QueueWait = 0.0;
+    Seconds p99QueueWait = 0.0;
+    double deadlineMissRate = 0.0;
+    std::uint64_t shedFrames = 0;
+    std::uint64_t downgradedFrames = 0;
+};
+
 /** Aggregate outcome of a session. */
 struct SessionResult
 {
     SessionConfig config;
     std::vector<core::PipelineResult> perUser;
+
+    /** Streaming summary (enabled == aggregateTelemetry runs). */
+    SessionAggregate aggregate;
 
     /** Across-user mean of per-user mean FPS. */
     double meanFps() const;

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Session timing layer ("core_simulate"): the per-frame models every
+ * session engine shares.
+ *
+ * runSession() historically kept its user state, shared
+ * infrastructure and frame simulation in one translation unit; the
+ * event-driven engine (event_session.hpp) needs the exact same
+ * computations, so they live here, split by role:
+ *
+ *  - UserState / Shared: everything one user owns privately, and the
+ *    shared infrastructure all users contend on;
+ *  - simulateQvrFrame / simulateStaticFrame: the closed-form designs;
+ *  - prepareServedFrame / finishServedFrame: the Served design's
+ *    phase A (sense + local render + request build) and phase C
+ *    (streaming, fallback, composition) around the serving stack's
+ *    phase B (Fleet::submitTick);
+ *  - commitFrame: the per-frame bookkeeping tail, which feeds either
+ *    full per-frame telemetry (PipelineResult) or the O(1)-per-user
+ *    streaming aggregate the 10k-user sweeps need.
+ *
+ * Engines ("core_system") own *when* these run: the lockstep engine
+ * loops rounds directly; the event engine schedules them as events on
+ * sim::EventQueue.  Policies stay in qvr::serve.  Keeping the three
+ * layers separable is what lets the lockstep path act as a bit-exact
+ * oracle for the event-driven one (DESIGN.md section 10).
+ *
+ * Internal header: everything here is an implementation detail of
+ * qvr::collab; the stable surface is session.hpp.
+ */
+
+#ifndef QVR_COLLAB_SESSION_MODEL_HPP
+#define QVR_COLLAB_SESSION_MODEL_HPP
+
+#include <memory>
+#include <vector>
+
+#include "collab/session.hpp"
+#include "core/workload_stream.hpp"
+
+namespace qvr::collab::model
+{
+
+/** Pipeline stage constants shared by every design (seconds). */
+constexpr Seconds kControlLogic = 0.8e-3;
+constexpr Seconds kUplink = 1.0e-3;
+constexpr Seconds kSensor = 2e-3;
+constexpr Seconds kDisplay = 5e-3;
+
+/**
+ * Streaming per-user telemetry: the running sums PipelineResult's
+ * aggregate helpers would compute from the stored frames, accumulated
+ * in frame order so the finalised numbers are bit-identical to the
+ * full-telemetry path — without the O(frames) per-user storage.
+ */
+struct UserAggregate
+{
+    /** First frame the mean* helpers count (warm-up skip). */
+    std::size_t warmupStart = 0;
+
+    std::uint64_t frames = 0;
+    double sumInterval = 0.0;    ///< post-warmup
+    double sumMtp = 0.0;         ///< post-warmup
+    double sumBytes = 0.0;       ///< post-warmup
+    std::uint64_t counted = 0;   ///< post-warmup frame count
+    std::uint64_t meetsRate = 0; ///< post-warmup 90 Hz frames
+
+    /** SLO counters over ALL frames (computeUserSlo semantics). */
+    std::uint64_t shed = 0;
+    std::uint64_t downgraded = 0;
+    std::uint64_t late = 0;
+    /** Queue waits of admitted requests (fleet-level percentiles). */
+    std::vector<Seconds> waits;
+
+    void add(const core::FrameStats &s);
+
+    double meanFps() const;
+    double meanMtp() const;
+    double meanBytes() const;
+    double fpsCompliance() const;
+};
+
+/** Everything one user owns privately. */
+struct UserState
+{
+    /** Eager workload (lockstep engines). */
+    std::vector<scene::FrameWorkload> workload;
+    /** Lazy workload (event engine): same frames, O(1) memory. */
+    std::unique_ptr<core::WorkloadStream> stream;
+
+    std::unique_ptr<core::Liwc> liwc;       // Qvr/Served designs
+    sim::BusyResource cpu;
+    sim::BusyResource gpu;
+    sim::BusyResource lastMile;
+    sim::MultiServerResource decoders{2};
+    std::unique_ptr<net::Channel> channel;
+    core::UcaTimingModel uca;
+    Seconds issue = 0.0;
+    Seconds lastDisplay = 0.0;
+    bool hasLastDisplay = false;
+    std::size_t nextFrame = 0;
+    /** Static design: completion times of in-flight prefetches. */
+    std::vector<Seconds> prefetchReady;
+
+    /** Full telemetry (empty when aggregateOnly). */
+    core::PipelineResult result;
+    /** Streaming telemetry (used when aggregateOnly). */
+    UserAggregate agg;
+    bool aggregateOnly = false;
+
+    /** The next frame's workload; advances nextFrame.  Returns a
+     *  reference valid until the following call. */
+    const scene::FrameWorkload &fetchFrame();
+};
+
+/** Shared infrastructure + immutable models. */
+struct Shared
+{
+    const SessionConfig *cfg;
+    foveation::LayerGeometry geometry;
+    foveation::PartitionOracle oracle;
+    gpu::MobileGpuModel gpuModel;
+    remote::RemoteServer requestServer;  // one request's chiplet share
+    net::VideoCodec codec;
+    gpu::postprocess::PostprocessCosts postCosts;
+    sim::MultiServerResource serverPool;
+    sim::BusyResource egress;
+
+    Shared(const SessionConfig &c, const core::PipelineConfig &pc,
+           const remote::ServerConfig &request_cfg);
+};
+
+/** Ship one payload: shared egress, then the user's last mile. */
+Seconds shipAndDecode(Shared &sh, UserState &u, Seconds ready,
+                      Bytes bytes, double pixels);
+
+core::FrameStats simulateQvrFrame(Shared &sh, UserState &u,
+                                  const scene::FrameWorkload &frame);
+
+core::FrameStats simulateStaticFrame(Shared &sh, UserState &u,
+                                     const scene::FrameWorkload &frame);
+
+/** Per-user state carried from a Served round's phase A (local work
+ *  and request creation) to phase C (completion). */
+struct ServedPending
+{
+    core::FrameStats s;
+    Vec2 gaze;
+    foveation::PartitionOracle::Resolved resolved;
+    core::LiwcDecision decision;
+    gpu::RenderJob remoteJob;
+    serve::RenderRequest request;
+    Seconds cpuDone = 0.0;
+    Seconds localDone = 0.0;
+};
+
+/**
+ * Served phase A: everything up to and including the render request —
+ * identical to the Qvr frame's front half, except the periphery job
+ * becomes a RenderRequest for the serving stack instead of a direct
+ * call-order grab of the shared pool.  Touches only @p u's private
+ * state plus const shared models, so engines may run different
+ * users' phase A in any order.  The request's seq is NOT assigned
+ * here: the engine assigns it in round dispatch order (the lockstep
+ * and event engines must hand the fleet identical seq numbers).
+ */
+ServedPending prepareServedFrame(Shared &sh, const serve::Fleet &fleet,
+                                 UserState &u, std::size_t user_index,
+                                 const scene::FrameWorkload &frame);
+
+/**
+ * Served phase C: turn the scheduler's outcome into photons.
+ * Admitted requests stream their (possibly downgraded) layers from
+ * the dispatch times; shed requests render the periphery on-device
+ * at shedPeripheryScale — the degradation ladder's LocalOnly cost
+ * model — serialised after the fovea on the same mobile GPU.
+ * Mutates the SHARED egress timeline: engines must run a round's
+ * phase Cs in issue order.
+ */
+core::FrameStats finishServedFrame(Shared &sh, UserState &u,
+                                   ServedPending &p,
+                                   const serve::ServeOutcome &o);
+
+/** Shared per-frame bookkeeping tail: interval, SLO flags, issue
+ *  clock (the exact statements every design has always run), routed
+ *  into full or aggregate telemetry. */
+void commitFrame(Shared &sh, UserState &u, core::FrameStats s);
+
+/** Nearest-rank percentile over admitted-frame queue waits. */
+UserSloStats computeUserSlo(const core::PipelineResult &pu);
+
+/** Everything an engine needs to run a session. */
+struct SessionSetup
+{
+    core::PipelineConfig pc;
+    std::unique_ptr<Shared> shared;
+    /** Null unless design == Served. */
+    std::unique_ptr<serve::Fleet> fleet;
+    std::vector<UserState> users;
+};
+
+/**
+ * Build the shared infrastructure, fleet (Served only; slot count 0
+ * derives equal hardware from the session's chiplet fields) and
+ * per-user states — seeded workloads, channels, LIWC instances.
+ * @p streaming selects lazy frame generation (event engine);
+ * @p aggregate selects streaming telemetry.  @p cfg must outlive the
+ * returned setup.
+ */
+SessionSetup makeSetup(const SessionConfig &cfg, bool streaming,
+                       bool aggregate);
+
+/**
+ * Full-telemetry result assembly: horizon, utilisations, serving
+ * counters, per-user SLO summaries — the statements runSession has
+ * always ended with, shared verbatim by both engines so the lockstep
+ * path stays a field-for-field oracle.  Consumes the users' results.
+ */
+SessionResult finaliseFull(const SessionConfig &cfg, SessionSetup &su);
+
+/** Streaming-telemetry result assembly (event engine, large N). */
+SessionResult finaliseAggregate(const SessionConfig &cfg,
+                                SessionSetup &su);
+
+}  // namespace qvr::collab::model
+
+#endif  // QVR_COLLAB_SESSION_MODEL_HPP

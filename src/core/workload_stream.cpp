@@ -1,0 +1,103 @@
+#include "core/workload_stream.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace qvr::core
+{
+
+namespace
+{
+
+motion::TraceConfig
+traceConfigFor(const ExperimentSpec &spec)
+{
+    motion::TraceConfig cfg;
+    cfg.numFrames = spec.numFrames;
+    cfg.seed = spec.seed;
+    return cfg;
+}
+
+}  // namespace
+
+WorkloadStream::WorkloadStream(const ExperimentSpec &spec)
+    : WorkloadStream(spec, Rng(spec.seed))
+{
+}
+
+// The member initialisers run in declaration order and split @p root
+// sequentially — the same root state and salts generateTrace() uses,
+// so every model sees the exact stream the eager generator feeds it.
+WorkloadStream::WorkloadStream(const ExperimentSpec &spec, Rng root)
+    : traceCfg_(traceConfigFor(spec)),
+      head_(traceCfg_.head, root.split(1)),
+      gaze_(traceCfg_.gaze, root.split(2)),
+      eye_(traceCfg_.eyeTracker, root.split(3)),
+      imu_(traceCfg_.motionSensor, root.split(4)),
+      interactionRng_(root.split(5)),
+      scene_(scene::findBenchmark(spec.benchmark), spec.seed + 1000),
+      numFrames_(spec.numFrames)
+{
+    QVR_REQUIRE(traceCfg_.frameRate > 0.0 && traceCfg_.numFrames > 0,
+                "bad trace shape");
+    const Seconds frame_dt = 1.0 / traceCfg_.frameRate;
+    fineDt_ = std::min({frame_dt, eye_.samplePeriod(),
+                        imu_.samplePeriod()}) /
+              2.0;
+    nextInteraction_ =
+        interactionRng_.exponential(traceCfg_.interactionRate);
+}
+
+const scene::FrameWorkload &
+WorkloadStream::next()
+{
+    QVR_REQUIRE(frame_ < numFrames_, "workload stream exhausted");
+
+    // One iteration of generateTrace()'s frame loop, statement for
+    // statement (trace.cpp) — floating-point identical.
+    const Seconds frame_dt = 1.0 / traceCfg_.frameRate;
+    const Seconds frame_time =
+        static_cast<double>(frame_ + 1) * frame_dt;
+    while (now_ < frame_time) {
+        const Seconds dt = std::min(fineDt_, frame_time - now_);
+        now_ += dt;
+        const motion::HeadPose &pose = head_.step(dt);
+        const motion::GazeAngles &g = gaze_.step(dt);
+        imu_.observe(now_, pose);
+        eye_.observe(now_, g);
+    }
+
+    if (now_ >= nextInteraction_) {
+        interactionUntil_ =
+            now_ + interactionRng_.exponential(
+                       1.0 / traceCfg_.interactionDuration);
+        nextInteraction_ =
+            now_ +
+            interactionRng_.exponential(traceCfg_.interactionRate);
+    }
+    const bool interacting = now_ < interactionUntil_;
+
+    motion::MotionSample seen;
+    seen.timestamp = now_;
+    seen.head = imu_.delivered(now_);
+    seen.gaze = eye_.delivered(now_);
+    seen.interacting = interacting;
+
+    motion::MotionSample truth;
+    truth.timestamp = now_;
+    truth.head = head_.pose();
+    truth.gaze = gaze_.gaze();
+    truth.interacting = interacting;
+
+    const motion::MotionDelta delta =
+        frame_ == 0 ? motion::MotionDelta{}
+                    : motion::deltaBetween(prevSeen_, seen);
+    prevSeen_ = seen;
+
+    scratch_ = scene_.frame(frame_, seen, truth, delta);
+    frame_++;
+    return scratch_;
+}
+
+}  // namespace qvr::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Streaming per-frame workload generation.
+ *
+ * generateExperimentWorkload() materialises a user's whole motion
+ * trace and workload vector up front — fine for one pipeline, fatal
+ * for fleet sweeps where 10,000+ simulated users would each pin
+ * numFrames * sizeof(FrameWorkload) of memory before the first event
+ * fires.  WorkloadStream produces the *identical* frame sequence one
+ * frame at a time from O(1) retained state per user: the same motion
+ * models stepped on the same fine grid, the same interaction Poisson
+ * process, the same SceneModel — byte-for-byte equal to the eager
+ * generator (pinned by tests/core/test_workload_stream.cpp).
+ */
+
+#ifndef QVR_CORE_WORKLOAD_STREAM_HPP
+#define QVR_CORE_WORKLOAD_STREAM_HPP
+
+#include <cstddef>
+
+#include "core/qvr_system.hpp"
+#include "motion/trace.hpp"
+#include "scene/scene_model.hpp"
+
+namespace qvr::core
+{
+
+/** Lazy, forward-only equivalent of generateExperimentWorkload(). */
+class WorkloadStream
+{
+  public:
+    explicit WorkloadStream(const ExperimentSpec &spec);
+
+    /**
+     * Generate the next frame's workload into internal scratch and
+     * return a reference to it (valid until the following call).
+     * Must not be called more than numFrames() times.
+     */
+    const scene::FrameWorkload &next();
+
+    std::size_t numFrames() const { return numFrames_; }
+    std::size_t produced() const { return frame_; }
+    bool exhausted() const { return frame_ >= numFrames_; }
+
+  private:
+    /** @p root is the trace's Rng root; member initialisers split it
+     *  in declaration order, replicating generateTrace()'s salts. */
+    WorkloadStream(const ExperimentSpec &spec, Rng root);
+
+    motion::TraceConfig traceCfg_;
+    motion::HeadMotionModel head_;
+    motion::GazeModel gaze_;
+    motion::EyeTracker eye_;
+    motion::MotionSensor imu_;
+    Rng interactionRng_;
+    scene::SceneModel scene_;
+
+    std::size_t numFrames_ = 0;
+    std::size_t frame_ = 0;
+    Seconds fineDt_ = 0.0;
+    Seconds now_ = 0.0;
+    Seconds interactionUntil_ = 0.0;
+    Seconds nextInteraction_ = 0.0;
+    motion::MotionSample prevSeen_;
+
+    scene::FrameWorkload scratch_;
+};
+
+}  // namespace qvr::core
+
+#endif  // QVR_CORE_WORKLOAD_STREAM_HPP

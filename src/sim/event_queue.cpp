@@ -1,7 +1,5 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
-
 #include "common/log.hpp"
 
 namespace qvr::sim
@@ -15,7 +13,7 @@ EventQueue::schedule(Seconds when, std::function<void()> fn, Priority prio)
     QVR_REQUIRE(static_cast<bool>(fn), "scheduling empty callback");
     const EventId id = nextId_++;
     heap_.push(Record{when, prio, id, std::move(fn)});
-    size_++;
+    live_.insert(id);
     return id;
 }
 
@@ -30,33 +28,20 @@ EventQueue::scheduleAfter(Seconds delay, std::function<void()> fn,
 bool
 EventQueue::deschedule(EventId id)
 {
-    if (id == 0 || id >= nextId_)
+    // Only a live (scheduled, unfired, uncancelled) id may be
+    // cancelled.  Fired and double-cancelled ids fall out here, so
+    // neither can corrupt pending() or leak into cancelled_.
+    if (live_.erase(id) == 0)
         return false;
-    if (cancelled(id))
-        return false;
-    cancelled_.push_back(id);
-    if (size_ == 0)
-        return false;
-    size_--;
+    cancelled_.insert(id);
     return true;
-}
-
-bool
-EventQueue::cancelled(EventId id) const
-{
-    return std::find(cancelled_.begin(), cancelled_.end(), id) !=
-           cancelled_.end();
 }
 
 void
 EventQueue::popCancelled()
 {
-    while (!heap_.empty() && cancelled(heap_.top().id)) {
-        const EventId id = heap_.top().id;
-        cancelled_.erase(
-            std::find(cancelled_.begin(), cancelled_.end(), id));
+    while (!heap_.empty() && cancelled_.erase(heap_.top().id) > 0)
         heap_.pop();
-    }
 }
 
 Seconds
@@ -80,7 +65,7 @@ EventQueue::runUntil(Seconds limit)
         // schedule new events and reshape the heap.
         Record rec = heap_.top();
         heap_.pop();
-        size_--;
+        live_.erase(rec.id);
         now_ = rec.when;
         dispatched_++;
         rec.fn();

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
@@ -56,7 +57,13 @@ class EventQueue
     EventId scheduleAfter(Seconds delay, std::function<void()> fn,
                           Priority prio = kDefaultPriority);
 
-    /** Cancel a pending event. @return false if already fired/unknown. */
+    /**
+     * Cancel a pending event.  @return false if the id is unknown,
+     * already cancelled, or — crucially — already fired: a fired id
+     * is no longer pending, so cancelling it must not perturb the
+     * pending count (this was a corruption bug; see the regression
+     * tests).
+     */
     bool deschedule(EventId id);
 
     /** Run until the queue drains. @return final simulated time. */
@@ -65,10 +72,10 @@ class EventQueue
     /** Run until the queue drains or time would pass @p limit. */
     Seconds runUntil(Seconds limit);
 
-    /** Pending (non-cancelled) event count. */
-    std::size_t pending() const { return size_; }
+    /** Pending (non-cancelled, non-fired) event count. */
+    std::size_t pending() const { return live_.size(); }
 
-    bool empty() const { return size_ == 0; }
+    bool empty() const { return live_.empty(); }
 
     /** Total number of events dispatched since construction. */
     std::uint64_t dispatched() const { return dispatched_; }
@@ -95,14 +102,18 @@ class EventQueue
         }
     };
 
-    bool cancelled(EventId id) const;
     void popCancelled();
 
     std::priority_queue<Record, std::vector<Record>, Later> heap_;
-    std::vector<EventId> cancelled_;
+    /** Scheduled ids that have neither fired nor been cancelled.
+     *  Hash sets keep deschedule()/popCancelled() O(1) — million-
+     *  event fleet sweeps cannot afford the linear scan these were
+     *  before. */
+    std::unordered_set<EventId> live_;
+    /** Cancelled ids whose records are still parked in the heap. */
+    std::unordered_set<EventId> cancelled_;
     Seconds now_ = 0.0;
     EventId nextId_ = 1;
-    std::size_t size_ = 0;
     std::uint64_t dispatched_ = 0;
 };
 

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Seed-pinning regression: SessionDesign::Qvr and ::Static outputs
+ * must remain byte-identical to pre-refactor binaries.
+ *
+ * The golden values below are hexfloats captured from the session
+ * engine BEFORE the timing layer was extracted into
+ * collab/session_model.cpp and the submission-seq assignment moved
+ * into the engines' dispatch loops.  They pin the refactor (and any
+ * future one) to bit-exact preservation: a change that perturbs any
+ * double in any frame of these four configurations fails here with
+ * the exact old/new bits.
+ *
+ * Regenerating these constants is only legitimate when an
+ * intentional MODEL change lands (a new timing term, a constant
+ * recalibration) — never to make a refactor pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "collab/session.hpp"
+
+namespace qvr::collab
+{
+namespace
+{
+
+struct UserGolden
+{
+    double meanMtp;
+    double meanFps;
+    double meanBytes;
+    double lastDisplayTime;
+    double lastMtp;
+    double lastE1;
+    double midDisplayTime;
+    double midInterval;
+};
+
+struct SessionGolden
+{
+    const char *tag;
+    SessionDesign design;
+    std::size_t users;
+    std::size_t frames;
+    std::uint64_t seed;
+    const char *benchmark;
+    double egressUtilisation;
+    double serverUtilisation;
+    std::vector<UserGolden> perUser;
+};
+
+/** Hexfloat literal -> double (exact; no decimal rounding). */
+double
+hx(const char *s)
+{
+    return std::strtod(s, nullptr);
+}
+
+std::vector<SessionGolden>
+goldens()
+{
+    return {
+        {"qvr-3u-60f-s1-HL2H", SessionDesign::Qvr, 3, 60, 1, "HL2-H",
+         hx("0x1.0155d21b7796bp-2"), hx("0x1.778cd3ebc4e77p-4"),
+         {{hx("0x1.553ddd95096efp-6"), hx("0x1.ba76cf6777695p+6"),
+           hx("0x1.6fa4p+16"), hx("0x1.15d186799675dp-1"),
+           hx("0x1.49bd6a6345a6p-6"), hx("0x1.cp+4"),
+           hx("0x1.1f18bccad15ddp-2"), hx("0x1.25ab4a4789fap-7")},
+          {hx("0x1.58f2bd0eb3d6cp-6"), hx("0x1.be54745911975p+6"),
+           hx("0x1.6e4f333333333p+16"), hx("0x1.15963bd582744p-1"),
+           hx("0x1.5250b9e87406p-6"), hx("0x1.dp+4"),
+           hx("0x1.20aa4269f396p-2"), hx("0x1.19b5a8eb8804p-7")},
+          {hx("0x1.58777b9aec1adp-6"), hx("0x1.be7008b896a49p+6"),
+           hx("0x1.6eadddddddddep+16"), hx("0x1.18d83c6288acap-1"),
+           hx("0x1.52f96586997ep-6"), hx("0x1.cp+4"),
+           hx("0x1.27f590c4c1be5p-2"), hx("0x1.307f0fd7c9d2p-7")}}},
+        {"static-3u-60f-s1-HL2H", SessionDesign::Static, 3, 60, 1,
+         "HL2-H", hx("0x1.214e0ac81c49dp-2"),
+         hx("0x1.4827011aecd6bp-5"),
+         {{hx("0x1.876b2d84a685cp-5"), hx("0x1.1602790566e75p+4"),
+           hx("0x1.491p+19"), hx("0x1.b3e528769bad9p+1"),
+           hx("0x1.876737fed016p-5"), 0.0,
+           hx("0x1.bcfc60b7fda4fp+0"), hx("0x1.e63a099c297ep-5")},
+          {hx("0x1.878f181a8702p-5"), hx("0x1.20f7701227e7cp+4"),
+           hx("0x1.491p+19"), hx("0x1.b200d3f6aaa5cp+1"),
+           hx("0x1.8743ceee155ep-5"), 0.0,
+           hx("0x1.c98b81e04bacfp+0"), hx("0x1.d8e56e1484c6p-5")},
+          {hx("0x1.8702f18340a6cp-5"), hx("0x1.1921bf2d96d7cp+4"),
+           hx("0x1.491p+19"), hx("0x1.b7ab0e8a80031p+1"),
+           hx("0x1.874a7f8c5852p-5"), 0.0,
+           hx("0x1.c99cea49c87d2p+0"), hx("0x1.ebbd976f3546p-5")}}},
+        {"qvr-5u-45f-s7-Doom3L", SessionDesign::Qvr, 5, 45, 7,
+         "Doom3-L", hx("0x1.1aaf9973d5752p-2"),
+         hx("0x1.8f35bcf7600eap-4"),
+         {{hx("0x1.fccbd37224527p-7"), hx("0x1.3436aeda87f5cp+7"),
+           hx("0x1.36d4p+15"), hx("0x1.1e474a5ab51d2p-2"),
+           hx("0x1.fb1f60329a65fp-7"), hx("0x1.28p+5"),
+           hx("0x1.1c5f7338703ffp-3"), hx("0x1.7e516475f5c6p-8")},
+          {hx("0x1.ff1c081619ac2p-7"), hx("0x1.3695cc004a3a7p+7"),
+           hx("0x1.3838p+15"), hx("0x1.1d1bb50123a68p-2"),
+           hx("0x1.f9cc3f361e93fp-7"), hx("0x1.28p+5"),
+           hx("0x1.1d3e2980b66cbp-3"), hx("0x1.74cbf76764c8p-8")},
+          {hx("0x1.00b7dc855270bp-6"), hx("0x1.40d7eebe8b4f6p+7"),
+           hx("0x1.3bfeaaaaaaaabp+15"), hx("0x1.1aae1b396b6ddp-2"),
+           hx("0x1.f71781be373dfp-7"), hx("0x1.28p+5"),
+           hx("0x1.1eaea5f2cf295p-3"), hx("0x1.7ca0fb64481ep-8")},
+          {hx("0x1.fe23d1d213a94p-7"), hx("0x1.422806ad9409ap+7"),
+           hx("0x1.3fb4p+15"), hx("0x1.1f69ec90a1ab3p-2"),
+           hx("0x1.fa6c4b2a0009fp-7"), hx("0x1.28p+5"),
+           hx("0x1.27942d8d4d794p-3"), hx("0x1.973c546c3f6p-8")},
+          {hx("0x1.fb24eee899f19p-7"), hx("0x1.37ef7781f6521p+7"),
+           hx("0x1.399f777777777p+15"), hx("0x1.1d91102c9e5a3p-2"),
+           hx("0x1.04039a0e9a3fp-6"), hx("0x1.28p+5"),
+           hx("0x1.1f5732bc6403cp-3"), hx("0x1.90bad2c1dec8p-8")}}},
+        {"static-2u-45f-s7-GRID", SessionDesign::Static, 2, 45, 7,
+         "GRID", hx("0x1.727a6c53cb85fp-3"),
+         hx("0x1.5b405907beac1p-5"),
+         {{hx("0x1.d434205acffafp-5"), hx("0x1.0da864a6a3f42p+4"),
+           hx("0x1.491p+19"), hx("0x1.56e242b9f3102p+1"),
+           hx("0x1.d461c75193dap-5"), 0.0,
+           hx("0x1.60b66402abb4bp+0"), hx("0x1.eb708a5834ep-5")},
+          {hx("0x1.d8ab7375a73f3p-5"), hx("0x1.1775080e674e2p+4"),
+           hx("0x1.491p+19"), hx("0x1.5755c30ad12bp+1"),
+           hx("0x1.d8a0603e8a3ep-5"), 0.0,
+           hx("0x1.680ee1d4eeaacp+0"), hx("0x1.16c43db41ec8p-4")}}},
+    };
+}
+
+TEST(SessionGoldenValues, QvrAndStaticAreByteIdenticalToPrePrBinaries)
+{
+    for (const SessionGolden &g : goldens()) {
+        SessionConfig cfg;
+        cfg.design = g.design;
+        cfg.users = g.users;
+        cfg.numFrames = g.frames;
+        cfg.seed = g.seed;
+        cfg.benchmark = g.benchmark;
+        const SessionResult r = runSession(cfg);
+
+        ASSERT_EQ(r.perUser.size(), g.perUser.size()) << g.tag;
+        for (std::size_t u = 0; u < g.perUser.size(); u++) {
+            const UserGolden &gu = g.perUser[u];
+            const auto &fr = r.perUser[u].frames;
+            ASSERT_EQ(fr.size(), g.frames) << g.tag;
+            // EXPECT_EQ on doubles: bit-for-bit, no tolerance.
+            EXPECT_EQ(r.perUser[u].meanMtp(), gu.meanMtp)
+                << g.tag << " user " << u;
+            EXPECT_EQ(r.perUser[u].meanFps(), gu.meanFps)
+                << g.tag << " user " << u;
+            EXPECT_EQ(r.perUser[u].meanTransmittedBytes(),
+                      gu.meanBytes)
+                << g.tag << " user " << u;
+            EXPECT_EQ(fr.back().displayTime, gu.lastDisplayTime)
+                << g.tag << " user " << u;
+            EXPECT_EQ(fr.back().mtpLatency, gu.lastMtp)
+                << g.tag << " user " << u;
+            EXPECT_EQ(fr.back().e1, gu.lastE1)
+                << g.tag << " user " << u;
+            EXPECT_EQ(fr[g.frames / 2].displayTime,
+                      gu.midDisplayTime)
+                << g.tag << " user " << u;
+            EXPECT_EQ(fr[g.frames / 2].frameInterval,
+                      gu.midInterval)
+                << g.tag << " user " << u;
+        }
+        EXPECT_EQ(r.egressUtilisation, g.egressUtilisation) << g.tag;
+        EXPECT_EQ(r.serverUtilisation, g.serverUtilisation) << g.tag;
+    }
+}
+
+}  // namespace
+}  // namespace qvr::collab

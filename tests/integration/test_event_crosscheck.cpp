@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "collab/session.hpp"
 #include "core/pipelines_baseline.hpp"
 #include "core/qvr_system.hpp"
 #include "sim/event_queue.hpp"
@@ -112,6 +113,237 @@ TEST(EventCrosscheck, HoldsAcrossBenchmarks)
         }
     }
 }
+
+/**
+ * The second oracle pair: the event-driven served-session engine
+ * (collab/event_session.cpp) against the lockstep round loop it
+ * replaced for large sweeps.  The contract is bit-exactness — every
+ * FrameStats field, every SLO percentile, every fleet counter — not
+ * approximate agreement, because the event engine is sold as "the
+ * same simulation, differently orchestrated".
+ */
+class ServedSessionCrosscheck
+    : public ::testing::TestWithParam<collab::SessionConfig>
+{
+};
+
+void
+expectResultsIdentical(const collab::SessionResult &a,
+                       const collab::SessionResult &b)
+{
+    ASSERT_EQ(a.perUser.size(), b.perUser.size());
+    for (std::size_t u = 0; u < a.perUser.size(); u++) {
+        const auto &fa = a.perUser[u].frames;
+        const auto &fb = b.perUser[u].frames;
+        ASSERT_EQ(fa.size(), fb.size()) << "user " << u;
+        for (std::size_t i = 0; i < fa.size(); i++) {
+            const core::FrameStats &x = fa[i];
+            const core::FrameStats &y = fb[i];
+            ASSERT_EQ(x.index, y.index) << "user " << u;
+            // EXPECT_EQ on doubles = bitwise-exact agreement.
+            ASSERT_EQ(x.displayTime, y.displayTime)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.mtpLatency, y.mtpLatency)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.frameInterval, y.frameInterval)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.e1, y.e1) << "user " << u << " frame " << i;
+            ASSERT_EQ(x.e2, y.e2) << "user " << u << " frame " << i;
+            ASSERT_EQ(x.tLocalRender, y.tLocalRender)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.tRemoteRender, y.tRemoteRender)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.tRemoteBranch, y.tRemoteBranch)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.tComposition, y.tComposition)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.tNetwork, y.tNetwork)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.transmittedBytes, y.transmittedBytes)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.localTriangles, y.localTriangles)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.gpuBusy, y.gpuBusy)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.renderedResolutionFraction,
+                      y.renderedResolutionFraction)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.meetsFrameRate, y.meetsFrameRate)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.meetsMtp, y.meetsMtp)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.serveQueueWait, y.serveQueueWait)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.serveAdmitted, y.serveAdmitted)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.serveDeadlineMet, y.serveDeadlineMet)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.degradationLevel, y.degradationLevel)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.localFallback, y.localFallback)
+                << "user " << u << " frame " << i;
+            ASSERT_EQ(x.peripheryQuality, y.peripheryQuality)
+                << "user " << u << " frame " << i;
+        }
+    }
+
+    // Per-user SLO telemetry, field for field.
+    ASSERT_EQ(a.perUserSlo.size(), b.perUserSlo.size());
+    for (std::size_t u = 0; u < a.perUserSlo.size(); u++) {
+        ASSERT_EQ(a.perUserSlo[u].p50QueueWait,
+                  b.perUserSlo[u].p50QueueWait)
+            << "user " << u;
+        ASSERT_EQ(a.perUserSlo[u].p99QueueWait,
+                  b.perUserSlo[u].p99QueueWait)
+            << "user " << u;
+        ASSERT_EQ(a.perUserSlo[u].deadlineMissRate,
+                  b.perUserSlo[u].deadlineMissRate)
+            << "user " << u;
+        ASSERT_EQ(a.perUserSlo[u].shedFrames,
+                  b.perUserSlo[u].shedFrames)
+            << "user " << u;
+        ASSERT_EQ(a.perUserSlo[u].downgradedFrames,
+                  b.perUserSlo[u].downgradedFrames)
+            << "user " << u;
+    }
+
+    // Fleet counters and shared-infrastructure utilisations.
+    ASSERT_EQ(a.serveCounters.submitted, b.serveCounters.submitted);
+    ASSERT_EQ(a.serveCounters.admitted, b.serveCounters.admitted);
+    ASSERT_EQ(a.serveCounters.shed, b.serveCounters.shed);
+    ASSERT_EQ(a.serveCounters.downgraded, b.serveCounters.downgraded);
+    ASSERT_EQ(a.serveCounters.deadlineMisses,
+              b.serveCounters.deadlineMisses);
+    ASSERT_EQ(a.serveCounters.batches, b.serveCounters.batches);
+    ASSERT_EQ(a.serveCounters.batchedRequests,
+              b.serveCounters.batchedRequests);
+    ASSERT_EQ(a.egressUtilisation, b.egressUtilisation);
+    ASSERT_EQ(a.serverUtilisation, b.serverUtilisation);
+    ASSERT_EQ(a.shardUtilisation, b.shardUtilisation);
+}
+
+TEST_P(ServedSessionCrosscheck, EventEngineMatchesLockstepOracle)
+{
+    collab::SessionConfig cfg = GetParam();
+    cfg.engine = collab::SessionEngine::Lockstep;
+    const collab::SessionResult lockstep = collab::runSession(cfg);
+    cfg.engine = collab::SessionEngine::Event;
+    const collab::SessionResult event = collab::runSession(cfg);
+    expectResultsIdentical(lockstep, event);
+}
+
+// Aggregate telemetry must equal the numbers the full-telemetry
+// accessors compute — bitwise, because the accumulators replicate
+// meanOver's warm-up skip and summation order.
+TEST_P(ServedSessionCrosscheck, AggregateTelemetryMatchesFull)
+{
+    collab::SessionConfig cfg = GetParam();
+    cfg.engine = collab::SessionEngine::Lockstep;
+    const collab::SessionResult full = collab::runSession(cfg);
+    cfg.engine = collab::SessionEngine::Event;
+    cfg.aggregateTelemetry = true;
+    const collab::SessionResult agg = collab::runSession(cfg);
+
+    ASSERT_TRUE(agg.aggregate.enabled);
+    EXPECT_TRUE(agg.perUser.empty());
+    ASSERT_EQ(agg.aggregate.users, cfg.users);
+    EXPECT_EQ(agg.meanFps(), full.meanFps());
+    EXPECT_EQ(agg.worstUserFps(), full.worstUserFps());
+    EXPECT_EQ(agg.meanMtp(), full.meanMtp());
+    EXPECT_EQ(agg.fpsCompliance(), full.fpsCompliance());
+    EXPECT_EQ(agg.aggregateBytesPerFrame(),
+              full.aggregateBytesPerFrame());
+    EXPECT_EQ(agg.serverUtilisation, full.serverUtilisation);
+    EXPECT_EQ(agg.egressUtilisation, full.egressUtilisation);
+    EXPECT_EQ(agg.serveCounters.shed, full.serveCounters.shed);
+    EXPECT_EQ(agg.serveCounters.admitted,
+              full.serveCounters.admitted);
+
+    // Shed/downgraded totals equal the per-user SLO sums.
+    std::uint64_t shed = 0, downgraded = 0;
+    for (const auto &slo : full.perUserSlo) {
+        shed += slo.shedFrames;
+        downgraded += slo.downgradedFrames;
+    }
+    EXPECT_EQ(agg.aggregate.shedFrames, shed);
+    EXPECT_EQ(agg.aggregate.downgradedFrames, downgraded);
+}
+
+std::vector<collab::SessionConfig>
+crosscheckConfigs()
+{
+    std::vector<collab::SessionConfig> cfgs;
+
+    const auto base = [] {
+        collab::SessionConfig cfg;
+        cfg.design = collab::SessionDesign::Served;
+        cfg.benchmark = "HL2-H";
+        cfg.totalChiplets = 4;
+        cfg.chipletsPerRequest = 2;
+        cfg.serverEgress = fromMbps(2000.0);
+        cfg.numFrames = 50;
+        return cfg;
+    };
+
+    // EDF + admission, the bench's headline cell.
+    collab::SessionConfig c1 = base();
+    c1.users = 3;
+    c1.serving.scheduler.policy = serve::SchedulerPolicy::Edf;
+    c1.serving.admission.enabled = true;
+    cfgs.push_back(c1);
+
+    // FIFO, saturated (6 users on a 2-slot pool): sheds, backlog,
+    // deadline misses all exercised.
+    collab::SessionConfig c2 = base();
+    c2.users = 6;
+    c2.numFrames = 40;
+    cfgs.push_back(c2);
+
+    // Batching + 2-shard JSQ fleet.
+    collab::SessionConfig c3 = base();
+    c3.users = 5;
+    c3.numFrames = 40;
+    c3.totalChiplets = 8;
+    c3.serving.scheduler.policy = serve::SchedulerPolicy::Edf;
+    c3.serving.admission.enabled = true;
+    c3.serving.batching.enabled = true;
+    c3.serving.shards = 2;
+    cfgs.push_back(c3);
+
+    // Hash-affinity balancer, different benchmark and seed.
+    collab::SessionConfig c4 = base();
+    c4.users = 4;
+    c4.numFrames = 40;
+    c4.benchmark = "Doom3-L";
+    c4.seed = 7;
+    c4.serving.shards = 2;
+    c4.serving.balancer = serve::BalancerPolicy::HashUser;
+    c4.serving.scheduler.policy = serve::SchedulerPolicy::Sjf;
+    cfgs.push_back(c4);
+
+    // More users than libstdc++'s insertion-sort threshold (16):
+    // pins the round-0 issueOrder tie handling, where std::sort is
+    // only identity on all-equal keys below that size.
+    collab::SessionConfig c5 = base();
+    c5.users = 20;
+    c5.numFrames = 25;
+    c5.serving.scheduler.policy = serve::SchedulerPolicy::Edf;
+    c5.serving.admission.enabled = true;
+    cfgs.push_back(c5);
+
+    return cfgs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sessions, ServedSessionCrosscheck,
+    ::testing::ValuesIn(crosscheckConfigs()),
+    [](const ::testing::TestParamInfo<collab::SessionConfig> &pi) {
+        const auto &c = pi.param;
+        return c.benchmark.substr(0, c.benchmark.find('-')) + "u" +
+               std::to_string(c.users) + "s" +
+               std::to_string(c.serving.shards) + "i" +
+               std::to_string(pi.index);
+    });
 
 }  // namespace
 }  // namespace qvr::core

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Determinism gate for the event-driven session engine: a downscaled
+ * replica of `bench_fleet_capacity --large`'s sweep cell must produce
+ * byte-identical results when the cell grid is fanned out on 1, 2 and
+ * 8 sim::runParallel worker threads.  Joins the `ctest -L tsan`
+ * concurrency suite, so with -DQVR_SANITIZE=thread the fan-out is
+ * also vetted for data races.
+ *
+ * Each session is single-threaded by design (one EventQueue per
+ * experiment); parallelism only places whole cells on workers, so
+ * bit-exactness is the proof that no shared mutable state leaks
+ * between cells.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "collab/session.hpp"
+#include "sim/parallel.hpp"
+
+namespace qvr::collab
+{
+namespace
+{
+
+/** The --large sweep cell, downscaled: EDF + admission on one shard,
+ *  streaming workloads, aggregate telemetry. */
+SessionConfig
+largeCell(std::size_t users, std::uint64_t seed)
+{
+    SessionConfig cfg;
+    cfg.design = SessionDesign::Served;
+    cfg.engine = SessionEngine::Event;
+    cfg.aggregateTelemetry = true;
+    cfg.benchmark = "HL2-H";
+    cfg.users = users;
+    cfg.numFrames = 40;
+    cfg.totalChiplets = 4;
+    cfg.chipletsPerRequest = 2;
+    cfg.serverEgress = fromMbps(2000.0);
+    cfg.serving.scheduler.policy = serve::SchedulerPolicy::Edf;
+    cfg.serving.admission.enabled = true;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Byte-faithful digest (hexfloat: no rounding). */
+std::string
+digest(const SessionResult &r)
+{
+    const SessionAggregate &a = r.aggregate;
+    std::ostringstream os;
+    os << std::hexfloat << a.users << ';' << a.framesPerUser << ';'
+       << a.meanFps << ';' << a.worstUserFps << ';' << a.meanMtp
+       << ';' << a.fpsCompliance << ';' << a.bytesPerFrame << ';'
+       << a.p50QueueWait << ';' << a.p99QueueWait << ';'
+       << a.deadlineMissRate << ';' << a.shedFrames << ';'
+       << a.downgradedFrames << ';' << r.serveCounters.submitted
+       << ';' << r.serveCounters.admitted << ';'
+       << r.serveCounters.shed << ';' << r.serveCounters.downgraded
+       << ';' << r.serveCounters.deadlineMisses << ';'
+       << r.egressUtilisation << ';' << r.serverUtilisation;
+    for (const double u : r.shardUtilisation)
+        os << ';' << u;
+    return os.str();
+}
+
+TEST(EventSessionDeterminism, SweepBytesIdenticalAt128Workers)
+{
+    // A small user-count sweep, like the --large capacity cell runs
+    // (each grid point is one independent event-driven session).
+    const std::vector<std::size_t> grid = {1, 2, 4, 8, 12};
+
+    const auto sweep = [&grid](std::size_t threads) {
+        return sim::runParallel(
+            grid.size(),
+            [&grid](std::size_t i) {
+                return digest(
+                    runSession(largeCell(grid[i], 1 + i)));
+            },
+            threads);
+    };
+
+    const std::vector<std::string> baseline = sweep(1);
+    for (const std::size_t threads : {2u, 8u}) {
+        const std::vector<std::string> rerun = sweep(threads);
+        ASSERT_EQ(baseline.size(), rerun.size());
+        for (std::size_t i = 0; i < grid.size(); i++) {
+            EXPECT_EQ(baseline[i], rerun[i])
+                << grid[i] << " users not byte-identical at "
+                << threads << " workers";
+        }
+    }
+}
+
+TEST(EventSessionDeterminism, RepeatedRunsBytesIdentical)
+{
+    const SessionConfig cfg = largeCell(6, 3);
+    const std::string first = digest(runSession(cfg));
+    for (int rep = 0; rep < 3; rep++)
+        EXPECT_EQ(first, digest(runSession(cfg))) << "rep " << rep;
+}
+
+}  // namespace
+}  // namespace qvr::collab

@@ -62,6 +62,99 @@ TEST(EventQueue, CancelPreventsDispatch)
     EXPECT_FALSE(fired);
 }
 
+// Regression: cancelling an id that has ALREADY FIRED used to be
+// accepted — it slipped into the cancelled list (never reclaimed,
+// since its record had left the heap) and decremented the pending
+// count, eventually underflowing it.  A fired id is not pending, so
+// the cancel must be a rejected no-op.
+TEST(EventQueue, DescheduleAfterFireIsRejected)
+{
+    EventQueue q;
+    const EventId id = q.schedule(1.0, [] {});
+    q.run();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_FALSE(q.deschedule(id));
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+// The fired-id cancel must not poison later events either: before the
+// fix the leaked cancelled entry could only grow, and the corrupted
+// count misreported the queue as empty (or wrapped around).
+TEST(EventQueue, DescheduleAfterFireDoesNotPerturbLaterEvents)
+{
+    EventQueue q;
+    const EventId fired = q.schedule(1.0, [] {});
+    q.run();
+    ASSERT_FALSE(q.deschedule(fired));
+
+    int count = 0;
+    q.schedule(2.0, [&] { count++; });
+    q.schedule(3.0, [&] { count++; });
+    EXPECT_EQ(q.pending(), 2u);
+    EXPECT_FALSE(q.empty());
+    q.run();
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.dispatched(), 3u);
+}
+
+TEST(EventQueue, DoubleDescheduleCountsOnce)
+{
+    EventQueue q;
+    bool fired = false;
+    q.schedule(1.0, [&] { fired = true; });
+    const EventId id = q.schedule(2.0, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    EXPECT_TRUE(q.deschedule(id));
+    EXPECT_EQ(q.pending(), 1u);
+    // Second, third... cancels of the same id are rejected and leave
+    // the count alone.
+    EXPECT_FALSE(q.deschedule(id));
+    EXPECT_FALSE(q.deschedule(id));
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(q.dispatched(), 1u);
+}
+
+TEST(EventQueue, UnknownIdDescheduleIsRejected)
+{
+    EventQueue q;
+    q.schedule(1.0, [] {});
+    EXPECT_FALSE(q.deschedule(EventId{999999}));
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+// pending() accounting across a mixed schedule/fire/cancel history:
+// every transition is exercised and the count must track the live
+// set exactly.
+TEST(EventQueue, PendingTracksLiveSetThroughMixedHistory)
+{
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (int i = 1; i <= 6; i++)
+        ids.push_back(
+            q.schedule(static_cast<double>(i), [] {}));
+    EXPECT_EQ(q.pending(), 6u);
+
+    EXPECT_TRUE(q.deschedule(ids[1]));   // cancel t=2
+    EXPECT_TRUE(q.deschedule(ids[4]));   // cancel t=5
+    EXPECT_EQ(q.pending(), 4u);
+
+    q.runUntil(3.5);                     // fires t=1, t=3
+    EXPECT_EQ(q.pending(), 2u);
+    EXPECT_EQ(q.dispatched(), 2u);
+
+    EXPECT_FALSE(q.deschedule(ids[0]));  // fired
+    EXPECT_FALSE(q.deschedule(ids[1]));  // already cancelled
+    EXPECT_EQ(q.pending(), 2u);
+
+    q.run();                             // fires t=4, t=6
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.dispatched(), 4u);
+    EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, ReentrantSchedulingChain)
 {
     EventQueue q;

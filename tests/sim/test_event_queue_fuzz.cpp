@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Property/fuzz test of the event kernel against a naive reference.
+ *
+ * The reference model is a plain sorted vector of (when, priority,
+ * id) records with O(n) operations — slow but obviously correct.
+ * Randomised interleavings of schedule / scheduleAfter / deschedule /
+ * runUntil are applied to both implementations and every observable
+ * must agree at every step: the dispatch order, the dispatched()
+ * counter, deschedule()'s accept/reject verdicts, pending(), and
+ * runUntil()'s clock semantics (now() parks at the limit while
+ * events remain, or at the last dispatch when the queue drains).
+ *
+ * This is the safety net under the kernel's hash-set cancellation
+ * rework: any divergence in tie-breaking or liveness accounting
+ * between the heap implementation and the sorted-vector semantics
+ * fails here with the offending seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+
+namespace qvr::sim
+{
+namespace
+{
+
+/** Sorted-vector reference model of the kernel's contract. */
+class ReferenceQueue
+{
+  public:
+    std::uint64_t schedule(Seconds when, Priority prio)
+    {
+        const std::uint64_t id = nextId_++;
+        pending_.push_back(Rec{when, prio, id});
+        return id;
+    }
+
+    bool deschedule(std::uint64_t id)
+    {
+        const auto it = std::find_if(
+            pending_.begin(), pending_.end(),
+            [id](const Rec &r) { return r.id == id; });
+        if (it == pending_.end())
+            return false;
+        pending_.erase(it);
+        return true;
+    }
+
+    /** Dispatch every event with when <= limit, in (when, prio, id)
+     *  order; append ids to @p fired.  Returns the final clock. */
+    Seconds runUntil(Seconds limit, std::vector<std::uint64_t> &fired)
+    {
+        for (;;) {
+            const auto it = std::min_element(
+                pending_.begin(), pending_.end(),
+                [](const Rec &a, const Rec &b) {
+                    if (a.when != b.when)
+                        return a.when < b.when;
+                    if (a.prio != b.prio)
+                        return a.prio < b.prio;
+                    return a.id < b.id;
+                });
+            if (it == pending_.end())
+                return now_;  // drained: clock stays at last fire
+            if (it->when > limit) {
+                now_ = limit;
+                return now_;
+            }
+            now_ = it->when;
+            dispatched_++;
+            fired.push_back(it->id);
+            pending_.erase(it);
+        }
+    }
+
+    Seconds now() const { return now_; }
+    std::size_t pending() const { return pending_.size(); }
+    std::uint64_t dispatched() const { return dispatched_; }
+
+  private:
+    struct Rec
+    {
+        Seconds when;
+        Priority prio;
+        std::uint64_t id;
+    };
+    std::vector<Rec> pending_;
+    Seconds now_ = 0.0;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t dispatched_ = 0;
+};
+
+/** One fuzzed episode: random op mix, full observable comparison. */
+void
+fuzzEpisode(std::uint64_t seed)
+{
+    Rng rng(seed, 0xe7e27u);
+    EventQueue q;
+    ReferenceQueue ref;
+
+    // Parallel id spaces: ids_[k].first is the kernel's id for the
+    // reference's ids_[k].second.  Retired (fired/cancelled) ids stay
+    // in the pool so deschedule gets exercised against them too.
+    std::vector<std::pair<EventId, std::uint64_t>> ids;
+    std::vector<std::uint64_t> fired_actual;
+    std::vector<std::uint64_t> fired_expected;
+
+    const auto onFire = [&fired_actual](std::uint64_t ref_id) {
+        fired_actual.push_back(ref_id);
+    };
+
+    for (int step = 0; step < 400; step++) {
+        const double dice = rng.uniform();
+        if (dice < 0.55) {
+            // Coarse-grained times force heavy (when, prio, id)
+            // tie-breaking; a few distinct priorities force the
+            // middle key.
+            const Seconds when =
+                q.now() +
+                static_cast<double>(rng.next32() % 8) * 0.25;
+            const Priority prio =
+                static_cast<Priority>(rng.next32() % 3) - 1;
+            const std::uint64_t ref_id = ref.schedule(when, prio);
+            EventId id;
+            if (rng.uniform() < 0.5) {
+                id = q.schedule(
+                    when, [onFire, ref_id] { onFire(ref_id); },
+                    prio);
+            } else {
+                id = q.scheduleAfter(
+                    when - q.now(),
+                    [onFire, ref_id] { onFire(ref_id); }, prio);
+            }
+            ids.emplace_back(id, ref_id);
+        } else if (dice < 0.75 && !ids.empty()) {
+            // Cancel a random known id — possibly live, possibly
+            // already fired or already cancelled.  Verdicts must
+            // match, and a rejected cancel must not shift counts.
+            const auto &pick =
+                ids[rng.next32() % static_cast<std::uint32_t>(
+                                       ids.size())];
+            EXPECT_EQ(q.deschedule(pick.first),
+                      ref.deschedule(pick.second))
+                << "seed " << seed << " step " << step;
+        } else {
+            const Seconds limit =
+                q.now() +
+                static_cast<double>(rng.next32() % 5) * 0.5;
+            const Seconds t_actual = q.runUntil(limit);
+            const Seconds t_expected =
+                ref.runUntil(limit, fired_expected);
+            EXPECT_EQ(t_actual, t_expected)
+                << "seed " << seed << " step " << step;
+            EXPECT_EQ(q.now(), ref.now())
+                << "seed " << seed << " step " << step;
+        }
+        ASSERT_EQ(q.pending(), ref.pending())
+            << "seed " << seed << " step " << step;
+        ASSERT_EQ(fired_actual, fired_expected)
+            << "seed " << seed << " step " << step;
+    }
+
+    // Drain and compare the tail.
+    const Seconds t_actual = q.run();
+    const Seconds t_expected =
+        ref.runUntil(kNoDeadline, fired_expected);
+    EXPECT_EQ(t_actual, t_expected) << "seed " << seed;
+    EXPECT_EQ(fired_actual, fired_expected) << "seed " << seed;
+    EXPECT_EQ(q.dispatched(), ref.dispatched()) << "seed " << seed;
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueFuzz, MatchesSortedVectorReference)
+{
+    for (std::uint64_t seed = 1; seed <= 40; seed++)
+        fuzzEpisode(seed);
+}
+
+// Re-entrant flavour: every fired event reschedules a follow-up with
+// probability derived from its id, so the heap is reshaped mid-
+// dispatch.  The reference replays the same deterministic rule.
+TEST(EventQueueFuzz, ReentrantChainsMatchReference)
+{
+    for (std::uint64_t seed = 100; seed < 110; seed++) {
+        Rng rng(seed, 0x5eedu);
+        EventQueue q;
+
+        // Deterministic follow-up rule: event k schedules event
+        // k + 16 at when + 0.75 while k + 16 < 64.
+        std::vector<std::uint64_t> fired;
+        std::function<void(std::uint64_t, Seconds)> fire =
+            [&](std::uint64_t k, Seconds when) {
+                fired.push_back(k);
+                if (k + 16 < 64)
+                    q.schedule(when + 0.75,
+                               [&fire, k, when] {
+                                   fire(k + 16, when + 0.75);
+                               },
+                               static_cast<Priority>(k % 3));
+            };
+        for (std::uint64_t k = 0; k < 16; k++) {
+            const Seconds when =
+                static_cast<double>(rng.next32() % 4) * 0.5;
+            q.schedule(when, [&fire, k, when] { fire(k, when); },
+                       static_cast<Priority>(k % 3));
+        }
+        q.run();
+
+        // Reference: expand the same rule eagerly, then sort by the
+        // kernel's (when, prio, insertion-order) discipline.  The
+        // insertion order of a follow-up equals its parent's fire
+        // rank, which the sort itself determines — so replay
+        // iteratively instead: smallest (when, prio, seq) next.
+        struct Rec
+        {
+            Seconds when;
+            Priority prio;
+            std::uint64_t seq;
+            std::uint64_t k;
+        };
+        std::vector<Rec> pending;
+        std::uint64_t seq = 0;
+        {
+            Rng rng2(seed, 0x5eedu);
+            for (std::uint64_t k = 0; k < 16; k++) {
+                const Seconds when =
+                    static_cast<double>(rng2.next32() % 4) * 0.5;
+                pending.push_back(
+                    Rec{when, static_cast<Priority>(k % 3), seq++,
+                        k});
+            }
+        }
+        std::vector<std::uint64_t> expected;
+        while (!pending.empty()) {
+            const auto it = std::min_element(
+                pending.begin(), pending.end(),
+                [](const Rec &a, const Rec &b) {
+                    if (a.when != b.when)
+                        return a.when < b.when;
+                    if (a.prio != b.prio)
+                        return a.prio < b.prio;
+                    return a.seq < b.seq;
+                });
+            const Rec r = *it;
+            pending.erase(it);
+            expected.push_back(r.k);
+            if (r.k + 16 < 64)
+                pending.push_back(Rec{
+                    r.when + 0.75,
+                    static_cast<Priority>(r.k % 3), seq++,
+                    r.k + 16});
+        }
+        EXPECT_EQ(fired, expected) << "seed " << seed;
+    }
+}
+
+}  // namespace
+}  // namespace qvr::sim

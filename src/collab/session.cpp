@@ -41,6 +41,23 @@ SessionConfig::validate() const
     QVR_REQUIRE(engine == SessionEngine::Lockstep ||
                     design == SessionDesign::Served,
                 "the event engine only runs the Served design");
+    if (openLoop.enabled) {
+        QVR_REQUIRE(design == SessionDesign::Served,
+                    "open-loop traffic requires the Served design");
+        QVR_REQUIRE(engine == SessionEngine::Event,
+                    "open-loop traffic requires the event engine");
+        QVR_REQUIRE(openLoop.horizon > 0.0,
+                    "open-loop horizon must be positive");
+        openLoop.arrivals.validate();
+        Seconds prev = 0.0;
+        for (const FleetScaleEvent &e : openLoop.scaleEvents) {
+            QVR_REQUIRE(e.shards >= 1,
+                        "scale event needs at least one shard");
+            QVR_REQUIRE(e.at >= prev,
+                        "scale events must be sorted by time");
+            prev = e.at;
+        }
+    }
     QVR_REQUIRE(!aggregateTelemetry ||
                     engine == SessionEngine::Event,
                 "aggregate telemetry requires the event engine");

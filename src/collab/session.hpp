@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/arrivals.hpp"
 #include "core/pipeline.hpp"
 #include "core/qvr_system.hpp"
 #include "serve/fleet.hpp"
@@ -60,6 +61,46 @@ enum class SessionEngine
     Event,
 };
 
+
+/** A scheduled fleet-resize during an open-loop run. */
+struct FleetScaleEvent
+{
+    Seconds at = 0.0;          ///< simulated time of the resize
+    std::uint32_t shards = 1;  ///< target active shard count
+};
+
+/**
+ * Open-loop traffic: instead of a fixed closed-loop cohort issuing
+ * frames back to back, users connect when the arrival process says
+ * so, play a session of their own length, and disconnect.  The
+ * arrival horizon caps admissions, not sessions — users connected
+ * before the horizon play out in full, so the fleet always drains.
+ * Requires the Served design on the event engine.
+ */
+struct OpenLoopConfig
+{
+    bool enabled = false;
+    /** Who connects, and when (Poisson/MMPP/diurnal/mix). */
+    core::ArrivalConfig arrivals;
+    /** Admit arrivals with connect < horizon (seconds). */
+    Seconds horizon = 10.0;
+    /** Autoscaling schedule, applied at dispatch time in order (must
+     *  be sorted by FleetScaleEvent::at). */
+    std::vector<FleetScaleEvent> scaleEvents;
+};
+
+/** Population telemetry of an open-loop run. */
+struct OpenLoopStats
+{
+    bool enabled = false;
+    std::uint64_t arrivals = 0;    ///< users that connected
+    std::uint64_t departures = 0;  ///< users that finished
+    std::uint64_t roams = 0;       ///< placement re-keys
+    /** Time-weighted mean of the connected-user count (the per-epoch
+     *  population integral over the run). */
+    double meanActiveUsers = 0.0;
+    std::size_t peakActiveUsers = 0;
+};
 
 /** Shared-infrastructure session description. */
 struct SessionConfig
@@ -100,6 +141,12 @@ struct SessionConfig
 
     /** Execution engine (Event requires design == Served). */
     SessionEngine engine = SessionEngine::Lockstep;
+
+    /** Open-loop traffic (off: the classic closed-loop cohort of
+     *  `users` users x `numFrames` frames).  When enabled, `users`
+     *  and `numFrames` are ignored — the arrival process decides the
+     *  population and per-user session lengths. */
+    OpenLoopConfig openLoop;
 
     /**
      * Event engine only: accumulate per-user running sums instead of
@@ -196,6 +243,9 @@ struct SessionResult
     double egressUtilisation = 0.0;
     /** Shared chiplet-pool utilisation over the run. */
     double serverUtilisation = 0.0;
+
+    /** Population telemetry (enabled only for open-loop runs). */
+    OpenLoopStats openLoop;
 
     /** Serving telemetry (all zero unless design == Served). */
     serve::FleetCounters serveCounters;

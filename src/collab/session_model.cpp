@@ -134,7 +134,7 @@ FrameStats
 simulateQvrFrame(Shared &sh, UserState &u,
                  const scene::FrameWorkload &frame)
 {
-    const auto &bench = scene::findBenchmark(sh.cfg->benchmark);
+    const auto &bench = *u.bench;
     FrameStats s;
     s.index = frame.index;
     const Seconds cpu_done = u.cpu.serve(u.issue, kControlLogic);
@@ -238,7 +238,7 @@ FrameStats
 simulateStaticFrame(Shared &sh, UserState &u,
                     const scene::FrameWorkload &frame)
 {
-    const auto &bench = scene::findBenchmark(sh.cfg->benchmark);
+    const auto &bench = *u.bench;
     FrameStats s;
     s.index = frame.index;
     const Seconds cpu_done = u.cpu.serve(u.issue, kControlLogic);
@@ -316,7 +316,7 @@ prepareServedFrame(Shared &sh, const serve::Fleet &fleet, UserState &u,
                    std::size_t user_index,
                    const scene::FrameWorkload &frame)
 {
-    const auto &bench = scene::findBenchmark(sh.cfg->benchmark);
+    const auto &bench = *u.bench;
     ServedPending p;
     FrameStats &s = p.s;
     s.index = frame.index;
@@ -358,12 +358,16 @@ prepareServedFrame(Shared &sh, const serve::Fleet &fleet, UserState &u,
 
     serve::RenderRequest &r = p.request;
     r.user = static_cast<std::uint32_t>(user_index);
+    r.placement = u.placement;  // 0: the fleet derives it from user
     r.frame = frame.index;
     r.arrival = p.cpuDone + kUplink;
     r.deadline = r.arrival + sh.cfg->renderDeadline;
     r.service = s.tRemoteRender;
     r.triangles = p.remoteJob.triangles;
-    r.batchKey = 0;  // one benchmark per session: all coalescible
+    // Scene-profile compatibility class: closed-loop sessions run one
+    // benchmark (key 0, all coalescible); open-loop mixes coalesce
+    // only within a profile.
+    r.batchKey = u.batchKey;
     return p;
 }
 
@@ -509,6 +513,53 @@ computeUserSlo(const PipelineResult &pu)
     return slo;
 }
 
+void
+initUser(const SessionConfig &cfg, SessionSetup &su, UserState &u,
+         const std::string &benchmark, std::uint64_t workload_seed,
+         std::uint64_t channel_seed, std::uint64_t channel_stream,
+         std::size_t num_frames, bool streaming, bool aggregate)
+{
+    const auto &bench = scene::findBenchmark(benchmark);
+    u.bench = &bench;
+    u.totalFrames = num_frames;
+
+    core::ExperimentSpec user_spec;
+    user_spec.benchmark = benchmark;
+    user_spec.channel = cfg.lastMile;
+    user_spec.numFrames = num_frames;
+    user_spec.seed = workload_seed;
+    if (streaming)
+        u.stream = std::make_unique<core::WorkloadStream>(user_spec);
+    else
+        u.workload = core::generateExperimentWorkload(user_spec);
+    u.channel = std::make_unique<net::Channel>(
+        cfg.lastMile, Rng(channel_seed, channel_stream));
+    if (cfg.design != SessionDesign::Static) {
+        const double pixels_per_tri =
+            static_cast<double>(bench.pixelsPerEye()) /
+            static_cast<double>(bench.meanTriangles);
+        u.liwc = std::make_unique<core::Liwc>(
+            su.pc.liwcConfig, su.shared->geometry,
+            su.shared->gpuModel.triangleThroughput(
+                bench.shadingCost, pixels_per_tri),
+            cfg.lastMile.nominalDownlink *
+                cfg.lastMile.protocolEfficiency,
+            su.pc.codecConfig.baseBitsPerPixel, 5.0,
+            bench.centerConcentration);
+    }
+    u.aggregateOnly = aggregate;
+    if (aggregate) {
+        u.agg.warmupStart = num_frames > u.result.warmupFrames
+                                ? u.result.warmupFrames
+                                : 0;
+    }
+    u.result.design =
+        cfg.design == SessionDesign::Qvr      ? "Q-VR"
+        : cfg.design == SessionDesign::Served ? "Served"
+                                              : "Static";
+    u.result.benchmark = benchmark;
+}
+
 SessionSetup
 makeSetup(const SessionConfig &cfg, bool streaming, bool aggregate)
 {
@@ -526,7 +577,6 @@ makeSetup(const SessionConfig &cfg, bool streaming, bool aggregate)
     request_cfg.chiplets = cfg.chipletsPerRequest;
 
     su.shared = std::make_unique<Shared>(cfg, su.pc, request_cfg);
-    const auto &bench = scene::findBenchmark(cfg.benchmark);
 
     // Served: stand up the serving stack.  Slot count 0 derives
     // equal hardware from the session's chiplet fields, split across
@@ -545,42 +595,16 @@ makeSetup(const SessionConfig &cfg, bool streaming, bool aggregate)
         su.fleet = std::make_unique<serve::Fleet>(fc);
     }
 
+    // Open loop: the population is the arrival process's to decide —
+    // the engine calls initUser at each connect.
+    if (cfg.openLoop.enabled)
+        return su;
+
     su.users.resize(cfg.users);
     for (std::size_t i = 0; i < cfg.users; i++) {
-        UserState &u = su.users[i];
-        core::ExperimentSpec user_spec = spec;
-        user_spec.seed = cfg.seed + i * 101;
-        if (streaming)
-            u.stream =
-                std::make_unique<core::WorkloadStream>(user_spec);
-        else
-            u.workload = core::generateExperimentWorkload(user_spec);
-        u.channel = std::make_unique<net::Channel>(
-            cfg.lastMile, Rng(cfg.seed + i, 0xbeef + i));
-        if (cfg.design != SessionDesign::Static) {
-            const double pixels_per_tri =
-                static_cast<double>(bench.pixelsPerEye()) /
-                static_cast<double>(bench.meanTriangles);
-            u.liwc = std::make_unique<core::Liwc>(
-                su.pc.liwcConfig, su.shared->geometry,
-                su.shared->gpuModel.triangleThroughput(
-                    bench.shadingCost, pixels_per_tri),
-                cfg.lastMile.nominalDownlink *
-                    cfg.lastMile.protocolEfficiency,
-                su.pc.codecConfig.baseBitsPerPixel, 5.0,
-                bench.centerConcentration);
-        }
-        u.aggregateOnly = aggregate;
-        if (aggregate) {
-            u.agg.warmupStart = cfg.numFrames > u.result.warmupFrames
-                                    ? u.result.warmupFrames
-                                    : 0;
-        }
-        u.result.design =
-            cfg.design == SessionDesign::Qvr      ? "Q-VR"
-            : cfg.design == SessionDesign::Served ? "Served"
-                                                  : "Static";
-        u.result.benchmark = cfg.benchmark;
+        initUser(cfg, su, su.users[i], cfg.benchmark,
+                 cfg.seed + i * 101, cfg.seed + i, 0xbeef + i,
+                 cfg.numFrames, streaming, aggregate);
     }
     return su;
 }

@@ -95,6 +95,18 @@ struct UserState
     sim::MultiServerResource decoders{2};
     std::unique_ptr<net::Channel> channel;
     core::UcaTimingModel uca;
+    /** Scene profile this user renders (closed loop: the session
+     *  benchmark; open loop: drawn from the arrival mix). */
+    const scene::BenchmarkInfo *bench = nullptr;
+    /** Affinity key for the hash balancers; 0 derives from the user
+     *  index, roam events re-key it. */
+    std::uint64_t placement = 0;
+    /** Batching compatibility class (the scene profile index — only
+     *  same-profile requests may coalesce). */
+    std::uint32_t batchKey = 0;
+    /** Frames this user plays before disconnecting (closed loop:
+     *  cfg.numFrames; open loop: the arrival's session length). */
+    std::size_t totalFrames = 0;
     Seconds issue = 0.0;
     Seconds lastDisplay = 0.0;
     bool hasLastDisplay = false;
@@ -200,12 +212,27 @@ struct SessionSetup
 };
 
 /**
+ * Initialise one user's private state in place: seeded workload
+ * (eager or streaming), channel, LIWC, telemetry mode.  Closed-loop
+ * setup calls it with the historical seed derivations (workload seed
+ * cfg.seed + i*101, channel Rng(cfg.seed + i, 0xbeef + i)); the
+ * open-loop engine calls it at connect time with the arrival's seed
+ * and scene profile.
+ */
+void initUser(const SessionConfig &cfg, SessionSetup &su, UserState &u,
+              const std::string &benchmark,
+              std::uint64_t workload_seed, std::uint64_t channel_seed,
+              std::uint64_t channel_stream, std::size_t num_frames,
+              bool streaming, bool aggregate);
+
+/**
  * Build the shared infrastructure, fleet (Served only; slot count 0
  * derives equal hardware from the session's chiplet fields) and
  * per-user states — seeded workloads, channels, LIWC instances.
  * @p streaming selects lazy frame generation (event engine);
  * @p aggregate selects streaming telemetry.  @p cfg must outlive the
- * returned setup.
+ * returned setup.  Open-loop sessions start with zero users — the
+ * engine materialises them from the arrival process.
  */
 SessionSetup makeSetup(const SessionConfig &cfg, bool streaming,
                        bool aggregate);

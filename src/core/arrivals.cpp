@@ -1,0 +1,177 @@
+#include "core/arrivals.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace qvr::core
+{
+
+namespace
+{
+
+constexpr std::size_t kDwellLogCap = 65536;
+
+/** splitmix64 finaliser: derives per-user seeds from (seed, id). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char *
+arrivalKindName(ArrivalKind k)
+{
+    switch (k) {
+    case ArrivalKind::Poisson:
+        return "poisson";
+    case ArrivalKind::Mmpp:
+        return "mmpp";
+    }
+    QVR_PANIC("unknown arrival kind");
+}
+
+void
+ArrivalConfig::validate() const
+{
+    if (kind == ArrivalKind::Poisson) {
+        QVR_REQUIRE(rate > 0.0, "arrival rate must be positive");
+    } else {
+        QVR_REQUIRE(states.size() >= 2,
+                    "MMPP needs at least two states");
+        for (const MmppState &s : states) {
+            QVR_REQUIRE(s.rate > 0.0,
+                        "MMPP state rate must be positive");
+            QVR_REQUIRE(s.meanDwell > 0.0,
+                        "MMPP state dwell must be positive");
+        }
+    }
+    QVR_REQUIRE(diurnalAmplitude >= 0.0 && diurnalAmplitude < 1.0,
+                "diurnal amplitude outside [0, 1)");
+    QVR_REQUIRE(diurnalAmplitude == 0.0 || diurnalPeriod > 0.0,
+                "diurnal period must be positive");
+    QVR_REQUIRE(minFrames >= 1, "sessions need at least one frame");
+    QVR_REQUIRE(maxFrames >= minFrames,
+                "max session frames below min");
+    QVR_REQUIRE(roamRate >= 0.0, "roam rate must be nonnegative");
+    for (const ArrivalMixEntry &m : mix)
+        QVR_REQUIRE(m.weight > 0.0,
+                    "mix weight must be positive for ", m.benchmark);
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig &cfg)
+    : cfg_(cfg), chainRng_(cfg.seed, 0xa441), arrivalRng_(cfg.seed,
+      0xa442), userRng_(cfg.seed, 0xa443)
+{
+    cfg.validate();
+    if (cfg_.kind == ArrivalKind::Mmpp)
+        stateUntil_ =
+            chainRng_.exponential(1.0 / cfg_.states[0].meanDwell);
+}
+
+double
+ArrivalProcess::baseRate() const
+{
+    return cfg_.kind == ArrivalKind::Poisson ? cfg_.rate
+                                             : cfg_.states[state_].rate;
+}
+
+double
+ArrivalProcess::rateAt(Seconds t) const
+{
+    double r = baseRate();
+    if (cfg_.diurnalAmplitude > 0.0)
+        r *= 1.0 + cfg_.diurnalAmplitude *
+                       std::sin(2.0 * M_PI * t / cfg_.diurnalPeriod);
+    return r;
+}
+
+void
+ArrivalProcess::advanceState()
+{
+    if (dwells_.size() < kDwellLogCap)
+        dwells_.push_back(stateUntil_ - stateStart_);
+    now_ = stateUntil_;
+    stateStart_ = stateUntil_;
+    state_ = (state_ + 1) % cfg_.states.size();
+    stateUntil_ =
+        now_ +
+        chainRng_.exponential(1.0 / cfg_.states[state_].meanDwell);
+}
+
+UserArrival
+ArrivalProcess::next()
+{
+    // Thinning (Lewis-Shedder): draw candidate gaps at the state's
+    // peak modulated rate and accept with probability
+    // rate(t)/peak — exact for the sinusoidal curve.  A candidate
+    // falling past an MMPP state boundary is discarded and the draw
+    // restarts at the boundary, which the exponential's memorylessness
+    // makes statistically exact.
+    for (;;) {
+        if (cfg_.kind == ArrivalKind::Mmpp && now_ >= stateUntil_)
+            advanceState();
+        const double peak =
+            baseRate() * (1.0 + cfg_.diurnalAmplitude);
+        const Seconds candidate =
+            now_ + arrivalRng_.exponential(peak);
+        if (cfg_.kind == ArrivalKind::Mmpp &&
+            candidate >= stateUntil_) {
+            advanceState();
+            continue;
+        }
+        now_ = candidate;
+        if (cfg_.diurnalAmplitude > 0.0 &&
+            arrivalRng_.uniform() * peak > rateAt(now_))
+            continue;  // thinned out
+
+        UserArrival a;
+        a.id = count_;
+        a.connect = now_;
+        a.frames =
+            cfg_.maxFrames > cfg_.minFrames
+                ? cfg_.minFrames +
+                      static_cast<std::uint32_t>(userRng_.uniformInt(
+                          0, cfg_.maxFrames - cfg_.minFrames))
+                : cfg_.minFrames;
+        a.profile = 0;
+        if (cfg_.mix.size() > 1) {
+            double total = 0.0;
+            for (const ArrivalMixEntry &m : cfg_.mix)
+                total += m.weight;
+            double draw = userRng_.uniform() * total;
+            for (std::size_t i = 0; i < cfg_.mix.size(); i++) {
+                draw -= cfg_.mix[i].weight;
+                if (draw < 0.0) {
+                    a.profile = static_cast<std::uint32_t>(i);
+                    break;
+                }
+            }
+        }
+        a.seed = mix64(cfg_.seed ^ (a.id * 0xc2b2ae3d27d4eb4full));
+        count_++;
+        return a;
+    }
+}
+
+std::vector<UserArrival>
+generateArrivals(const ArrivalConfig &cfg, Seconds horizon)
+{
+    QVR_REQUIRE(horizon > 0.0, "arrival horizon must be positive");
+    std::vector<UserArrival> out;
+    ArrivalProcess p(cfg);
+    for (;;) {
+        const UserArrival a = p.next();
+        if (a.connect >= horizon)
+            break;
+        out.push_back(a);
+    }
+    return out;
+}
+
+}  // namespace qvr::core

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Open-loop arrival processes: who connects to the fleet, and when.
+ *
+ * The serve layer was built against closed-loop traffic — a fixed
+ * cohort of users each issuing its next frame as soon as the last one
+ * displays.  Real fleets are open-loop: users connect, stay for a
+ * session, roam, and disconnect, and the *arrival process* — not a
+ * preconfigured user count — decides the offered load (the multi-user
+ * MEC formulations in PAPERS.md, arXiv 2407.20523 / 2005.08332, all
+ * model traffic this way).  This layer generates those arrivals:
+ *
+ *  - Poisson: constant-rate memoryless arrivals, the M/G/k baseline;
+ *  - MMPP: a Markov-modulated Poisson process whose states carry
+ *    different rates — the standard bursty/flash-crowd model (a
+ *    low-rate base state punctuated by high-rate burst states);
+ *  - diurnal modulation: a sinusoidal rate curve multiplying either
+ *    kind, for day/night load shapes;
+ *  - heterogeneous user mixes: each arrival draws a scene profile
+ *    (Table 1/3 benchmark) from a weighted mix, plus a session length
+ *    in frames and a per-user model seed.
+ *
+ * Everything is deterministic and byte-replayable from one seed.  The
+ * three random streams are split by role — state chain, arrival gaps,
+ * per-user draws — so e.g. scaling the rate up leaves the MMPP state
+ * path bit-identical, which is what lets the open-loop bench compare
+ * 2-shard and 64-shard fleets under the *same* burst timeline.
+ */
+
+#ifndef QVR_CORE_ARRIVALS_HPP
+#define QVR_CORE_ARRIVALS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace qvr::core
+{
+
+/** Shape of the arrival point process. */
+enum class ArrivalKind
+{
+    Poisson,  ///< constant-rate memoryless arrivals
+    Mmpp,     ///< Markov-modulated Poisson (bursty / flash crowd)
+};
+
+const char *arrivalKindName(ArrivalKind k);
+
+/** One MMPP state: an arrival rate and how long it typically lasts. */
+struct MmppState
+{
+    double rate = 10.0;       ///< arrivals/s while in this state
+    Seconds meanDwell = 1.0;  ///< exponential dwell mean
+};
+
+/** One entry of the heterogeneous user mix. */
+struct ArrivalMixEntry
+{
+    std::string benchmark;  ///< Table 1/3 scene profile name
+    double weight = 1.0;    ///< relative draw probability
+};
+
+/** Full description of an open-loop traffic source. */
+struct ArrivalConfig
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+
+    /** Poisson: the constant arrival rate (users/s). */
+    double rate = 20.0;
+
+    /** MMPP: the state cycle (>= 2 states, visited round-robin with
+     *  exponential dwells — state 0 is the t=0 state). */
+    std::vector<MmppState> states;
+
+    /** Diurnal curve: rate *= 1 + amplitude * sin(2*pi*t/period).
+     *  Amplitude 0 disables; must stay below 1 so the rate is
+     *  positive. */
+    double diurnalAmplitude = 0.0;
+    Seconds diurnalPeriod = 60.0;
+
+    /** Session length drawn uniformly from [minFrames, maxFrames]. */
+    std::uint32_t minFrames = 30;
+    std::uint32_t maxFrames = 120;
+
+    /** Per-user roam events/s (0 disables).  A roam re-keys the
+     *  user's placement hash, so affinity balancers migrate it. */
+    double roamRate = 0.0;
+
+    /** Weighted scene-profile mix; empty means every user runs the
+     *  session's default benchmark. */
+    std::vector<ArrivalMixEntry> mix;
+
+    std::uint64_t seed = 1;
+
+    /** Panic on impossible values. */
+    void validate() const;
+};
+
+/** One user joining the fleet. */
+struct UserArrival
+{
+    std::uint64_t id = 0;       ///< arrival index (0, 1, 2, ...)
+    Seconds connect = 0.0;      ///< when the user connects
+    std::uint32_t frames = 0;   ///< session length in frames
+    std::uint32_t profile = 0;  ///< index into ArrivalConfig::mix
+    std::uint64_t seed = 0;     ///< per-user motion/scene seed
+};
+
+/**
+ * Streaming arrival generator: next() yields arrivals in
+ * nondecreasing connect order, byte-replayable from the config seed.
+ * Thinning against the per-state peak rate makes the diurnal
+ * modulation exact, and the MMPP state chain consumes its own RNG
+ * stream so the burst timeline is invariant under rate scaling.
+ */
+class ArrivalProcess
+{
+  public:
+    explicit ArrivalProcess(const ArrivalConfig &cfg);
+
+    const ArrivalConfig &config() const { return cfg_; }
+
+    /** Generate the next arrival (advances simulated time). */
+    UserArrival next();
+
+    /** Time of the most recent draw. */
+    Seconds now() const { return now_; }
+
+    /** Arrivals generated so far. */
+    std::uint64_t count() const { return count_; }
+
+    /** Current MMPP state index (always 0 for Poisson). */
+    std::size_t state() const { return state_; }
+
+    /** Completed MMPP dwell durations, in order (capped — the
+     *  statistical tests read this; long runs keep the head). */
+    const std::vector<Seconds> &dwellLog() const { return dwells_; }
+
+  private:
+    double baseRate() const;
+    double rateAt(Seconds t) const;
+    void advanceState();
+
+    ArrivalConfig cfg_;
+    Rng chainRng_;    ///< MMPP dwell draws only
+    Rng arrivalRng_;  ///< candidate gaps + thinning accepts
+    Rng userRng_;     ///< frames / profile / per-user seed draws
+    Seconds now_ = 0.0;
+    std::size_t state_ = 0;
+    Seconds stateUntil_ = 0.0;
+    Seconds stateStart_ = 0.0;
+    std::uint64_t count_ = 0;
+    std::vector<Seconds> dwells_;
+};
+
+/** Materialise every arrival with connect < @p horizon. */
+std::vector<UserArrival> generateArrivals(const ArrivalConfig &cfg,
+                                          Seconds horizon);
+
+}  // namespace qvr::core
+
+#endif  // QVR_CORE_ARRIVALS_HPP

@@ -1,0 +1,258 @@
+#include "serve/balancer.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace qvr::serve
+{
+
+namespace
+{
+
+/** Predicted-load bound: c * mean load if this request joined the
+ *  average shard.  Since min <= mean < bound for c > 1, at least one
+ *  active shard is always under the bound. */
+Seconds
+loadBound(const ShardLoadView &view, double factor, Seconds service)
+{
+    Seconds total = service;
+    for (const std::uint32_t s : *view.active)
+        total += view.load(s);
+    return factor * total /
+           static_cast<double>(view.active->size());
+}
+
+/** Least-loaded active shard, lowest id on ties — the JSQ rule and
+ *  every bounded walk's terminal fallback. */
+std::uint32_t
+leastLoaded(const ShardLoadView &view)
+{
+    const std::vector<std::uint32_t> &active = *view.active;
+    std::uint32_t best = active.front();
+    Seconds best_load = view.load(best);
+    for (std::size_t i = 1; i < active.size(); i++) {
+        const Seconds load = view.load(active[i]);
+        if (load < best_load) {
+            best_load = load;
+            best = active[i];
+        }
+    }
+    return best;
+}
+
+/** Rendezvous weight of (placement, shard): stable per pair. */
+std::uint64_t
+rendezvousWeight(std::uint64_t placement, std::uint32_t shard)
+{
+    return placementMix((placement << 32) | shard);
+}
+
+class JsqBalancer final : public Balancer
+{
+  public:
+    std::uint32_t
+    pick(const RenderRequest &, const ShardLoadView &view) const override
+    {
+        return leastLoaded(view);
+    }
+};
+
+/** Legacy pure-affinity rendezvous: highest weight wins, load
+ *  ignored — the PR-5 behaviour, kept for the regression pin. */
+class UnboundedHashBalancer final : public Balancer
+{
+  public:
+    std::uint32_t
+    pick(const RenderRequest &r, const ShardLoadView &view) const override
+    {
+        const std::vector<std::uint32_t> &active = *view.active;
+        std::uint32_t best = active.front();
+        std::uint64_t best_w = 0;
+        for (std::size_t i = 0; i < active.size(); i++) {
+            const std::uint64_t w =
+                rendezvousWeight(r.placement, active[i]);
+            if (i == 0 || w > best_w) {
+                best = active[i];
+                best_w = w;
+            }
+        }
+        return best;
+    }
+};
+
+/** Rendezvous with bounded-load spill: walk the preference order
+ *  (weight descending) and take the first shard under the bound. */
+class BoundedHashBalancer final : public Balancer
+{
+  public:
+    explicit BoundedHashBalancer(double factor) : factor_(factor) {}
+
+    std::uint32_t
+    pick(const RenderRequest &r, const ShardLoadView &view) const override
+    {
+        const std::vector<std::uint32_t> &active = *view.active;
+        std::vector<std::pair<std::uint64_t, std::uint32_t>> pref;
+        pref.reserve(active.size());
+        for (const std::uint32_t s : active)
+            pref.emplace_back(rendezvousWeight(r.placement, s), s);
+        std::sort(pref.begin(), pref.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first > b.first;
+                      return a.second < b.second;
+                  });
+        const Seconds bound = loadBound(view, factor_, r.service);
+        for (const auto &[w, s] : pref) {
+            (void)w;
+            if (view.load(s) < bound)
+                return s;
+        }
+        return leastLoaded(view);  // numeric safety net
+    }
+
+  private:
+    double factor_;
+};
+
+/** Consistent hashing with bounded loads: virtual-node ring, walked
+ *  clockwise from the placement key under the c * mean bound. */
+class BoundedRingBalancer final : public Balancer
+{
+  public:
+    BoundedRingBalancer(double factor, std::uint32_t vnodes)
+        : factor_(factor), vnodes_(vnodes)
+    {
+    }
+
+    void
+    rebuild(const std::vector<std::uint32_t> &active) override
+    {
+        ring_.clear();
+        ring_.reserve(active.size() * vnodes_);
+        for (const std::uint32_t s : active)
+            for (std::uint32_t v = 0; v < vnodes_; v++)
+                ring_.emplace_back(
+                    placementMix((static_cast<std::uint64_t>(v) << 32) |
+                                 s),
+                    s);
+        std::sort(ring_.begin(), ring_.end());
+    }
+
+    std::uint32_t
+    pick(const RenderRequest &r, const ShardLoadView &view) const override
+    {
+        QVR_REQUIRE(!ring_.empty(), "consistent-hash ring not built");
+        const Seconds bound = loadBound(view, factor_, r.service);
+        const std::uint64_t key = placementMix(r.placement);
+        std::size_t i =
+            std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(key, 0u)) -
+            ring_.begin();
+        std::size_t seen = 0;
+        for (std::size_t step = 0;
+             step < ring_.size() && seen < view.active->size();
+             step++, i++) {
+            if (i == ring_.size())
+                i = 0;
+            const std::uint32_t s = ring_[i].second;
+            // Each shard's first ring hit decides; later vnodes of an
+            // already-rejected shard are skipped via the load check
+            // (re-testing is harmless: load has not changed).
+            seen++;
+            if (view.load(s) < bound)
+                return s;
+        }
+        return leastLoaded(view);  // numeric safety net
+    }
+
+  private:
+    double factor_;
+    std::uint32_t vnodes_;
+    /** (position, shard id), sorted by position. */
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+/** Power-of-d-choices: d hash-derived candidates, least loaded wins
+ *  (lowest id on ties). */
+class PowerOfTwoBalancer final : public Balancer
+{
+  public:
+    explicit PowerOfTwoBalancer(std::uint32_t choices)
+        : choices_(choices)
+    {
+    }
+
+    std::uint32_t
+    pick(const RenderRequest &r, const ShardLoadView &view) const override
+    {
+        const std::vector<std::uint32_t> &active = *view.active;
+        const std::uint64_t h =
+            placementMix(r.placement ^ (r.seq * 0x9e3779b97f4a7c15ull));
+        std::uint32_t best = 0;
+        Seconds best_load = 0.0;
+        for (std::uint32_t d = 0; d < choices_; d++) {
+            const std::uint32_t s =
+                active[placementMix(h + d) % active.size()];
+            const Seconds load = view.load(s);
+            if (d == 0 || load < best_load ||
+                (load == best_load && s < best)) {
+                best = s;
+                best_load = load;
+            }
+        }
+        return best;
+    }
+
+  private:
+    std::uint32_t choices_;
+};
+
+}  // namespace
+
+std::uint64_t
+placementMix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+void
+BalancerConfig::validate() const
+{
+    QVR_REQUIRE(loadFactor > 1.0,
+                "balancer load factor must exceed 1");
+    QVR_REQUIRE(choices >= 2,
+                "power-of-two-choices needs at least 2 choices");
+    QVR_REQUIRE(virtualNodes >= 1,
+                "consistent-hash ring needs at least 1 virtual node");
+}
+
+void
+Balancer::rebuild(const std::vector<std::uint32_t> &)
+{
+}
+
+std::unique_ptr<Balancer>
+makeBalancer(const BalancerConfig &cfg)
+{
+    cfg.validate();
+    switch (cfg.policy) {
+    case BalancerPolicy::JoinShortestQueue:
+        return std::make_unique<JsqBalancer>();
+    case BalancerPolicy::HashUser:
+        return std::make_unique<BoundedHashBalancer>(cfg.loadFactor);
+    case BalancerPolicy::HashUserUnbounded:
+        return std::make_unique<UnboundedHashBalancer>();
+    case BalancerPolicy::BoundedLoadConsistentHash:
+        return std::make_unique<BoundedRingBalancer>(cfg.loadFactor,
+                                                     cfg.virtualNodes);
+    case BalancerPolicy::PowerOfTwoChoices:
+        return std::make_unique<PowerOfTwoBalancer>(cfg.choices);
+    }
+    QVR_PANIC("unknown balancer policy");
+}
+
+}  // namespace qvr::serve

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Pluggable fleet balancers behind one deterministic interface.
+ *
+ * The PR-5 fleet hard-wired two placement rules inside submitTick:
+ * join-shortest-queue and a *pure* rendezvous hash.  The hash variant
+ * had a pathology the capacity bench exposed (360 sheds vs JSQ's 7):
+ * it ignored queue depth entirely, so whichever shard the hash
+ * overloaded kept shedding while its neighbours idled.  This module
+ * replaces the hard-wiring with a Balancer interface and four load-
+ * aware implementations plus the legacy one:
+ *
+ *  - JoinShortestQueue: least predicted backlog, lowest shard id on
+ *    ties (unchanged, bit-exact with the PR-5 behaviour);
+ *  - HashUser: rendezvous hash with a *bounded-load spill* — the
+ *    request walks its preference order (highest-random-weight first)
+ *    and takes the first shard whose predicted load is under
+ *    c * mean; affinity is kept whenever the home shard has room;
+ *  - HashUserUnbounded: the legacy pure-affinity rendezvous hash,
+ *    kept so the shedding-pathology regression test can pin the gap;
+ *  - BoundedLoadConsistentHash: a virtual-node hash ring walked
+ *    clockwise from the placement key under the same c * mean bound
+ *    (consistent hashing with bounded loads, Mirrokni et al.) —
+ *    minimal key migration when the shard set changes;
+ *  - PowerOfTwoChoices: d >= 2 hash-derived candidate shards, least
+ *    loaded wins (lowest id on ties) — near-JSQ balance from O(d)
+ *    load probes.
+ *
+ * Load is the same signal JSQ always used: the shard's committed
+ * backlog at the request's arrival plus this tick's tentative
+ * assignments.  The c * mean bound always admits at least one shard
+ * (min <= mean < c * mean for c > 1), so the walks terminate.  No
+ * RNG, no wall clock: placement is a pure function of the request
+ * stream, so sessions replay bit-exactly at any worker count.
+ */
+
+#ifndef QVR_SERVE_BALANCER_HPP
+#define QVR_SERVE_BALANCER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace qvr::serve
+{
+
+/** Balancer choice plus its tuning knobs. */
+struct BalancerConfig
+{
+    BalancerPolicy policy = BalancerPolicy::JoinShortestQueue;
+    /** Bounded-load factor c: a shard is eligible while its load is
+     *  under c * (mean load).  Applies to HashUser and
+     *  BoundedLoadConsistentHash. */
+    double loadFactor = 1.25;
+    /** Candidate count d for PowerOfTwoChoices. */
+    std::uint32_t choices = 2;
+    /** Virtual nodes per shard on the consistent-hash ring. */
+    std::uint32_t virtualNodes = 64;
+
+    void validate() const;
+};
+
+/**
+ * Per-tick load view the fleet hands the balancer: both vectors are
+ * indexed by shard id; only ids in @p active are routable (shards
+ * that are draining or retired never receive new work).
+ */
+struct ShardLoadView
+{
+    /** Committed backlog at this request's arrival, per shard. */
+    const std::vector<Seconds> *committed = nullptr;
+    /** Service already tentatively assigned this tick, per shard. */
+    const std::vector<Seconds> *pending = nullptr;
+    /** Routable shard ids, ascending. */
+    const std::vector<std::uint32_t> *active = nullptr;
+
+    Seconds load(std::uint32_t s) const
+    {
+        return (*committed)[s] + (*pending)[s];
+    }
+};
+
+/** Deterministic placement rule. */
+class Balancer
+{
+  public:
+    virtual ~Balancer() = default;
+
+    /** Shard id (from view.active) that serves @p r. */
+    virtual std::uint32_t pick(const RenderRequest &r,
+                               const ShardLoadView &view) const = 0;
+
+    /** Rebuild placement state after the active shard set changed
+     *  (scale events).  Stateless balancers ignore this. */
+    virtual void rebuild(const std::vector<std::uint32_t> &active);
+};
+
+/** Construct the balancer @p cfg names (validates @p cfg). */
+std::unique_ptr<Balancer> makeBalancer(const BalancerConfig &cfg);
+
+/** The rendezvous-hash mixing function (splitmix64 finaliser),
+ *  exposed so roam events can re-key placements deterministically. */
+std::uint64_t placementMix(std::uint64_t x);
+
+}  // namespace qvr::serve
+
+#endif  // QVR_SERVE_BALANCER_HPP

@@ -5,28 +5,32 @@
  * One chiplet pool saturates; the ROADMAP's north star does not.
  * The Fleet scales the serving stack horizontally: each shard is a
  * RemoteServer (the hardware model for one request's chiplet share)
- * plus its own deadline-aware ChipletScheduler, and a balancer maps
- * requests onto shards:
+ * plus its own deadline-aware ChipletScheduler, and a pluggable
+ * Balancer (serve/balancer.hpp) maps requests onto shards — JSQ,
+ * bounded-load rendezvous, legacy unbounded rendezvous, bounded-load
+ * consistent hashing, or power-of-two-choices.
  *
- *  - JoinShortestQueue: least predicted backlog (committed slot work
- *    plus this tick's tentative assignments), lowest shard id on
- *    ties — the throughput-optimal choice for homogeneous shards;
- *  - HashUser: rendezvous (highest-random-weight) hash of the user
- *    id — stateless, stable when the shard count changes, and keeps
- *    each user's frames on one shard (cache/session affinity).
+ * The fleet also scales *elastically*: scaleTo(n) grows the shard set
+ * with fresh shards or shrinks it by draining — a shrinking shard
+ * stops receiving new work immediately but keeps its committed
+ * backlog until it runs dry, and only then retires (drain-before-
+ * retire).  Affinity balancers re-place only the keys whose shard
+ * left, so scale events migrate a deterministic, minimal key set.
  *
  * The fleet is deterministic: no RNG, no wall clock — outcomes are a
- * pure function of the request stream, so sessions replay bit-exact
- * at any worker-thread count.
+ * pure function of the request stream and the scale-event sequence,
+ * so sessions replay bit-exact at any worker-thread count.
  */
 
 #ifndef QVR_SERVE_FLEET_HPP
 #define QVR_SERVE_FLEET_HPP
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "remote/server.hpp"
+#include "serve/balancer.hpp"
 #include "serve/scheduler.hpp"
 
 namespace qvr::serve
@@ -36,7 +40,8 @@ namespace qvr::serve
 struct FleetConfig
 {
     std::uint32_t shards = 1;
-    BalancerPolicy balancer = BalancerPolicy::JoinShortestQueue;
+    /** Placement policy and its tuning knobs. */
+    BalancerConfig balancer;
     /** Per-shard queueing discipline and slot pool. */
     SchedulerConfig scheduler;
     AdmissionConfig admission;
@@ -58,6 +63,8 @@ struct FleetCounters
     std::uint64_t deadlineMisses = 0;   ///< admitted but late
     std::uint64_t batches = 0;          ///< coalesced dispatches
     std::uint64_t batchedRequests = 0;  ///< members of those
+    std::uint64_t scaleEvents = 0;      ///< scaleTo calls that acted
+    std::uint64_t retiredShards = 0;    ///< drained and shut down
 };
 
 /** N shards behind a deterministic balancer. */
@@ -78,12 +85,35 @@ class Fleet
     /**
      * Serve one scheduling tick: assign every request to a shard,
      * run each shard's dispatch walk, and return outcomes in input
-     * order (ServeOutcome::shard records the placement).
+     * order (ServeOutcome::shard records the placement).  Draining
+     * shards whose backlog ran dry before the tick retire first.
      */
     std::vector<ServeOutcome>
     submitTick(const std::vector<RenderRequest> &reqs);
 
+    /**
+     * Autoscale to @p n active shards.  Growing appends fresh shards
+     * (new ids; retired ids are never reused, so telemetry stays
+     * stable).  Shrinking marks the highest-id active shards as
+     * draining: they take no new work and retire once their committed
+     * backlog drains.  No-op when already at @p n.
+     */
+    void scaleTo(std::uint32_t n);
+
+    /** Every shard ever created (including draining/retired ones —
+     *  ids are stable for telemetry). */
     std::size_t shards() const { return shards_.size(); }
+    /** Shards currently accepting new work. */
+    std::size_t activeShards() const { return active_.size(); }
+    bool shardDraining(std::size_t i) const
+    {
+        return shards_[i].draining && !shards_[i].retired;
+    }
+    bool shardRetired(std::size_t i) const
+    {
+        return shards_[i].retired;
+    }
+
     const FleetCounters &counters() const { return counters_; }
 
     /** Chiplet-slot busy seconds of shard @p i. */
@@ -93,18 +123,38 @@ class Fleet
     /** Slots per shard (for utilisation accounting). */
     std::size_t slotsPerShard() const;
 
-    /** The shard HashUser maps @p user to (exposed for tests). */
+    /** The shard pure rendezvous hashing maps @p user to over the
+     *  active set (exposed for tests). */
     std::uint32_t shardForUser(std::uint32_t user) const;
+
+    /** The shard the configured balancer would pick for @p r if it
+     *  arrived now with an otherwise idle tick (exposed so scaling
+     *  tests can measure key migration without dispatching). */
+    std::uint32_t probePlacement(const RenderRequest &r) const;
 
   private:
     struct Shard
     {
         remote::RemoteServer server;
         ChipletScheduler scheduler;
+        bool draining = false;
+        bool retired = false;
     };
+
+    /** Placement key: explicit when set, else the user id (keeps the
+     *  pre-placement request streams bit-identical). */
+    static std::uint64_t placementKey(const RenderRequest &r)
+    {
+        return r.placement != 0 ? r.placement : r.user;
+    }
+
+    void rebuildActive();
+    void retireDrained(Seconds at);
 
     FleetConfig cfg_;
     std::vector<Shard> shards_;
+    std::vector<std::uint32_t> active_;  ///< routable ids, ascending
+    std::unique_ptr<Balancer> balancer_;
     FleetCounters counters_;
     std::uint64_t seq_ = 0;
 };

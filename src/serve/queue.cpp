@@ -27,6 +27,12 @@ balancerPolicyName(BalancerPolicy p)
         return "JSQ";
     case BalancerPolicy::HashUser:
         return "hash-user";
+    case BalancerPolicy::HashUserUnbounded:
+        return "hash-unbounded";
+    case BalancerPolicy::BoundedLoadConsistentHash:
+        return "bounded-ch";
+    case BalancerPolicy::PowerOfTwoChoices:
+        return "p2c";
     }
     QVR_PANIC("unknown balancer policy");
 }

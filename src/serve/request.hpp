@@ -40,8 +40,16 @@ const char *schedulerPolicyName(SchedulerPolicy p);
 enum class BalancerPolicy
 {
     JoinShortestQueue,  ///< least predicted backlog, lowest id on ties
-    HashUser,           ///< rendezvous hash of the user id (stable
-                        ///< under shard-count changes)
+    HashUser,           ///< rendezvous hash of the placement key with
+                        ///< a bounded-load spill (affinity kept while
+                        ///< the home shard has room)
+    HashUserUnbounded,  ///< legacy pure-affinity rendezvous hash —
+                        ///< ignores load; kept so the shedding
+                        ///< pathology regression stays pinned
+    BoundedLoadConsistentHash,  ///< virtual-node hash ring under a
+                                ///< c * mean load bound (minimal key
+                                ///< migration on scale events)
+    PowerOfTwoChoices,  ///< d hash-derived candidates, least loaded
 };
 
 const char *balancerPolicyName(BalancerPolicy p);
@@ -53,6 +61,10 @@ struct RenderRequest
      *  which is what makes the queue deterministic. */
     std::uint64_t seq = 0;
     std::uint32_t user = 0;
+    /** Affinity key the hash balancers place on.  0 means "derive
+     *  from the user id"; roam events re-key it so a roaming user
+     *  deterministically migrates shards. */
+    std::uint64_t placement = 0;
     FrameIndex frame = 0;
 
     /** When the request reaches the server (uplink included). */

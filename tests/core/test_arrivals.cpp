@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Statistical and determinism tests for the open-loop arrival layer:
+ * empirical Poisson rates within confidence bounds, MMPP dwell-time
+ * means, diurnal modulation, mix draws, byte-identical replay, and
+ * the per-rejection validation death tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/arrivals.hpp"
+
+namespace qvr::core
+{
+namespace
+{
+
+ArrivalConfig
+poissonConfig(double rate, std::uint64_t seed = 7)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Poisson;
+    cfg.rate = rate;
+    cfg.seed = seed;
+    return cfg;
+}
+
+ArrivalConfig
+mmppConfig(std::uint64_t seed = 7)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Mmpp;
+    cfg.states = {{5.0, 2.0}, {200.0, 0.25}};
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Byte-faithful digest of an arrival list (hexfloat times). */
+std::string
+digest(const std::vector<UserArrival> &as)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    for (const UserArrival &a : as)
+        os << a.id << ';' << a.connect << ';' << a.frames << ';'
+           << a.profile << ';' << a.seed << '\n';
+    return os.str();
+}
+
+TEST(Arrivals, PoissonEmpiricalRateWithinConfidenceInterval)
+{
+    const double rate = 50.0;
+    const Seconds horizon = 200.0;
+    const auto as = generateArrivals(poissonConfig(rate), horizon);
+
+    // Count ~ Poisson(rate * horizon): mean 10000, sigma 100.  A
+    // 4-sigma band keeps the deterministic seed comfortably inside
+    // while still catching a rate bug of even a few percent.
+    const double mean = rate * horizon;
+    const double sigma = std::sqrt(mean);
+    EXPECT_GT(static_cast<double>(as.size()), mean - 4.0 * sigma);
+    EXPECT_LT(static_cast<double>(as.size()), mean + 4.0 * sigma);
+}
+
+TEST(Arrivals, PoissonInterarrivalMeanMatchesRate)
+{
+    const double rate = 20.0;
+    const auto as = generateArrivals(poissonConfig(rate), 500.0);
+    ASSERT_GT(as.size(), 1000u);
+    double sum = 0.0;
+    for (std::size_t i = 1; i < as.size(); i++)
+        sum += as[i].connect - as[i - 1].connect;
+    const double mean_gap =
+        sum / static_cast<double>(as.size() - 1);
+    EXPECT_NEAR(mean_gap, 1.0 / rate, 0.1 / rate);
+}
+
+TEST(Arrivals, ConnectTimesNondecreasingAndIdsSequential)
+{
+    const auto as = generateArrivals(poissonConfig(30.0), 50.0);
+    ASSERT_FALSE(as.empty());
+    for (std::size_t i = 0; i < as.size(); i++) {
+        EXPECT_EQ(as[i].id, i);
+        if (i > 0) {
+            EXPECT_GE(as[i].connect, as[i - 1].connect);
+        }
+        EXPECT_LT(as[i].connect, 50.0);
+    }
+}
+
+TEST(Arrivals, SessionLengthsStayInBounds)
+{
+    ArrivalConfig cfg = poissonConfig(40.0);
+    cfg.minFrames = 12;
+    cfg.maxFrames = 48;
+    const auto as = generateArrivals(cfg, 100.0);
+    ASSERT_GT(as.size(), 500u);
+    std::uint32_t lo = cfg.maxFrames, hi = cfg.minFrames;
+    for (const UserArrival &a : as) {
+        EXPECT_GE(a.frames, cfg.minFrames);
+        EXPECT_LE(a.frames, cfg.maxFrames);
+        lo = std::min(lo, a.frames);
+        hi = std::max(hi, a.frames);
+    }
+    // The uniform draw actually covers the range.
+    EXPECT_EQ(lo, cfg.minFrames);
+    EXPECT_EQ(hi, cfg.maxFrames);
+}
+
+TEST(Arrivals, MmppDwellMeansMatchConfiguredStates)
+{
+    ArrivalProcess p(mmppConfig());
+    // Drive the process long enough to log plenty of completed
+    // dwells; the state chain advances with simulated time.
+    while (p.now() < 2000.0)
+        p.next();
+    const std::vector<Seconds> &dwells = p.dwellLog();
+    ASSERT_GT(dwells.size(), 400u);
+
+    // States alternate 0, 1, 0, 1, ... so even indices are state-0
+    // dwells (mean 2.0 s) and odd indices state-1 (mean 0.25 s).
+    double sum0 = 0.0, sum1 = 0.0;
+    std::size_t n0 = 0, n1 = 0;
+    for (std::size_t i = 0; i < dwells.size(); i++) {
+        if (i % 2 == 0) {
+            sum0 += dwells[i];
+            n0++;
+        } else {
+            sum1 += dwells[i];
+            n1++;
+        }
+    }
+    EXPECT_NEAR(sum0 / static_cast<double>(n0), 2.0, 0.3);
+    EXPECT_NEAR(sum1 / static_cast<double>(n1), 0.25, 0.04);
+}
+
+TEST(Arrivals, MmppBurstStateArrivesFaster)
+{
+    // Arrivals per unit dwell time must reflect the 40x rate ratio:
+    // attribute each arrival to the state active when it happened.
+    ArrivalConfig cfg = mmppConfig();
+    ArrivalProcess p(cfg);
+    double arrivals_by_state[2] = {0.0, 0.0};
+    while (p.now() < 1000.0) {
+        p.next();
+        arrivals_by_state[p.state()] += 1.0;
+    }
+    const auto &dwells = p.dwellLog();
+    double time_in[2] = {0.0, 0.0};
+    for (std::size_t i = 0; i < dwells.size(); i++)
+        time_in[i % 2] += dwells[i];
+    const double rate0 = arrivals_by_state[0] / time_in[0];
+    const double rate1 = arrivals_by_state[1] / time_in[1];
+    EXPECT_NEAR(rate0, 5.0, 1.5);
+    EXPECT_NEAR(rate1, 200.0, 20.0);
+}
+
+TEST(Arrivals, MmppStateChainInvariantUnderRateScaling)
+{
+    // The burst timeline must be bit-identical when every state rate
+    // scales (the property that lets the open-loop bench compare
+    // fleets of different sizes under the SAME flash crowd).
+    ArrivalConfig base = mmppConfig();
+    ArrivalConfig scaled = base;
+    for (MmppState &s : scaled.states)
+        s.rate *= 8.0;
+
+    ArrivalProcess pb(base), ps(scaled);
+    while (pb.now() < 500.0)
+        pb.next();
+    while (ps.now() < 500.0)
+        ps.next();
+    ASSERT_GE(pb.dwellLog().size(), 100u);
+    const std::size_t n =
+        std::min(pb.dwellLog().size(), ps.dwellLog().size());
+    for (std::size_t i = 0; i < n; i++)
+        EXPECT_EQ(pb.dwellLog()[i], ps.dwellLog()[i]) << "dwell " << i;
+}
+
+TEST(Arrivals, DiurnalCurveModulatesArrivalDensity)
+{
+    ArrivalConfig cfg = poissonConfig(50.0);
+    cfg.diurnalAmplitude = 0.9;
+    cfg.diurnalPeriod = 100.0;
+    const auto as = generateArrivals(cfg, 100.0);
+    // First half-period: sin > 0 (rate up to 95/s); second half:
+    // sin < 0 (rate down to 5/s).  The density split must be heavily
+    // lopsided — a broken thinning loop shows up immediately.
+    std::size_t first = 0;
+    for (const UserArrival &a : as)
+        if (a.connect < 50.0)
+            first++;
+    const std::size_t second = as.size() - first;
+    EXPECT_GT(first, second * 2);
+}
+
+TEST(Arrivals, MixDrawsFollowWeights)
+{
+    ArrivalConfig cfg = poissonConfig(50.0);
+    cfg.mix = {{"HL2-H", 1.0}, {"Doom3-H", 1.0}, {"HL2-L", 2.0}};
+    const auto as = generateArrivals(cfg, 200.0);
+    ASSERT_GT(as.size(), 5000u);
+    std::size_t count[3] = {0, 0, 0};
+    for (const UserArrival &a : as) {
+        ASSERT_LT(a.profile, 3u);
+        count[a.profile]++;
+    }
+    const double n = static_cast<double>(as.size());
+    EXPECT_NEAR(static_cast<double>(count[0]) / n, 0.25, 0.03);
+    EXPECT_NEAR(static_cast<double>(count[1]) / n, 0.25, 0.03);
+    EXPECT_NEAR(static_cast<double>(count[2]) / n, 0.50, 0.03);
+}
+
+TEST(Arrivals, ReplayIsByteIdentical)
+{
+    const ArrivalConfig cfg = mmppConfig(21);
+    const auto a = generateArrivals(cfg, 100.0);
+    const auto b = generateArrivals(cfg, 100.0);
+    EXPECT_EQ(digest(a), digest(b));
+    EXPECT_FALSE(a.empty());
+}
+
+TEST(Arrivals, StreamingMatchesMaterialised)
+{
+    const ArrivalConfig cfg = poissonConfig(25.0, 13);
+    const auto all = generateArrivals(cfg, 80.0);
+    ArrivalProcess p(cfg);
+    std::vector<UserArrival> streamed;
+    for (;;) {
+        const UserArrival a = p.next();
+        if (a.connect >= 80.0)
+            break;
+        streamed.push_back(a);
+    }
+    EXPECT_EQ(digest(all), digest(streamed));
+}
+
+TEST(Arrivals, DistinctSeedsGiveDistinctTimelines)
+{
+    const auto a = generateArrivals(poissonConfig(25.0, 1), 50.0);
+    const auto b = generateArrivals(poissonConfig(25.0, 2), 50.0);
+    EXPECT_NE(digest(a), digest(b));
+}
+
+TEST(Arrivals, PerUserSeedsAreDistinct)
+{
+    const auto as = generateArrivals(poissonConfig(40.0), 50.0);
+    ASSERT_GT(as.size(), 100u);
+    for (std::size_t i = 1; i < as.size(); i++)
+        EXPECT_NE(as[i].seed, as[i - 1].seed);
+}
+
+using ArrivalsDeath = ::testing::Test;
+
+TEST(ArrivalsDeath, ZeroRatePanics)
+{
+    ArrivalConfig cfg = poissonConfig(0.0);
+    EXPECT_DEATH(cfg.validate(), "arrival rate must be positive");
+}
+
+TEST(ArrivalsDeath, SingleMmppStatePanics)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Mmpp;
+    cfg.states = {{10.0, 1.0}};
+    EXPECT_DEATH(cfg.validate(), "MMPP needs at least two states");
+}
+
+TEST(ArrivalsDeath, ZeroMmppStateRatePanics)
+{
+    ArrivalConfig cfg = mmppConfig();
+    cfg.states[1].rate = 0.0;
+    EXPECT_DEATH(cfg.validate(), "MMPP state rate must be positive");
+}
+
+TEST(ArrivalsDeath, ZeroMmppDwellPanics)
+{
+    ArrivalConfig cfg = mmppConfig();
+    cfg.states[0].meanDwell = 0.0;
+    EXPECT_DEATH(cfg.validate(), "MMPP state dwell must be positive");
+}
+
+TEST(ArrivalsDeath, DiurnalAmplitudeOfOnePanics)
+{
+    ArrivalConfig cfg = poissonConfig(10.0);
+    cfg.diurnalAmplitude = 1.0;
+    EXPECT_DEATH(cfg.validate(), "diurnal amplitude outside");
+}
+
+TEST(ArrivalsDeath, ZeroMinFramesPanics)
+{
+    ArrivalConfig cfg = poissonConfig(10.0);
+    cfg.minFrames = 0;
+    EXPECT_DEATH(cfg.validate(), "sessions need at least one frame");
+}
+
+TEST(ArrivalsDeath, MaxFramesBelowMinPanics)
+{
+    ArrivalConfig cfg = poissonConfig(10.0);
+    cfg.minFrames = 40;
+    cfg.maxFrames = 30;
+    EXPECT_DEATH(cfg.validate(), "max session frames below min");
+}
+
+TEST(ArrivalsDeath, NegativeRoamRatePanics)
+{
+    ArrivalConfig cfg = poissonConfig(10.0);
+    cfg.roamRate = -1.0;
+    EXPECT_DEATH(cfg.validate(), "roam rate must be nonnegative");
+}
+
+TEST(ArrivalsDeath, ZeroMixWeightPanics)
+{
+    ArrivalConfig cfg = poissonConfig(10.0);
+    cfg.mix = {{"HL2-H", 0.0}};
+    EXPECT_DEATH(cfg.validate(), "mix weight must be positive");
+}
+
+TEST(ArrivalsDeath, NonpositiveHorizonPanics)
+{
+    EXPECT_DEATH(generateArrivals(poissonConfig(10.0), 0.0),
+                 "arrival horizon must be positive");
+}
+
+}  // namespace
+}  // namespace qvr::core

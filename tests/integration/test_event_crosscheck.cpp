@@ -317,7 +317,7 @@ crosscheckConfigs()
     c4.benchmark = "Doom3-L";
     c4.seed = 7;
     c4.serving.shards = 2;
-    c4.serving.balancer = serve::BalancerPolicy::HashUser;
+    c4.serving.balancer.policy = serve::BalancerPolicy::HashUser;
     c4.serving.scheduler.policy = serve::SchedulerPolicy::Sjf;
     cfgs.push_back(c4);
 

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Determinism gate for open-loop (arrival-driven) sessions: a
+ * balancer x shard-count grid of MMPP flash-crowd cells — with
+ * mid-sweep autoscaling and roaming — must replay byte-identical
+ * when fanned out on 1, 2 and 8 sim::runParallel worker threads.
+ * Joins the `ctest -L tsan` concurrency suite, so with
+ * -DQVR_SANITIZE=thread the fan-out is also vetted for data races.
+ *
+ * Also the functional smoke for the open-loop lifecycle: every
+ * arrival must eventually depart (connect -> active -> disconnect),
+ * the population accounting must be self-consistent, and scale
+ * events must actually retire drained shards.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "collab/session.hpp"
+#include "sim/parallel.hpp"
+
+namespace qvr::collab
+{
+namespace
+{
+
+/** One open-loop cell: MMPP flash crowd, heterogeneous scene mix,
+ *  roaming users, and a mid-sweep scale-out. */
+SessionConfig
+openLoopCell(std::uint32_t shards, serve::BalancerPolicy policy,
+             std::uint64_t seed)
+{
+    SessionConfig cfg;
+    cfg.design = SessionDesign::Served;
+    cfg.engine = SessionEngine::Event;
+    cfg.aggregateTelemetry = true;
+    cfg.benchmark = "HL2-H";
+    cfg.users = 1;  // ignored: open loop sizes the population
+    cfg.numFrames = 1;
+    cfg.totalChiplets = 4 * shards;
+    cfg.chipletsPerRequest = 2;
+    cfg.serverEgress = fromMbps(2000.0);
+    cfg.serving.shards = shards;
+    cfg.serving.balancer.policy = policy;
+    cfg.serving.scheduler.policy = serve::SchedulerPolicy::Edf;
+    cfg.serving.admission.enabled = true;
+    cfg.seed = seed;
+
+    cfg.openLoop.enabled = true;
+    cfg.openLoop.horizon = 4.0;
+    core::ArrivalConfig &a = cfg.openLoop.arrivals;
+    a.kind = core::ArrivalKind::Mmpp;
+    a.states = {{6.0, 1.0}, {30.0, 0.25}};  // calm vs flash crowd
+    a.minFrames = 8;
+    a.maxFrames = 24;
+    a.roamRate = 0.5;
+    a.mix = {{"HL2-H", 2.0}, {"Doom3-H", 1.0}, {"Viking", 1.0}};
+    a.seed = seed;
+    cfg.openLoop.scaleEvents = {{1.5, shards + 1},
+                                {3.0, shards}};
+    return cfg;
+}
+
+/** Byte-faithful digest (hexfloat: no rounding). */
+std::string
+digest(const SessionResult &r)
+{
+    const SessionAggregate &a = r.aggregate;
+    std::ostringstream os;
+    os << std::hexfloat << a.users << ';' << a.meanFps << ';'
+       << a.worstUserFps << ';' << a.meanMtp << ';'
+       << a.fpsCompliance << ';' << a.bytesPerFrame << ';'
+       << a.p50QueueWait << ';' << a.p99QueueWait << ';'
+       << a.deadlineMissRate << ';' << a.shedFrames << ';'
+       << a.downgradedFrames << ';' << r.openLoop.arrivals << ';'
+       << r.openLoop.departures << ';' << r.openLoop.roams << ';'
+       << r.openLoop.meanActiveUsers << ';'
+       << r.openLoop.peakActiveUsers << ';'
+       << r.serveCounters.submitted << ';'
+       << r.serveCounters.admitted << ';' << r.serveCounters.shed
+       << ';' << r.serveCounters.downgraded << ';'
+       << r.serveCounters.deadlineMisses << ';'
+       << r.serveCounters.scaleEvents << ';'
+       << r.serveCounters.retiredShards;
+    for (const double u : r.shardUtilisation)
+        os << ';' << u;
+    return os.str();
+}
+
+struct Cell
+{
+    std::uint32_t shards;
+    serve::BalancerPolicy policy;
+};
+
+const std::vector<Cell> kGrid = {
+    {1, serve::BalancerPolicy::JoinShortestQueue},
+    {2, serve::BalancerPolicy::HashUser},
+    {2, serve::BalancerPolicy::BoundedLoadConsistentHash},
+    {4, serve::BalancerPolicy::PowerOfTwoChoices},
+    {4, serve::BalancerPolicy::HashUserUnbounded},
+};
+
+TEST(OpenLoopDeterminism, SweepBytesIdenticalAcrossWorkers)
+{
+    const auto sweep = [](std::size_t threads) {
+        return sim::runParallel(
+            kGrid.size(),
+            [](std::size_t i) {
+                return digest(runSession(openLoopCell(
+                    kGrid[i].shards, kGrid[i].policy, 11 + i)));
+            },
+            threads);
+    };
+
+    const std::vector<std::string> baseline = sweep(1);
+    for (const std::size_t threads : {2u, 8u}) {
+        const std::vector<std::string> rerun = sweep(threads);
+        ASSERT_EQ(baseline.size(), rerun.size());
+        for (std::size_t i = 0; i < kGrid.size(); i++) {
+            EXPECT_EQ(baseline[i], rerun[i])
+                << "cell " << i << " not byte-identical at "
+                << threads << " workers";
+        }
+    }
+}
+
+TEST(OpenLoopDeterminism, RepeatedRunsBytesIdentical)
+{
+    const SessionConfig cfg = openLoopCell(
+        2, serve::BalancerPolicy::BoundedLoadConsistentHash, 7);
+    const std::string first = digest(runSession(cfg));
+    for (int rep = 0; rep < 3; rep++)
+        EXPECT_EQ(first, digest(runSession(cfg))) << "rep " << rep;
+}
+
+TEST(OpenLoopLifecycle, EveryArrivalDeparts)
+{
+    const SessionResult r = runSession(openLoopCell(
+        2, serve::BalancerPolicy::BoundedLoadConsistentHash, 3));
+    ASSERT_TRUE(r.openLoop.enabled);
+    EXPECT_GT(r.openLoop.arrivals, 0u);
+    EXPECT_EQ(r.openLoop.departures, r.openLoop.arrivals);
+    EXPECT_GE(r.openLoop.peakActiveUsers, 1u);
+    EXPECT_GT(r.openLoop.meanActiveUsers, 0.0);
+    EXPECT_LE(r.openLoop.meanActiveUsers,
+              static_cast<double>(r.openLoop.peakActiveUsers));
+    EXPECT_GT(r.openLoop.roams, 0u);
+    // Telemetry covers the dynamic population.
+    EXPECT_EQ(r.aggregate.users, r.openLoop.arrivals);
+}
+
+TEST(OpenLoopLifecycle, ScaleEventsRetireDrainedShards)
+{
+    const SessionResult r = runSession(openLoopCell(
+        2, serve::BalancerPolicy::JoinShortestQueue, 5));
+    // One grow (2 -> 3) and one shrink (3 -> 2): both must register,
+    // and the shrink must eventually retire the drained shard.
+    EXPECT_EQ(r.serveCounters.scaleEvents, 2u);
+    EXPECT_EQ(r.serveCounters.retiredShards, 1u);
+    // Utilisation telemetry spans every shard ever created.
+    EXPECT_EQ(r.shardUtilisation.size(), 3u);
+}
+
+TEST(OpenLoopLifecycle, HigherArrivalRateServesMoreUsers)
+{
+    SessionConfig lo = openLoopCell(
+        2, serve::BalancerPolicy::JoinShortestQueue, 9);
+    lo.openLoop.arrivals.kind = core::ArrivalKind::Poisson;
+    lo.openLoop.arrivals.rate = 4.0;
+    lo.openLoop.arrivals.states.clear();
+    SessionConfig hi = lo;
+    hi.openLoop.arrivals.rate = 16.0;
+    const SessionResult rlo = runSession(lo);
+    const SessionResult rhi = runSession(hi);
+    EXPECT_GT(rhi.openLoop.arrivals, rlo.openLoop.arrivals);
+    EXPECT_GT(rhi.openLoop.meanActiveUsers,
+              rlo.openLoop.meanActiveUsers);
+}
+
+}  // namespace
+}  // namespace qvr::collab

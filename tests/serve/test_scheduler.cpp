@@ -180,7 +180,7 @@ fleetConfig(std::uint32_t shards, BalancerPolicy balancer,
 {
     FleetConfig cfg;
     cfg.shards = shards;
-    cfg.balancer = balancer;
+    cfg.balancer.policy = balancer;
     cfg.scheduler.slots = slots_per_shard;
     return cfg;
 }
@@ -203,9 +203,13 @@ TEST(Fleet, JsqSpreadsConcurrentLoad)
     EXPECT_GT(fleet.shardBusyTime(1), 0.0);
 }
 
-TEST(Fleet, HashUserIsStablePerUserAndMatchesOutcomes)
+TEST(Fleet, UnboundedHashIsStablePerUserAndMatchesOutcomes)
 {
-    Fleet fleet(fleetConfig(4, BalancerPolicy::HashUser));
+    // HashUserUnbounded is the pure-affinity rendezvous hash: every
+    // request lands on shardForUser regardless of load.  (HashUser
+    // now spills past its home shard when the bounded-load check
+    // trips — tests/serve/test_balancer.cpp covers that.)
+    Fleet fleet(fleetConfig(4, BalancerPolicy::HashUserUnbounded));
     std::set<std::uint32_t> used;
     for (std::uint32_t user = 0; user < 32; user++) {
         const std::uint32_t s = fleet.shardForUser(user);

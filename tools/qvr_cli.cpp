@@ -54,10 +54,12 @@ usage()
         "  --csv PATH        dump the per-frame series as CSV\n"
         "  --trace PATH      replay a recorded workload trace\n"
         "  --save-trace PATH record the workload trace\n"
-        "  --sweep MODE      designs | benchmarks | grid | fleet:\n"
-        "                    run the whole cell grid in parallel\n"
-        "                    (fleet = serving policies x user counts\n"
-        "                    on the edge-serving session model)\n"
+        "  --sweep MODE      designs | benchmarks | grid | fleet |\n"
+        "                    openloop: run the whole cell grid in\n"
+        "                    parallel (fleet = serving policies x\n"
+        "                    user counts on the edge-serving session\n"
+        "                    model; openloop = balancer x shard cells\n"
+        "                    under MMPP flash-crowd arrivals)\n"
         "  --jobs N          sweep worker threads (default: QVR_JOBS\n"
         "                    env var, else the core count)\n"
         "  --list            list designs and benchmarks\n"
@@ -97,6 +99,8 @@ list()
 
 int runFleetSweep(const core::ExperimentSpec &spec,
                   std::size_t jobs);
+int runOpenLoopSweep(const core::ExperimentSpec &spec,
+                     std::size_t jobs);
 
 /** --sweep: run a cell grid through the parallel runner and print a
  *  comparison table, one row per cell in grid order. */
@@ -112,6 +116,8 @@ runSweep(const std::string &mode, const std::string &design_name,
     std::vector<SweepCell> cells;
     if (mode == "fleet")
         return runFleetSweep(spec, jobs);
+    if (mode == "openloop")
+        return runOpenLoopSweep(spec, jobs);
     if (mode == "designs" || mode == "grid") {
         for (const auto &[name, d] : designs()) {
             (void)d;
@@ -127,7 +133,8 @@ runSweep(const std::string &mode, const std::string &design_name,
             cells.push_back({design_name, b.name});
     } else {
         QVR_FATAL("unknown --sweep mode '", mode,
-                  "' (designs | benchmarks | grid | fleet)");
+                  "' (designs | benchmarks | grid | fleet |"
+                  " openloop)");
     }
 
     const auto results = sim::runParallel(
@@ -231,6 +238,95 @@ runFleetSweep(const core::ExperimentSpec &spec, std::size_t jobs)
              TextTable::num(toMs(p99), 2),
              std::to_string(r.serveCounters.shed),
              std::to_string(r.serveCounters.batchedRequests),
+             std::to_string(r.serveCounters.deadlineMisses)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+/** --sweep openloop: balancer x shard-count cells under arrival-
+ *  driven (open-loop) traffic — users connect on a seeded MMPP
+ *  flash-crowd schedule, play a drawn session length, and depart —
+ *  through the same parallel runner. */
+int
+runOpenLoopSweep(const core::ExperimentSpec &spec, std::size_t jobs)
+{
+    struct OpenCell
+    {
+        std::string label;
+        serve::BalancerPolicy balancer;
+        std::uint32_t shards;
+    };
+    struct BalancerRow
+    {
+        std::string label;
+        serve::BalancerPolicy balancer;
+    };
+    const std::vector<BalancerRow> balancers = {
+        {"jsq", serve::BalancerPolicy::JoinShortestQueue},
+        {"bounded-ch",
+         serve::BalancerPolicy::BoundedLoadConsistentHash},
+        {"p2c", serve::BalancerPolicy::PowerOfTwoChoices},
+        {"hash", serve::BalancerPolicy::HashUser},
+    };
+    std::vector<OpenCell> cells;
+    for (const auto &b : balancers) {
+        for (const std::uint32_t shards : {2u, 4u})
+            cells.push_back({b.label, b.balancer, shards});
+    }
+
+    const auto results = sim::runParallel(
+        cells.size(),
+        [&cells, &spec](std::size_t i) {
+            collab::SessionConfig cfg;
+            cfg.design = collab::SessionDesign::Served;
+            cfg.engine = collab::SessionEngine::Event;
+            cfg.aggregateTelemetry = true;
+            cfg.benchmark = spec.benchmark;
+            cfg.users = 1;   // sized by the arrival process
+            cfg.numFrames = 1;
+            cfg.totalChiplets = 4 * cells[i].shards;
+            cfg.chipletsPerRequest = 2;
+            cfg.serverEgress =
+                fromMbps(2000.0 * cells[i].shards);
+            cfg.serving.shards = cells[i].shards;
+            cfg.serving.balancer.policy = cells[i].balancer;
+            cfg.serving.scheduler.policy =
+                serve::SchedulerPolicy::Edf;
+            cfg.serving.admission.enabled = true;
+            cfg.seed = spec.seed;
+            cfg.openLoop.enabled = true;
+            cfg.openLoop.horizon = 2.0;
+            core::ArrivalConfig &a = cfg.openLoop.arrivals;
+            a.kind = core::ArrivalKind::Mmpp;
+            const double s =
+                static_cast<double>(cells[i].shards);
+            a.states = {{20.0 * s, 1.0}, {100.0 * s, 0.25}};
+            a.minFrames = 8;
+            a.maxFrames = 24;
+            a.roamRate = 0.3;
+            a.seed = spec.seed;
+            return collab::runSession(cfg);
+        },
+        jobs);
+
+    TextTable table("Open-loop sweep: " +
+                    std::to_string(cells.size()) + " cells on " +
+                    spec.benchmark +
+                    ", MMPP flash crowd, 2 s horizon");
+    table.setHeader({"Balancer", "Shards", "Arrivals", "Peak act",
+                     "Mean act", "Roams", "Shed", "Worst FPS",
+                     "Misses"});
+    for (std::size_t i = 0; i < cells.size(); i++) {
+        const collab::SessionResult &r = results[i];
+        table.addRow(
+            {cells[i].label, std::to_string(cells[i].shards),
+             std::to_string(r.openLoop.arrivals),
+             std::to_string(r.openLoop.peakActiveUsers),
+             TextTable::num(r.openLoop.meanActiveUsers, 1),
+             std::to_string(r.openLoop.roams),
+             std::to_string(r.serveCounters.shed),
+             TextTable::num(r.worstUserFps(), 1),
              std::to_string(r.serveCounters.deadlineMisses)});
     }
     table.print(std::cout);

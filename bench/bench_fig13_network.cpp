@@ -2,13 +2,25 @@
  * @file
  * Figure 13 reproduction: transmitted data size and rendered
  * resolution, normalised to remote-only rendering (the commercial
- * cloud-server design).
+ * cloud-server design) — plus the Q-VR+CL column, where the
+ * periphery ships as the encoder-aligned compressed frame layout
+ * (cropped 32-px-aligned middle window + reduced-resolution outer
+ * frame) and the payload bytes are computed from the actual buffer
+ * dimensions rather than analytic annulus areas.
  *
  * Shapes to reproduce: Static transfers ~as much as remote-only
  * (prefetching hides latency, it does not cut bytes); Q-VR cuts
  * transmitted data ~85% and overall resolution ~41%, with light
  * workloads (Doom3-L) cutting bytes ~96% but resolution only ~7%
  * because most of the frame renders locally at full detail.
+ *
+ * Self-check (exit 1 on violation): the compressed layout must show
+ * a measured bytes-on-wire drop vs remote-only transport on every
+ * benchmark.  Q-VR+CL intentionally ships a little more than
+ * analytic Q-VR — the aligned middle window is a rectangle covering
+ * the fovea interior and the outer layer is a full reduced-res frame
+ * rather than an annulus — so the honest gate is vs the native
+ * full-resolution transport, not vs the analytic accounting.
  */
 
 #include "bench_util.hpp"
@@ -21,40 +33,63 @@ main()
 
     printHeader("Figure 13 — transmitted data and resolution");
 
-    const auto remote = runTable3(core::DesignPoint::Remote);
-    const auto stat = runTable3(core::DesignPoint::Static);
-    const auto qvr = runTable3(core::DesignPoint::Qvr);
+    const auto grid = runDesignGrid(
+        {core::DesignPoint::Remote, core::DesignPoint::Static,
+         core::DesignPoint::Qvr, core::DesignPoint::QvrCompressed});
+    const std::size_t n = grid.size() / 4;
+    const auto *remote = grid.data();
+    const auto *stat = grid.data() + n;
+    const auto *qvr = grid.data() + 2 * n;
+    const auto *qvrcl = grid.data() + 3 * n;
 
     TextTable table("Normalised to remote-only rendering");
     table.setHeader({"Benchmark", "Static data", "Q-VR data",
-                     "Q-VR data cut", "Q-VR res cut",
-                     "Q-VR KB/frame"});
+                     "Q-VR+CL data", "Q-VR data cut", "CL data cut",
+                     "Q-VR res cut", "Q-VR KB/frame"});
 
-    std::vector<double> cut_data, cut_res;
-    for (std::size_t i = 0; i < remote.size(); i++) {
+    bool wire_drop_ok = true;
+    std::vector<double> cut_data, cut_res, cut_cl;
+    for (std::size_t i = 0; i < n; i++) {
         const double rm = remote[i].meanTransmittedBytes();
         const double st_norm =
             stat[i].meanTransmittedBytes() / rm;
         const double qv_norm =
             qvr[i].meanTransmittedBytes() / rm;
+        const double cl_norm =
+            qvrcl[i].meanTransmittedBytes() / rm;
         cut_data.push_back(1.0 - qv_norm);
+        cut_cl.push_back(1.0 - cl_norm);
         cut_res.push_back(1.0 - qvr[i].meanResolutionFraction());
+        if (cl_norm >= 1.0)
+            wire_drop_ok = false;
         table.addRow(
             {remote[i].benchmark, TextTable::num(st_norm, 2),
              TextTable::num(qv_norm, 2),
+             TextTable::num(cl_norm, 2),
              TextTable::percent(cut_data.back()),
+             TextTable::percent(cut_cl.back()),
              TextTable::percent(cut_res.back()),
              TextTable::num(
                  qvr[i].meanTransmittedBytes() / 1024.0, 0)});
     }
-    table.addRow({"MEAN", "", "",
+    table.addRow({"MEAN", "", "", "",
                   TextTable::percent(mean(cut_data)),
+                  TextTable::percent(mean(cut_cl)),
                   TextTable::percent(mean(cut_res)), ""});
     table.print(std::cout);
 
     std::cout << "\nPaper reference: ~85% mean transmitted-data"
                  " reduction and ~41% mean resolution reduction;"
                  " Doom3-L cuts ~96% of bytes with only ~7% of"
-                 " resolution.\n";
+                 " resolution.  Q-VR+CL bytes come from the aligned"
+                 " buffer dimensions the stream actually carries.\n";
+
+    if (!wire_drop_ok) {
+        std::cerr << "FAIL: compressed frame layout did not reduce"
+                     " bytes on wire vs remote-only transport\n";
+        return 1;
+    }
+    std::cout << "\nbytes-on-wire self-check: PASS (Q-VR+CL <"
+                 " remote-only on every benchmark)\n";
     return 0;
 }

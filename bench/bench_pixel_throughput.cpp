@@ -1,16 +1,22 @@
 /**
  * @file
  * Pixel-throughput benchmark for the UCA functional paths: Mpix/s of
- * the scalar reference loops vs the tiled PixelEngine, serial and
- * thread-parallel, for both the unified (Eq. 4) and the two-pass
- * sequential (Eq. 3) composition.  This is the repo's first
- * throughput benchmark — future PRs regress against its JSON.
+ * the scalar reference loops vs the tiled PixelEngine across the
+ * compiled SIMD dispatch backends (scalar / AVX2 / NEON), serial and
+ * thread-parallel, for the unified (Eq. 4) and two-pass sequential
+ * (Eq. 3) composition, plus a per-kernel breakdown (interior
+ * bilinear vs blend-band trilinear) on synthetic all-interior /
+ * all-blend partitions whose tile census is verified before timing.
  *
  * Output: a TextTable on stdout and BENCH_pixel_throughput.json
- * (path overridable with --json <path>); --quick shrinks the canvas
- * set and repetition count for CI smoke runs (the `perf` CTest
- * label).  Every tiled variant is verified bit-identical
- * (maxAbsDiff == 0) against its scalar reference before timing.
+ * (path overridable with --json <path>); --quick shrinks the
+ * repetition count for CI smoke runs (the `perf` CTest label);
+ * --dispatch <scalar|avx2|neon> restricts the backend sweep.  Every
+ * tiled variant is verified bit-identical (maxAbsDiff == 0) against
+ * its scalar reference before timing, and the run FAILS (exit 1)
+ * unless the best SIMD backend reaches the pinned >= 4x serial
+ * speedup over the scalar composite loop on the largest canvas
+ * (skipped, loudly, when no SIMD backend is compiled/supported).
  */
 
 #include "bench_util.hpp"
@@ -19,6 +25,8 @@
 #include <fstream>
 #include <functional>
 #include <limits>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +36,9 @@ namespace
 {
 
 using namespace qvr;
+
+/** Pinned acceptance gate: SIMD serial composite vs scalar loop. */
+constexpr double kRequiredSpeedup = 4.0;
 
 core::Image
 makePattern(std::int32_t w, std::int32_t h)
@@ -85,13 +96,15 @@ bestSeconds(int reps, const std::function<void()> &fn)
 
 struct Row
 {
-    std::string path;     ///< uca_unified | sequential
-    std::string engine;   ///< scalar | tiled
+    std::string path;      ///< uca_unified | sequential |
+                           ///< interior_bilinear | blend_trilinear
+    std::string engine;    ///< scalar (reference loop) | tiled
+    std::string dispatch;  ///< ref | scalar | avx2 | neon
     std::size_t threads;
     std::int32_t size;
     double mpixPerS;
-    double maxAbsDiff;    ///< vs the scalar reference (0 required)
-    double speedup;       ///< vs the scalar reference
+    double maxAbsDiff;     ///< vs the scalar reference (0 required)
+    double speedup;        ///< vs the scalar reference loop
 };
 
 }  // namespace
@@ -104,35 +117,58 @@ main(int argc, char **argv)
 
     bool quick = false;
     std::string json_path = "BENCH_pixel_throughput.json";
+    std::string only_dispatch;
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
         if (arg == "--quick") {
             quick = true;
         } else if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (arg == "--dispatch" && i + 1 < argc) {
+            only_dispatch = argv[++i];
         } else {
             std::cerr << "usage: bench_pixel_throughput [--quick]"
-                         " [--json <path>]\n";
+                         " [--json <path>]"
+                         " [--dispatch <scalar|avx2|neon>]\n";
             return 2;
         }
     }
 
-    printHeader("pixel throughput — scalar vs tiled UCA pipeline");
+    printHeader("pixel throughput — scalar vs tiled+SIMD UCA "
+                "pipeline");
+
+    // Backend sweep: every backend compiled in AND runnable on this
+    // host (each is bit-exact, so the sweep is timing-only).
+    std::vector<core::simd::Backend> backends;
+    for (const auto b :
+         {core::simd::Backend::Scalar, core::simd::Backend::Avx2,
+          core::simd::Backend::Neon}) {
+        if (!core::simd::backendSupported(b))
+            continue;
+        if (!only_dispatch.empty() &&
+            only_dispatch != core::simd::backendName(b))
+            continue;
+        backends.push_back(b);
+    }
+    if (backends.empty()) {
+        std::cerr << "no requested SIMD backend is supported here\n";
+        return 2;
+    }
 
     const int reps = quick ? 2 : 5;
-    std::vector<std::int32_t> sizes{512};
-    if (!quick)
-        sizes.push_back(1024);
+    const std::vector<std::int32_t> sizes{512, 1024};
+    const std::int32_t gate_size = sizes.back();
 
     const std::size_t n_threads =
         sim::ThreadPool::defaultParallelism();
 
     TextTable table("UCA pixel throughput (best of " +
                     std::to_string(reps) + ")");
-    table.setHeader({"path", "engine", "threads", "canvas",
-                     "Mpix/s", "speedup", "maxAbsDiff"});
+    table.setHeader({"path", "engine", "dispatch", "threads",
+                     "canvas", "Mpix/s", "speedup", "maxAbsDiff"});
 
     std::vector<Row> rows;
+    double gate_speedup = 0.0;  ///< best SIMD serial composite
     for (const std::int32_t size : sizes) {
         const core::Image native = makePattern(size, size);
         const core::Image middle = downsample(native, 2.0);
@@ -153,55 +189,121 @@ main(int argc, char **argv)
         in.partition.blendBand = 16.0;
         in.atwShift = Vec2{1.7, -2.3};
 
+        // Kernel-breakdown inputs: a partition whose fovea covers
+        // the whole canvas (every tile takes the interior bilinear
+        // fast path) and one whose blend band does (every tile pays
+        // the trilinear path).  The tile census asserts both.
+        core::UcaFrameInputs interior = in;
+        interior.partition.foveaRadius = 4.0 * size;
+        interior.partition.middleRadius = 5.0 * size;
+        core::UcaFrameInputs blend = in;
+        blend.partition.foveaRadius = 0.0;
+        blend.partition.middleRadius = 3.0 * size;
+        blend.partition.blendBand = 3.0 * size;
+
         const double mpix =
             static_cast<double>(size) * size / 1e6;
-
-        core::PixelEngine serial(1);
-        core::PixelEngine parallel(n_threads);
 
         struct Variant
         {
             std::string path;
             std::string engine;
+            std::string dispatch;
             std::size_t threads;
             std::function<core::Image()> run;
+            /** Census required after run() (0 = don't check). */
+            std::uint32_t wantFovea = 0, wantBlend = 0;
+            core::PixelEngine *census = nullptr;
         };
-        const std::vector<Variant> variants{
-            {"uca_unified", "scalar", 1,
+        std::vector<Variant> variants{
+            {"uca_unified", "scalar", "ref", 1,
              [&] { return core::ucaUnified(in); }},
-            {"uca_unified", "tiled", 1,
-             [&] { return serial.ucaUnified(in); }},
-            {"uca_unified", "tiled", n_threads,
-             [&] { return parallel.ucaUnified(in); }},
-            {"sequential", "scalar", 1,
+            {"sequential", "scalar", "ref", 1,
              [&] { return core::sequentialCompositeAtw(in); }},
-            {"sequential", "tiled", 1,
-             [&] { return serial.sequentialCompositeAtw(in); }},
-            {"sequential", "tiled", n_threads,
-             [&] { return parallel.sequentialCompositeAtw(in); }},
+            {"interior_bilinear", "scalar", "ref", 1,
+             [&] { return core::ucaUnified(interior); }},
+            {"blend_trilinear", "scalar", "ref", 1,
+             [&] { return core::ucaUnified(blend); }},
         };
 
-        double scalar_mpixps[2] = {0.0, 0.0};
-        core::Image reference[2];
+        std::vector<std::unique_ptr<core::PixelEngine>> engines;
+        const std::uint32_t tiles_per_side =
+            (size + core::kPixelTileSize - 1) / core::kPixelTileSize;
+        const std::uint32_t tiles = tiles_per_side * tiles_per_side;
+        for (const auto b : backends) {
+            engines.push_back(
+                std::make_unique<core::PixelEngine>(1, b));
+            core::PixelEngine *serial = engines.back().get();
+            const std::string name = core::simd::backendName(b);
+            variants.push_back({"uca_unified", "tiled", name, 1,
+                                [&, serial] {
+                                    return serial->ucaUnified(in);
+                                }});
+            variants.push_back(
+                {"sequential", "tiled", name, 1, [&, serial] {
+                     return serial->sequentialCompositeAtw(in);
+                 }});
+            variants.push_back({"interior_bilinear", "tiled", name,
+                                1,
+                                [&, serial] {
+                                    return serial->ucaUnified(
+                                        interior);
+                                },
+                                tiles, 0, serial});
+            variants.push_back({"blend_trilinear", "tiled", name, 1,
+                                [&, serial] {
+                                    return serial->ucaUnified(blend);
+                                },
+                                0, tiles, serial});
+        }
+        if (n_threads > 1) {
+            engines.push_back(std::make_unique<core::PixelEngine>(
+                n_threads, backends.back()));
+            core::PixelEngine *par = engines.back().get();
+            variants.push_back(
+                {"uca_unified", "tiled",
+                 core::simd::backendName(backends.back()), n_threads,
+                 [&, par] { return par->ucaUnified(in); }});
+        }
+
+        std::map<std::string, double> scalar_rate;
+        std::map<std::string, core::Image> reference;
         for (const Variant &v : variants) {
-            const int which = v.path == "uca_unified" ? 0 : 1;
             const core::Image out = v.run();  // warm-up + checksum
+            if (v.census) {
+                const auto &st = v.census->lastStats();
+                if (st.tiles != tiles ||
+                    st.foveaTiles != v.wantFovea ||
+                    st.blendTiles != v.wantBlend) {
+                    std::cerr << "FAIL: synthetic partition census "
+                                 "mismatch (path="
+                              << v.path << ", fovea="
+                              << st.foveaTiles << "/" << v.wantFovea
+                              << ", blend=" << st.blendTiles << "/"
+                              << v.wantBlend << ")\n";
+                    return 1;
+                }
+            }
             double diff = 0.0;
             if (v.engine == "scalar")
-                reference[which] = out;
+                reference.emplace(v.path, out);
             else
-                diff = out.maxAbsDiff(reference[which]);
+                diff = out.maxAbsDiff(reference.at(v.path));
 
             const double secs =
                 bestSeconds(reps, [&v] { (void)v.run(); });
             const double rate = mpix / secs;
             if (v.engine == "scalar")
-                scalar_mpixps[which] = rate;
-            const double speedup = rate / scalar_mpixps[which];
+                scalar_rate[v.path] = rate;
+            const double speedup = rate / scalar_rate.at(v.path);
+            if (v.path == "uca_unified" && v.threads == 1 &&
+                v.dispatch != "ref" && v.dispatch != "scalar" &&
+                size == gate_size)
+                gate_speedup = std::max(gate_speedup, speedup);
 
-            rows.push_back(Row{v.path, v.engine, v.threads, size,
-                               rate, diff, speedup});
-            table.addRow({v.path, v.engine,
+            rows.push_back(Row{v.path, v.engine, v.dispatch,
+                               v.threads, size, rate, diff, speedup});
+            table.addRow({v.path, v.engine, v.dispatch,
                           std::to_string(v.threads),
                           std::to_string(size) + "x" +
                               std::to_string(size),
@@ -211,7 +313,8 @@ main(int argc, char **argv)
             if (diff != 0.0) {
                 std::cerr << "FAIL: tiled output differs from the "
                              "scalar reference (path="
-                          << v.path << ", threads=" << v.threads
+                          << v.path << ", dispatch=" << v.dispatch
+                          << ", threads=" << v.threads
                           << ", maxAbsDiff=" << diff << ")\n";
                 return 1;
             }
@@ -220,10 +323,30 @@ main(int argc, char **argv)
     table.print(std::cout);
 
     std::cout << "\nReading: interior tiles skip radius, weights and"
-                 " two of three layer samples; blend-band tiles alone"
-                 " pay the trilinear cost, and tiles fan across "
-              << n_threads << " workers — all bit-identical to the"
-                              " scalar loops.\n";
+                 " two of three layer samples and run the hoisted"
+                 " SIMD bilinear kernel; blend-band tiles alone pay"
+                 " the trilinear cost (scalar weights, vector"
+                 " samples).  Every variant is bit-identical to the"
+                 " scalar loops.\n";
+
+    // ---- Acceptance gate: >= 4x serial composite on SIMD. --------
+    bool gate_checked = false;
+    bool gate_passed = false;
+    const bool have_simd =
+        gate_speedup > 0.0;  // a non-scalar backend was swept
+    if (have_simd) {
+        gate_checked = true;
+        gate_passed = gate_speedup >= kRequiredSpeedup;
+        std::cout << "\nSIMD gate: serial uca_unified speedup "
+                  << TextTable::num(gate_speedup, 2) << "x vs scalar"
+                  << " loop at " << gate_size << "x" << gate_size
+                  << " (required " << kRequiredSpeedup << "x): "
+                  << (gate_passed ? "PASS" : "FAIL") << "\n";
+    } else {
+        std::cout << "\nSIMD gate: SKIPPED — no vector backend"
+                     " compiled/supported on this host (scalar-only"
+                     " sweep)\n";
+    }
 
     std::ofstream os(json_path);
     if (!os) {
@@ -233,12 +356,21 @@ main(int argc, char **argv)
     os << "{\n  \"bench\": \"pixel_throughput\",\n"
        << "  \"tile_size\": " << core::kPixelTileSize << ",\n"
        << "  \"default_threads\": " << n_threads << ",\n"
+       << "  \"dispatch_default\": \""
+       << core::simd::backendName(core::simd::dispatch()) << "\",\n"
        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"simd_gate\": {\"required_speedup\": "
+       << kRequiredSpeedup << ", \"measured_speedup\": "
+       << gate_speedup << ", \"status\": \""
+       << (gate_checked ? (gate_passed ? "pass" : "fail")
+                        : "skipped")
+       << "\"},\n"
        << "  \"results\": [\n";
     for (std::size_t i = 0; i < rows.size(); i++) {
         const Row &r = rows[i];
         os << "    {\"path\": \"" << r.path << "\", \"engine\": \""
-           << r.engine << "\", \"threads\": " << r.threads
+           << r.engine << "\", \"dispatch\": \"" << r.dispatch
+           << "\", \"threads\": " << r.threads
            << ", \"canvas\": " << r.size
            << ", \"mpix_per_s\": " << r.mpixPerS
            << ", \"speedup_vs_scalar\": " << r.speedup
@@ -247,5 +379,5 @@ main(int argc, char **argv)
     }
     os << "  ]\n}\n";
     std::cout << "\nwrote " << json_path << "\n";
-    return 0;
+    return gate_checked && !gate_passed ? 1 : 0;
 }

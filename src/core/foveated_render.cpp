@@ -39,6 +39,28 @@ renderScaled(const std::vector<RasterTriangle> &scene,
     return raster.color();
 }
 
+/** Rasterise @p scene into one compressed layer buffer: screen
+ *  coordinates go through the layer's native->texel map, so buffer
+ *  texel (u + 0.5, v + 0.5) sees exactly the geometry that native
+ *  coordinate (origin + (u + 0.5) * scale, ...) would. */
+Image
+renderLayer(const std::vector<RasterTriangle> &scene,
+            const foveation::CompressedLayer &L)
+{
+    TileRasterizer raster(L.bufWidth, L.bufHeight);
+    raster.clear();
+    for (RasterTriangle t : scene) {
+        t.v0.x = (t.v0.x - L.map.originX) / L.map.scaleX;
+        t.v0.y = (t.v0.y - L.map.originY) / L.map.scaleY;
+        t.v1.x = (t.v1.x - L.map.originX) / L.map.scaleX;
+        t.v1.y = (t.v1.y - L.map.originY) / L.map.scaleY;
+        t.v2.x = (t.v2.x - L.map.originX) / L.map.scaleX;
+        t.v2.y = (t.v2.y - L.map.originY) / L.map.scaleY;
+        raster.draw(t);
+    }
+    return raster.color();
+}
+
 }  // namespace
 
 double
@@ -109,6 +131,64 @@ renderFoveated(const std::vector<RasterTriangle> &scene,
     // isolates foveation error rather than the warp itself.
     Image reference = engine.resampleShift(native, atw_shift);
 
+    out.psnrOverall = psnr(out.composite, reference);
+    out.psnrFovea =
+        psnrInDisc(out.composite, reference, partition.centerX,
+                   partition.centerY,
+                   partition.foveaRadius - partition.blendBand,
+                   /*inside=*/true);
+    out.psnrPeriphery =
+        psnrInDisc(out.composite, reference, partition.centerX,
+                   partition.centerY,
+                   partition.foveaRadius + partition.blendBand,
+                   /*inside=*/false);
+    out.native = std::move(reference);
+    return out;
+}
+
+CompressedRenderResult
+renderFoveatedCompressed(const std::vector<RasterTriangle> &scene,
+                         std::int32_t width, std::int32_t height,
+                         const PixelPartition &partition,
+                         double s_middle, double s_outer,
+                         Vec2 atw_shift, std::size_t threads)
+{
+    QVR_REQUIRE(s_middle >= 1.0 && s_outer >= 1.0,
+                "subsample factors must be >= 1");
+
+    foveation::CompressedLayoutParams lp;
+    lp.centerX = partition.centerX;
+    lp.centerY = partition.centerY;
+    lp.foveaRadius = partition.foveaRadius;
+    lp.middleRadius = partition.middleRadius;
+    lp.blendBand = partition.blendBand;
+    lp.sMiddle = s_middle;
+    lp.sOuter = s_outer;
+    lp.frameWidth = width;
+    lp.frameHeight = height;
+
+    CompressedRenderResult out;
+    out.layout = foveation::makeCompressedLayout(lp);
+
+    const Image native = renderScaled(scene, width, height, 1.0);
+    const Image middle = renderLayer(scene, out.layout.middle);
+    const Image outer = renderLayer(scene, out.layout.outer);
+
+    CompressedUcaInputs in;
+    in.fovea = &native;
+    in.middle = &middle;
+    in.outer = &outer;
+    in.middleMap = out.layout.middle.map;
+    in.outerMap = out.layout.outer.map;
+    in.partition = partition;
+    in.atwShift = atw_shift;
+    in.width = width;
+    in.height = height;
+
+    PixelEngine engine(threads);
+    out.composite = engine.ucaUnifiedCompressed(in);
+
+    Image reference = engine.resampleShift(native, atw_shift);
     out.psnrOverall = psnr(out.composite, reference);
     out.psnrFovea =
         psnrInDisc(out.composite, reference, partition.centerX,

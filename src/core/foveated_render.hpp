@@ -61,6 +61,35 @@ renderFoveated(const std::vector<RasterTriangle> &scene,
                double s_outer, Vec2 atw_shift = Vec2{},
                std::size_t threads = 0);
 
+/** Outcome of one compressed-layout foveated render. */
+struct CompressedRenderResult
+{
+    foveation::CompressedFrameLayout layout;
+    Image native;      ///< full-resolution reference (shifted)
+    Image composite;   ///< fused directly from compressed layers
+    double psnrOverall = 0.0;
+    double psnrFovea = 0.0;
+    double psnrPeriphery = 0.0;
+};
+
+/**
+ * Render @p scene with the encoder-aligned compressed frame layout
+ * (foveation/compressed_layout.hpp): the middle layer is rasterised
+ * only over its cropped annulus window and the outer layer over the
+ * whole frame, both into 32-pixel-aligned buffers at (or finer than)
+ * the requested subsample factors.  Composition samples the
+ * compressed buffers directly through their LayerTransforms — no
+ * intermediate full-frame expansion exists anywhere in the path,
+ * which is exactly what makes the transported bytes smaller.
+ */
+CompressedRenderResult
+renderFoveatedCompressed(const std::vector<RasterTriangle> &scene,
+                         std::int32_t width, std::int32_t height,
+                         const PixelPartition &partition,
+                         double s_middle, double s_outer,
+                         Vec2 atw_shift = Vec2{},
+                         std::size_t threads = 0);
+
 }  // namespace qvr::core
 
 #endif  // QVR_CORE_FOVEATED_RENDER_HPP

@@ -37,6 +37,11 @@ Image::rowSpan(std::int32_t y)
 {
     QVR_REQUIRE(y >= 0 && y < height_,
                 "row ", y, " out of ", width_, "x", height_);
+    QVR_REQUIRE(reinterpret_cast<std::uintptr_t>(pixels_.data()) %
+                        kRasterAlign ==
+                    0,
+                "pixel raster lost its ", kRasterAlign,
+                "-byte alignment");
     return pixels_.data() + static_cast<std::size_t>(y) * width_;
 }
 
@@ -45,6 +50,11 @@ Image::rowSpan(std::int32_t y) const
 {
     QVR_REQUIRE(y >= 0 && y < height_,
                 "row ", y, " out of ", width_, "x", height_);
+    QVR_REQUIRE(reinterpret_cast<std::uintptr_t>(pixels_.data()) %
+                        kRasterAlign ==
+                    0,
+                "pixel raster lost its ", kRasterAlign,
+                "-byte alignment");
     return pixels_.data() + static_cast<std::size_t>(y) * width_;
 }
 

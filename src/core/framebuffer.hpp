@@ -11,7 +11,9 @@
 #ifndef QVR_CORE_FRAMEBUFFER_HPP
 #define QVR_CORE_FRAMEBUFFER_HPP
 
+#include <cstddef>
 #include <cstdint>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,65 @@
 
 namespace qvr::core
 {
+
+/**
+ * Minimal C++17 allocator returning storage aligned to (and padded
+ * to a multiple of) @p Align bytes.  Pixel rasters use it so (a) the
+ * base address satisfies 32-byte vector loads and (b) a full-width
+ * vector read of the LAST few texels of an odd-width image stays
+ * inside the allocation — the latent unaligned-tail hazard the SIMD
+ * kernels would otherwise have to special-case.
+ */
+template <typename T, std::size_t Align>
+struct AlignedAllocator
+{
+    using value_type = T;
+    static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                  "Align must be a power of two >= alignof(T)");
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        const std::size_t bytes =
+            (n * sizeof(T) + Align - 1) / Align * Align;
+        return static_cast<T *>(
+            ::operator new(bytes, std::align_val_t{Align}));
+    }
+
+    void
+    deallocate(T *p, std::size_t)
+    {
+        ::operator delete(p, std::align_val_t{Align});
+    }
+
+    template <typename U>
+    bool
+    operator==(const AlignedAllocator<U, Align> &) const
+    {
+        return true;
+    }
+    template <typename U>
+    bool
+    operator!=(const AlignedAllocator<U, Align> &) const
+    {
+        return false;
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+};
+
+/** Alignment of pixel-raster storage (one AVX2 lane set). */
+constexpr std::size_t kRasterAlign = 32;
 
 /** Linear-light RGB pixel. */
 struct Rgb
@@ -80,7 +141,10 @@ class Image
   private:
     std::int32_t width_ = 0;
     std::int32_t height_ = 0;
-    std::vector<Rgb> pixels_;
+    /** 32-byte aligned, tail-padded storage (see AlignedAllocator);
+     *  rows remain contiguous with no inter-row stride, so the
+     *  whole-buffer iterations (diff/PPM) are unchanged. */
+    std::vector<Rgb, AlignedAllocator<Rgb, kRasterAlign>> pixels_;
 };
 
 }  // namespace qvr::core

@@ -48,6 +48,14 @@ FoveatedPolicy::qvr()
 }
 
 FoveatedPolicy
+FoveatedPolicy::qvrCompressed()
+{
+    FoveatedPolicy p = qvr();
+    p.compressedLayout = true;
+    return p;
+}
+
+FoveatedPolicy
 FoveatedPolicy::resilient()
 {
     FoveatedPolicy p = qvr();
@@ -91,8 +99,11 @@ FoveatedPipeline::name() const
       case EccentricityPolicy::Fixed:
         return uca_on ? "FFR+UCA" : "FFR";
       case EccentricityPolicy::Liwc:
-        if (uca_on)
-            return policy_.degradation.enabled ? "Q-VR-R" : "Q-VR";
+        if (uca_on) {
+            if (policy_.degradation.enabled)
+                return "Q-VR-R";
+            return policy_.compressedLayout ? "Q-VR+CL" : "Q-VR";
+        }
         return "DFR";
       case EccentricityPolicy::SoftwareHistory:
         return uca_on ? "SW-QVR+UCA" : "SW-QVR";
@@ -178,6 +189,16 @@ FoveatedPipeline::simulateFrame(const scene::FrameWorkload &frame,
     const double fovea_work =
         foveaWorkloadFraction(resolved.partition.e1, gaze);
 
+    // Native-pixel partition of this frame, shared by the UCA pass
+    // below and the compressed frame layout.
+    const auto &display = geometry_.display();
+    const double ppd = display.pixelsPerDegree();
+    PixelPartition pp;
+    pp.centerX = display.width / 2.0 + gaze.x * ppd;
+    pp.centerY = display.height / 2.0 + gaze.y * ppd;
+    pp.foveaRadius = resolved.partition.e1 * ppd;
+    pp.middleRadius = resolved.partition.e2 * ppd;
+
     // ---- Local branch: full-resolution fovea on the mobile GPU. ---
     gpu::RenderJob local;
     local.triangles = static_cast<std::uint64_t>(
@@ -225,6 +246,28 @@ FoveatedPipeline::simulateFrame(const scene::FrameWorkload &frame,
     if (deg.resolutionScale != 1.0)
         res_area = deg.resolutionScale * deg.resolutionScale;
 
+    // Encoder-aligned compressed frame layout, derived per frame
+    // from the resolved partition.  The ABR resolution downgrade
+    // folds into the layout's subsample factors (coarser transported
+    // buffers) instead of the analytic res_area multiplier, so the
+    // degraded frame is still a legal, aligned layout.
+    const bool compressed = policy_.compressedLayout;
+    foveation::CompressedFrameLayout layout;
+    if (compressed && !local_fallback) {
+        foveation::CompressedLayoutParams lp;
+        lp.centerX = pp.centerX;
+        lp.centerY = pp.centerY;
+        lp.foveaRadius = pp.foveaRadius;
+        lp.middleRadius = pp.middleRadius;
+        lp.blendBand = pp.blendBand;
+        lp.sMiddle =
+            resolved.pixels.middleFactor / deg.resolutionScale;
+        lp.sOuter = resolved.pixels.outerFactor / deg.resolutionScale;
+        lp.frameWidth = display.width;
+        lp.frameHeight = display.height;
+        layout = foveation::makeCompressedLayout(lp);
+    }
+
     net::StreamResult streamed;
     double periphery_pixels_stereo = 0.0;
     if (!local_fallback) {
@@ -238,8 +281,13 @@ FoveatedPipeline::simulateFrame(const scene::FrameWorkload &frame,
             remote_job.shadedPixels *= res_area;
         remote_job.batches = cfg().benchmark.numBatches * 2;
         remote_job.shadingCost = cfg().benchmark.shadingCost;
-        s.tRemoteRender = server_.renderSeconds(
-            remote_job, cpu_done + cfg().uplinkLatency);
+        s.tRemoteRender =
+            compressed
+                ? server_.renderPeriphery(remote_job, layout,
+                                          cpu_done +
+                                              cfg().uplinkLatency)
+                : server_.renderSeconds(
+                      remote_job, cpu_done + cfg().uplinkLatency);
 
         if (!skip_fetch) {
             const Seconds render_done = serverBusy_.serve(
@@ -258,33 +306,48 @@ FoveatedPipeline::simulateFrame(const scene::FrameWorkload &frame,
                 policy_.adaptiveQuality ? peripheryQuality_ : 1.0;
             if (deg.qualityFactor != 1.0)
                 quality *= deg.qualityFactor;
+            // Compressed layout: payloads are the actual transported
+            // buffers (tagged with their aligned dimensions, which
+            // streamFrame verifies); the codec sees the buffer's
+            // effective per-dimension subsample factor.  Legacy
+            // path: analytic annulus pixel counts, untagged.
+            auto layerPayload = [&](const foveation::CompressedLayer
+                                        &cl,
+                                    double analytic_pixels,
+                                    double analytic_factor) {
+                net::LayerPayload pl;
+                if (compressed) {
+                    pl.pixels = cl.pixels();
+                    pl.bufWidth = cl.bufWidth;
+                    pl.bufHeight = cl.bufHeight;
+                    pl.compressed = codec_.compressedSize(
+                        pl.pixels, complexity * quality,
+                        std::sqrt(cl.map.scaleX * cl.map.scaleY));
+                } else {
+                    pl.pixels = analytic_pixels;
+                    if (res_area != 1.0)
+                        pl.pixels *= res_area;
+                    pl.compressed = codec_.compressedSize(
+                        pl.pixels, complexity * quality,
+                        analytic_factor);
+                }
+                pl.renderReady = stream_start +
+                                 0.3 * codec_.encodeTime(pl.pixels);
+                return pl;
+            };
             for (int eye = 0; eye < 2; eye++) {
-                net::LayerPayload middle;
-                middle.pixels = resolved.pixels.middlePixels;
-                if (res_area != 1.0)
-                    middle.pixels *= res_area;
-                middle.compressed = codec_.compressedSize(
-                    middle.pixels, complexity * quality,
+                const net::LayerPayload middle = layerPayload(
+                    layout.middle, resolved.pixels.middlePixels,
                     resolved.pixels.middleFactor);
-                middle.renderReady =
-                    stream_start +
-                    0.3 * codec_.encodeTime(middle.pixels);
                 payloads.push_back(middle);
 
                 periphery_pixels_stereo += middle.pixels;
                 if (deg.dropOuterLayer)
                     continue;  // deepest rung: UCA extrapolates the
                                // outer ring from the middle layer
-                net::LayerPayload outer;
-                outer.pixels = resolved.pixels.outerPixels;
-                if (res_area != 1.0)
-                    outer.pixels *= res_area;
-                outer.compressed = codec_.compressedSize(
-                    outer.pixels, complexity * quality,
+                const net::LayerPayload outer = layerPayload(
+                    layout.outer, resolved.pixels.outerPixels,
                     resolved.pixels.outerFactor);
-                outer.renderReady =
-                    stream_start +
-                    0.3 * codec_.encodeTime(outer.pixels);
                 payloads.push_back(outer);
 
                 periphery_pixels_stereo += outer.pixels;
@@ -323,13 +386,11 @@ FoveatedPipeline::simulateFrame(const scene::FrameWorkload &frame,
                    : std::max(0.0, streamed.allDecoded - cpu_done);
 
     // ---- Composition + ATW. ---------------------------------------
-    const auto &display = geometry_.display();
     const double native_stereo =
         static_cast<double>(display.pixelCount()) * 2.0;
     Seconds done;
     Seconds gpu_post = 0.0;
     if (policy_.composition == CompositionPath::GpuKernels) {
-        const double ppd = display.pixelsPerDegree();
         const double band_px = 16.0;
         const double edge_area =
             2.0 * kPi * band_px * ppd *
@@ -356,13 +417,6 @@ FoveatedPipeline::simulateFrame(const scene::FrameWorkload &frame,
         done = gpu_.serve(start, s.tComposition + s.tAtw);
         gpu_post = s.tComposition + s.tAtw;
     } else {
-        PixelPartition pp;
-        const double ppd = display.pixelsPerDegree();
-        pp.centerX = display.width / 2.0 + gaze.x * ppd;
-        pp.centerY = display.height / 2.0 + gaze.y * ppd;
-        pp.foveaRadius = resolved.partition.e1 * ppd;
-        pp.middleRadius = resolved.partition.e2 * ppd;
-
         Seconds periphery_ready =
             local_fallback ? local_periphery_done
                            : streamed.allDecoded;

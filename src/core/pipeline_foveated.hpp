@@ -89,11 +89,25 @@ struct FoveatedPolicy
      */
     DegradationConfig degradation;
 
+    /**
+     * Transport the periphery as the encoder-aligned compressed
+     * frame layout (foveation/compressed_layout.hpp): the server
+     * renders and ships a cropped, 32-pixel-aligned middle window
+     * plus a reduced-resolution outer frame, and the payload pixel
+     * counts are the actual buffer dimensions instead of analytic
+     * annulus areas.  Off by default so the paper-reproduction
+     * design points (and their pinned goldens) are untouched.
+     */
+    bool compressedLayout = false;
+
     /** Canonical design points. */
     static FoveatedPolicy ffr();
     static FoveatedPolicy dfr();
     static FoveatedPolicy swQvr();
     static FoveatedPolicy qvr();
+
+    /** Q-VR with the compressed foveated frame layout ("Q-VR+CL"). */
+    static FoveatedPolicy qvrCompressed();
 
     /** Q-VR hardened for faulty links: reprojection fallback plus
      *  adaptive quality plus the degradation controller. */

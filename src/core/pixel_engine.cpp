@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "core/simd/kernels.hpp"
 #include "sim/parallel.hpp"
 
 namespace qvr::core
@@ -25,90 +26,46 @@ requireValidInputs(const UcaFrameInputs &in)
                 "e2 must be >= e1");
 }
 
-/**
- * One output row of single-layer bilinear sampling with the
- * row-invariant work hoisted: the vertical weight, the (clamped)
- * source row pointers and — when the whole span's 2x2 footprints are
- * interior — the horizontal edge clamps.  The per-pixel arithmetic
- * is operation-for-operation Image::sampleBilinear evaluated at
- * ((x + 0.5 - shift.x) / s, (y + 0.5 - shift.y) / s), so the sampled
- * values are bit-identical to the scalar reference (division by
- * s == 1.0 is exact, matching the undivided fovea-layer call).
- *
- * @p write is invoked as write(x, sample) for x in [x0, x1).
- */
-template <typename Write>
-inline void
-forRowBilinear(const Image &img, double s, Vec2 shift, std::int32_t y,
-               std::int32_t x0, std::int32_t x1, Write &&write)
+/** Borrowed kernel view of an image's pixel raster. */
+simd::LayerRaster
+rasterOf(const Image &img)
 {
-    const double sy = (y + 0.5 - shift.y) / s;
-    const double fy = sy - 0.5;
-    const auto y0 = static_cast<std::int32_t>(std::floor(fy));
-    const float wy = static_cast<float>(fy - y0);
-    const std::int32_t w = img.width();
-    const std::int32_t h = img.height();
-    const Rgb *row0 = img.rowSpan(clamp(y0, 0, h - 1));
-    const Rgb *row1 = img.rowSpan(clamp(y0 + 1, 0, h - 1));
-
-    // fx is increasing in x (s >= 1), and floor is monotone, so the
-    // first and last pixel bound every footprint in the span.
-    const double fx_first = (x0 + 0.5 - shift.x) / s - 0.5;
-    const double fx_last = ((x1 - 1) + 0.5 - shift.x) / s - 0.5;
-    const auto ix_first =
-        static_cast<std::int32_t>(std::floor(fx_first));
-    const auto ix_last =
-        static_cast<std::int32_t>(std::floor(fx_last));
-
-    if (ix_first >= 0 && ix_last + 1 <= w - 1) {
-        for (std::int32_t x = x0; x < x1; x++) {
-            const double fx = (x + 0.5 - shift.x) / s - 0.5;
-            const auto xi =
-                static_cast<std::int32_t>(std::floor(fx));
-            const float wx = static_cast<float>(fx - xi);
-            const Rgb &c00 = row0[xi];
-            const Rgb &c10 = row0[xi + 1];
-            const Rgb &c01 = row1[xi];
-            const Rgb &c11 = row1[xi + 1];
-            const Rgb top = c00 * (1.0f - wx) + c10 * wx;
-            const Rgb bot = c01 * (1.0f - wx) + c11 * wx;
-            write(x, top * (1.0f - wy) + bot * wy);
-        }
-    } else {
-        for (std::int32_t x = x0; x < x1; x++) {
-            const double fx = (x + 0.5 - shift.x) / s - 0.5;
-            const auto xi =
-                static_cast<std::int32_t>(std::floor(fx));
-            const float wx = static_cast<float>(fx - xi);
-            const std::int32_t xa = clamp(xi, 0, w - 1);
-            const std::int32_t xb = clamp(xi + 1, 0, w - 1);
-            const Rgb &c00 = row0[xa];
-            const Rgb &c10 = row0[xb];
-            const Rgb &c01 = row1[xa];
-            const Rgb &c11 = row1[xb];
-            const Rgb top = c00 * (1.0f - wx) + c10 * wx;
-            const Rgb bot = c01 * (1.0f - wx) + c11 * wx;
-            write(x, top * (1.0f - wy) + bot * wy);
-        }
-    }
+    return simd::LayerRaster{
+        reinterpret_cast<const float *>(img.rowSpan(0)), img.width(),
+        img.height()};
 }
 
-/** Single-layer fast-path tile: the reference inner loop with the
- *  one-hot weights substituted (add-to-zero and multiply-by-1.0f
- *  kept, so the written bits match the blend path's). */
-void
-blitSingleLayerTile(Image &out, const Image &layer, double s,
-                    Vec2 shift, const RectI &tile)
+simd::LayerMap
+mapOf(const foveation::LayerTransform &t)
 {
-    for (std::int32_t y = tile.y0; y < tile.y1; y++) {
-        Rgb *row = out.rowSpan(y);
-        forRowBilinear(layer, s, shift, y, tile.x0, tile.x1,
-                       [row](std::int32_t x, const Rgb &smp) {
-                           Rgb c;
-                           c = c + smp * 1.0f;
-                           row[x] = c;
-                       });
-    }
+    return simd::LayerMap{t.originX, t.originY, t.scaleX, t.scaleY};
+}
+
+/**
+ * Single-layer fast-path tile: the generalized, tile-hoisted
+ * bilinear kernel on the selected backend, in the compose-one form
+ * (0 + sample * 1.0f) so the written bits match the blend path's
+ * one-hot arithmetic.  With a uniform map this is exactly the PR-2
+ * fast path; every backend is bit-exact against the scalar
+ * reference.
+ */
+void
+blitSingleLayerTile(simd::Backend backend, float *outBase,
+                    std::int32_t outStride,
+                    const simd::LayerRaster &src,
+                    const simd::LayerMap &map, Vec2 shift,
+                    const RectI &tile)
+{
+    simd::BilinearTileArgs ba;
+    ba.src = src;
+    ba.map = map;
+    ba.shiftX = shift.x;
+    ba.shiftY = shift.y;
+    ba.span = simd::TileSpan{tile.x0, tile.y0, tile.x1, tile.y1};
+    ba.outBase = outBase;
+    ba.outStride = outStride;
+    ba.composeOne = true;
+    simd::bilinearTile(backend, ba);
 }
 
 }  // namespace
@@ -157,9 +114,17 @@ classifyCoverage(const PixelPartition &p, double sx0, double sy0,
 }
 
 PixelEngine::PixelEngine(std::size_t threads)
-    : threads_(threads == 0 ? sim::ThreadPool::defaultParallelism()
-                            : threads)
+    : PixelEngine(threads, simd::dispatch())
 {
+}
+
+PixelEngine::PixelEngine(std::size_t threads, simd::Backend backend)
+    : threads_(threads == 0 ? sim::ThreadPool::defaultParallelism()
+                            : threads),
+      backend_(backend)
+{
+    QVR_REQUIRE(simd::backendSupported(backend),
+                "pixel engine asked for an unsupported SIMD backend");
     if (threads_ > 1)
         pool_ = std::make_unique<sim::ThreadPool>(threads_);
 }
@@ -201,10 +166,13 @@ PixelEngine::forEachTile(std::int32_t width, std::int32_t height,
 }
 
 Image
-PixelEngine::composite(const UcaFrameInputs &in, Vec2 shift)
+PixelEngine::compositeLayers(const Image &fovea, const Image &middle,
+                             const Image &outer,
+                             const foveation::LayerTransform &middleMap,
+                             const foveation::LayerTransform &outerMap,
+                             const PixelPartition &p, Vec2 shift,
+                             std::int32_t w, std::int32_t h)
 {
-    const std::int32_t w = in.fovea->width();
-    const std::int32_t h = in.fovea->height();
     Image out(w, h);
 
     const std::int32_t tiles_x =
@@ -215,9 +183,58 @@ PixelEngine::composite(const UcaFrameInputs &in, Vec2 shift)
         static_cast<std::size_t>(tiles_x) * tiles_y,
         TileCoverage::Blend);
 
-    const PixelPartition &p = in.partition;
-    const double s_mid = in.sMiddle;
-    const double s_out = in.sOuter;
+    const simd::LayerRaster foveaR = rasterOf(fovea);
+    const simd::LayerRaster middleR = rasterOf(middle);
+    const simd::LayerRaster outerR = rasterOf(outer);
+    const simd::LayerMap identity = mapOf(foveation::LayerTransform{});
+    const simd::LayerMap middleM = mapOf(middleMap);
+    const simd::LayerMap outerM = mapOf(outerMap);
+    const simd::Backend backend = backend_;
+    float *const outBase = reinterpret_cast<float *>(out.rowSpan(0));
+
+    // Dispatch one classified rectangle.  Fast paths do the SAME
+    // arithmetic as the blend path with the one-hot weights
+    // substituted: terms with weight exactly 0.0 are skipped (the
+    // reference skips them too, via the `> 0.0` guards) and the
+    // surviving weight is exactly 1.0f.  No reassociation, so the
+    // output bits match the reference.
+    auto runRect = [&](TileCoverage cls, const RectI &rect) {
+        switch (cls) {
+        case TileCoverage::Fovea:
+            blitSingleLayerTile(backend, outBase, w, foveaR,
+                                identity, shift, rect);
+            break;
+        case TileCoverage::Middle:
+            blitSingleLayerTile(backend, outBase, w, middleR,
+                                middleM, shift, rect);
+            break;
+        case TileCoverage::Outer:
+            blitSingleLayerTile(backend, outBase, w, outerR,
+                                outerM, shift, rect);
+            break;
+        case TileCoverage::Blend: {
+            simd::BlendTileArgs ba;
+            ba.fovea = foveaR;
+            ba.middle = middleR;
+            ba.outer = outerR;
+            ba.foveaMap = identity;
+            ba.middleMap = middleM;
+            ba.outerMap = outerM;
+            ba.geom =
+                simd::BlendGeometry{p.centerX, p.centerY,
+                                    p.foveaRadius, p.middleRadius,
+                                    p.blendBand};
+            ba.shiftX = shift.x;
+            ba.shiftY = shift.y;
+            ba.span =
+                simd::TileSpan{rect.x0, rect.y0, rect.x1, rect.y1};
+            ba.outBase = outBase;
+            ba.outStride = w;
+            simd::blendTile(backend, ba);
+            break;
+        }
+        }
+    };
 
     forEachTile(w, h, [&](std::size_t t, const RectI &tile) {
         // Closed rectangle of the tile's pixel-centre sample
@@ -230,50 +247,35 @@ PixelEngine::composite(const UcaFrameInputs &in, Vec2 shift)
             classifyCoverage(p, sx0, sy0, sx1, sy1);
         classes[t] = cls;
 
-        // Fast paths do the SAME arithmetic as the blend path with
-        // the one-hot weights substituted: terms with weight exactly
-        // 0.0 are skipped (the reference skips them too, via the
-        // `> 0.0` guards) and the surviving weight is exactly 1.0f.
-        // No reassociation, so the output bits match the reference.
-        switch (cls) {
-        case TileCoverage::Fovea:
-            blitSingleLayerTile(out, *in.fovea, 1.0, shift, tile);
-            break;
-        case TileCoverage::Middle:
-            blitSingleLayerTile(out, *in.middle, s_mid, shift, tile);
-            break;
-        case TileCoverage::Outer:
-            blitSingleLayerTile(out, *in.outer, s_out, shift, tile);
-            break;
-        case TileCoverage::Blend:
-            for (std::int32_t y = tile.y0; y < tile.y1; y++) {
-                Rgb *row = out.rowSpan(y);
-                for (std::int32_t x = tile.x0; x < tile.x1; x++) {
-                    const double sx = x + 0.5 - shift.x;
-                    const double sy = y + 0.5 - shift.y;
-                    const double r = std::hypot(sx - p.centerX,
-                                                sy - p.centerY);
-                    const LayerWeights lw = layerWeights(p, r);
-                    Rgb c;
-                    if (lw.fovea > 0.0) {
-                        c = c + in.fovea->sampleBilinear(sx, sy) *
-                                    static_cast<float>(lw.fovea);
-                    }
-                    if (lw.middle > 0.0) {
-                        c = c + in.middle->sampleBilinear(
-                                    sx / s_mid, sy / s_mid) *
-                                    static_cast<float>(lw.middle);
-                    }
-                    if (lw.outer > 0.0) {
-                        c = c + in.outer->sampleBilinear(
-                                    sx / s_out, sy / s_out) *
-                                    static_cast<float>(lw.outer);
-                    }
-                    row[x] = c;
-                }
-            }
-            break;
+        if (cls != TileCoverage::Blend) {
+            runRect(cls, tile);
+            return;
         }
+
+        // A tile that straddles a band edge is mostly NOT in the
+        // band: the annulus crosses only a few of its rows.  Re-run
+        // the (conservative, hence bit-exact) classifier on each
+        // row's 1-px-tall rectangle and give contiguous single-layer
+        // row runs the bilinear fast path; only rows the band
+        // actually touches pay for weights.  Tile-level stats keep
+        // the Blend label — the census is about tiles, not rows.
+        auto rowClass = [&](std::int32_t y) {
+            const double sy = y + 0.5 - shift.y;
+            return classifyCoverage(p, sx0, sy, sx1, sy);
+        };
+        std::int32_t y = tile.y0;
+        TileCoverage runCls = rowClass(y);
+        std::int32_t runStart = y;
+        for (y++; y < tile.y1; y++) {
+            const TileCoverage rc = rowClass(y);
+            if (rc == runCls)
+                continue;
+            runRect(runCls,
+                    RectI{tile.x0, runStart, tile.x1, y});
+            runCls = rc;
+            runStart = y;
+        }
+        runRect(runCls, RectI{tile.x0, runStart, tile.x1, tile.y1});
     });
 
     stats_ = PixelEngineStats{};
@@ -298,10 +300,39 @@ PixelEngine::composite(const UcaFrameInputs &in, Vec2 shift)
 }
 
 Image
+PixelEngine::composite(const UcaFrameInputs &in, Vec2 shift)
+{
+    return compositeLayers(
+        *in.fovea, *in.middle, *in.outer,
+        foveation::LayerTransform::uniform(in.sMiddle),
+        foveation::LayerTransform::uniform(in.sOuter), in.partition,
+        shift, in.fovea->width(), in.fovea->height());
+}
+
+Image
 PixelEngine::ucaUnified(const UcaFrameInputs &in)
 {
     requireValidInputs(in);
     return composite(in, in.atwShift);
+}
+
+Image
+PixelEngine::ucaUnifiedCompressed(const CompressedUcaInputs &in)
+{
+    QVR_REQUIRE(in.fovea && in.middle && in.outer,
+                "UCA inputs must provide all three layers");
+    QVR_REQUIRE(in.middleMap.scaleX > 0.0 &&
+                    in.middleMap.scaleY > 0.0 &&
+                    in.outerMap.scaleX > 0.0 &&
+                    in.outerMap.scaleY > 0.0,
+                "layer scales must be positive");
+    QVR_REQUIRE(in.partition.middleRadius >= in.partition.foveaRadius,
+                "e2 must be >= e1");
+    QVR_REQUIRE(in.width > 0 && in.height > 0,
+                "output frame must be non-empty");
+    return compositeLayers(*in.fovea, *in.middle, *in.outer,
+                           in.middleMap, in.outerMap, in.partition,
+                           in.atwShift, in.width, in.height);
 }
 
 Image
@@ -322,14 +353,20 @@ PixelEngine::resampleShift(const Image &src, Vec2 shift)
     const std::int32_t w = src.width();
     const std::int32_t h = src.height();
     Image out(w, h);
+    const simd::LayerRaster srcR = rasterOf(src);
+    const simd::Backend backend = backend_;
+    float *const outBase = reinterpret_cast<float *>(out.rowSpan(0));
     forEachTile(w, h, [&](std::size_t, const RectI &tile) {
-        for (std::int32_t y = tile.y0; y < tile.y1; y++) {
-            Rgb *row = out.rowSpan(y);
-            forRowBilinear(src, 1.0, shift, y, tile.x0, tile.x1,
-                           [row](std::int32_t x, const Rgb &smp) {
-                               row[x] = smp;
-                           });
-        }
+        simd::BilinearTileArgs ra;
+        ra.src = srcR;
+        ra.map = simd::LayerMap{};
+        ra.shiftX = shift.x;
+        ra.shiftY = shift.y;
+        ra.span = simd::TileSpan{tile.x0, tile.y0, tile.x1, tile.y1};
+        ra.outBase = outBase;
+        ra.outStride = w;
+        ra.composeOne = false;
+        simd::bilinearTile(backend, ra);
     });
     return out;
 }

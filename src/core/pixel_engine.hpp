@@ -45,6 +45,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/simd/dispatch.hpp"
 #include "core/uca.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -102,8 +103,16 @@ class PixelEngine
      * @param threads  worker count; 1 runs tiles inline on the
      *                 calling thread (true serial mode, no pool), 0
      *                 means sim::ThreadPool::defaultParallelism().
+     *
+     * The row kernels run on the SIMD backend simd::dispatch()
+     * selects at construction (QVR_SIMD env / CMake default); every
+     * backend is bit-exact, so the choice never changes output.
      */
     explicit PixelEngine(std::size_t threads = 0);
+
+    /** Same, with an explicit (supported) SIMD backend. */
+    PixelEngine(std::size_t threads, simd::Backend backend);
+
     ~PixelEngine();
 
     PixelEngine(const PixelEngine &) = delete;
@@ -112,8 +121,19 @@ class PixelEngine
     /** Effective worker count (1 when running inline). */
     std::size_t threadCount() const { return threads_; }
 
+    /** The SIMD backend this engine's kernels run on. */
+    simd::Backend backend() const { return backend_; }
+
     /** Tiled ucaUnified (Eq. 4): bit-identical, tile-parallel. */
     Image ucaUnified(const UcaFrameInputs &in);
+
+    /**
+     * Tiled unified pass over encoder-aligned compressed layers
+     * (bit-identical to the scalar ucaUnifiedCompressed reference):
+     * periphery tiles sample the cropped, 32-pixel-aligned buffers
+     * directly through their LayerTransforms — no expand-first pass.
+     */
+    Image ucaUnifiedCompressed(const CompressedUcaInputs &in);
 
     /** Tiled sequentialCompositeAtw (Eq. 3): both passes tiled. */
     Image sequentialCompositeAtw(const UcaFrameInputs &in);
@@ -131,8 +151,15 @@ class PixelEngine
     void forEachTile(std::int32_t width, std::int32_t height, Fn &&fn);
 
     Image composite(const UcaFrameInputs &in, Vec2 shift);
+    Image compositeLayers(const Image &fovea, const Image &middle,
+                          const Image &outer,
+                          const foveation::LayerTransform &middleMap,
+                          const foveation::LayerTransform &outerMap,
+                          const PixelPartition &p, Vec2 shift,
+                          std::int32_t w, std::int32_t h);
 
     std::size_t threads_;
+    simd::Backend backend_;
     std::unique_ptr<sim::ThreadPool> pool_;  ///< null = inline
     PixelEngineStats stats_;
 };

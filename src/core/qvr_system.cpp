@@ -16,6 +16,7 @@ designName(DesignPoint design)
       case DesignPoint::Dfr: return "DFR";
       case DesignPoint::SwQvr: return "SW-QVR";
       case DesignPoint::Qvr: return "Q-VR";
+      case DesignPoint::QvrCompressed: return "Q-VR+CL";
       case DesignPoint::Resilient: return "Q-VR-R";
     }
     return "?";
@@ -43,6 +44,9 @@ makePipeline(DesignPoint design, const PipelineConfig &cfg)
       case DesignPoint::Qvr:
         return std::make_unique<FoveatedPipeline>(
             cfg, FoveatedPolicy::qvr());
+      case DesignPoint::QvrCompressed:
+        return std::make_unique<FoveatedPipeline>(
+            cfg, FoveatedPolicy::qvrCompressed());
       case DesignPoint::Resilient:
         return std::make_unique<FoveatedPipeline>(
             cfg, FoveatedPolicy::resilient());

@@ -36,6 +36,11 @@ enum class DesignPoint
     Dfr,       ///< LIWC only
     SwQvr,     ///< pure-software Q-VR
     Qvr,       ///< full Q-VR (LIWC + UCA)
+    /** Q-VR with the encoder-aligned compressed frame layout: the
+     *  periphery ships as a cropped middle window + reduced-res
+     *  outer frame (32-px-aligned buffers) instead of analytic
+     *  annulus pixel counts. */
+    QvrCompressed,
     Resilient, ///< Q-VR + degradation controller (fault studies)
 };
 

@@ -1,0 +1,144 @@
+#include "core/simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+#ifndef QVR_SIMD_DEFAULT
+#define QVR_SIMD_DEFAULT "auto"
+#endif
+
+namespace qvr::core::simd
+{
+
+namespace
+{
+
+std::atomic<int> g_override{-1};
+
+Backend
+bestSupported()
+{
+    if (backendSupported(Backend::Avx2))
+        return Backend::Avx2;
+    if (backendSupported(Backend::Neon))
+        return Backend::Neon;
+    return Backend::Scalar;
+}
+
+Backend
+resolveDefault()
+{
+    const char *env = std::getenv("QVR_SIMD");
+    const std::string name = (env && *env) ? env : QVR_SIMD_DEFAULT;
+    return parseBackend(name);
+}
+
+}  // namespace
+
+const char *
+backendName(Backend b)
+{
+    switch (b) {
+    case Backend::Scalar:
+        return "scalar";
+    case Backend::Avx2:
+        return "avx2";
+    case Backend::Neon:
+        return "neon";
+    }
+    return "scalar";
+}
+
+bool
+backendCompiled(Backend b)
+{
+    switch (b) {
+    case Backend::Scalar:
+        return true;
+    case Backend::Avx2:
+#ifdef QVR_SIMD_COMPILED_AVX2
+        return true;
+#else
+        return false;
+#endif
+    case Backend::Neon:
+#ifdef QVR_SIMD_COMPILED_NEON
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+bool
+backendSupported(Backend b)
+{
+    if (!backendCompiled(b))
+        return false;
+    switch (b) {
+    case Backend::Scalar:
+        return true;
+    case Backend::Avx2:
+#if defined(__x86_64__) || defined(__i386__)
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+    case Backend::Neon:
+        // NEON is baseline on AArch64; compiled-in implies usable.
+        return true;
+    }
+    return false;
+}
+
+Backend
+parseBackend(const std::string &name)
+{
+    if (name == "auto")
+        return bestSupported();
+    Backend b = Backend::Scalar;
+    if (name == "scalar") {
+        b = Backend::Scalar;
+    } else if (name == "avx2") {
+        b = Backend::Avx2;
+    } else if (name == "neon") {
+        b = Backend::Neon;
+    } else {
+        QVR_FATAL("unknown QVR_SIMD backend '", name,
+                  "' (want auto|scalar|avx2|neon)");
+    }
+    QVR_REQUIRE(backendSupported(b),
+                "QVR_SIMD backend explicitly requested but not "
+                "available on this host");
+    return b;
+}
+
+Backend
+dispatch()
+{
+    const int o = g_override.load(std::memory_order_relaxed);
+    if (o >= 0)
+        return static_cast<Backend>(o);
+    // Env/default resolution is stable for the process lifetime.
+    static const Backend def = resolveDefault();
+    return def;
+}
+
+void
+setBackend(Backend b)
+{
+    QVR_REQUIRE(backendSupported(b),
+                "cannot force an unsupported SIMD backend");
+    g_override.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+void
+clearBackendOverride()
+{
+    g_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace qvr::core::simd

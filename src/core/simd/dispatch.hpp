@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Runtime SIMD backend selection for the pixel kernels.
+ *
+ * Every backend is bit-exact against the scalar oracle (the tests
+ * enforce maxAbsDiff == 0), so dispatch is purely a performance
+ * decision.  Selection order:
+ *
+ *   1. setBackend() override (benches/tests), if set;
+ *   2. the QVR_SIMD environment variable: auto|avx2|neon|scalar —
+ *      an explicit backend that is not compiled in or not supported
+ *      by the CPU is a hard error, never a silent downgrade;
+ *   3. the QVR_SIMD_DEFAULT compile definition (CMake override);
+ *   4. "auto": the best backend the host supports.
+ */
+
+#ifndef QVR_CORE_SIMD_DISPATCH_HPP
+#define QVR_CORE_SIMD_DISPATCH_HPP
+
+#include <string>
+
+namespace qvr::core::simd
+{
+
+enum class Backend
+{
+    Scalar = 0,
+    Avx2 = 1,
+    Neon = 2,
+};
+
+/** Stable lower-case name ("scalar", "avx2", "neon"). */
+const char *backendName(Backend b);
+
+/** True when the backend's kernels were compiled into this binary. */
+bool backendCompiled(Backend b);
+
+/** True when the backend is compiled in AND the CPU supports it. */
+bool backendSupported(Backend b);
+
+/**
+ * Parse "auto"/"scalar"/"avx2"/"neon".  "auto" resolves to the best
+ * supported backend; a named backend that is unsupported on this
+ * host panics (explicit requests must not silently degrade).
+ */
+Backend parseBackend(const std::string &name);
+
+/** The effective backend per the selection order above. */
+Backend dispatch();
+
+/** Force a backend (must be supported); used by benches and tests. */
+void setBackend(Backend b);
+
+/** Drop the setBackend() override, returning to env/default. */
+void clearBackendOverride();
+
+}  // namespace qvr::core::simd
+
+#endif  // QVR_CORE_SIMD_DISPATCH_HPP

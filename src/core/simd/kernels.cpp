@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Scalar reference kernels + backend router.
+ *
+ * The scalar tile kernels here are the generalized (LayerMap-aware)
+ * forms of the PR-2 engine loops; with LayerMap::uniform(s) they are
+ * operation-for-operation identical to the historical code, so the
+ * engine's output stays byte-identical to the pre-SIMD binaries.
+ */
+
+#include "core/simd/kernels.hpp"
+
+#include <cmath>
+
+#include "core/uca.hpp"
+
+namespace qvr::core::simd
+{
+
+namespace
+{
+
+inline std::int32_t
+clampi(std::int32_t v, std::int32_t lo, std::int32_t hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** Image::sampleBilinear on a raw raster, same ops, same order. */
+inline void
+sampleRaster(const LayerRaster &L, double x, double y, float &outR,
+             float &outG, float &outB)
+{
+    const double fx = x - 0.5;
+    const double fy = y - 0.5;
+    const auto x0 = static_cast<std::int32_t>(std::floor(fx));
+    const auto y0 = static_cast<std::int32_t>(std::floor(fy));
+    const float wx = static_cast<float>(fx - x0);
+    const float wy = static_cast<float>(fy - y0);
+    const std::int32_t xa = clampi(x0, 0, L.width - 1);
+    const std::int32_t xb = clampi(x0 + 1, 0, L.width - 1);
+    const std::int32_t ya = clampi(y0, 0, L.height - 1);
+    const std::int32_t yb = clampi(y0 + 1, 0, L.height - 1);
+    const float *r0 =
+        L.pixels + static_cast<std::size_t>(ya) * L.width * 3;
+    const float *r1 =
+        L.pixels + static_cast<std::size_t>(yb) * L.width * 3;
+    const std::size_t ia = static_cast<std::size_t>(xa) * 3;
+    const std::size_t ib = static_cast<std::size_t>(xb) * 3;
+    const float *c00 = r0 + ia;
+    const float *c10 = r0 + ib;
+    const float *c01 = r1 + ia;
+    const float *c11 = r1 + ib;
+    const float omwx = 1.0f - wx;
+    const float omwy = 1.0f - wy;
+    const float topR = c00[0] * omwx + c10[0] * wx;
+    const float topG = c00[1] * omwx + c10[1] * wx;
+    const float topB = c00[2] * omwx + c10[2] * wx;
+    const float botR = c01[0] * omwx + c11[0] * wx;
+    const float botG = c01[1] * omwx + c11[1] * wx;
+    const float botB = c01[2] * omwx + c11[2] * wx;
+    outR = topR * omwy + botR * wy;
+    outG = topG * omwy + botG * wy;
+    outB = topB * omwy + botB * wy;
+}
+
+/** One output row of the scalar bilinear kernel (forRowBilinear). */
+void
+bilinearRowScalar(const BilinearTileArgs &a, std::int32_t y)
+{
+    const LayerRaster &src = a.src;
+    const LayerMap &m = a.map;
+    const double sy = (y + 0.5 - a.shiftY - m.originY) / m.scaleY;
+    const double fy = sy - 0.5;
+    const auto y0 = static_cast<std::int32_t>(std::floor(fy));
+    const float wy = static_cast<float>(fy - y0);
+    const std::int32_t w = src.width;
+    const std::int32_t h = src.height;
+    const float *row0 = src.pixels +
+        static_cast<std::size_t>(clampi(y0, 0, h - 1)) * w * 3;
+    const float *row1 = src.pixels +
+        static_cast<std::size_t>(clampi(y0 + 1, 0, h - 1)) * w * 3;
+
+    // fx is increasing in x (scale >= 1) and floor is monotone, so
+    // the first and last pixel bound every footprint in the span.
+    const double fx_first =
+        (a.span.x0 + 0.5 - a.shiftX - m.originX) / m.scaleX - 0.5;
+    const double fx_last =
+        ((a.span.x1 - 1) + 0.5 - a.shiftX - m.originX) / m.scaleX -
+        0.5;
+    const auto ix_first =
+        static_cast<std::int32_t>(std::floor(fx_first));
+    const auto ix_last =
+        static_cast<std::int32_t>(std::floor(fx_last));
+    const bool interior = ix_first >= 0 && ix_last + 1 <= w - 1;
+
+    float *row = a.outBase +
+        static_cast<std::size_t>(y) * a.outStride * 3;
+    for (std::int32_t x = a.span.x0; x < a.span.x1; x++) {
+        const double fx =
+            (x + 0.5 - a.shiftX - m.originX) / m.scaleX - 0.5;
+        const auto xi = static_cast<std::int32_t>(std::floor(fx));
+        const float wx = static_cast<float>(fx - xi);
+        const std::int32_t xa = interior ? xi : clampi(xi, 0, w - 1);
+        const std::int32_t xb =
+            interior ? xi + 1 : clampi(xi + 1, 0, w - 1);
+        const float *c00 = row0 + static_cast<std::size_t>(xa) * 3;
+        const float *c10 = row0 + static_cast<std::size_t>(xb) * 3;
+        const float *c01 = row1 + static_cast<std::size_t>(xa) * 3;
+        const float *c11 = row1 + static_cast<std::size_t>(xb) * 3;
+        const float omwx = 1.0f - wx;
+        const float omwy = 1.0f - wy;
+        float *dst = row + static_cast<std::size_t>(x) * 3;
+        for (int ch = 0; ch < 3; ch++) {
+            const float top = c00[ch] * omwx + c10[ch] * wx;
+            const float bot = c01[ch] * omwx + c11[ch] * wx;
+            const float smp = top * omwy + bot * wy;
+            // composeOne reproduces the blend path's one-hot form:
+            // c = 0 + sample * 1.0f (kept so the bits match).
+            dst[ch] = a.composeOne ? 0.0f + smp * 1.0f : smp;
+        }
+    }
+}
+
+}  // namespace
+
+void
+bilinearTileScalar(const BilinearTileArgs &a)
+{
+    for (std::int32_t y = a.span.y0; y < a.span.y1; y++)
+        bilinearRowScalar(a, y);
+}
+
+void
+blendWeightsSpan(const BlendGeometry &g, const double *sx, double sy,
+                 std::int32_t n, float *wF, float *wM, float *wO,
+                 std::uint32_t *maskF, std::uint32_t *maskM,
+                 std::uint32_t *maskO)
+{
+    PixelPartition p;
+    p.centerX = g.centerX;
+    p.centerY = g.centerY;
+    p.foveaRadius = g.foveaRadius;
+    p.middleRadius = g.middleRadius;
+    p.blendBand = g.blendBand;
+    for (std::int32_t i = 0; i < n; i++) {
+        const double r =
+            std::hypot(sx[i] - p.centerX, sy - p.centerY);
+        const LayerWeights lw = layerWeights(p, r);
+        wF[i] = static_cast<float>(lw.fovea);
+        wM[i] = static_cast<float>(lw.middle);
+        wO[i] = static_cast<float>(lw.outer);
+        maskF[i] = lw.fovea > 0.0 ? 0xFFFFFFFFu : 0u;
+        maskM[i] = lw.middle > 0.0 ? 0xFFFFFFFFu : 0u;
+        maskO[i] = lw.outer > 0.0 ? 0xFFFFFFFFu : 0u;
+    }
+}
+
+void
+blendTileScalar(const BlendTileArgs &a)
+{
+    PixelPartition p;
+    p.centerX = a.geom.centerX;
+    p.centerY = a.geom.centerY;
+    p.foveaRadius = a.geom.foveaRadius;
+    p.middleRadius = a.geom.middleRadius;
+    p.blendBand = a.geom.blendBand;
+
+    for (std::int32_t y = a.span.y0; y < a.span.y1; y++) {
+        const double sy = y + 0.5 - a.shiftY;
+        float *row = a.outBase +
+            static_cast<std::size_t>(y) * a.outStride * 3;
+        for (std::int32_t x = a.span.x0; x < a.span.x1; x++) {
+            const double sx = x + 0.5 - a.shiftX;
+            const double r =
+                std::hypot(sx - p.centerX, sy - p.centerY);
+            const LayerWeights lw = layerWeights(p, r);
+            float cr = 0.0f, cg = 0.0f, cb = 0.0f;
+            if (lw.fovea > 0.0) {
+                float sr, sg, sb;
+                sampleRaster(
+                    a.fovea,
+                    (sx - a.foveaMap.originX) / a.foveaMap.scaleX,
+                    (sy - a.foveaMap.originY) / a.foveaMap.scaleY,
+                    sr, sg, sb);
+                const float w = static_cast<float>(lw.fovea);
+                cr = cr + sr * w;
+                cg = cg + sg * w;
+                cb = cb + sb * w;
+            }
+            if (lw.middle > 0.0) {
+                float sr, sg, sb;
+                sampleRaster(
+                    a.middle,
+                    (sx - a.middleMap.originX) / a.middleMap.scaleX,
+                    (sy - a.middleMap.originY) / a.middleMap.scaleY,
+                    sr, sg, sb);
+                const float w = static_cast<float>(lw.middle);
+                cr = cr + sr * w;
+                cg = cg + sg * w;
+                cb = cb + sb * w;
+            }
+            if (lw.outer > 0.0) {
+                float sr, sg, sb;
+                sampleRaster(
+                    a.outer,
+                    (sx - a.outerMap.originX) / a.outerMap.scaleX,
+                    (sy - a.outerMap.originY) / a.outerMap.scaleY,
+                    sr, sg, sb);
+                const float w = static_cast<float>(lw.outer);
+                cr = cr + sr * w;
+                cg = cg + sg * w;
+                cb = cb + sb * w;
+            }
+            float *dst = row + static_cast<std::size_t>(x) * 3;
+            dst[0] = cr;
+            dst[1] = cg;
+            dst[2] = cb;
+        }
+    }
+}
+
+void
+bilinearTile(Backend b, const BilinearTileArgs &a)
+{
+    switch (b) {
+    case Backend::Avx2:
+#ifdef QVR_SIMD_COMPILED_AVX2
+        bilinearTileAvx2(a);
+        return;
+#else
+        break;
+#endif
+    case Backend::Neon:
+#ifdef QVR_SIMD_COMPILED_NEON
+        bilinearTileNeon(a);
+        return;
+#else
+        break;
+#endif
+    case Backend::Scalar:
+        break;
+    }
+    bilinearTileScalar(a);
+}
+
+void
+blendTile(Backend b, const BlendTileArgs &a)
+{
+    switch (b) {
+    case Backend::Avx2:
+#ifdef QVR_SIMD_COMPILED_AVX2
+        blendTileAvx2(a);
+        return;
+#else
+        break;
+#endif
+    case Backend::Neon:
+#ifdef QVR_SIMD_COMPILED_NEON
+        blendTileNeon(a);
+        return;
+#else
+        break;
+#endif
+    case Backend::Scalar:
+        break;
+    }
+    blendTileScalar(a);
+}
+
+}  // namespace qvr::core::simd

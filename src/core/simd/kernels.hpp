@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Vectorised pixel kernels behind the dispatch shim.
+ *
+ * The kernels operate on RAW views (interleaved-RGB float rasters +
+ * plain-double transforms) rather than core::Image, for two reasons:
+ *
+ *  - the AVX2/NEON translation units must not instantiate any
+ *    header-inline code from the wider tree (an inline function
+ *    emitted from a `-mavx2` TU is a weak symbol with VEX encodings
+ *    that the linker may pick for EVERY caller — an illegal
+ *    instruction on older hosts), so this header includes nothing
+ *    but <cstdint> and the dispatch enum;
+ *  - the raw views make the per-lane arithmetic explicit, which is
+ *    what the bit-exactness contract is written against.
+ *
+ * The kernels are TILE-granular: the horizontal coordinate pipeline
+ * (centre offset, shift, origin, scale, floor, clamp — all doubles)
+ * is row-invariant, so a tile kernel computes the lane taps once and
+ * reuses them for every row, leaving only the gathers and float
+ * lerps in the per-row loop.
+ *
+ * Every backend implements the SAME arithmetic, operation for
+ * operation, as the scalar reference loops in core/uca.cpp (see
+ * DESIGN.md section 12): float lerps in the reference order, double
+ * coordinate math, weights computed by the shared scalar
+ * blendWeightsSpan() (libm calls are not bit-reproducible when
+ * vectorised), and weight-zero terms excluded exactly as the
+ * reference's `> 0.0` guards do.  Vector tails (spans not a multiple
+ * of the lane width) are delegated to the scalar kernel.
+ */
+
+#ifndef QVR_CORE_SIMD_KERNELS_HPP
+#define QVR_CORE_SIMD_KERNELS_HPP
+
+#include <cstdint>
+
+#include "core/simd/dispatch.hpp"
+
+namespace qvr::core::simd
+{
+
+/** Borrowed view of one layer: interleaved RGB rows, row-major. */
+struct LayerRaster
+{
+    const float *pixels = nullptr;  ///< width*3 floats per row
+    std::int32_t width = 0;
+    std::int32_t height = 0;
+};
+
+/** Native -> texel affine map (foveation::LayerTransform's fields,
+ *  duplicated here to keep this header dependency-free). */
+struct LayerMap
+{
+    double originX = 0.0;
+    double originY = 0.0;
+    double scaleX = 1.0;
+    double scaleY = 1.0;
+};
+
+/** Output pixel rectangle [x0, x1) x [y0, y1). */
+struct TileSpan
+{
+    std::int32_t x0 = 0;
+    std::int32_t y0 = 0;
+    std::int32_t x1 = 0;
+    std::int32_t y1 = 0;
+};
+
+/**
+ * Single-layer bilinear sampling of one tile: the generalized,
+ * tile-hoisted forRowBilinear.  Sample x of output pixel (x, y) is
+ * ((x + 0.5 - shiftX) - originX) / scaleX (subtracting an exact 0.0
+ * origin preserves the legacy `/ s` bits).
+ */
+struct BilinearTileArgs
+{
+    LayerRaster src;
+    LayerMap map;
+    double shiftX = 0.0;
+    double shiftY = 0.0;
+    TileSpan span;
+    /** Output frame base; pixel (x, y) lands at
+     *  outBase + (y * outStride + x) * 3. */
+    float *outBase = nullptr;
+    std::int32_t outStride = 0;  ///< in pixels
+    /** true: write 0 + sample*1.0f (the compose-one-layer form the
+     *  blend path produces); false: write the sample directly (ATW
+     *  resample form). */
+    bool composeOne = false;
+};
+
+/** Radial partition geometry for the blend-band kernel. */
+struct BlendGeometry
+{
+    double centerX = 0.0;
+    double centerY = 0.0;
+    double foveaRadius = 0.0;
+    double middleRadius = 0.0;
+    double blendBand = 16.0;
+};
+
+/**
+ * Trilinear blend-band tile: per pixel, radius -> layer weights ->
+ * weighted sum of bilinear samples from the (up to) three layers.
+ */
+struct BlendTileArgs
+{
+    LayerRaster fovea, middle, outer;
+    LayerMap foveaMap, middleMap, outerMap;
+    BlendGeometry geom;
+    double shiftX = 0.0;
+    double shiftY = 0.0;
+    TileSpan span;
+    float *outBase = nullptr;
+    std::int32_t outStride = 0;
+};
+
+/** Dispatch to @p b (falls back to scalar if not compiled in). */
+void bilinearTile(Backend b, const BilinearTileArgs &a);
+void blendTile(Backend b, const BlendTileArgs &a);
+
+/** The bit-exact oracle (and tail handler for the vector paths). */
+void bilinearTileScalar(const BilinearTileArgs &a);
+void blendTileScalar(const BlendTileArgs &a);
+
+void bilinearTileAvx2(const BilinearTileArgs &a);
+void blendTileAvx2(const BlendTileArgs &a);
+void bilinearTileNeon(const BilinearTileArgs &a);
+void blendTileNeon(const BlendTileArgs &a);
+
+/**
+ * Scalar per-lane layer weights for @p n sample positions, shared by
+ * every backend: std::hypot + core::layerWeights evaluated exactly
+ * as the scalar reference does, never vectorised.  w* receive the
+ * float-cast weights; mask* receive all-ones (0xFFFFFFFF) where the
+ * DOUBLE weight is > 0.0 (the reference's guard), else 0.
+ */
+void blendWeightsSpan(const BlendGeometry &g, const double *sx,
+                      double sy, std::int32_t n, float *wF, float *wM,
+                      float *wO, std::uint32_t *maskF,
+                      std::uint32_t *maskM, std::uint32_t *maskO);
+
+}  // namespace qvr::core::simd
+
+#endif  // QVR_CORE_SIMD_KERNELS_HPP

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * AVX2 backend: 8-wide bilinear and trilinear blend-band tile
+ * kernels, bit-exact against the scalar oracle.
+ *
+ * Bit-exactness discipline (see DESIGN.md section 12):
+ *  - coordinate math in doubles, one IEEE op per scalar op, in the
+ *    reference order (two separate subtractions for shift/origin,
+ *    div, floor, truncating convert, narrowing convert);
+ *  - channel lerps in float via explicit mul/add — this TU is built
+ *    with -mno-fma -ffp-contract=off so nothing contracts;
+ *  - layer weights come from the shared scalar blendWeightsSpan()
+ *    (std::hypot / smoothstep are not vectorised anywhere);
+ *  - weight-zero terms are masked out on the DOUBLE weight's > 0.0
+ *    comparison, exactly like the reference's guards;
+ *  - vector tails delegate to the scalar kernel.
+ *
+ * The horizontal tap pipeline is row-invariant, so it is computed
+ * once per tile (makeLaneTaps) and reused by every row; the per-row
+ * loop is only gathers + lerps (+ scalar weights for blend tiles).
+ *
+ * ODR discipline: this TU is compiled with -mavx2, so every function
+ * it EMITS carries VEX encodings.  All helpers live in an anonymous
+ * namespace (internal linkage) and nothing from this file may be
+ * inlined elsewhere; the only external symbols are the two kernel
+ * entry points, which callers reach through the dispatch shim after
+ * a runtime CPU check.
+ */
+
+#include "core/simd/kernels.hpp"
+
+#ifdef QVR_SIMD_COMPILED_AVX2
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace qvr::core::simd
+{
+
+namespace
+{
+
+/** Widest x-chunk the stack-resident tap cache covers (pixels). */
+constexpr std::int32_t kChunk = 256;
+constexpr std::int32_t kBlocks = kChunk / 8;
+
+inline std::int32_t
+clampi(std::int32_t v, std::int32_t lo, std::int32_t hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** Row-invariant vertical context of one layer. */
+struct RowCtx
+{
+    const float *row0 = nullptr;
+    const float *row1 = nullptr;
+    float wy = 0.0f;
+};
+
+RowCtx
+makeRowCtx(const LayerRaster &L, double ly)
+{
+    const double fy = ly - 0.5;
+    const auto y0 = static_cast<std::int32_t>(std::floor(fy));
+    RowCtx c;
+    c.wy = static_cast<float>(fy - y0);
+    c.row0 = L.pixels +
+        static_cast<std::size_t>(clampi(y0, 0, L.height - 1)) *
+            L.width * 3;
+    c.row1 = L.pixels +
+        static_cast<std::size_t>(clampi(y0 + 1, 0, L.height - 1)) *
+            L.width * 3;
+    return c;
+}
+
+/** Horizontal taps for 8 lanes: clamped 2x3 gather indices + wx. */
+struct LaneTaps
+{
+    __m256i ia;  ///< 3 * clamped xi (float index of the R channel)
+    __m256i ib;  ///< 3 * clamped (xi + 1)
+    __m256 wx;
+    __m256 omwx;
+};
+
+/**
+ * fx = (((x + 0.5 - shiftX) - originX) / scaleX) - 0.5 per lane,
+ * then floor/convert exactly as the scalar kernel does.  Row-
+ * invariant: computed once per tile chunk.
+ */
+LaneTaps
+makeLaneTaps(std::int32_t x, double shiftX, const LayerMap &m,
+             std::int32_t w)
+{
+    alignas(32) double sx[8];
+    for (int i = 0; i < 8; i++)
+        sx[i] = (x + i) + 0.5 - shiftX;
+    const __m256d vox = _mm256_set1_pd(m.originX);
+    const __m256d vsc = _mm256_set1_pd(m.scaleX);
+    const __m256d vhalf = _mm256_set1_pd(0.5);
+    __m128i xiHalf[2];
+    __m128 wxHalf[2];
+    for (int half = 0; half < 2; half++) {
+        const __m256d vsx = _mm256_load_pd(sx + 4 * half);
+        const __m256d lx =
+            _mm256_div_pd(_mm256_sub_pd(vsx, vox), vsc);
+        const __m256d fx = _mm256_sub_pd(lx, vhalf);
+        const __m256d fl = _mm256_floor_pd(fx);
+        xiHalf[half] = _mm256_cvttpd_epi32(fl);
+        wxHalf[half] = _mm256_cvtpd_ps(_mm256_sub_pd(fx, fl));
+    }
+    const __m256i xi = _mm256_set_m128i(xiHalf[1], xiHalf[0]);
+    LaneTaps t;
+    t.wx = _mm256_set_m128(wxHalf[1], wxHalf[0]);
+    t.omwx = _mm256_sub_ps(_mm256_set1_ps(1.0f), t.wx);
+    const __m256i vzero = _mm256_setzero_si256();
+    const __m256i vwm1 = _mm256_set1_epi32(w - 1);
+    const __m256i vone = _mm256_set1_epi32(1);
+    const __m256i vthree = _mm256_set1_epi32(3);
+    const __m256i xa =
+        _mm256_max_epi32(_mm256_min_epi32(xi, vwm1), vzero);
+    const __m256i xb = _mm256_max_epi32(
+        _mm256_min_epi32(_mm256_add_epi32(xi, vone), vwm1), vzero);
+    t.ia = _mm256_mullo_epi32(xa, vthree);
+    t.ib = _mm256_mullo_epi32(xb, vthree);
+    return t;
+}
+
+/** One channel's bilinear lerp for 8 lanes (ch = 0/1/2 = R/G/B). */
+inline __m256
+lerpChannel(const RowCtx &ctx, const LaneTaps &t, int ch,
+            __m256 vwy, __m256 vomwy)
+{
+    const __m256i off = _mm256_set1_epi32(ch);
+    const __m256i ia = _mm256_add_epi32(t.ia, off);
+    const __m256i ib = _mm256_add_epi32(t.ib, off);
+    const __m256 c00 = _mm256_i32gather_ps(ctx.row0, ia, 4);
+    const __m256 c10 = _mm256_i32gather_ps(ctx.row0, ib, 4);
+    const __m256 c01 = _mm256_i32gather_ps(ctx.row1, ia, 4);
+    const __m256 c11 = _mm256_i32gather_ps(ctx.row1, ib, 4);
+    const __m256 top = _mm256_add_ps(_mm256_mul_ps(c00, t.omwx),
+                                     _mm256_mul_ps(c10, t.wx));
+    const __m256 bot = _mm256_add_ps(_mm256_mul_ps(c01, t.omwx),
+                                     _mm256_mul_ps(c11, t.wx));
+    return _mm256_add_ps(_mm256_mul_ps(top, vomwy),
+                         _mm256_mul_ps(bot, vwy));
+}
+
+/** Transpose three lane vectors into interleaved RGB at dst. */
+inline void
+storeInterleaved(float *dst, __m256 vr, __m256 vg, __m256 vb)
+{
+    alignas(32) float sr[8], sg[8], sb[8];
+    _mm256_store_ps(sr, vr);
+    _mm256_store_ps(sg, vg);
+    _mm256_store_ps(sb, vb);
+    for (int i = 0; i < 8; i++) {
+        dst[3 * i + 0] = sr[i];
+        dst[3 * i + 1] = sg[i];
+        dst[3 * i + 2] = sb[i];
+    }
+}
+
+/** Weighted, masked accumulation of one layer into the lane accs. */
+inline void
+accumulateLayer(const RowCtx &ctx, const LaneTaps &t,
+                const float *wArr, const std::uint32_t *mArr,
+                __m256 &accR, __m256 &accG, __m256 &accB)
+{
+    const __m256i mask = _mm256_load_si256(
+        reinterpret_cast<const __m256i *>(mArr));
+    if (_mm256_testz_si256(mask, mask))
+        return;  // whole block skips this layer, like the reference
+    const __m256 vwy = _mm256_set1_ps(ctx.wy);
+    const __m256 vomwy = _mm256_set1_ps(1.0f - ctx.wy);
+    const __m256 wv = _mm256_load_ps(wArr);
+    const __m256 maskPs = _mm256_castsi256_ps(mask);
+    const __m256 sr = lerpChannel(ctx, t, 0, vwy, vomwy);
+    const __m256 sg = lerpChannel(ctx, t, 1, vwy, vomwy);
+    const __m256 sb = lerpChannel(ctx, t, 2, vwy, vomwy);
+    accR = _mm256_add_ps(accR,
+                         _mm256_and_ps(_mm256_mul_ps(sr, wv), maskPs));
+    accG = _mm256_add_ps(accG,
+                         _mm256_and_ps(_mm256_mul_ps(sg, wv), maskPs));
+    accB = _mm256_add_ps(accB,
+                         _mm256_and_ps(_mm256_mul_ps(sb, wv), maskPs));
+}
+
+}  // namespace
+
+void
+bilinearTileAvx2(const BilinearTileArgs &a)
+{
+    LaneTaps taps[kBlocks];
+    for (std::int32_t cx0 = a.span.x0; cx0 < a.span.x1;
+         cx0 += kChunk) {
+        const std::int32_t cx1 =
+            cx0 + kChunk < a.span.x1 ? cx0 + kChunk : a.span.x1;
+        const std::int32_t nblocks = (cx1 - cx0) / 8;
+        const std::int32_t vecEnd = cx0 + nblocks * 8;
+        for (std::int32_t b = 0; b < nblocks; b++)
+            taps[b] = makeLaneTaps(cx0 + b * 8, a.shiftX, a.map,
+                                   a.src.width);
+
+        for (std::int32_t y = a.span.y0; y < a.span.y1; y++) {
+            const double ly =
+                (y + 0.5 - a.shiftY - a.map.originY) / a.map.scaleY;
+            const RowCtx ctx = makeRowCtx(a.src, ly);
+            const __m256 vwy = _mm256_set1_ps(ctx.wy);
+            const __m256 vomwy = _mm256_set1_ps(1.0f - ctx.wy);
+            const __m256 vone = _mm256_set1_ps(1.0f);
+            const __m256 vzero = _mm256_setzero_ps();
+            float *row = a.outBase +
+                static_cast<std::size_t>(y) * a.outStride * 3;
+            for (std::int32_t b = 0; b < nblocks; b++) {
+                __m256 vr = lerpChannel(ctx, taps[b], 0, vwy, vomwy);
+                __m256 vg = lerpChannel(ctx, taps[b], 1, vwy, vomwy);
+                __m256 vb = lerpChannel(ctx, taps[b], 2, vwy, vomwy);
+                if (a.composeOne) {
+                    // 0 + sample * 1.0f, matching the blend path's
+                    // one-hot arithmetic bit for bit.
+                    vr = _mm256_add_ps(vzero, _mm256_mul_ps(vr, vone));
+                    vg = _mm256_add_ps(vzero, _mm256_mul_ps(vg, vone));
+                    vb = _mm256_add_ps(vzero, _mm256_mul_ps(vb, vone));
+                }
+                storeInterleaved(
+                    row + static_cast<std::size_t>(cx0 + b * 8) * 3,
+                    vr, vg, vb);
+            }
+            if (vecEnd < cx1) {
+                BilinearTileArgs tail = a;
+                tail.span = TileSpan{vecEnd, y, cx1, y + 1};
+                bilinearTileScalar(tail);
+            }
+        }
+    }
+}
+
+void
+blendTileAvx2(const BlendTileArgs &a)
+{
+    LaneTaps tapsF[kBlocks], tapsM[kBlocks], tapsO[kBlocks];
+    alignas(32) double sx[kChunk];
+    alignas(32) float wF[kChunk], wM[kChunk], wO[kChunk];
+    alignas(32) std::uint32_t mF[kChunk], mM[kChunk], mO[kChunk];
+
+    for (std::int32_t cx0 = a.span.x0; cx0 < a.span.x1;
+         cx0 += kChunk) {
+        const std::int32_t cx1 =
+            cx0 + kChunk < a.span.x1 ? cx0 + kChunk : a.span.x1;
+        const std::int32_t nblocks = (cx1 - cx0) / 8;
+        const std::int32_t vecEnd = cx0 + nblocks * 8;
+        const std::int32_t nvec = nblocks * 8;
+        for (std::int32_t i = 0; i < nvec; i++)
+            sx[i] = (cx0 + i) + 0.5 - a.shiftX;
+        for (std::int32_t b = 0; b < nblocks; b++) {
+            tapsF[b] = makeLaneTaps(cx0 + b * 8, a.shiftX,
+                                    a.foveaMap, a.fovea.width);
+            tapsM[b] = makeLaneTaps(cx0 + b * 8, a.shiftX,
+                                    a.middleMap, a.middle.width);
+            tapsO[b] = makeLaneTaps(cx0 + b * 8, a.shiftX,
+                                    a.outerMap, a.outer.width);
+        }
+
+        for (std::int32_t y = a.span.y0; y < a.span.y1; y++) {
+            const double sy = y + 0.5 - a.shiftY;
+            const RowCtx ctxF = makeRowCtx(
+                a.fovea,
+                (sy - a.foveaMap.originY) / a.foveaMap.scaleY);
+            const RowCtx ctxM = makeRowCtx(
+                a.middle,
+                (sy - a.middleMap.originY) / a.middleMap.scaleY);
+            const RowCtx ctxO = makeRowCtx(
+                a.outer,
+                (sy - a.outerMap.originY) / a.outerMap.scaleY);
+            blendWeightsSpan(a.geom, sx, sy, nvec, wF, wM, wO,
+                             mF, mM, mO);
+            float *row = a.outBase +
+                static_cast<std::size_t>(y) * a.outStride * 3;
+            for (std::int32_t b = 0; b < nblocks; b++) {
+                __m256 accR = _mm256_setzero_ps();
+                __m256 accG = _mm256_setzero_ps();
+                __m256 accB = _mm256_setzero_ps();
+                accumulateLayer(ctxF, tapsF[b], wF + b * 8, mF + b * 8,
+                                accR, accG, accB);
+                accumulateLayer(ctxM, tapsM[b], wM + b * 8, mM + b * 8,
+                                accR, accG, accB);
+                accumulateLayer(ctxO, tapsO[b], wO + b * 8, mO + b * 8,
+                                accR, accG, accB);
+                storeInterleaved(
+                    row + static_cast<std::size_t>(cx0 + b * 8) * 3,
+                    accR, accG, accB);
+            }
+            if (vecEnd < cx1) {
+                BlendTileArgs tail = a;
+                tail.span = TileSpan{vecEnd, y, cx1, y + 1};
+                blendTileScalar(tail);
+            }
+        }
+    }
+}
+
+}  // namespace qvr::core::simd
+
+#endif  // QVR_SIMD_COMPILED_AVX2

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * NEON backend: 4-wide bilinear and trilinear blend-band tile
+ * kernels, bit-exact against the scalar oracle.
+ *
+ * Same discipline as the AVX2 TU: double coordinate math done per
+ * lane in scalar (one IEEE op per reference op, in the reference
+ * order), float lerps via explicit vmulq/vaddq — never vfmaq, and
+ * the whole tree is built with -ffp-contract=off so the scalar
+ * reference does not fuse either — weights from the shared scalar
+ * blendWeightsSpan(), masked accumulation on the double weight's
+ * > 0.0 comparison, scalar tails.  The horizontal tap pipeline is
+ * hoisted to tile level and reused across rows.
+ *
+ * NEON is baseline on AArch64, so this TU needs no special flags —
+ * but everything still sits in an anonymous namespace for symmetry
+ * with the AVX2 TU's ODR rules.
+ */
+
+#include "core/simd/kernels.hpp"
+
+#ifdef QVR_SIMD_COMPILED_NEON
+
+#include <arm_neon.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace qvr::core::simd
+{
+
+namespace
+{
+
+/** Widest x-chunk the stack-resident tap cache covers (pixels). */
+constexpr std::int32_t kChunk = 256;
+constexpr std::int32_t kBlocks = kChunk / 4;
+
+inline std::int32_t
+clampi(std::int32_t v, std::int32_t lo, std::int32_t hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** Row-invariant vertical context of one layer. */
+struct RowCtx
+{
+    const float *row0 = nullptr;
+    const float *row1 = nullptr;
+    float wy = 0.0f;
+};
+
+RowCtx
+makeRowCtx(const LayerRaster &L, double ly)
+{
+    const double fy = ly - 0.5;
+    const auto y0 = static_cast<std::int32_t>(std::floor(fy));
+    RowCtx c;
+    c.wy = static_cast<float>(fy - y0);
+    c.row0 = L.pixels +
+        static_cast<std::size_t>(clampi(y0, 0, L.height - 1)) *
+            L.width * 3;
+    c.row1 = L.pixels +
+        static_cast<std::size_t>(clampi(y0 + 1, 0, L.height - 1)) *
+            L.width * 3;
+    return c;
+}
+
+/** Horizontal taps for 4 lanes: clamped element offsets of the R
+ *  channel of both x taps, plus the lerp weights. */
+struct LaneTaps
+{
+    std::int32_t ia[4];  ///< 3 * clamped xi
+    std::int32_t ib[4];  ///< 3 * clamped (xi + 1)
+    float32x4_t wx;
+    float32x4_t omwx;
+};
+
+LaneTaps
+makeLaneTaps(std::int32_t x, double shiftX, const LayerMap &m,
+             std::int32_t w)
+{
+    LaneTaps t;
+    float wxArr[4];
+    for (int i = 0; i < 4; i++) {
+        const double sx = (x + i) + 0.5 - shiftX;
+        const double fx = (sx - m.originX) / m.scaleX - 0.5;
+        const auto xi = static_cast<std::int32_t>(std::floor(fx));
+        wxArr[i] = static_cast<float>(fx - xi);
+        t.ia[i] = 3 * clampi(xi, 0, w - 1);
+        t.ib[i] = 3 * clampi(xi + 1, 0, w - 1);
+    }
+    t.wx = vld1q_f32(wxArr);
+    t.omwx = vsubq_f32(vdupq_n_f32(1.0f), t.wx);
+    return t;
+}
+
+/** 4 lanes x 3 channels of bilinear samples for one layer/row. */
+inline void
+lerpBlock(const RowCtx &ctx, const LaneTaps &t, float32x4_t vwy,
+          float32x4_t vomwy, float32x4_t out[3])
+{
+    for (int ch = 0; ch < 3; ch++) {
+        float l00[4], l10[4], l01[4], l11[4];
+        for (int i = 0; i < 4; i++) {
+            l00[i] = ctx.row0[t.ia[i] + ch];
+            l10[i] = ctx.row0[t.ib[i] + ch];
+            l01[i] = ctx.row1[t.ia[i] + ch];
+            l11[i] = ctx.row1[t.ib[i] + ch];
+        }
+        const float32x4_t c00 = vld1q_f32(l00);
+        const float32x4_t c10 = vld1q_f32(l10);
+        const float32x4_t c01 = vld1q_f32(l01);
+        const float32x4_t c11 = vld1q_f32(l11);
+        const float32x4_t top = vaddq_f32(vmulq_f32(c00, t.omwx),
+                                          vmulq_f32(c10, t.wx));
+        const float32x4_t bot = vaddq_f32(vmulq_f32(c01, t.omwx),
+                                          vmulq_f32(c11, t.wx));
+        out[ch] = vaddq_f32(vmulq_f32(top, vomwy),
+                            vmulq_f32(bot, vwy));
+    }
+}
+
+/** Interleaved RGB store of 4 pixels. */
+inline void
+storeInterleaved(float *dst, const float32x4_t ch[3])
+{
+    float32x4x3_t v;
+    v.val[0] = ch[0];
+    v.val[1] = ch[1];
+    v.val[2] = ch[2];
+    vst3q_f32(dst, v);
+}
+
+/** Weighted, masked accumulation of one layer into the lane accs. */
+inline void
+accumulateLayer(const RowCtx &ctx, const LaneTaps &t,
+                const float *wArr, const std::uint32_t *mArr,
+                float32x4_t acc[3])
+{
+    const uint32x4_t mask = vld1q_u32(mArr);
+    if (vmaxvq_u32(mask) == 0u)
+        return;  // whole block skips this layer, like the reference
+    const float32x4_t vwy = vdupq_n_f32(ctx.wy);
+    const float32x4_t vomwy = vdupq_n_f32(1.0f - ctx.wy);
+    const float32x4_t wv = vld1q_f32(wArr);
+    float32x4_t smp[3];
+    lerpBlock(ctx, t, vwy, vomwy, smp);
+    for (int ch = 0; ch < 3; ch++) {
+        const uint32x4_t term = vandq_u32(
+            vreinterpretq_u32_f32(vmulq_f32(smp[ch], wv)), mask);
+        acc[ch] = vaddq_f32(acc[ch], vreinterpretq_f32_u32(term));
+    }
+}
+
+}  // namespace
+
+void
+bilinearTileNeon(const BilinearTileArgs &a)
+{
+    LaneTaps taps[kBlocks];
+    for (std::int32_t cx0 = a.span.x0; cx0 < a.span.x1;
+         cx0 += kChunk) {
+        const std::int32_t cx1 =
+            cx0 + kChunk < a.span.x1 ? cx0 + kChunk : a.span.x1;
+        const std::int32_t nblocks = (cx1 - cx0) / 4;
+        const std::int32_t vecEnd = cx0 + nblocks * 4;
+        for (std::int32_t b = 0; b < nblocks; b++)
+            taps[b] = makeLaneTaps(cx0 + b * 4, a.shiftX, a.map,
+                                   a.src.width);
+
+        for (std::int32_t y = a.span.y0; y < a.span.y1; y++) {
+            const double ly =
+                (y + 0.5 - a.shiftY - a.map.originY) / a.map.scaleY;
+            const RowCtx ctx = makeRowCtx(a.src, ly);
+            const float32x4_t vwy = vdupq_n_f32(ctx.wy);
+            const float32x4_t vomwy = vdupq_n_f32(1.0f - ctx.wy);
+            const float32x4_t vone = vdupq_n_f32(1.0f);
+            const float32x4_t vzero = vdupq_n_f32(0.0f);
+            float *row = a.outBase +
+                static_cast<std::size_t>(y) * a.outStride * 3;
+            for (std::int32_t b = 0; b < nblocks; b++) {
+                float32x4_t smp[3];
+                lerpBlock(ctx, taps[b], vwy, vomwy, smp);
+                if (a.composeOne) {
+                    // 0 + sample * 1.0f, matching the blend path's
+                    // one-hot arithmetic bit for bit.
+                    for (int ch = 0; ch < 3; ch++)
+                        smp[ch] = vaddq_f32(
+                            vzero, vmulq_f32(smp[ch], vone));
+                }
+                storeInterleaved(
+                    row + static_cast<std::size_t>(cx0 + b * 4) * 3,
+                    smp);
+            }
+            if (vecEnd < cx1) {
+                BilinearTileArgs tail = a;
+                tail.span = TileSpan{vecEnd, y, cx1, y + 1};
+                bilinearTileScalar(tail);
+            }
+        }
+    }
+}
+
+void
+blendTileNeon(const BlendTileArgs &a)
+{
+    LaneTaps tapsF[kBlocks], tapsM[kBlocks], tapsO[kBlocks];
+    double sx[kChunk];
+    float wF[kChunk], wM[kChunk], wO[kChunk];
+    std::uint32_t mF[kChunk], mM[kChunk], mO[kChunk];
+
+    for (std::int32_t cx0 = a.span.x0; cx0 < a.span.x1;
+         cx0 += kChunk) {
+        const std::int32_t cx1 =
+            cx0 + kChunk < a.span.x1 ? cx0 + kChunk : a.span.x1;
+        const std::int32_t nblocks = (cx1 - cx0) / 4;
+        const std::int32_t vecEnd = cx0 + nblocks * 4;
+        const std::int32_t nvec = nblocks * 4;
+        for (std::int32_t i = 0; i < nvec; i++)
+            sx[i] = (cx0 + i) + 0.5 - a.shiftX;
+        for (std::int32_t b = 0; b < nblocks; b++) {
+            tapsF[b] = makeLaneTaps(cx0 + b * 4, a.shiftX,
+                                    a.foveaMap, a.fovea.width);
+            tapsM[b] = makeLaneTaps(cx0 + b * 4, a.shiftX,
+                                    a.middleMap, a.middle.width);
+            tapsO[b] = makeLaneTaps(cx0 + b * 4, a.shiftX,
+                                    a.outerMap, a.outer.width);
+        }
+
+        for (std::int32_t y = a.span.y0; y < a.span.y1; y++) {
+            const double sy = y + 0.5 - a.shiftY;
+            const RowCtx ctxF = makeRowCtx(
+                a.fovea,
+                (sy - a.foveaMap.originY) / a.foveaMap.scaleY);
+            const RowCtx ctxM = makeRowCtx(
+                a.middle,
+                (sy - a.middleMap.originY) / a.middleMap.scaleY);
+            const RowCtx ctxO = makeRowCtx(
+                a.outer,
+                (sy - a.outerMap.originY) / a.outerMap.scaleY);
+            blendWeightsSpan(a.geom, sx, sy, nvec, wF, wM, wO,
+                             mF, mM, mO);
+            float *row = a.outBase +
+                static_cast<std::size_t>(y) * a.outStride * 3;
+            for (std::int32_t b = 0; b < nblocks; b++) {
+                float32x4_t acc[3];
+                acc[0] = vdupq_n_f32(0.0f);
+                acc[1] = vdupq_n_f32(0.0f);
+                acc[2] = vdupq_n_f32(0.0f);
+                accumulateLayer(ctxF, tapsF[b], wF + b * 4,
+                                mF + b * 4, acc);
+                accumulateLayer(ctxM, tapsM[b], wM + b * 4,
+                                mM + b * 4, acc);
+                accumulateLayer(ctxO, tapsO[b], wO + b * 4,
+                                mO + b * 4, acc);
+                storeInterleaved(
+                    row + static_cast<std::size_t>(cx0 + b * 4) * 3,
+                    acc);
+            }
+            if (vecEnd < cx1) {
+                BlendTileArgs tail = a;
+                tail.span = TileSpan{vecEnd, y, cx1, y + 1};
+                blendTileScalar(tail);
+            }
+        }
+    }
+}
+
+}  // namespace qvr::core::simd
+
+#endif  // QVR_SIMD_COMPILED_NEON

@@ -146,6 +146,54 @@ ucaUnified(const UcaFrameInputs &in)
     return out;
 }
 
+Image
+ucaUnifiedCompressed(const CompressedUcaInputs &in)
+{
+    QVR_REQUIRE(in.fovea && in.middle && in.outer,
+                "UCA inputs must provide all three layers");
+    QVR_REQUIRE(in.middleMap.scaleX > 0.0 &&
+                    in.middleMap.scaleY > 0.0 &&
+                    in.outerMap.scaleX > 0.0 &&
+                    in.outerMap.scaleY > 0.0,
+                "layer scales must be positive");
+    QVR_REQUIRE(in.partition.middleRadius >= in.partition.foveaRadius,
+                "e2 must be >= e1");
+    QVR_REQUIRE(in.width > 0 && in.height > 0,
+                "output frame must be non-empty");
+
+    const foveation::LayerTransform &mm = in.middleMap;
+    const foveation::LayerTransform &om = in.outerMap;
+    Image out(in.width, in.height);
+    for (std::int32_t y = 0; y < in.height; y++) {
+        for (std::int32_t x = 0; x < in.width; x++) {
+            const double sx = x + 0.5 - in.atwShift.x;
+            const double sy = y + 0.5 - in.atwShift.y;
+            const double r = std::hypot(sx - in.partition.centerX,
+                                        sy - in.partition.centerY);
+            const LayerWeights lw = layerWeights(in.partition, r);
+            Rgb c;
+            if (lw.fovea > 0.0) {
+                c = c + in.fovea->sampleBilinear(sx, sy) *
+                            static_cast<float>(lw.fovea);
+            }
+            if (lw.middle > 0.0) {
+                c = c + in.middle->sampleBilinear(
+                            (sx - mm.originX) / mm.scaleX,
+                            (sy - mm.originY) / mm.scaleY) *
+                            static_cast<float>(lw.middle);
+            }
+            if (lw.outer > 0.0) {
+                c = c + in.outer->sampleBilinear(
+                            (sx - om.originX) / om.scaleX,
+                            (sy - om.originY) / om.scaleY) *
+                            static_cast<float>(lw.outer);
+            }
+            out.at(x, y) = c;
+        }
+    }
+    return out;
+}
+
 TileClass
 classifyTile(const PixelPartition &p, std::int32_t x0, std::int32_t y0,
              std::int32_t tile_size)

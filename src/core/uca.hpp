@@ -25,6 +25,7 @@
 
 #include "common/types.hpp"
 #include "core/framebuffer.hpp"
+#include "foveation/compressed_layout.hpp"
 #include "sim/resource.hpp"
 
 namespace qvr::core
@@ -52,6 +53,27 @@ struct UcaFrameInputs
     /** ATW reprojection, pixels (small-rotation approximation of the
      *  lens-distortion + pose-update remap). */
     Vec2 atwShift;
+};
+
+/**
+ * Inputs to a composition+ATW pass over ENCODER-ALIGNED compressed
+ * layers (foveation/compressed_layout.hpp): the periphery buffers
+ * cover only the native-space window their LayerTransform maps, at
+ * their own per-axis scales, instead of being full-frame at a
+ * uniform factor.  The legacy UcaFrameInputs is the special case
+ * map = LayerTransform::uniform(s).
+ */
+struct CompressedUcaInputs
+{
+    const Image *fovea = nullptr;   ///< native resolution, full frame
+    const Image *middle = nullptr;  ///< cropped + subsampled buffer
+    const Image *outer = nullptr;   ///< full frame, subsampled buffer
+    foveation::LayerTransform middleMap;
+    foveation::LayerTransform outerMap;
+    PixelPartition partition;
+    Vec2 atwShift;
+    std::int32_t width = 0;   ///< native output dimensions
+    std::int32_t height = 0;
 };
 
 /** Per-eccentricity blend weights of the three layers (sum to 1). */
@@ -85,6 +107,14 @@ Image sequentialCompositeAtw(const UcaFrameInputs &in);
  * Scalar reference — see PixelEngine for the fast tiled version.
  */
 Image ucaUnified(const UcaFrameInputs &in);
+
+/**
+ * Scalar reference of the unified pass over compressed layers: the
+ * same per-pixel arithmetic as ucaUnified() with each periphery
+ * sample taken at ((sx - origin) / scale) in its cropped buffer.
+ * Oracle for PixelEngine::ucaUnifiedCompressed.
+ */
+Image ucaUnifiedCompressed(const CompressedUcaInputs &in);
 
 /** Tile classes the UCA scheduler distinguishes. */
 enum class TileClass

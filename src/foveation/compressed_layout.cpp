@@ -1,0 +1,101 @@
+#include "foveation/compressed_layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace qvr::foveation
+{
+
+std::int32_t
+alignUp(std::int32_t v, std::int32_t alignment)
+{
+    QVR_REQUIRE(alignment > 0, "alignment must be positive");
+    QVR_REQUIRE(v >= 0, "cannot align a negative extent");
+    const std::int32_t rem = v % alignment;
+    return rem == 0 ? std::max(v, alignment) : v + (alignment - rem);
+}
+
+void
+CompressedLayoutParams::validate() const
+{
+    QVR_REQUIRE(frameWidth > 0 && frameHeight > 0,
+                "layout needs a non-empty frame");
+    QVR_REQUIRE(sMiddle >= 1.0 && sOuter >= 1.0,
+                "subsample factors must be >= 1");
+    QVR_REQUIRE(middleRadius >= foveaRadius,
+                "e2 must be >= e1");
+    QVR_REQUIRE(foveaRadius >= 0.0 && blendBand >= 0.0,
+                "radii and band must be non-negative");
+    QVR_REQUIRE(alignment > 0, "alignment must be positive");
+}
+
+namespace
+{
+
+/** Aligned buffer extent + edge-ratio rescale for one axis: the
+ *  buffer must cover @p used native pixels at a scale no coarser
+ *  than @p s.  Mirrors ALVR's eyeWidthRatioAligned =
+ *  optimizedEyeWidth / optimizedEyeWidthAligned. */
+void
+axisLayout(double used, double s, std::int32_t alignment,
+           std::int32_t &buf, double &scale)
+{
+    const double texels = used / s;
+    const auto needed =
+        static_cast<std::int32_t>(std::ceil(texels));
+    buf = alignUp(std::max(needed, 1), alignment);
+    // Recompute the effective scale from the aligned size: sampling
+    // `buf` texels across `used` native pixels.  buf >= used/s, so
+    // scale <= s — alignment never coarsens the layer.
+    scale = used / static_cast<double>(buf);
+}
+
+}  // namespace
+
+CompressedFrameLayout
+makeCompressedLayout(const CompressedLayoutParams &p)
+{
+    p.validate();
+    CompressedFrameLayout out;
+
+    // Outer layer: full frame.
+    out.outer.map.originX = 0.0;
+    out.outer.map.originY = 0.0;
+    axisLayout(static_cast<double>(p.frameWidth), p.sOuter,
+               p.alignment, out.outer.bufWidth,
+               out.outer.map.scaleX);
+    axisLayout(static_cast<double>(p.frameHeight), p.sOuter,
+               p.alignment, out.outer.bufHeight,
+               out.outer.map.scaleY);
+
+    // Middle layer: composition samples it only where its blend
+    // weight is positive, i.e. inside radius e2 + band/2.  The
+    // bilinear footprint reaches one texel (= sMiddle native pixels)
+    // past the sample, plus slack for the tile classifier's rounding
+    // guard; cover that disc, clipped to the frame.
+    const double reach =
+        p.middleRadius + p.blendBand / 2.0 + 2.0 * p.sMiddle + 2.0;
+    const double fw = static_cast<double>(p.frameWidth);
+    const double fh = static_cast<double>(p.frameHeight);
+    const double x0 =
+        std::clamp(std::floor(p.centerX - reach), 0.0, fw - 1.0);
+    const double y0 =
+        std::clamp(std::floor(p.centerY - reach), 0.0, fh - 1.0);
+    const double x1 =
+        std::clamp(std::ceil(p.centerX + reach), x0 + 1.0, fw);
+    const double y1 =
+        std::clamp(std::ceil(p.centerY + reach), y0 + 1.0, fh);
+
+    out.middle.map.originX = x0;
+    out.middle.map.originY = y0;
+    axisLayout(x1 - x0, p.sMiddle, p.alignment, out.middle.bufWidth,
+               out.middle.map.scaleX);
+    axisLayout(y1 - y0, p.sMiddle, p.alignment, out.middle.bufHeight,
+               out.middle.map.scaleY);
+
+    return out;
+}
+
+}  // namespace qvr::foveation

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Encoder-aligned compressed foveated frame layout.
+ *
+ * ALVR's foveated-encoding path (MakeFoveatedDecodeParams) sizes the
+ * transported eye buffers to encoder-friendly multiples of 32 pixels
+ * and compensates with an edge-ratio rescale: the optimized dimension
+ * is aligned UP, and the sampling ratio is recomputed from the aligned
+ * size so the mapping stays exact.  We adopt the same discipline for
+ * Q-VR's periphery layers: each layer gets an axis-aligned buffer
+ * whose dimensions are multiples of the codec macroblock, covering
+ * exactly the native-space window the composition pass will sample,
+ * at (or slightly finer than) the requested subsample factor.
+ *
+ * The derivation is pure geometry on doubles so the remote server,
+ * the network layer and the pixel engine can all share it without
+ * depending on image buffers.
+ */
+
+#ifndef QVR_FOVEATION_COMPRESSED_LAYOUT_HPP
+#define QVR_FOVEATION_COMPRESSED_LAYOUT_HPP
+
+#include <cstdint>
+
+namespace qvr::foveation
+{
+
+/**
+ * Affine map from native display coordinates to a layer's texel
+ * coordinates: texel = (native - origin) / scale, per axis.  The
+ * legacy full-frame layers are the special case origin = 0,
+ * scale = subsample factor (LayerTransform::uniform), for which the
+ * generalized expression is bit-identical to the historical
+ * `native / s` (subtracting an exact 0.0 never changes the value).
+ */
+struct LayerTransform
+{
+    double originX = 0.0;  ///< native x of the buffer's left edge
+    double originY = 0.0;  ///< native y of the buffer's top edge
+    double scaleX = 1.0;   ///< native pixels per buffer texel
+    double scaleY = 1.0;
+
+    static LayerTransform
+    uniform(double s)
+    {
+        return LayerTransform{0.0, 0.0, s, s};
+    }
+};
+
+/** One transported layer buffer: aligned dimensions + its map. */
+struct CompressedLayer
+{
+    std::int32_t bufWidth = 0;   ///< multiple of the alignment
+    std::int32_t bufHeight = 0;  ///< multiple of the alignment
+    LayerTransform map;          ///< native -> texel
+
+    double
+    pixels() const
+    {
+        return static_cast<double>(bufWidth) * bufHeight;
+    }
+};
+
+/** Inputs to the layout derivation (all in native display pixels). */
+struct CompressedLayoutParams
+{
+    double centerX = 0.0;       ///< fovea centre
+    double centerY = 0.0;
+    double foveaRadius = 0.0;   ///< e1, pixels
+    double middleRadius = 0.0;  ///< e2, pixels
+    double blendBand = 16.0;    ///< cross-fade band width, pixels
+    double sMiddle = 1.0;       ///< requested per-dim subsample
+    double sOuter = 1.0;
+    std::int32_t frameWidth = 0;
+    std::int32_t frameHeight = 0;
+    /** Encoder macroblock alignment (32 per ALVR / H.264 SIMD row). */
+    std::int32_t alignment = 32;
+
+    /** Panic on impossible values. */
+    void validate() const;
+};
+
+/** Derived per-frame layout for the two transported periphery layers. */
+struct CompressedFrameLayout
+{
+    CompressedLayer middle;  ///< cropped to the blend-annulus window
+    CompressedLayer outer;   ///< full frame at reduced resolution
+
+    /** Total transported periphery pixels for one eye. */
+    double
+    peripheryPixels() const
+    {
+        return middle.pixels() + outer.pixels();
+    }
+};
+
+/**
+ * Derive the encoder-aligned layout.
+ *
+ * Outer layer: the whole frame at ~sOuter; buffer dims are
+ * ceil(frame / sOuter) aligned up to @p alignment, and the effective
+ * scale is recomputed as frame / buf (the edge-ratio rescale — the
+ * aligned buffer is never coarser than requested).
+ *
+ * Middle layer: only the disc that composition can ever sample from
+ * it (radius e2 + blendBand/2, plus a bilinear-footprint margin) is
+ * covered, clipped to the frame; the window is aligned the same way.
+ */
+CompressedFrameLayout makeCompressedLayout(
+    const CompressedLayoutParams &p);
+
+/** Smallest multiple of @p alignment that is >= @p v (v >= 0). */
+std::int32_t alignUp(std::int32_t v, std::int32_t alignment);
+
+}  // namespace qvr::foveation
+
+#endif  // QVR_FOVEATION_COMPRESSED_LAYOUT_HPP

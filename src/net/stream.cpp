@@ -34,6 +34,20 @@ StreamSession::streamFrame(std::vector<LayerPayload> layers)
     if (layers.empty())
         return result;
 
+    for (const auto &layer : layers) {
+        if (layer.bufWidth == 0 && layer.bufHeight == 0)
+            continue;  // legacy untagged payload, analytic pixels
+        QVR_REQUIRE(layer.bufWidth > 0 && layer.bufHeight > 0,
+                    "tagged payload with a degenerate buffer");
+        QVR_REQUIRE(layer.bufWidth % kPayloadAlignment == 0 &&
+                        layer.bufHeight % kPayloadAlignment == 0,
+                    "payload buffer is not macroblock-aligned");
+        QVR_REQUIRE(layer.pixels ==
+                        static_cast<double>(layer.bufWidth) *
+                            layer.bufHeight,
+                    "payload pixel count disagrees with its buffer");
+    }
+
     // Link is serial: ship layers in render-ready order so an early
     // layer never waits behind a late one.
     std::sort(layers.begin(), layers.end(),

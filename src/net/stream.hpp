@@ -38,7 +38,18 @@ struct LayerPayload
     Seconds renderReady = 0.0;   ///< server finished rendering it
     double pixels = 0.0;         ///< post-subsampling pixel count
     Bytes compressed = 0;        ///< encoded size
+
+    /** Encoder-aligned buffer dimensions when the payload carries a
+     *  compressed foveated layout layer (0 = legacy untagged payload,
+     *  pixels is an analytic count).  streamFrame() rejects tagged
+     *  payloads whose dimensions are not macroblock-aligned or whose
+     *  pixel count disagrees with the buffer. */
+    std::int32_t bufWidth = 0;
+    std::int32_t bufHeight = 0;
 };
+
+/** Macroblock alignment tagged payloads must honour (ALVR/H.264). */
+constexpr std::int32_t kPayloadAlignment = 32;
 
 /** Bounded retry-with-backoff for lost transfers. */
 struct RetryPolicy

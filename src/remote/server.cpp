@@ -47,6 +47,18 @@ RemoteServer::renderSeconds(const gpu::RenderJob &job) const
 }
 
 Seconds
+RemoteServer::renderPeriphery(
+    gpu::RenderJob job, const foveation::CompressedFrameLayout &layout,
+    Seconds when) const
+{
+    // Both eyes shade the same layout geometry (per-eye gaze deltas
+    // are below the macroblock granularity the buffers are aligned
+    // to), so the stereo pixel load is twice one layout.
+    job.shadedPixels = layout.peripheryPixels() * 2.0;
+    return renderSeconds(job, when);
+}
+
+Seconds
 RemoteServer::renderSeconds(const gpu::RenderJob &job,
                             Seconds when) const
 {

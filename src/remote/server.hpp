@@ -12,6 +12,7 @@
 
 #include "common/types.hpp"
 #include "fault/schedule.hpp"
+#include "foveation/compressed_layout.hpp"
 #include "gpu/timing.hpp"
 
 namespace qvr::remote
@@ -75,6 +76,20 @@ class RemoteServer
     /** Attach a fault schedule (copied); only its server-fault
      *  windows are consulted here. */
     void setFaultSchedule(const fault::FaultSchedule &schedule);
+
+    /**
+     * Render one stereo frame's periphery under the encoder-aligned
+     * compressed layout: the server shades exactly the transported
+     * buffers (cropped middle window + reduced-resolution outer
+     * frame, both eyes), nothing more — @p job supplies the geometry
+     * load and shading cost, its shadedPixels is replaced by the
+     * layout's.  This is where the layout's pixel saving becomes a
+     * server-time saving.
+     */
+    Seconds renderPeriphery(
+        gpu::RenderJob job,
+        const foveation::CompressedFrameLayout &layout,
+        Seconds when) const;
 
     /** Aggregate triangle throughput (for capacity sanity checks). */
     double triangleThroughput(double shading_cost,

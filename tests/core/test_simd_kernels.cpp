@@ -1,0 +1,382 @@
+/**
+ * @file
+ * SIMD pixel kernels: every compiled-and-supported vector backend
+ * must be BIT-EXACT (maxAbsDiff == 0) against the scalar oracle —
+ * at the raw kernel level (bilinearTile / blendTile on awkward
+ * spans: single-pixel columns, non-multiple-of-8 tails, off-raster
+ * shifts) and at the engine level (full UCA composition on odd and
+ * tiny canvases, blend bands straddling tile boundaries, compressed
+ * layer maps with non-integer origins).
+ *
+ * These tests carry the `tsan` CTest label: the engine-level checks
+ * run at 1/2/8 workers, so under -DQVR_SANITIZE=thread they vet the
+ * SIMD tile kernels inside the parallel dispatch for data races.
+ *
+ * On hosts where no vector backend is available the backend sweep is
+ * empty and the suite degenerates to scalar-vs-scalar; dispatch
+ * plumbing tests still run everywhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/pixel_engine.hpp"
+#include "core/simd/kernels.hpp"
+
+namespace qvr::core
+{
+namespace
+{
+
+/** Vector backends usable on this host (may be empty). */
+std::vector<simd::Backend>
+vectorBackends()
+{
+    std::vector<simd::Backend> out;
+    for (const auto b : {simd::Backend::Avx2, simd::Backend::Neon})
+        if (simd::backendSupported(b))
+            out.push_back(b);
+    return out;
+}
+
+/** Procedural interleaved-RGB raster with broadband content. */
+std::vector<float>
+rasterPattern(std::int32_t w, std::int32_t h, double phase)
+{
+    std::vector<float> px(static_cast<std::size_t>(w) * h * 3);
+    for (std::int32_t y = 0; y < h; y++) {
+        for (std::int32_t x = 0; x < w; x++) {
+            const std::size_t i =
+                (static_cast<std::size_t>(y) * w + x) * 3;
+            px[i + 0] = static_cast<float>(
+                0.5 + 0.5 * std::sin(x * 0.37 + phase));
+            px[i + 1] = static_cast<float>(
+                0.5 + 0.5 * std::cos(y * 0.23 - phase));
+            px[i + 2] = static_cast<float>(
+                0.5 + 0.3 * std::sin((x + 2 * y) * 0.11));
+        }
+    }
+    return px;
+}
+
+/** Max |a-b| over two interleaved buffers. */
+float
+maxDiff(const std::vector<float> &a, const std::vector<float> &b)
+{
+    EXPECT_EQ(a.size(), b.size());
+    float m = 0.0f;
+    for (std::size_t i = 0; i < a.size(); i++)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+TEST(SimdKernels, BilinearTileMatchesScalarOnAwkwardSpans)
+{
+    const auto backends = vectorBackends();
+    const std::int32_t sw = 53, sh = 41;
+    const auto src = rasterPattern(sw, sh, 0.4);
+
+    // Frame wider than the widest span so strides differ from span
+    // widths; spans cover: 1-px column, lane-width-1, lane-width,
+    // lane-width+1, a full 32-px tile, and a 37-px ragged tail.
+    const std::int32_t fw = 64, fh = 40;
+    const struct
+    {
+        std::int32_t x0, y0, x1, y1;
+    } spans[] = {{0, 0, 1, 5},    {3, 2, 10, 9},  {5, 1, 13, 33},
+                 {7, 0, 16, 7},   {0, 8, 32, 40}, {20, 3, 57, 31},
+                 {31, 30, 64, 40}};
+
+    for (const bool compose_one : {false, true}) {
+        for (const auto &s : spans) {
+            simd::BilinearTileArgs a;
+            a.src = {src.data(), sw, sh};
+            // Compressed-style map: fractional origin, scale > 1.
+            a.map = {3.25, -1.5, 1.7, 2.3};
+            a.shiftX = 101.7;   // pushes taps far off-raster: the
+            a.shiftY = -77.3;   // clamp path must match scalar too
+            a.span = {s.x0, s.y0, s.x1, s.y1};
+            a.outStride = fw;
+            a.composeOne = compose_one;
+
+            std::vector<float> ref(
+                static_cast<std::size_t>(fw) * fh * 3, -7.0f);
+            std::vector<float> got = ref;
+            a.outBase = ref.data();
+            simd::bilinearTileScalar(a);
+            for (const auto b : backends) {
+                std::fill(got.begin(), got.end(), -7.0f);
+                a.outBase = got.data();
+                simd::bilinearTile(b, a);
+                EXPECT_EQ(maxDiff(ref, got), 0.0f)
+                    << simd::backendName(b) << " span (" << s.x0
+                    << "," << s.y0 << ")-(" << s.x1 << "," << s.y1
+                    << ") composeOne=" << compose_one;
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, BlendTileMatchesScalarAcrossBandPositions)
+{
+    const auto backends = vectorBackends();
+    const auto fovea = rasterPattern(64, 48, 0.0);
+    const auto middle = rasterPattern(33, 25, 1.0);
+    const auto outer = rasterPattern(17, 13, 2.0);
+
+    const std::int32_t fw = 64, fh = 48;
+    // Geometry sweep: band through the span, fovea-only corner,
+    // outer-only corner, and a degenerate zero-radius partition.
+    const simd::BlendGeometry geoms[] = {
+        {30.0, 22.0, 10.0, 24.0, 8.0},
+        {-20.0, -10.0, 15.0, 35.0, 16.0},
+        {120.0, 90.0, 40.0, 80.0, 32.0},
+        {32.0, 24.0, 0.0, 0.0, 16.0}};
+
+    for (const auto &g : geoms) {
+        simd::BlendTileArgs a;
+        a.fovea = {fovea.data(), 64, 48};
+        a.middle = {middle.data(), 33, 25};
+        a.outer = {outer.data(), 17, 13};
+        a.foveaMap = {0.0, 0.0, 1.0, 1.0};
+        a.middleMap = {-2.5, 1.25, 1.9, 1.9};
+        a.outerMap = {0.0, 0.0, 3.8, 3.7};
+        a.geom = g;
+        a.shiftX = 1.7;
+        a.shiftY = -2.3;
+        a.span = {1, 2, 42, 47};  // 41-px rows: 8|4-lane ragged tail
+        a.outStride = fw;
+
+        std::vector<float> ref(
+            static_cast<std::size_t>(fw) * fh * 3, -7.0f);
+        std::vector<float> got = ref;
+        a.outBase = ref.data();
+        simd::blendTileScalar(a);
+        for (const auto b : backends) {
+            std::fill(got.begin(), got.end(), -7.0f);
+            a.outBase = got.data();
+            simd::blendTile(b, a);
+            EXPECT_EQ(maxDiff(ref, got), 0.0f)
+                << simd::backendName(b) << " geom centre ("
+                << g.centerX << "," << g.centerY << ")";
+        }
+    }
+}
+
+TEST(SimdKernels, BlendWeightsMasksMirrorDoubleGuards)
+{
+    // The masks drive the vector guards; they must be all-ones
+    // exactly where the double weight is > 0.0 and the float weight
+    // consistent with the reference computation.
+    simd::BlendGeometry g{40.0, 30.0, 12.0, 28.0, 10.0};
+    PixelPartition p;
+    p.centerX = g.centerX;
+    p.centerY = g.centerY;
+    p.foveaRadius = g.foveaRadius;
+    p.middleRadius = g.middleRadius;
+    p.blendBand = g.blendBand;
+
+    const std::int32_t n = 96;
+    std::vector<double> sx(n);
+    for (std::int32_t i = 0; i < n; i++)
+        sx[i] = i * 0.875 - 3.0;
+    std::vector<float> wf(n), wm(n), wo(n);
+    std::vector<std::uint32_t> mf(n), mm(n), mo(n);
+    const double sy = 31.25;
+    simd::blendWeightsSpan(g, sx.data(), sy, n, wf.data(), wm.data(),
+                           wo.data(), mf.data(), mm.data(),
+                           mo.data());
+    for (std::int32_t i = 0; i < n; i++) {
+        const double r = std::hypot(sx[i] - g.centerX,
+                                    sy - g.centerY);
+        const LayerWeights w = layerWeights(p, r);
+        EXPECT_EQ(wf[i], static_cast<float>(w.fovea)) << i;
+        EXPECT_EQ(wm[i], static_cast<float>(w.middle)) << i;
+        EXPECT_EQ(wo[i], static_cast<float>(w.outer)) << i;
+        EXPECT_EQ(mf[i], w.fovea > 0.0 ? 0xFFFFFFFFu : 0u) << i;
+        EXPECT_EQ(mm[i], w.middle > 0.0 ? 0xFFFFFFFFu : 0u) << i;
+        EXPECT_EQ(mo[i], w.outer > 0.0 ? 0xFFFFFFFFu : 0u) << i;
+    }
+}
+
+// ---- Engine level: full composition, per backend, 1/2/8 workers ---
+
+/** Owns the three layers so UcaFrameInputs' pointers stay valid. */
+struct Frame
+{
+    Image native;
+    Image middle;
+    Image outer;
+    UcaFrameInputs in;
+};
+
+Image
+imagePattern(std::int32_t w, std::int32_t h, double phase)
+{
+    Image img(w, h);
+    for (std::int32_t y = 0; y < h; y++) {
+        Rgb *row = img.rowSpan(y);
+        for (std::int32_t x = 0; x < w; x++) {
+            row[x] = Rgb{static_cast<float>(
+                             0.5 + 0.5 * std::sin(x * 0.13 + phase)),
+                         static_cast<float>(
+                             0.5 + 0.5 * std::cos(y * 0.08 - phase)),
+                         static_cast<float>(
+                             0.5 + 0.3 * std::sin((x + y) * 0.045))};
+        }
+    }
+    return img;
+}
+
+Frame
+makeFrame(std::int32_t w, std::int32_t h, const PixelPartition &p,
+          Vec2 shift)
+{
+    Frame f;
+    f.native = imagePattern(w, h, 0.3);
+    f.middle = imagePattern(std::max(1, w / 2), std::max(1, h / 2),
+                            1.3);
+    f.outer = imagePattern(std::max(1, w / 4), std::max(1, h / 4),
+                           2.3);
+    f.in.fovea = &f.native;
+    f.in.middle = &f.middle;
+    f.in.outer = &f.outer;
+    f.in.sMiddle = 2.0;
+    f.in.sOuter = 4.0;
+    f.in.partition = p;
+    f.in.atwShift = shift;
+    return f;
+}
+
+/** Every vector backend == scalar reference, at 1/2/8 workers. */
+void
+expectBackendsBitExact(const Frame &f)
+{
+    const Image ref_unified = ucaUnified(f.in);
+    const Image ref_sequential = sequentialCompositeAtw(f.in);
+    for (const auto b : vectorBackends()) {
+        for (std::size_t threads : {1u, 2u, 8u}) {
+            PixelEngine engine(threads, b);
+            EXPECT_EQ(engine.ucaUnified(f.in).maxAbsDiff(
+                          ref_unified),
+                      0.0)
+                << simd::backendName(b) << " unified, threads="
+                << threads;
+            EXPECT_EQ(engine.sequentialCompositeAtw(f.in).maxAbsDiff(
+                          ref_sequential),
+                      0.0)
+                << simd::backendName(b) << " sequential, threads="
+                << threads;
+        }
+    }
+}
+
+TEST(SimdEngine, BitExactOnOddCanvas)
+{
+    PixelPartition p;
+    p.centerX = 255.5;
+    p.centerY = 254.5;
+    p.foveaRadius = 80.0;
+    p.middleRadius = 170.0;
+    p.blendBand = 16.0;
+    expectBackendsBitExact(makeFrame(511, 509, p, Vec2{1.7, -2.3}));
+}
+
+TEST(SimdEngine, BitExactOnTinyCanvasesAndRaggedTails)
+{
+    PixelPartition p;
+    p.centerX = 10.0;
+    p.centerY = 12.0;
+    p.foveaRadius = 8.0;
+    p.middleRadius = 20.0;
+    p.blendBand = 4.0;
+    // 31/33/37-px widths: every row ends in a non-multiple-of-8
+    // (and non-multiple-of-4) vector tail.
+    expectBackendsBitExact(makeFrame(31, 17, p, Vec2{0.8, -0.2}));
+    expectBackendsBitExact(makeFrame(33, 97, p, Vec2{0.0, 0.0}));
+    expectBackendsBitExact(makeFrame(37, 41, p, Vec2{-1.4, 2.6}));
+}
+
+TEST(SimdEngine, BitExactWithOffCanvasShiftAndCentre)
+{
+    PixelPartition p;
+    p.centerX = -90.0;
+    p.centerY = -40.0;
+    p.foveaRadius = 70.0;
+    p.middleRadius = 300.0;
+    p.blendBand = 20.0;
+    // Shifts large enough to clamp whole rows/columns off-raster.
+    expectBackendsBitExact(makeFrame(211, 173, p, Vec2{64.5, -80.25}));
+}
+
+TEST(SimdEngine, BitExactWithBandStraddlingTileBoundaries)
+{
+    PixelPartition p;
+    p.centerX = 256.0;
+    p.centerY = 256.0;
+    p.foveaRadius = 96.0;
+    p.middleRadius = 160.0;
+    p.blendBand = 32.0;
+    expectBackendsBitExact(makeFrame(511, 509, p, Vec2{2.5, -3.5}));
+}
+
+TEST(SimdEngine, ResampleShiftBitExactPerBackend)
+{
+    const Image src = imagePattern(211, 173, 1.1);
+    const Vec2 shift{1.2, -0.8};
+    PixelEngine scalar_engine(1, simd::Backend::Scalar);
+    const Image ref = scalar_engine.resampleShift(src, shift);
+    for (const auto b : vectorBackends()) {
+        for (std::size_t threads : {1u, 2u, 8u}) {
+            PixelEngine engine(threads, b);
+            EXPECT_EQ(
+                engine.resampleShift(src, shift).maxAbsDiff(ref),
+                0.0)
+                << simd::backendName(b) << " threads=" << threads;
+        }
+    }
+}
+
+// ---- Dispatch plumbing (runs on every host) -----------------------
+
+TEST(SimdDispatch, ScalarAlwaysSupportedAndNamed)
+{
+    EXPECT_TRUE(simd::backendSupported(simd::Backend::Scalar));
+    EXPECT_STREQ(simd::backendName(simd::Backend::Scalar), "scalar");
+    EXPECT_STREQ(simd::backendName(simd::Backend::Avx2), "avx2");
+    EXPECT_STREQ(simd::backendName(simd::Backend::Neon), "neon");
+}
+
+TEST(SimdDispatch, SupportedImpliesCompiled)
+{
+    for (const auto b : {simd::Backend::Scalar, simd::Backend::Avx2,
+                         simd::Backend::Neon}) {
+        if (simd::backendSupported(b)) {
+            EXPECT_TRUE(simd::backendCompiled(b))
+                << simd::backendName(b);
+        }
+    }
+}
+
+TEST(SimdDispatch, OverrideWinsAndClears)
+{
+    const simd::Backend before = simd::dispatch();
+    simd::setBackend(simd::Backend::Scalar);
+    EXPECT_EQ(simd::dispatch(), simd::Backend::Scalar);
+    simd::clearBackendOverride();
+    EXPECT_EQ(simd::dispatch(), before);
+}
+
+TEST(SimdDispatch, ParseNamesRoundTrip)
+{
+    EXPECT_EQ(simd::parseBackend("scalar"), simd::Backend::Scalar);
+    for (const auto b : vectorBackends())
+        EXPECT_EQ(simd::parseBackend(simd::backendName(b)), b);
+    // "auto" resolves to something supported.
+    EXPECT_TRUE(simd::backendSupported(simd::parseBackend("auto")));
+}
+
+}  // namespace
+}  // namespace qvr::core

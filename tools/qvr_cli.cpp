@@ -77,6 +77,7 @@ designs()
         {"DFR", core::DesignPoint::Dfr},
         {"SW-QVR", core::DesignPoint::SwQvr},
         {"Q-VR", core::DesignPoint::Qvr},
+        {"Q-VR+CL", core::DesignPoint::QvrCompressed},
         {"Q-VR-R", core::DesignPoint::Resilient},
     };
     return m;
